@@ -1,0 +1,63 @@
+"""Ablation — algebraic plan optimisation (Sec. 8 future work).
+
+Selection pushdown through a perspective: the unoptimised plan relocates
+the whole cube and then selects one member; the optimised plan selects
+first, so relocation touches a fraction of the cells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import optimize
+from repro.core.perspective import Semantics
+from repro.core.plans import (
+    BaseCube,
+    MemberIn,
+    PerspectiveNode,
+    SelectNode,
+    execute_plan,
+)
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+
+@pytest.fixture(scope="module")
+def workforce_cube():
+    workforce = build_workforce(
+        WorkforceConfig(
+            n_employees=250,
+            n_departments=10,
+            n_changing=25,
+            n_accounts=5,
+            n_scenarios=2,
+            seed=31,
+        )
+    )
+    members = frozenset(workforce.changing_employees[:5])
+    plan = SelectNode(
+        PerspectiveNode(BaseCube(), "Department", (0,), Semantics.FORWARD),
+        "Department",
+        MemberIn(members),
+    )
+    return workforce.cube, plan
+
+
+def test_unoptimized_plan(benchmark, workforce_cube):
+    cube, plan = workforce_cube
+    result = benchmark(lambda: execute_plan(plan, cube))
+    benchmark.extra_info["result_cells"] = result.n_leaf_cells
+
+
+def test_optimized_plan(benchmark, workforce_cube):
+    cube, plan = workforce_cube
+    optimized, trace = optimize(plan)
+    assert "push-select-through-perspective" in trace.rules_fired
+    result = benchmark(lambda: execute_plan(optimized, cube))
+    benchmark.extra_info["result_cells"] = result.n_leaf_cells
+    benchmark.extra_info["rules_fired"] = ",".join(trace.rules_fired)
+
+
+def test_plans_agree(workforce_cube):
+    cube, plan = workforce_cube
+    optimized, _ = optimize(plan)
+    assert execute_plan(plan, cube).leaf_equal(execute_plan(optimized, cube))

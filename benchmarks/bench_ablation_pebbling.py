@@ -1,0 +1,62 @@
+"""Ablation — pebbling heuristic vs naive scan order (Sec. 5.2).
+
+Benchmarks the pebbling computation itself and, in ``extra_info``, records
+the max co-resident chunk counts for the heuristic order vs the naive
+linear order — the quantity Sec. 5.2 minimises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.merge_graph import build_merge_graph, fig8_example_graph
+from repro.core.pebbling import pebble, pebbles_for_order
+from repro.core.perspective import PerspectiveSet, Semantics
+from repro.workload.retail import RetailConfig, build_retail
+
+VARYING_COUNTS = (2, 4, 8)
+
+
+def _graph(n_varying: int):
+    retail = build_retail(
+        RetailConfig(
+            n_groups=6,
+            products_per_group=4,
+            n_varying=n_varying,
+            max_moves=3,
+            n_locations=2,
+            seed=17,
+        )
+    )
+    chunked, spec = retail.chunked(chunk_shape=(1, 3, 2))
+    graph = build_merge_graph(
+        spec, PerspectiveSet([0, 6], 12), Semantics.FORWARD
+    )
+    return graph, chunked.grid
+
+
+@pytest.mark.parametrize("n_varying", VARYING_COUNTS)
+def test_pebbling_heuristic(benchmark, n_varying):
+    graph, grid = _graph(n_varying)
+
+    result = benchmark(lambda: pebble(graph))
+    naive_order = sorted(
+        graph.nodes, key=lambda c: grid.linear_index(c, grid.default_order())
+    )
+    benchmark.extra_info["heuristic_pebbles"] = result.max_pebbles
+    benchmark.extra_info["naive_pebbles"] = (
+        pebbles_for_order(graph, naive_order) if graph.number_of_nodes() else 0
+    )
+    benchmark.extra_info["nodes"] = graph.number_of_nodes()
+    benchmark.extra_info["edges"] = graph.number_of_edges()
+
+
+def test_pebbling_fig9_example(benchmark):
+    """The paper's own Fig. 9 instance: heuristic finds the 3-pebble optimum."""
+    graph = fig8_example_graph()
+    result = benchmark(lambda: pebble(graph))
+    assert result.max_pebbles == 3
+    benchmark.extra_info["heuristic_pebbles"] = result.max_pebbles
+    benchmark.extra_info["naive_pebbles"] = pebbles_for_order(
+        graph, sorted(graph.nodes)
+    )

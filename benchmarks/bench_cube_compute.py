@@ -1,0 +1,43 @@
+"""Baseline — Zhao et al. chunk-scan cube computation.
+
+Shared single-scan simultaneous aggregation of all group-bys vs one scan
+per group-by, over the retail cube.  The shared scan reads each chunk once
+regardless of how many group-bys are computed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.cube_compute import compute_group_bys, compute_group_bys_naive
+from repro.storage.lattice import all_group_bys
+from repro.workload.retail import RetailConfig, build_retail
+
+
+@pytest.fixture(scope="module")
+def retail_store():
+    retail = build_retail(
+        RetailConfig(
+            n_groups=6, products_per_group=6, n_varying=4, n_locations=4, seed=23
+        )
+    )
+    chunked, _ = retail.chunked(chunk_shape=(4, 3, 2))
+    return chunked.store
+
+
+def test_shared_scan_all_group_bys(benchmark, retail_store):
+    group_bys = all_group_bys(3)
+    benchmark(lambda: compute_group_bys(retail_store, group_bys))
+    retail_store.reset_stats()
+    compute_group_bys(retail_store, group_bys)
+    benchmark.extra_info["chunk_reads"] = retail_store.stats.chunk_reads
+    benchmark.extra_info["group_bys"] = len(group_bys)
+
+
+def test_naive_scan_per_group_by(benchmark, retail_store):
+    group_bys = all_group_bys(3)
+    benchmark(lambda: compute_group_bys_naive(retail_store, group_bys))
+    retail_store.reset_stats()
+    compute_group_bys_naive(retail_store, group_bys)
+    benchmark.extra_info["chunk_reads"] = retail_store.stats.chunk_reads
+    benchmark.extra_info["group_bys"] = len(group_bys)

@@ -1,0 +1,74 @@
+"""Fig. 11 — number of perspectives vs query performance.
+
+Three strategies over all changing employees, 1..12 perspectives:
+Multiple-MDX simulation (upper bound), direct Static, direct Dynamic
+Forward.  The paper's claims: all linear; direct multi-perspective beats
+the simulation; static and forward converge beyond ~6 perspectives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fig11 import spread_perspectives
+from repro.core.perspective import PerspectiveSet, Semantics
+from repro.core.perspective_cube import (
+    run_multiple_mdx_simulation,
+    run_perspective_query,
+)
+
+PERSPECTIVE_COUNTS = (1, 4, 8, 12)
+
+
+def _pset(k: int) -> PerspectiveSet:
+    return PerspectiveSet(spread_perspectives(k), 12)
+
+
+@pytest.mark.parametrize("k", PERSPECTIVE_COUNTS)
+def test_fig11_static(benchmark, fig11_setup, k):
+    workforce, chunked, spec = fig11_setup
+    members = workforce.changing_employees
+    pset = _pset(k)
+
+    def run():
+        return run_perspective_query(spec, members, pset, Semantics.STATIC)
+
+    result = benchmark(run)
+    chunked.store.reset_stats()
+    probe = run_perspective_query(spec, members, pset, Semantics.STATIC)
+    benchmark.extra_info.update(probe.io)
+    benchmark.extra_info["perspectives"] = k
+    benchmark.extra_info["instances"] = len(result.rows)
+
+
+@pytest.mark.parametrize("k", PERSPECTIVE_COUNTS)
+def test_fig11_dynamic_forward(benchmark, fig11_setup, k):
+    workforce, chunked, spec = fig11_setup
+    members = workforce.changing_employees
+    pset = _pset(k)
+
+    def run():
+        return run_perspective_query(spec, members, pset, Semantics.FORWARD)
+
+    result = benchmark(run)
+    chunked.store.reset_stats()
+    probe = run_perspective_query(spec, members, pset, Semantics.FORWARD)
+    benchmark.extra_info.update(probe.io)
+    benchmark.extra_info["perspectives"] = k
+    benchmark.extra_info["instances"] = len(result.rows)
+
+
+@pytest.mark.parametrize("k", PERSPECTIVE_COUNTS)
+def test_fig11_multiple_mdx_simulation(benchmark, fig11_setup, k):
+    workforce, chunked, spec = fig11_setup
+    members = workforce.changing_employees
+    pset = _pset(k)
+
+    def run():
+        return run_multiple_mdx_simulation(spec, members, pset, Semantics.STATIC)
+
+    benchmark(run)
+    chunked.store.reset_stats()
+    probe = run_multiple_mdx_simulation(spec, members, pset, Semantics.STATIC)
+    benchmark.extra_info["chunk_reads"] = probe.chunks_read
+    benchmark.extra_info["perspectives"] = k

@@ -1,0 +1,33 @@
+"""Fig. 13 — number of varying member instances vs query performance.
+
+A static 4-perspective query over 10..50 employees with exactly 4
+reporting-structure changes each (the paper's 50..250, scaled 5x down).
+The paper's claim: query time is linear in the number of varying member
+instances in scope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.perspective import PerspectiveSet, Semantics
+from repro.core.perspective_cube import run_perspective_query
+
+STEPS = (10, 20, 30, 40, 50)
+
+
+@pytest.mark.parametrize("n", STEPS)
+def test_fig13_varying_members(benchmark, fig13_setup, n):
+    workforce, chunked, spec = fig13_setup
+    members = workforce.changing_employees[:n]
+    pset = PerspectiveSet([0, 3, 6, 9], 12)  # Jan, Apr, Jul, Oct
+
+    def run():
+        return run_perspective_query(spec, members, pset, Semantics.STATIC)
+
+    result = benchmark(run)
+    chunked.store.reset_stats()
+    run_perspective_query(spec, members, pset, Semantics.STATIC)
+    benchmark.extra_info.update(chunked.store.stats.snapshot())
+    benchmark.extra_info["employees"] = n
+    benchmark.extra_info["instances"] = len(result.rows)

@@ -1,0 +1,77 @@
+"""End-to-end benchmark through the full extended-MDX stack.
+
+The paper's experiments run MDX queries against the engine; the other
+figure benchmarks here drive the chunk engine directly.  This suite times
+the *whole* stack — parse, scenario application on the semantic cube, axis
+expansion, cell evaluation — for the Fig. 10-style query family, so the
+language/semantic-layer overhead is visible next to the chunk-engine
+numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+MONTH_SET = ", ".join(
+    f"Period.[{m}]"
+    for m in ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+              "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+)
+
+
+@pytest.fixture(scope="module")
+def workforce():
+    return build_workforce(
+        WorkforceConfig(
+            n_employees=80,
+            n_departments=6,
+            n_changing=10,
+            n_accounts=4,
+            n_scenarios=2,
+            seed=19,
+            density=0.3,
+        )
+    )
+
+
+def _query(semantics_kw: str, k: int) -> str:
+    points = ", ".join(
+        f"({p})" for p in ("Jan", "Apr", "Jul", "Oct")[:k]
+    )
+    return f"""
+        WITH PERSPECTIVE {{{points}}} FOR Department {semantics_kw}
+        SELECT {{[Account].Levels(0).Members}} ON COLUMNS,
+               {{CrossJoin(
+                   {{[EmployeesWithAtleastOneMove-Set1].Children}},
+                   {{{MONTH_SET}}}
+               )}} DIMENSION PROPERTIES [Department] ON ROWS
+        FROM [App].[Db]
+        WHERE ([Current], [Local], [BU Version_1], [HSP_InputValue])
+    """
+
+
+@pytest.mark.parametrize("k", (1, 2, 4))
+def test_mdx_static_full_stack(benchmark, workforce, k):
+    text = _query("STATIC", k)
+    result = benchmark(lambda: workforce.warehouse.query(text))
+    benchmark.extra_info["perspectives"] = k
+    benchmark.extra_info["rows"] = len(result.rows)
+    benchmark.extra_info["columns"] = len(result.columns)
+
+
+@pytest.mark.parametrize("k", (1, 2, 4))
+def test_mdx_forward_full_stack(benchmark, workforce, k):
+    text = _query("DYNAMIC FORWARD", k)
+    result = benchmark(lambda: workforce.warehouse.query(text))
+    benchmark.extra_info["perspectives"] = k
+    benchmark.extra_info["rows"] = len(result.rows)
+
+
+def test_mdx_parse_only(benchmark):
+    """Parsing cost alone, for the overhead breakdown."""
+    from repro.mdx.parser import parse_query
+
+    text = _query("DYNAMIC FORWARD", 4)
+    benchmark(lambda: parse_query(text))

@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures: workforce cubes built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.fig11 import bench_config
+from repro.bench.fig13 import fig13_config
+from repro.workload.workforce import build_workforce
+
+
+@pytest.fixture(scope="session")
+def fig11_setup():
+    """Workforce cube + varying spec for the Fig. 11 sweep."""
+    workforce = build_workforce(bench_config(scale=0.6))
+    chunked, spec = workforce.chunked()
+    return workforce, chunked, spec
+
+
+@pytest.fixture(scope="session")
+def fig13_setup():
+    """Workforce cube with exactly-4-move employees for Fig. 13."""
+    config = fig13_config(n_changing=50)
+    workforce = build_workforce(config)
+    chunked, spec = workforce.chunked(
+        chunk_shape=(4, 3, config.n_accounts, config.n_scenarios, 1, 1, 1)
+    )
+    return workforce, chunked, spec

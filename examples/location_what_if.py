@@ -1,0 +1,111 @@
+"""Location-driven changes: unordered parameter dimensions (scenario S2).
+
+The paper stresses that "structural changes are not necessarily temporal,
+but can vary by location" (Sec. 3.1).  Scenario S2: *what if FTE Lisa
+performed some work in MA where she is classified as PTE?* — here
+Organization varies over the **unordered** Location dimension: Lisa is
+FTE in NY and CA but PTE in MA.
+
+Static perspectives apply to unordered parameters (dynamic semantics need
+an order and are rejected); we ask for the hours booked under each
+classification and then view the warehouse from single-location
+perspectives.
+
+Run with:  python examples/location_what_if.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Cube,
+    CubeSchema,
+    Dimension,
+    NegativeScenario,
+    Semantics,
+    Warehouse,
+)
+
+LOCATIONS = ("NY", "MA", "CA")
+
+
+def build_warehouse() -> Warehouse:
+    org = Dimension("Organization")
+    org.add_children(None, ["FTE", "PTE"])
+    org.add_children("FTE", ["Lisa", "Joe"])
+    org.add_member("Tom", "PTE")
+
+    location = Dimension("Location")  # unordered parameter dimension
+    for name in LOCATIONS:
+        location.add_member(name)
+
+    measures = Dimension("Measures", is_measures=True)
+    measures.add_member("Hours")
+
+    schema = CubeSchema([org, location, measures])
+    varying = schema.make_varying("Organization", "Location")
+    # S2: Lisa is FTE in NY and CA, PTE in MA.
+    varying.assign("Lisa", "FTE", ["NY", "CA"])
+    varying.assign("Lisa", "PTE", ["MA"])
+
+    cube = Cube(schema)
+    hours = {"NY": 120.0, "MA": 40.0, "CA": 60.0}
+    for instance in varying.instances_of("Lisa"):
+        for index in instance.validity:
+            location_name = LOCATIONS[index]
+            cube.set_value(
+                (instance.full_path, location_name, "Hours"),
+                hours[location_name],
+            )
+    for location_name in LOCATIONS:
+        cube.set_value(("Organization/FTE/Joe", location_name, "Hours"), 100.0)
+        cube.set_value(("Organization/PTE/Tom", location_name, "Hours"), 80.0)
+    return Warehouse(schema, cube, name="FieldWork")
+
+
+def main() -> None:
+    warehouse = build_warehouse()
+
+    print("=== Lisa's hours by classification and location ===")
+    result = warehouse.query(
+        """
+        SELECT {[NY], [MA], [CA]} ON COLUMNS, {[Lisa]} ON ROWS
+        FROM FieldWork WHERE ([Hours])
+        """
+    )
+    print(result.to_text())
+    print()
+
+    print("=== Classification totals (FTE vs PTE hours) ===")
+    result = warehouse.query(
+        "SELECT {[NY], [MA], [CA]} ON COLUMNS, {[FTE], [PTE]} ON ROWS "
+        "FROM FieldWork WHERE ([Hours])"
+    )
+    print(result.to_text())
+    print()
+
+    print("=== Perspective {MA}: the org structure as MA sees it ===")
+    result = warehouse.query(
+        """
+        WITH PERSPECTIVE {(MA)} FOR Organization STATIC VISUAL
+        SELECT {[NY], [MA], [CA]} ON COLUMNS,
+               {[Lisa], [Joe], [Tom]} ON ROWS
+        FROM FieldWork WHERE ([Hours])
+        """
+    )
+    print(result.to_text())
+    print()
+    print("Only Lisa's MA instance (PTE/Lisa) survives; her NY and CA work")
+    print("is hidden because FTE/Lisa is not valid at the MA perspective.")
+    print()
+
+    print("=== Dynamic semantics are rejected on unordered parameters ===")
+    try:
+        NegativeScenario(
+            "Organization", ["MA"], Semantics.FORWARD
+        ).apply(warehouse.cube)
+    except Exception as error:  # noqa: BLE001 - demo output
+        print(f"  QueryError: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: the paper's running example end to end.
+
+Builds the Fig. 1/2 warehouse (Organization varying over Time, employee
+Joe reclassified FTE -> PTE -> Contractor), then runs:
+
+1. a classic MDX query (the Fig. 3 rendering),
+2. a negative what-if query — forward semantics, visual mode, with
+   perspectives {Feb, Apr} (the Fig. 4 output), and
+3. a positive what-if query — "what if Lisa had been reclassified PTE in
+   April?" (the Sec. 3.4 example).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Warehouse
+from repro.workload import build_running_example
+
+
+def main() -> None:
+    example = build_running_example()
+    warehouse = Warehouse(example.schema, example.cube, name="Warehouse")
+
+    print("=== Member instances of Joe (validity sets over months 0-11) ===")
+    for instance in example.org.instances_of("Joe"):
+        print(f"  {instance.qualified_name:16s} VS = {instance.validity.sorted_moments()}")
+    print()
+
+    print("=== 1. Classic MDX: Joe-as-Contractor salary by quarter x state ===")
+    result = warehouse.query(
+        """
+        SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS,
+               Location.[East].Children ON ROWS
+        FROM Warehouse
+        WHERE (Organization.[Contractor].[Joe], Measures.[Salary])
+        """
+    )
+    print(result.to_text())
+    print()
+
+    print("=== 2. Negative scenario: WITH PERSPECTIVE {Feb, Apr} FORWARD VISUAL ===")
+    print("   (PTE/Joe inherits Mar's salary from Contractor/Joe — Fig. 4)")
+    result = warehouse.query(
+        """
+        WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+        SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[Apr],
+                Time.[May], Time.[Jun]} ON COLUMNS,
+               {[Joe], [Lisa], [Tom], [Jane]} ON ROWS
+        FROM Warehouse
+        WHERE ([NY], [Salary])
+        """
+    )
+    print(result.to_text())
+    print()
+
+    print("=== 3. Positive scenario: what if Lisa moved to PTE in April? ===")
+    result = warehouse.query(
+        """
+        WITH CHANGES {([Lisa], FTE, PTE, Apr)} FOR Organization VISUAL
+        SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS,
+               {[FTE], [PTE], [Lisa]} ON ROWS
+        FROM Warehouse
+        WHERE ([NY], [Salary])
+        """
+    )
+    print(result.to_text())
+    print()
+    print("PTE's Qtr2 total now includes Lisa's relocated Apr-Jun salary.")
+
+
+if __name__ == "__main__":
+    main()

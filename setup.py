@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which need ``bdist_wheel``) fail.  This shim
+enables the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — What-if OLAP queries with changing dimensions.
+
+A from-scratch reproduction of Lakshmanan, Russakovsky & Sashikanth,
+*What-if OLAP Queries with Changing Dimensions* (ICDE 2008): a
+multidimensional OLAP engine with native support for varying dimensions
+and member instances, the perspective/what-if query layer (negative and
+positive scenarios, five semantics, visual/non-visual modes), an extended
+MDX dialect, and the chunk-level perspective-cube evaluation machinery
+(merge dependency graphs, pebbling, dimension ordering).
+
+Quick start::
+
+    from repro import Warehouse
+    from repro.workload import build_running_example
+
+    ex = build_running_example()
+    wh = Warehouse(ex.schema, ex.cube)
+    result = wh.query('''
+        WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+        SELECT {Descendants([Time], 1, self_and_after)} ON COLUMNS,
+               {[Joe]} ON ROWS
+        FROM [Warehouse]
+        WHERE ([NY], [Salary])
+    ''')
+    print(result.to_text())
+"""
+
+from repro.core import (
+    ChangeTuple,
+    Mode,
+    NegativeScenario,
+    PerspectiveSet,
+    PositiveScenario,
+    Semantics,
+    ValiditySet,
+    WhatIfCube,
+    apply_scenarios,
+)
+from repro.errors import ReproError
+from repro.io import load_warehouse, save_warehouse
+from repro.olap import (
+    MISSING,
+    Cube,
+    CubeSchema,
+    Dimension,
+    MemberInstance,
+    Rule,
+    RuleEngine,
+    VaryingDimension,
+    is_missing,
+)
+from repro.warehouse import NamedSet, Warehouse
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ChangeTuple",
+    "Mode",
+    "NegativeScenario",
+    "PerspectiveSet",
+    "PositiveScenario",
+    "Semantics",
+    "ValiditySet",
+    "WhatIfCube",
+    "apply_scenarios",
+    "ReproError",
+    "load_warehouse",
+    "save_warehouse",
+    "MISSING",
+    "Cube",
+    "CubeSchema",
+    "Dimension",
+    "MemberInstance",
+    "Rule",
+    "RuleEngine",
+    "VaryingDimension",
+    "is_missing",
+    "NamedSet",
+    "Warehouse",
+    "__version__",
+]

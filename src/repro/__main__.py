@@ -1,0 +1,51 @@
+"""``python -m repro`` — a tiny demonstration entry point.
+
+Prints the library version and runs the paper's headline what-if query on
+the running example, so a fresh install can verify itself in one command.
+Use ``python -m repro.bench all`` for the experiment harness and the
+scripts under ``examples/`` for full walkthroughs.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+from repro import Warehouse
+from repro.workload import build_running_example
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="store_true", help="print the version and exit"
+    )
+    args = parser.parse_args()
+    if args.version:
+        print(repro.__version__)
+        return
+
+    print(f"repro {repro.__version__} — What-if OLAP queries "
+          "with changing dimensions (ICDE 2008 reproduction)\n")
+    example = build_running_example()
+    warehouse = Warehouse(example.schema, example.cube)
+    print("Joe's instances:", ", ".join(
+        f"{i.qualified_name} {i.validity.sorted_moments()}"
+        for i in example.org.instances_of("Joe")
+    ))
+    print("\nWITH PERSPECTIVE {(Feb), (Apr)} FOR Organization "
+          "DYNAMIC FORWARD VISUAL ...\n")
+    result = warehouse.query(
+        """
+        WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+        SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS,
+               {[Joe]} ON ROWS
+        FROM Warehouse WHERE ([NY], [Salary])
+        """
+    )
+    print(result.to_text())
+    print("\nNext steps: python -m repro.bench all | python examples/quickstart.py")
+
+
+if __name__ == "__main__":
+    main()

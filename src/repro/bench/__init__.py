@@ -1,0 +1,43 @@
+"""Benchmark harness: one runner per paper figure plus ablations.
+
+``python -m repro.bench <fig11|fig12|fig13|ablations|all>`` prints the
+regenerated series as text tables (see EXPERIMENTS.md for the comparison
+against the paper's reported shapes).
+"""
+
+from repro.bench.ablations import (
+    run_cube_compute_ablation,
+    run_dimension_order_ablation,
+    run_optimizer_ablation,
+    run_pebbling_ablation,
+)
+from repro.bench.fig11 import bench_config, run_fig11, spread_perspectives
+from repro.bench.fig12 import fig12_config, fig12_cost_model, run_fig12
+from repro.bench.fig13 import fig13_config, run_fig13
+from repro.bench.harness import (
+    ExperimentSeries,
+    SeriesPoint,
+    format_table,
+    print_series,
+    timed,
+)
+
+__all__ = [
+    "run_cube_compute_ablation",
+    "run_dimension_order_ablation",
+    "run_optimizer_ablation",
+    "run_pebbling_ablation",
+    "bench_config",
+    "run_fig11",
+    "spread_perspectives",
+    "fig12_config",
+    "fig12_cost_model",
+    "run_fig12",
+    "fig13_config",
+    "run_fig13",
+    "ExperimentSeries",
+    "SeriesPoint",
+    "format_table",
+    "print_series",
+    "timed",
+]

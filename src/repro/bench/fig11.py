@@ -1,0 +1,109 @@
+"""Fig. 11 — number of perspectives vs query performance.
+
+The paper runs a query over all 250 changing employees, varying the number
+of perspectives from 1 to 12, for three strategies:
+
+* **Multiple MDX** — simulate the k-perspective query as k
+  single-perspective queries plus post-merge (upper bound);
+* **Static** — direct multi-perspective static semantics;
+* **Dynamic Forward** — direct multi-perspective forward semantics.
+
+All three scale linearly; the direct implementations beat the simulation,
+and static/forward converge beyond ~6 perspectives (the ranges shrink).
+We reproduce the same three lines over the scaled workforce cube, reporting
+wall-clock ms, simulated disk ms, and chunks read.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import ExperimentSeries, timed
+from repro.core.perspective import PerspectiveSet, Semantics
+from repro.core.perspective_cube import (
+    run_multiple_mdx_simulation,
+    run_perspective_query,
+)
+from repro.storage.io_stats import IoCostModel
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+__all__ = ["bench_config", "spread_perspectives", "run_fig11"]
+
+
+def bench_config(scale: float = 1.0, seed: int = 42) -> WorkforceConfig:
+    """Default Fig. 11/13 workload: 1% of employees change, as in Sec. 6."""
+    return WorkforceConfig(
+        n_employees=max(40, int(400 * scale)),
+        n_departments=max(4, int(16 * scale)),
+        n_changing=max(8, int(40 * scale)),
+        max_moves=4,
+        n_accounts=max(2, int(6 * scale)),
+        n_scenarios=2,
+        seed=seed,
+        density=0.25,
+    )
+
+
+def spread_perspectives(k: int, universe: int = 12) -> list[int]:
+    """k perspective moments spread evenly over the year."""
+    if not 1 <= k <= universe:
+        raise ValueError(f"k must be within [1, {universe}]")
+    return sorted({(i * universe) // k for i in range(k)})
+
+
+def run_fig11(
+    config: WorkforceConfig | None = None,
+    perspective_counts: Sequence[int] = tuple(range(1, 13)),
+    cost_model: IoCostModel | None = None,
+) -> list[ExperimentSeries]:
+    """Regenerate the three lines of Fig. 11."""
+    workforce = build_workforce(config or bench_config())
+    chunked, spec = workforce.chunked(cost_model=cost_model)
+    members = workforce.changing_employees
+
+    multiple_mdx = ExperimentSeries("Multiple MDX")
+    static = ExperimentSeries("Static")
+    forward = ExperimentSeries("Dynamic Forward")
+
+    for k in perspective_counts:
+        pset = PerspectiveSet(spread_perspectives(k), 12)
+
+        chunked.store.reset_stats()
+        _, wall = timed(
+            lambda: run_multiple_mdx_simulation(
+                spec, members, pset, Semantics.STATIC
+            )
+        )
+        stats = chunked.store.stats.snapshot()
+        multiple_mdx.add(
+            k,
+            wall_ms=wall,
+            simulated_ms=stats["simulated_ms"],
+            chunk_reads=stats["chunk_reads"],
+        )
+
+        chunked.store.reset_stats()
+        _, wall = timed(
+            lambda: run_perspective_query(spec, members, pset, Semantics.STATIC)
+        )
+        stats = chunked.store.stats.snapshot()
+        static.add(
+            k,
+            wall_ms=wall,
+            simulated_ms=stats["simulated_ms"],
+            chunk_reads=stats["chunk_reads"],
+        )
+
+        chunked.store.reset_stats()
+        _, wall = timed(
+            lambda: run_perspective_query(spec, members, pset, Semantics.FORWARD)
+        )
+        stats = chunked.store.stats.snapshot()
+        forward.add(
+            k,
+            wall_ms=wall,
+            simulated_ms=stats["simulated_ms"],
+            chunk_reads=stats["chunk_reads"],
+        )
+
+    return [multiple_mdx, static, forward]

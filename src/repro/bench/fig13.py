@@ -1,0 +1,91 @@
+"""Fig. 13 — number of varying member instances vs query performance.
+
+The paper runs a static 4-perspective query over employees with exactly 4
+reporting-structure changes, growing the employee set from 50 to 250 in
+steps of 50, and observes linear scaling: perspective query cost is driven
+by (1) identifying the relevant member instances per perspective and (2)
+merging instance rows across perspectives.
+
+We reproduce the same sweep (scaled) over the chunked workforce cube.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import ExperimentSeries, timed
+from repro.core.perspective import PerspectiveSet, Semantics
+from repro.core.perspective_cube import run_perspective_query
+from repro.storage.io_stats import IoCostModel
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+__all__ = ["fig13_config", "run_fig13"]
+
+
+def fig13_config(n_changing: int = 50, seed: int = 42) -> WorkforceConfig:
+    """Employees with exactly 4 moves, as in the paper's sweep."""
+    return WorkforceConfig(
+        n_employees=max(n_changing * 4, 40),
+        n_departments=12,
+        n_changing=n_changing,
+        max_moves=4,
+        exact_moves=4,
+        n_accounts=4,
+        n_scenarios=2,
+        seed=seed,
+        density=0.2,
+    )
+
+
+def run_fig13(
+    steps: Sequence[int] = (10, 20, 30, 40, 50),
+    config: WorkforceConfig | None = None,
+    cost_model: IoCostModel | None = None,
+) -> list[ExperimentSeries]:
+    """Regenerate Fig. 13 (scaled): #varying employees vs query time.
+
+    ``steps`` are the employee-set sizes; the paper's 50..250 maps to our
+    scaled 10..50 by default (same 5-point linear sweep).
+    """
+    config = config or fig13_config(n_changing=max(steps))
+    if config.n_changing < max(steps):
+        raise ValueError(
+            f"config has {config.n_changing} changing employees; "
+            f"steps need {max(steps)}"
+        )
+    workforce = build_workforce(config)
+    # Small row-chunks: each additional employee touches fresh chunks, so
+    # the sweep isolates the per-instance merge cost (as in the paper,
+    # where 250 employees are a drop in a 121M-cell cube).
+    chunked, spec = workforce.chunked(
+        chunk_shape=(
+            4,
+            3,
+            config.n_accounts,
+            config.n_scenarios,
+            1,
+            1,
+            1,
+        ),
+        cost_model=cost_model,
+    )
+    pset = PerspectiveSet([0, 3, 6, 9], 12)  # Jan, Apr, Jul, Oct
+
+    series = ExperimentSeries("Static, 4 perspectives")
+    for n in steps:
+        members = workforce.changing_employees[:n]
+        chunked.store.reset_stats()
+        result, wall = timed(
+            lambda: run_perspective_query(
+                spec, members, pset, Semantics.STATIC
+            )
+        )
+        stats = chunked.store.stats.snapshot()
+        series.add(
+            n,
+            wall_ms=wall,
+            simulated_ms=stats["simulated_ms"],
+            chunk_reads=stats["chunk_reads"],
+            instances=float(len(result.rows)),
+        )
+    return [series]

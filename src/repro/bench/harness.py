@@ -1,0 +1,103 @@
+"""Experiment harness: series containers and table rendering.
+
+Each experiment runner (fig11/fig12/fig13, ablations) returns
+:class:`ExperimentSeries` objects — named (x, metrics) series matching the
+lines of the paper's figures.  ``print_series`` renders them as aligned
+text tables, the form the benchmark CLI (``python -m repro.bench``) and
+EXPERIMENTS.md use.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["SeriesPoint", "ExperimentSeries", "timed", "print_series", "format_table"]
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measurement: the x value plus metric name -> value."""
+
+    x: float
+    metrics: tuple[tuple[str, float], ...]
+
+    def metric(self, name: str) -> float:
+        for key, value in self.metrics:
+            if key == name:
+                return value
+        raise KeyError(f"no metric {name!r} at x={self.x}")
+
+
+@dataclass
+class ExperimentSeries:
+    """A named line of a figure: list of points in x order."""
+
+    name: str
+    points: list[SeriesPoint] = field(default_factory=list)
+
+    def add(self, x: float, **metrics: float) -> SeriesPoint:
+        point = SeriesPoint(x, tuple(sorted(metrics.items())))
+        self.points.append(point)
+        return point
+
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    def values(self, metric: str) -> list[float]:
+        return [p.metric(metric) for p in self.points]
+
+
+def timed(func: Callable[[], object]) -> tuple[object, float]:
+    """Run a callable, returning (result, elapsed milliseconds)."""
+    start = time.perf_counter()
+    result = func()
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return result, elapsed_ms
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    width: int = 14,
+) -> str:
+    """Render an aligned text table with a title rule."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    header = " | ".join(str(c).rjust(width) for c in columns)
+    lines = [title, "=" * max(len(title), len(header)), header, "-" * len(header)]
+    for row in rows:
+        lines.append(" | ".join(fmt(v).rjust(width) for v in row))
+    return "\n".join(lines)
+
+
+def print_series(
+    title: str,
+    series: Sequence[ExperimentSeries],
+    metric: str,
+    x_label: str,
+) -> str:
+    """Render several series sharing an x axis as one table (one column
+    per series, like the multi-line figures of the paper)."""
+    xs = series[0].xs()
+    for s in series:
+        if s.xs() != xs:
+            raise ValueError(
+                f"series {s.name!r} has different x values than {series[0].name!r}"
+            )
+    columns = [x_label] + [s.name for s in series]
+    rows = []
+    for index, x in enumerate(xs):
+        row: list[object] = [x]
+        for s in series:
+            row.append(s.points[index].metric(metric))
+        rows.append(row)
+    text = format_table(title, columns, rows)
+    print(text)
+    return text

@@ -1,0 +1,84 @@
+"""The paper's primary contribution: perspectives and what-if queries.
+
+Contents: validity sets (Sec. 2), the perspective transform Φ with all five
+semantics (Secs. 3.3–3.4, 4.2), the what-if algebra σ/ρ/S/E (Sec. 4),
+scenario application per Theorem 4.1, and the perspective-cube evaluation
+machinery of Sec. 5 (merge dependency graphs, pebbling, dimension-order
+selection, the chunk-level perspective cube builder).
+"""
+
+from repro.core.compression import CompressedPerspectiveCube, compress
+from repro.core.data_scenario import AllocationScenario
+from repro.core.delta_aggregate import adjusted_group_by, original_rows
+from repro.core.operators import (
+    ChangeRelation,
+    ChangeTuple,
+    evaluate,
+    relocate,
+    select,
+    split,
+)
+from repro.core.optimizer import OptimizationTrace, optimize
+from repro.core.plans import (
+    BaseCube,
+    EvaluateNode,
+    PerspectiveNode,
+    PlanNode,
+    SelectNode,
+    SplitNode,
+    execute_plan,
+    explain,
+)
+from repro.core.perspective import (
+    Mode,
+    PerspectiveSet,
+    Semantics,
+    phi,
+    phi_member,
+    stretch,
+)
+from repro.core.validation import Finding, check_warehouse
+from repro.core.scenario import (
+    NegativeScenario,
+    PositiveScenario,
+    WhatIfCube,
+    apply_scenarios,
+)
+from repro.validity import ValiditySet
+
+__all__ = [
+    "AllocationScenario",
+    "adjusted_group_by",
+    "original_rows",
+    "Finding",
+    "check_warehouse",
+    "CompressedPerspectiveCube",
+    "compress",
+    "OptimizationTrace",
+    "optimize",
+    "BaseCube",
+    "EvaluateNode",
+    "PerspectiveNode",
+    "PlanNode",
+    "SelectNode",
+    "SplitNode",
+    "execute_plan",
+    "explain",
+    "ChangeRelation",
+    "ChangeTuple",
+    "evaluate",
+    "relocate",
+    "select",
+    "split",
+    "Mode",
+    "PerspectiveSet",
+    "Semantics",
+    "phi",
+    "phi_member",
+    "stretch",
+    "NegativeScenario",
+    "PositiveScenario",
+    "WhatIfCube",
+    "apply_scenarios",
+    "ValiditySet",
+]

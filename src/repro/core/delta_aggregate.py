@@ -1,0 +1,167 @@
+"""Delta aggregation: visual-mode group-bys over a perspective cube.
+
+The paper (Sec. 3): "In calculating aggregates, we have a choice — either
+use the original scenario or the assumed hypothetical scenario."  Visual
+mode re-aggregates over the perspective cube — but a perspective query
+only *moves* the cells of its changing members, so recomputing a group-by
+from scratch wastes the work already done for the base cube.
+
+:func:`adjusted_group_by` computes a visual-mode group-by as::
+
+    base group-by  -  contributions of the queried members' original rows
+                   +  contributions of their relocated rows
+
+The base group-by comes from the shared chunk scan
+(:func:`repro.storage.cube_compute.compute_group_bys`, possibly cached by
+the caller); the old/new row contributions come from the query result and
+a targeted read of the original instance rows.  Both old and new rows live
+at *input-axis* positions (Φ's targets are input instances), so the
+adjustment is position-aligned by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.merge_graph import VaryingAxisSpec
+from repro.core.perspective_cube import PerspectiveQueryResult
+from repro.errors import QueryError
+from repro.storage.cube_compute import GroupByResult, compute_group_bys
+
+__all__ = ["original_rows", "adjusted_group_by"]
+
+
+def original_rows(
+    spec: VaryingAxisSpec, members: Sequence[str]
+) -> dict[str, np.ndarray]:
+    """The given members' instance rows as stored in the input cube.
+
+    Returns per-instance arrays of shape ``(universe, *other_axis_sizes)``
+    (same layout as :attr:`PerspectiveQueryResult.rows`).  Reads are
+    accounted on the cube's store.
+    """
+    grid = spec.cube.grid
+    universe = len(spec.param_axis)
+    other = [
+        i for i in range(grid.n_dims) if i not in (spec.axis_index, spec.param_index)
+    ]
+    other_sizes = tuple(grid.dim_sizes[i] for i in other)
+    rows: dict[str, np.ndarray] = {}
+    for member in members:
+        for label in spec.slots_of_member(member):
+            data = np.full((universe, *other_sizes), np.nan)
+            row = spec.slot_row(label)
+            for t in spec.validity_of_slot[label]:
+                cell = [0] * grid.n_dims
+                cell[spec.axis_index] = row
+                cell[spec.param_index] = t
+                coord = grid.chunk_of_cell(tuple(cell))
+                chunk = spec.cube.store.read(coord)
+                origin = grid.chunk_origin(coord)
+                indexer: list[object] = [slice(None)] * grid.n_dims
+                indexer[spec.axis_index] = row - origin[spec.axis_index]
+                indexer[spec.param_index] = t - origin[spec.param_index]
+                vector = chunk[tuple(indexer)]
+                out_region = tuple(
+                    slice(origin[axis], origin[axis] + chunk.shape[axis])
+                    for axis in other
+                )
+                data[(t, *out_region)] = vector
+            rows[label] = data
+    return rows
+
+
+def _collapse(
+    spec: VaryingAxisSpec,
+    label: str,
+    data: np.ndarray,
+    dims: tuple[int, ...],
+) -> tuple[tuple[object, ...], np.ndarray, np.ndarray]:
+    """Collapse one instance-row array onto the retained dims.
+
+    Returns (region indexer into the group-by array, sums, counts).
+    """
+    grid = spec.cube.grid
+    other = [
+        i for i in range(grid.n_dims) if i not in (spec.axis_index, spec.param_index)
+    ]
+    # data axes: 0 = parameter, 1.. = other axes in order.
+    data_axis_of_dim = {spec.param_index: 0}
+    for position, axis in enumerate(other):
+        data_axis_of_dim[axis] = position + 1
+
+    kept_dims = [d for d in dims if d != spec.axis_index]
+    indexer: list[object] = [
+        spec.slot_row(label) if dim == spec.axis_index else slice(None)
+        for dim in dims
+    ]
+    keep_axes = {data_axis_of_dim[d] for d in kept_dims}
+    collapse_axes = tuple(
+        axis for axis in range(data.ndim) if axis not in keep_axes
+    )
+    mask = ~np.isnan(data)
+    filled = np.where(mask, data, 0.0)
+    if collapse_axes:
+        sums = filled.sum(axis=collapse_axes)
+        counts = mask.sum(axis=collapse_axes)
+    else:
+        sums, counts = filled, mask.astype(np.int64)
+    # After collapsing, the remaining array axes correspond to the kept
+    # data axes in ascending order; permute them to the dims order.
+    kept_data_axes = sorted(keep_axes)
+    current_position = {
+        d: kept_data_axes.index(data_axis_of_dim[d]) for d in kept_dims
+    }
+    permutation = [current_position[d] for d in kept_dims]
+    if permutation != list(range(len(permutation))):
+        sums = np.transpose(sums, permutation)
+        counts = np.transpose(counts, permutation)
+    return tuple(indexer), sums, counts
+
+
+def adjusted_group_by(
+    spec: VaryingAxisSpec,
+    result: PerspectiveQueryResult,
+    members: Sequence[str],
+    dims: Iterable[int],
+    base: GroupByResult | None = None,
+) -> GroupByResult:
+    """Visual-mode group-by over the perspective cube via delta adjustment.
+
+    ``dims`` are the retained axis indices (may include the varying axis —
+    old and new rows both live at input-axis positions).  ``base`` lets
+    the caller pass a cached base group-by; otherwise one shared scan
+    computes it.
+    """
+    dims = tuple(sorted(dims))
+    store = spec.cube.store
+    if base is None:
+        base = compute_group_bys(store, [dims])[dims]
+    elif base.dims != dims:
+        raise QueryError(
+            f"cached base group-by is over dims {base.dims}, requested {dims}"
+        )
+
+    if base.counts is None:
+        raise QueryError(
+            "delta adjustment needs a base group-by with leaf counts "
+            "(compute it via compute_group_bys)"
+        )
+    mask = ~np.isnan(base.data)
+    sums = np.where(mask, base.data, 0.0)
+    # True per-position leaf counts: removing every contribution restores ⊥.
+    counts = base.counts.copy()
+
+    for label, data in original_rows(spec, members).items():
+        region, old_sums, old_counts = _collapse(spec, label, data, dims)
+        sums[region] -= old_sums
+        counts[region] -= old_counts
+    for label, data in result.rows.items():
+        region, new_sums, new_counts = _collapse(spec, label, data, dims)
+        sums[region] += new_sums
+        counts[region] += new_counts
+
+    adjusted = np.where(counts > 0, sums, np.nan)
+    return GroupByResult(dims, adjusted, base.memory_cells)

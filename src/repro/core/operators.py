@@ -1,0 +1,241 @@
+"""The what-if algebra: selection σ, relocate ρ, split S, evaluate E (Sec. 4).
+
+Together with the validity-set transform Φ (:mod:`repro.core.perspective`),
+these operators capture the full class of what-if queries (Theorem 4.1):
+negative scenarios are ``E ∘ ρ(·, Φ(VS_in)) ∘ σ`` and positive scenarios are
+``E ∘ S``, applied to the result of the core MDX query.
+
+All operators are pure: they return new cubes and never mutate their input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.predicates import Predicate
+from repro.validity import ValiditySet
+from repro.errors import InvalidChangeError, QueryError
+from repro.olap.cube import Cube
+from repro.olap.instances import VaryingDimension
+from repro.olap.schema import Address
+
+__all__ = ["select", "relocate", "split", "evaluate", "ChangeTuple", "ChangeRelation"]
+
+
+# ---------------------------------------------------------------------------
+# Selection (Def. 4.1)
+# ---------------------------------------------------------------------------
+
+
+def select(cube: Cube, dim_name: str, predicate: Predicate) -> Cube:
+    """σ_p(C): drop sub-cubes of members of ``dim_name`` failing ``predicate``.
+
+    A member is active in the output iff it is active in the input (has some
+    data) and satisfies the predicate; the output is the input with the
+    sub-cubes of non-active members removed (Def. 4.1).
+    """
+    dim_index = cube.schema.dim_index(dim_name)
+    decisions: dict[str, bool] = {}
+
+    def keep(coord: str) -> bool:
+        hit = decisions.get(coord)
+        if hit is None:
+            hit = predicate(cube, dim_index, coord)
+            decisions[coord] = hit
+        return hit
+
+    return cube.filter_dimension(dim_name, keep)
+
+
+# ---------------------------------------------------------------------------
+# Relocate (Def. 4.4)
+# ---------------------------------------------------------------------------
+
+
+def relocate(
+    cube: Cube,
+    varying_name: str,
+    validity_out: Mapping[str, ValiditySet],
+    varying: VaryingDimension | None = None,
+) -> Cube:
+    """ρ(C, 𝒱): move leaf-cell values according to output validity sets.
+
+    ``validity_out`` maps member-instance full paths (output coordinates) to
+    their output validity sets 𝒱(d).  For every output leaf cell (d, t, ē)
+    with ``t ∈ 𝒱(d)`` the value is copied from the input cell (d_t, t, ē),
+    where d_t is the instance of the same member valid at t in the *input*;
+    if no d_t exists the cell is ⊥.  Stored non-leaf cells are carried over
+    unchanged, so the result holds the correct values for non-visual mode
+    (Def. 4.4's closing remark).
+    """
+    schema = cube.schema
+    varying = varying or schema.varying_dimension(varying_name)
+    dim_index = schema.dim_index(varying_name)
+    param_index = schema.dim_index(varying.parameter.name)
+    param_leaves = [m.name for m in varying.parameter.leaf_members()]
+    moment_of = {name: i for i, name in enumerate(param_leaves)}
+
+    # Index input leaf cells by (member, moment) so the d_t lookup is O(1).
+    by_member_moment: dict[tuple[str, int], list[tuple[Address, float]]] = {}
+    input_instance_path: dict[tuple[str, int], str] = {}
+    for addr, value in cube.leaf_cells():
+        vcoord = addr[dim_index]
+        member = vcoord.split("/")[-1]
+        tcoord = addr[param_index]
+        t = moment_of.get(tcoord)
+        if t is None:
+            raise QueryError(
+                f"leaf cell parameter coordinate {tcoord!r} is not a leaf of "
+                f"{varying.parameter.name!r}"
+            )
+        by_member_moment.setdefault((member, t), []).append((addr, value))
+        existing = input_instance_path.setdefault((member, t), vcoord)
+        if existing != vcoord:
+            raise QueryError(
+                f"input cube has two instances of member {member!r} with "
+                f"data at the same moment {tcoord!r}: {existing!r} and "
+                f"{vcoord!r} (validity sets must be disjoint)"
+            )
+
+    out = cube.empty_like()
+    for out_coord, validity in validity_out.items():
+        member = out_coord.split("/")[-1]
+        for t in validity:
+            for addr, value in by_member_moment.get((member, t), ()):
+                if addr[dim_index] == out_coord:
+                    out.set_value(addr, value)
+                else:
+                    moved = list(addr)
+                    moved[dim_index] = out_coord
+                    out.set_value(tuple(moved), value)
+    for addr, value in cube.stored_derived_cells():
+        out.set_value(addr, value)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Split (Def. 4.5) — positive changes
+# ---------------------------------------------------------------------------
+
+
+class ChangeTuple:
+    """One tuple (m, o, n, t) of the positive-change relation R.
+
+    ``member`` m is currently a child of ``old_parent`` o at moment ``t``
+    and is hypothetically reparented under ``new_parent`` n from t onward.
+    """
+
+    __slots__ = ("member", "old_parent", "new_parent", "moment")
+
+    def __init__(self, member: str, old_parent: str, new_parent: str, moment: str) -> None:
+        self.member = member
+        self.old_parent = old_parent
+        self.new_parent = new_parent
+        self.moment = moment
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChangeTuple({self.member!r}, {self.old_parent!r} -> "
+            f"{self.new_parent!r} @ {self.moment!r})"
+        )
+
+
+ChangeRelation = Sequence[ChangeTuple]
+
+
+def _hypothetical_structure(
+    varying: VaryingDimension, changes: ChangeRelation
+) -> VaryingDimension:
+    """Apply R to a copy of the varying structure, validating old parents."""
+    hypo = varying.copy()
+    ordered = sorted(changes, key=lambda c: hypo.moment_index(c.moment))
+    for change in ordered:
+        t = hypo.moment_index(change.moment)
+        current = hypo.parent_at(change.member, t)
+        if current is None:
+            raise InvalidChangeError(
+                f"member {change.member!r} has no instance at {change.moment!r}; "
+                "cannot apply positive change there"
+            )
+        if current != change.old_parent:
+            raise InvalidChangeError(
+                f"positive change for {change.member!r} at {change.moment!r} "
+                f"names old parent {change.old_parent!r} but the current "
+                f"parent is {current!r}"
+            )
+        hypo.reparent(change.member, change.new_parent, t)
+    return hypo
+
+
+def split(
+    cube: Cube,
+    varying_name: str,
+    changes: ChangeRelation,
+    varying: VaryingDimension | None = None,
+) -> tuple[Cube, VaryingDimension]:
+    """S(C, R): split member sub-cubes at the change moments (Def. 4.5).
+
+    Returns the output cube together with the *hypothetical* varying
+    structure (the copy of the input structure with R applied), which
+    downstream consumers (MDX rendering, further operators) use as the
+    output metadata.
+
+    Per the definition, each affected leaf cell moves from the pre-change
+    instance to the post-change instance for moments ≥ t: the original
+    sub-cube keeps τ < t, the added sub-cube keeps τ ≥ t.  Non-leaf cells
+    default to the input values (non-visual); apply :func:`evaluate` for
+    visual mode.
+    """
+    schema = cube.schema
+    varying = varying or schema.varying_dimension(varying_name)
+    hypo = _hypothetical_structure(varying, changes)
+    dim_index = schema.dim_index(varying_name)
+    param_index = schema.dim_index(varying.parameter.name)
+    moment_of = {
+        m.name: i for i, m in enumerate(varying.parameter.leaf_members())
+    }
+    affected = {change.member for change in changes}
+
+    def transform(addr: Address, value: float):
+        member = addr[dim_index].split("/")[-1]
+        if member not in affected:
+            return addr, value
+        t = moment_of[addr[param_index]]
+        new_path = hypo.path_at(member, t)
+        if new_path is None:
+            return None
+        new_coord = "/".join(new_path)
+        if new_coord == addr[dim_index]:
+            return addr, value
+        moved = list(addr)
+        moved[dim_index] = new_coord
+        return tuple(moved), value
+
+    return cube.map_leaf_cells(transform), hypo
+
+
+# ---------------------------------------------------------------------------
+# Evaluate (Def. 4.6)
+# ---------------------------------------------------------------------------
+
+
+def evaluate(
+    rule_cube: Cube,
+    data_cube: Cube,
+    addresses: Iterable[Sequence[str]] | None = None,
+) -> Cube:
+    """E(C1, C2): leaves from C2, non-leaf cells from C1's rules over C2.
+
+    ``addresses`` selects which non-leaf cells to materialise; by default
+    every address with a stored derived value in C1 is re-evaluated over
+    C2's leaves.  The result carries C1's rule engine, so any further
+    non-leaf cell queried on it is also evaluated over C2's leaves — this
+    realises visual mode.
+    """
+    out = data_cube.copy()
+    out.rules = rule_cube.rules
+    out.clear_stored_derived()
+    if addresses is None:
+        addresses = [addr for addr, _ in rule_cube.stored_derived_cells()]
+    out.materialize_derived(addresses)
+    return out

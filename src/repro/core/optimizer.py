@@ -1,0 +1,175 @@
+"""Rule-based optimisation of what-if algebra plans (Sec. 8 future work).
+
+Rewrite rules, applied to a fixpoint:
+
+1. **Selection merging** — σ_{p2}(σ_{p1}(C)) on the same dimension becomes
+   σ_{p1 ∧ p2}(C); selections on different dimensions are sorted into a
+   canonical order so same-dimension pairs become adjacent.
+2. **Selection pushdown through Perspective** — a *member-level* predicate
+   (depends only on member names, see :class:`repro.core.plans.Pred`)
+   commutes with a perspective on the same dimension, because Φ∘ρ only
+   moves data between instances of one member; selections on a *different*
+   dimension always commute.  Pushing σ down shrinks the cube the
+   (expensive) relocation processes.
+3. **Selection pushdown through Split** — same reasoning: split moves
+   data between instances of one member, preserving member names.
+4. **Redundant static perspective elimination** —
+   ``Perspective[static, P2](Perspective[static, P1](C))`` with P1 ⊆ P2 is
+   the inner perspective alone (static keeps instances valid at some
+   moment of P; survivors of the tighter P1 automatically survive P2).
+5. **Evaluate collapsing** — consecutive Evaluate nodes with the same rule
+   source collapse to one (re-deriving aggregates twice is idempotent).
+
+The optimiser is purely structural — every rule preserves the plan's
+result, which ``tests/core/test_optimizer.py`` checks by executing both
+plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plans import (
+    And,
+    BaseCube,
+    EvaluateNode,
+    PerspectiveNode,
+    PlanNode,
+    SelectNode,
+    SplitNode,
+)
+
+__all__ = ["OptimizationTrace", "optimize"]
+
+
+@dataclass
+class OptimizationTrace:
+    """What the optimiser did: (rule name, node label) events in order."""
+
+    events: list[tuple[str, str]] = field(default_factory=list)
+
+    def record(self, rule: str, node: PlanNode) -> None:
+        self.events.append((rule, node.label()))
+
+    @property
+    def rules_fired(self) -> list[str]:
+        return [rule for rule, _ in self.events]
+
+
+def _rebuild(node: PlanNode, new_child: PlanNode) -> PlanNode:
+    """A copy of ``node`` with its child replaced."""
+    if isinstance(node, SelectNode):
+        return SelectNode(new_child, node.dimension, node.predicate)
+    if isinstance(node, PerspectiveNode):
+        return PerspectiveNode(
+            new_child, node.dimension, node.perspectives, node.semantics
+        )
+    if isinstance(node, SplitNode):
+        return SplitNode(new_child, node.dimension, node.changes)
+    if isinstance(node, EvaluateNode):
+        return EvaluateNode(new_child, node.rule_source)
+    raise TypeError(f"cannot rebuild {node!r}")
+
+
+def _rewrite_once(node: PlanNode, trace: OptimizationTrace) -> PlanNode:
+    """Apply the first matching rule at this node; returns the node
+    unchanged when nothing applies."""
+
+    # Rule 1a: merge adjacent selections on the same dimension.
+    if (
+        isinstance(node, SelectNode)
+        and isinstance(node.input_plan, SelectNode)
+        and node.input_plan.dimension == node.dimension
+    ):
+        inner = node.input_plan
+        merged = SelectNode(
+            inner.input_plan,
+            node.dimension,
+            And(inner.predicate, node.predicate),
+        )
+        trace.record("merge-selections", node)
+        return merged
+
+    # Rule 1b: canonicalise adjacent selections on different dimensions
+    # (sort by dimension name) so same-dimension selections meet.
+    if (
+        isinstance(node, SelectNode)
+        and isinstance(node.input_plan, SelectNode)
+        and node.input_plan.dimension > node.dimension
+    ):
+        inner = node.input_plan
+        swapped = SelectNode(
+            SelectNode(inner.input_plan, node.dimension, node.predicate),
+            inner.dimension,
+            inner.predicate,
+        )
+        trace.record("reorder-selections", node)
+        return swapped
+
+    # Rules 2 & 3: push selections below Perspective / Split.
+    if isinstance(node, SelectNode) and isinstance(
+        node.input_plan, (PerspectiveNode, SplitNode)
+    ):
+        inner = node.input_plan
+        different_dimension = node.dimension != inner.dimension
+        if different_dimension or node.predicate.is_member_level:
+            pushed = _rebuild(
+                inner,
+                SelectNode(inner.input_plan, node.dimension, node.predicate),
+            )
+            rule = (
+                "push-select-through-perspective"
+                if isinstance(inner, PerspectiveNode)
+                else "push-select-through-split"
+            )
+            trace.record(rule, node)
+            return pushed
+
+    # Rule 4: drop a redundant outer static perspective.
+    if (
+        isinstance(node, PerspectiveNode)
+        and node.semantics.value == "static"
+        and isinstance(node.input_plan, PerspectiveNode)
+        and node.input_plan.semantics.value == "static"
+        and node.input_plan.dimension == node.dimension
+        and set(node.input_plan.perspectives) <= set(node.perspectives)
+    ):
+        trace.record("drop-redundant-static-perspective", node)
+        return node.input_plan
+
+    # Rule 5: collapse consecutive Evaluate nodes.
+    if (
+        isinstance(node, EvaluateNode)
+        and isinstance(node.input_plan, EvaluateNode)
+        and node.input_plan.rule_source == node.rule_source
+    ):
+        trace.record("collapse-evaluate", node)
+        return node.input_plan
+
+    return node
+
+
+def _optimize_tree(node: PlanNode, trace: OptimizationTrace) -> PlanNode:
+    if isinstance(node, BaseCube):
+        return node
+    child = node.child
+    assert child is not None
+    new_child = _optimize_tree(child, trace)
+    if new_child is not child:
+        node = _rebuild(node, new_child)
+    rewritten = _rewrite_once(node, trace)
+    if rewritten is not node:
+        return _optimize_tree(rewritten, trace)
+    return node
+
+
+def optimize(plan: PlanNode, max_rounds: int = 20) -> tuple[PlanNode, OptimizationTrace]:
+    """Rewrite a plan to a fixpoint; returns (optimised plan, trace)."""
+    trace = OptimizationTrace()
+    current = plan
+    for _ in range(max_rounds):
+        rewritten = _optimize_tree(current, trace)
+        if rewritten == current:
+            return rewritten, trace
+        current = rewritten
+    return current, trace

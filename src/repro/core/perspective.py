@@ -1,0 +1,260 @@
+"""Perspectives and the validity-set transform Φ (Sec. 3.3, 3.4, 4.2).
+
+A *perspective set* P is a subset of the leaf members ("moments") of a
+parameter dimension.  Applying perspectives to a cube transforms the
+validity sets of the varying dimension's member instances; the operator Φ
+(Defs. 4.2 and 4.3) captures every semantics the paper defines:
+
+* **static** — identity on validity sets; only instances valid at some
+  perspective survive.
+* **forward** — the structure at each perspective point is imposed on the
+  interval up to the next perspective point: ``Stretch(d) = { t >= Pmin :
+  d valid at max{p in P : p <= t} }``; moments before Pmin keep their
+  original assignment.
+* **extended forward** — as forward, but all moments before Pmin are
+  assigned to the instance valid at Pmin.
+* **backward / extended backward** — mirror images with moments ordered
+  descending (Sec. 3.3 closes with this symmetry).
+
+Φ is a pure metadata operator: it maps validity sets to validity sets.
+Moving the cell values accordingly is the job of the relocate operator ρ
+(:mod:`repro.core.operators`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping, Sequence, TypeVar
+
+from repro.validity import ValiditySet
+from repro.errors import QueryError
+from repro.olap.instances import MemberInstance, VaryingDimension
+
+__all__ = [
+    "Semantics",
+    "Mode",
+    "PerspectiveSet",
+    "stretch",
+    "phi",
+    "phi_member",
+]
+
+K = TypeVar("K")
+
+
+class Semantics(enum.Enum):
+    """Perspective semantics for negative scenarios (Sec. 3.3)."""
+
+    STATIC = "static"
+    FORWARD = "forward"
+    EXTENDED_FORWARD = "extended_forward"
+    BACKWARD = "backward"
+    EXTENDED_BACKWARD = "extended_backward"
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self is not Semantics.STATIC
+
+    @property
+    def is_forward(self) -> bool:
+        return self in (Semantics.FORWARD, Semantics.EXTENDED_FORWARD)
+
+    @property
+    def is_backward(self) -> bool:
+        return self in (Semantics.BACKWARD, Semantics.EXTENDED_BACKWARD)
+
+    @property
+    def is_extended(self) -> bool:
+        return self in (Semantics.EXTENDED_FORWARD, Semantics.EXTENDED_BACKWARD)
+
+
+class Mode(enum.Enum):
+    """Evaluation mode for non-leaf cells (Sec. 3.3).
+
+    Non-visual retains input-cube aggregate values; visual re-evaluates the
+    defining rules over the output cube.
+    """
+
+    NON_VISUAL = "non_visual"
+    VISUAL = "visual"
+
+
+class PerspectiveSet:
+    """A non-empty, sorted set of perspective moments with a universe."""
+
+    __slots__ = ("_moments", "_universe")
+
+    def __init__(self, moments: Iterable[int], universe: int) -> None:
+        unique = sorted(set(moments))
+        if not unique:
+            raise QueryError("a perspective set must contain at least one moment")
+        for moment in unique:
+            if not 0 <= moment < universe:
+                raise QueryError(
+                    f"perspective moment {moment} outside parameter range "
+                    f"[0, {universe})"
+                )
+        self._moments = tuple(unique)
+        self._universe = universe
+
+    @classmethod
+    def from_names(
+        cls, names: Iterable[str], varying: VaryingDimension
+    ) -> "PerspectiveSet":
+        """Build from parameter-dimension leaf names (e.g. ``["Jan","Apr"]``)."""
+        return cls(
+            (varying.moment_index(name) for name in names), varying.universe
+        )
+
+    @property
+    def moments(self) -> tuple[int, ...]:
+        return self._moments
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    @property
+    def pmin(self) -> int:
+        return self._moments[0]
+
+    @property
+    def pmax(self) -> int:
+        return self._moments[-1]
+
+    def __len__(self) -> int:
+        return len(self._moments)
+
+    def __iter__(self):
+        return iter(self._moments)
+
+    def __contains__(self, moment: int) -> bool:
+        return moment in self._moments
+
+    def governing_forward(self, t: int) -> int | None:
+        """max{p in P : p <= t}, or None if t precedes every perspective."""
+        governing = None
+        for p in self._moments:
+            if p <= t:
+                governing = p
+            else:
+                break
+        return governing
+
+    def governing_backward(self, t: int) -> int | None:
+        """min{p in P : p >= t}, or None if t follows every perspective."""
+        for p in self._moments:
+            if p >= t:
+                return p
+        return None
+
+    def as_validity_set(self) -> ValiditySet:
+        return ValiditySet(self._moments, self._universe)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerspectiveSet({list(self._moments)}, universe={self._universe})"
+
+
+def stretch(validity: ValiditySet, perspectives: PerspectiveSet) -> ValiditySet:
+    """``Stretch(d)`` of Def. 4.3 for one instance's input validity set.
+
+    The union of intervals ``[p_i, p_{i+1})`` over the perspective points
+    ``p_i`` at which the instance was valid (``p_{k+1} = +inf``).
+    """
+    if validity.universe != perspectives.universe:
+        raise QueryError(
+            "validity set and perspective set have different universes: "
+            f"{validity.universe} vs {perspectives.universe}"
+        )
+    moments: set[int] = set()
+    points = perspectives.moments
+    for index, p in enumerate(points):
+        if p not in validity:
+            continue
+        stop = points[index + 1] if index + 1 < len(points) else validity.universe
+        moments.update(range(p, stop))
+    return ValiditySet(moments, validity.universe)
+
+
+def _stretch_backward(
+    validity: ValiditySet, perspectives: PerspectiveSet
+) -> ValiditySet:
+    """Backward mirror of :func:`stretch`: intervals ``(p_{i-1}, p_i]``."""
+    moments: set[int] = set()
+    points = perspectives.moments
+    for index, p in enumerate(points):
+        if p not in validity:
+            continue
+        start = points[index - 1] + 1 if index > 0 else 0
+        moments.update(range(start, p + 1))
+    return ValiditySet(moments, validity.universe)
+
+
+def phi(
+    validity_in: Mapping[K, ValiditySet],
+    perspectives: PerspectiveSet,
+    semantics: Semantics,
+) -> dict[K, ValiditySet]:
+    """Apply Φ to the instances of **one** member (Defs. 4.2 / 4.3).
+
+    ``validity_in`` maps instance keys to their (pairwise disjoint) input
+    validity sets.  Returns output validity sets; instances that end up
+    empty are dropped from the result, which also realises the
+    active-member filter of Def. 3.4 (an instance survives iff
+    VS_in ∩ P ≠ ∅ — for every semantics, an instance not valid at any
+    perspective point gets an empty output set).
+    """
+    out: dict[K, ValiditySet] = {}
+    p_moments = set(perspectives.moments)
+    for key, validity in validity_in.items():
+        if semantics is Semantics.STATIC:
+            result = (
+                validity
+                if validity.intersects_moments(p_moments)
+                else ValiditySet.empty(validity.universe)
+            )
+        elif semantics.is_forward:
+            stretched = stretch(validity, perspectives)
+            if stretched.is_empty:
+                result = stretched
+            elif semantics is Semantics.FORWARD:
+                result = stretched | validity.restrict_before(perspectives.pmin)
+            else:  # EXTENDED_FORWARD
+                if perspectives.pmin in validity:
+                    prefix = ValiditySet.interval(
+                        0, perspectives.pmin, validity.universe
+                    )
+                else:
+                    prefix = ValiditySet.empty(validity.universe)
+                result = stretched | prefix
+        else:  # backward family
+            stretched = _stretch_backward(validity, perspectives)
+            if stretched.is_empty:
+                result = stretched
+            elif semantics is Semantics.BACKWARD:
+                result = stretched | validity.restrict_from(perspectives.pmax + 1)
+            else:  # EXTENDED_BACKWARD
+                if perspectives.pmax in validity:
+                    suffix = ValiditySet.interval(
+                        perspectives.pmax + 1, None, validity.universe
+                    )
+                else:
+                    suffix = ValiditySet.empty(validity.universe)
+                result = stretched | suffix
+        if result:
+            out[key] = result
+    return out
+
+
+def phi_member(
+    instances: Sequence[MemberInstance],
+    perspectives: PerspectiveSet,
+    semantics: Semantics,
+) -> dict[MemberInstance, ValiditySet]:
+    """Φ over the instance list of one member (as produced by
+    :meth:`VaryingDimension.instances_of`)."""
+    return phi(
+        {instance: instance.validity for instance in instances},
+        perspectives,
+        semantics,
+    )

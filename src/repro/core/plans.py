@@ -1,0 +1,312 @@
+"""Algebraic what-if query plans.
+
+Sec. 8 names "further optimization of what-if queries by manipulation of
+the proposed algebraic operators" as future work; this module provides the
+machinery: a *plan* is an explicit algebra expression tree over a base
+cube — Selection σ, Perspective (Φ combined with relocate ρ), Split S, and
+Evaluate E nodes — that can be inspected, rewritten
+(:mod:`repro.core.optimizer`), costed, and executed.
+
+Predicates here are *structured* (dataclasses) rather than opaque
+callables, so rewrite rules can reason about them; ``compile()`` lowers
+them to the callable form used by :func:`repro.core.operators.select`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core import predicates as predicate_funcs
+from repro.core.operators import ChangeTuple, evaluate, relocate, select, split
+from repro.core.perspective import PerspectiveSet, Semantics, phi_member
+from repro.errors import QueryError
+from repro.olap.cube import Cube
+from repro.olap.instances import VaryingDimension
+
+__all__ = [
+    "Pred",
+    "MemberEquals",
+    "MemberIn",
+    "DescendantOf",
+    "ValidityIntersects",
+    "ValueCompare",
+    "And",
+    "Or",
+    "Not",
+    "PlanNode",
+    "BaseCube",
+    "SelectNode",
+    "PerspectiveNode",
+    "SplitNode",
+    "EvaluateNode",
+    "execute_plan",
+    "explain",
+]
+
+
+# ---------------------------------------------------------------------------
+# Structured predicates
+# ---------------------------------------------------------------------------
+
+
+class Pred:
+    """Base class for structured selection predicates."""
+
+    def compile(self) -> predicate_funcs.Predicate:
+        raise NotImplementedError
+
+    @property
+    def is_member_level(self) -> bool:
+        """True when the predicate depends only on the *member name* a
+        coordinate denotes — never on instance parentage, validity, or
+        cell values.  Member-level predicates commute with perspectives
+        and splits on the same dimension (those operators move data
+        between instances of the *same* member)."""
+        return False
+
+
+@dataclass(frozen=True)
+class MemberEquals(Pred):
+    name: str
+
+    def compile(self) -> predicate_funcs.Predicate:
+        return predicate_funcs.member_equals(self.name)
+
+    @property
+    def is_member_level(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class MemberIn(Pred):
+    names: frozenset[str]
+
+    def __init__(self, names) -> None:
+        object.__setattr__(self, "names", frozenset(names))
+
+    def compile(self) -> predicate_funcs.Predicate:
+        return predicate_funcs.member_in(self.names)
+
+    @property
+    def is_member_level(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class DescendantOf(Pred):
+    ancestor: str
+    include_self: bool = False
+
+    def compile(self) -> predicate_funcs.Predicate:
+        return predicate_funcs.descendant_of(self.ancestor, self.include_self)
+
+
+@dataclass(frozen=True)
+class ValidityIntersects(Pred):
+    moments: frozenset[int]
+
+    def __init__(self, moments) -> None:
+        object.__setattr__(self, "moments", frozenset(moments))
+
+    def compile(self) -> predicate_funcs.Predicate:
+        return predicate_funcs.validity_intersects(self.moments)
+
+
+@dataclass(frozen=True)
+class ValueCompare(Pred):
+    fixed: tuple[tuple[str, str], ...]
+    relop: str
+    threshold: float
+
+    def __init__(self, fixed: Mapping[str, str], relop: str, threshold: float):
+        object.__setattr__(self, "fixed", tuple(sorted(fixed.items())))
+        object.__setattr__(self, "relop", relop)
+        object.__setattr__(self, "threshold", threshold)
+
+    def compile(self) -> predicate_funcs.Predicate:
+        return predicate_funcs.value_predicate(
+            dict(self.fixed), self.relop, self.threshold
+        )
+
+
+@dataclass(frozen=True)
+class And(Pred):
+    parts: tuple[Pred, ...]
+
+    def __init__(self, *parts: Pred) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def compile(self) -> predicate_funcs.Predicate:
+        return predicate_funcs.and_(*(p.compile() for p in self.parts))
+
+    @property
+    def is_member_level(self) -> bool:
+        return all(p.is_member_level for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Pred):
+    parts: tuple[Pred, ...]
+
+    def __init__(self, *parts: Pred) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def compile(self) -> predicate_funcs.Predicate:
+        return predicate_funcs.or_(*(p.compile() for p in self.parts))
+
+    @property
+    def is_member_level(self) -> bool:
+        return all(p.is_member_level for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Not(Pred):
+    inner: Pred
+
+    def compile(self) -> predicate_funcs.Predicate:
+        return predicate_funcs.not_(self.inner.compile())
+
+    @property
+    def is_member_level(self) -> bool:
+        return self.inner.is_member_level
+
+
+# ---------------------------------------------------------------------------
+# Plan nodes
+# ---------------------------------------------------------------------------
+
+
+class PlanNode:
+    """Base class for plan nodes (immutable trees)."""
+
+    @property
+    def child(self) -> "PlanNode | None":
+        return getattr(self, "input_plan", None)
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BaseCube(PlanNode):
+    """The plan leaf: the core MDX query's result cube, bound at execution."""
+
+    def label(self) -> str:
+        return "BaseCube"
+
+
+@dataclass(frozen=True)
+class SelectNode(PlanNode):
+    """σ_p over one dimension."""
+
+    input_plan: PlanNode
+    dimension: str
+    predicate: Pred
+
+    def label(self) -> str:
+        return f"Select[{self.dimension}: {self.predicate}]"
+
+
+@dataclass(frozen=True)
+class PerspectiveNode(PlanNode):
+    """Φ_sem(VS_in, P) followed by ρ — a negative scenario's data movement."""
+
+    input_plan: PlanNode
+    dimension: str
+    perspectives: tuple[int, ...]
+    semantics: Semantics
+
+    def label(self) -> str:
+        return (
+            f"Perspective[{self.dimension}: P={list(self.perspectives)}, "
+            f"{self.semantics.value}]"
+        )
+
+
+@dataclass(frozen=True)
+class SplitNode(PlanNode):
+    """S(·, R) — a positive scenario's data movement."""
+
+    input_plan: PlanNode
+    dimension: str
+    changes: tuple[tuple[str, str, str, str], ...]  # (m, o, n, t)
+
+    def label(self) -> str:
+        return f"Split[{self.dimension}: {len(self.changes)} changes]"
+
+
+@dataclass(frozen=True)
+class EvaluateNode(PlanNode):
+    """E(C1, C2): re-evaluate C1's materialised aggregates over the child.
+
+    ``rule_source`` is "input" (C1 = the original base cube, the common
+    visual-mode case) — the executor resolves it at run time.
+    """
+
+    input_plan: PlanNode
+    rule_source: str = "input"
+
+    def label(self) -> str:
+        return f"Evaluate[{self.rule_source}]"
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _execute(node: PlanNode, base: Cube, varying: Mapping[str, VaryingDimension]) -> Cube:
+    if isinstance(node, BaseCube):
+        return base
+    if isinstance(node, SelectNode):
+        child = _execute(node.input_plan, base, varying)
+        return select(child, node.dimension, node.predicate.compile())
+    if isinstance(node, PerspectiveNode):
+        child = _execute(node.input_plan, base, varying)
+        vdim = varying.get(node.dimension) or child.schema.varying_dimension(
+            node.dimension
+        )
+        pset = PerspectiveSet(node.perspectives, vdim.universe)
+        dim_index = child.schema.dim_index(node.dimension)
+        members = {
+            coord.split("/")[-1]
+            for coord in {addr[dim_index] for addr, _ in child.leaf_cells()}
+        }
+        validity_out = {}
+        for member in sorted(members):
+            for instance, vs in phi_member(
+                vdim.instances_of(member), pset, node.semantics
+            ).items():
+                validity_out[instance.full_path] = vs
+        return relocate(child, node.dimension, validity_out, vdim)
+    if isinstance(node, SplitNode):
+        child = _execute(node.input_plan, base, varying)
+        vdim = varying.get(node.dimension) or child.schema.varying_dimension(
+            node.dimension
+        )
+        changes = [ChangeTuple(*spec) for spec in node.changes]
+        out, _hypo = split(child, node.dimension, changes, vdim)
+        return out
+    if isinstance(node, EvaluateNode):
+        child = _execute(node.input_plan, base, varying)
+        return evaluate(base, child)
+    raise QueryError(f"unknown plan node {node!r}")
+
+
+def execute_plan(
+    plan: PlanNode,
+    base: Cube,
+    varying: Mapping[str, VaryingDimension] | None = None,
+) -> Cube:
+    """Execute a plan against a base cube; returns the result cube."""
+    return _execute(plan, base, dict(varying or {}))
+
+
+def explain(plan: PlanNode, indent: int = 0) -> str:
+    """Indented textual rendering of a plan tree."""
+    line = "  " * indent + plan.label()
+    child = plan.child
+    if child is None:
+        return line
+    return line + "\n" + explain(child, indent + 1)

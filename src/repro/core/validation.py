@@ -1,0 +1,120 @@
+"""Warehouse consistency checking for changing dimensions.
+
+The data model puts invariants on a warehouse that are easy to violate
+when loading data from outside (Sec. 2/3.1): validity sets of one member's
+instances never overlap; data must not be stored at meaningless
+(instance, moment) combinations — "a cube never stores data corresponding
+to non-active members"; coordinates must resolve against the schema.
+
+:func:`check_warehouse` audits a warehouse and returns structured
+findings, so ETL pipelines can gate loads the way the paper's engine
+enforces these rules natively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import MdxEvaluationError, SchemaError
+from repro.olap.schema import Address
+from repro.warehouse import Warehouse
+
+__all__ = ["Finding", "check_warehouse"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One consistency problem.
+
+    ``code`` is stable and machine-checkable:
+
+    * ``meaningless-cell`` — data stored at a moment outside the
+      instance's validity set (a ⊥ combination holding a value);
+    * ``unknown-instance`` — a varying-dimension leaf coordinate that is
+      not any current instance path of its member;
+    * ``unknown-coordinate`` — a coordinate that resolves to no member;
+    * ``orphan-named-set`` — a named set referencing a missing member.
+    """
+
+    code: str
+    message: str
+    address: Address | None = None
+
+
+def _iter_cell_findings(warehouse: Warehouse) -> Iterator[Finding]:
+    schema = warehouse.schema
+    varying_dims = {
+        name: (schema.dim_index(name), varying)
+        for name, varying in schema.varying.items()
+    }
+    param_orders: dict[str, tuple[int, dict[str, int]]] = {}
+    for name, (_, varying) in varying_dims.items():
+        param_orders[name] = (
+            schema.dim_index(varying.parameter.name),
+            {m.name: i for i, m in enumerate(varying.parameter.leaf_members())},
+        )
+
+    instance_paths: dict[str, dict[str, object]] = {}
+    for name, (_, varying) in varying_dims.items():
+        table = {}
+        members = {
+            label.split("/")[-1]
+            for label in warehouse.cube.coordinates_used(name)
+            if "/" in label
+        }
+        for member in members:
+            try:
+                for instance in varying.instances_of(member):
+                    table[instance.full_path] = instance.validity
+            except SchemaError:
+                continue
+        instance_paths[name] = table
+
+    for addr, _value in warehouse.cube.leaf_cells():
+        for dim_index, coord in enumerate(addr):
+            dimension = schema.dimensions[dim_index]
+            if dimension.name in varying_dims and "/" in coord:
+                validity = instance_paths[dimension.name].get(coord)
+                if validity is None:
+                    yield Finding(
+                        "unknown-instance",
+                        f"coordinate {coord!r} is not a current instance "
+                        f"path in dimension {dimension.name!r}",
+                        addr,
+                    )
+                    continue
+                param_index, order = param_orders[dimension.name]
+                moment = order.get(addr[param_index])
+                if moment is not None and moment not in validity:
+                    yield Finding(
+                        "meaningless-cell",
+                        f"data stored at ({coord}, {addr[param_index]}) but "
+                        "the instance is not valid at that moment",
+                        addr,
+                    )
+            elif "/" not in coord and coord not in dimension:
+                yield Finding(
+                    "unknown-coordinate",
+                    f"coordinate {coord!r} resolves to no member of "
+                    f"dimension {dimension.name!r}",
+                    addr,
+                )
+
+
+def check_warehouse(warehouse: Warehouse) -> list[Finding]:
+    """Audit a warehouse; an empty list means every invariant holds."""
+    findings = list(_iter_cell_findings(warehouse))
+    for named in warehouse.named_sets():
+        for member in named.members:
+            try:
+                warehouse.resolve_member((member,))
+            except MdxEvaluationError:
+                findings.append(
+                    Finding(
+                        "orphan-named-set",
+                        f"named set {named.name!r} references missing "
+                        f"member {member!r}",
+                    )
+                )
+    return findings

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single type at API boundaries.  Subclasses partition the
+failure domains: schema/metadata problems, query language problems, rule
+evaluation problems, and storage-engine problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A cube schema or dimension hierarchy is malformed or misused."""
+
+
+class MemberNotFoundError(SchemaError):
+    """A dimension member (or member instance) was looked up but not found."""
+
+    def __init__(self, dimension: str, member: str) -> None:
+        super().__init__(f"member {member!r} not found in dimension {dimension!r}")
+        self.dimension = dimension
+        self.member = member
+
+
+class DuplicateMemberError(SchemaError):
+    """An attempt was made to add a member name that already exists."""
+
+
+class InvalidChangeError(ReproError):
+    """A structural change violates Definition 3.1 (legal changes)."""
+
+
+class ValidityError(ReproError):
+    """A validity-set operation is inconsistent (e.g. overlapping instances)."""
+
+
+class RuleError(ReproError):
+    """A derived-cell rule is malformed or fails during evaluation."""
+
+
+class FormulaSyntaxError(RuleError):
+    """A rule formula could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class MdxError(ReproError):
+    """Base class for extended-MDX language errors."""
+
+
+class MdxSyntaxError(MdxError):
+    """The extended-MDX query text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class MdxEvaluationError(MdxError):
+    """A parsed query failed during evaluation (unknown member, bad axis...)."""
+
+
+class StorageError(ReproError):
+    """A chunk-store or array-storage operation failed."""
+
+
+class QueryError(ReproError):
+    """A what-if query is inconsistent (e.g. perspectives outside the
+    parameter dimension, or a scenario over a non-varying dimension)."""

@@ -1,0 +1,25 @@
+"""The extended MDX query language (Sec. 3.2, Fig. 10).
+
+Lexer, parser, AST, and evaluator for classic MDX (SELECT / ON COLUMNS /
+ON ROWS / FROM / WHERE with CrossJoin, Union, Children, Members,
+Descendants, Levels, Head, Tail, DIMENSION PROPERTIES) extended with the
+paper's ``WITH PERSPECTIVE`` and ``WITH CHANGES`` clauses.
+"""
+
+from repro.mdx.ast_nodes import MdxQuery, PerspectiveClause, ChangesClause
+from repro.mdx.evaluator import evaluate_query, execute
+from repro.mdx.lexer import tokenize
+from repro.mdx.parser import parse_query
+from repro.mdx.result import AxisTuple, MdxResult
+
+__all__ = [
+    "MdxQuery",
+    "PerspectiveClause",
+    "ChangesClause",
+    "evaluate_query",
+    "execute",
+    "tokenize",
+    "parse_query",
+    "AxisTuple",
+    "MdxResult",
+]

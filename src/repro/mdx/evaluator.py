@@ -1,0 +1,467 @@
+"""Evaluation of extended-MDX queries against a warehouse.
+
+The pipeline follows the paper's semantics exactly:
+
+1. The WITH clause (if any) is turned into a scenario
+   (:class:`~repro.core.scenario.NegativeScenario` /
+   :class:`~repro.core.scenario.PositiveScenario`) and applied to the
+   warehouse cube, yielding a perspective cube (WhatIfCube).
+2. Axis set expressions are evaluated to lists of tuples.  Leaf members of
+   a varying dimension expand to their member *instances* — restricted to
+   instances surviving the scenario (non-empty output validity).
+3. Each result cell is the perspective cube's value at the address formed
+   by the slicer, the axis coordinates, and dimension roots for every
+   unmentioned dimension (the Essbase default member).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.operators import ChangeTuple
+from repro.core.perspective import Mode, Semantics
+from repro.core.scenario import NegativeScenario, PositiveScenario, WhatIfCube
+from repro.errors import MdxEvaluationError
+from repro.mdx.ast_nodes import (
+    AxisSpec,
+    ChangesClause,
+    ChildrenExpr,
+    CrossJoinExpr,
+    DescendantsExpr,
+    FilterExpr,
+    HeadExpr,
+    LevelsMembersExpr,
+    MdxQuery,
+    MemberPath,
+    MembersExpr,
+    OrderExpr,
+    SetExpr,
+    SetLiteral,
+    TailExpr,
+    TupleExpr,
+    UnionExpr,
+)
+from repro.mdx.parser import parse_query
+from repro.mdx.result import AxisTuple, MdxResult
+from repro.olap.dimension import Dimension, Member
+
+__all__ = ["evaluate_query", "execute"]
+
+# A coordinate binding: (dimension name, coordinate, display label)
+Binding = tuple[str, str, str]
+
+
+class _Context:
+    """Evaluation context: warehouse bindings plus the applied scenario."""
+
+    def __init__(self, warehouse, query: MdxQuery) -> None:
+        self.warehouse = warehouse
+        self.schema = warehouse.schema
+        self.query = query
+        #: query-scoped named sets (WITH SET ... AS ...), by name
+        self.query_sets = dict(query.named_sets)
+        self._expanding_sets: set[str] = set()
+        self.scenario = self._build_scenario(query)
+        if self.scenario is None:
+            self.view = warehouse.cube
+            self.surviving: dict[str, set[str]] | None = None
+            self.varying_view = {
+                name: varying for name, varying in self.schema.varying.items()
+            }
+        else:
+            applied = self.scenario.apply(warehouse.cube)
+            self.view = applied
+            self.surviving = self._surviving_instances(applied)
+            self.varying_view = {
+                name: varying for name, varying in self.schema.varying.items()
+            }
+            if applied.varying_out is not None:
+                self.varying_view[self.scenario.dimension] = applied.varying_out
+
+    # -- scenario construction ---------------------------------------------------
+
+    def _build_scenario(self, query: MdxQuery):
+        if query.perspective is not None:
+            clause = query.perspective
+            return NegativeScenario(
+                dimension=clause.dimension,
+                perspectives=list(clause.perspectives),
+                semantics=Semantics(clause.semantics),
+                mode=Mode(clause.mode),
+            )
+        if query.changes is not None:
+            return self._build_positive(query.changes)
+        return None
+
+    def _build_positive(self, clause: ChangesClause) -> PositiveScenario:
+        dimension = clause.dimension
+        changes: list[ChangeTuple] = []
+        for spec in clause.changes:
+            if spec.expand:
+                dim, parent = self.warehouse.resolve_member(spec.member.parts)
+                members = [child.name for child in parent.children]
+            else:
+                dim, member = self.warehouse.resolve_member(spec.member.parts)
+                members = [member.name]
+            if dimension is None:
+                dimension = dim.name
+            elif dimension != dim.name:
+                raise MdxEvaluationError(
+                    f"change tuple member {spec.member.display()} belongs to "
+                    f"{dim.name!r}, clause names {dimension!r}"
+                )
+            for name in members:
+                changes.append(
+                    ChangeTuple(name, spec.old_parent, spec.new_parent, spec.moment)
+                )
+        if dimension is None:
+            raise MdxEvaluationError("cannot infer the changes dimension")
+        return PositiveScenario(dimension, changes, Mode(clause.mode))
+
+    def _surviving_instances(self, applied: WhatIfCube) -> dict[str, set[str]]:
+        surviving: dict[str, set[str]] = {}
+        dim = self.scenario.dimension  # type: ignore[union-attr]
+        surviving[dim] = set(applied.validity_out)
+        return surviving
+
+    # -- member expansion -----------------------------------------------------------
+
+    def expand_member(
+        self, dim: Dimension, member: Member, ancestors: Sequence[str]
+    ) -> list[Binding]:
+        """Bindings for one member: instance rows for varying leaves,
+        the member name otherwise."""
+        name = dim.name
+        if not self.schema.is_varying(name) or not member.is_leaf:
+            return [(name, member.name, member.name)]
+        varying = self.varying_view[name]
+        allowed = None if self.surviving is None else self.surviving.get(name)
+        bindings: list[Binding] = []
+        for instance in varying.instances_of(member.name):
+            if ancestors and not set(ancestors) <= set(instance.path[:-1]):
+                continue
+            if allowed is not None and instance.full_path not in allowed:
+                continue
+            bindings.append(
+                (name, instance.full_path, instance.qualified_name)
+            )
+        return bindings
+
+    def property_value(self, binding_coord: str, property_dim: str) -> str:
+        """DIMENSION PROPERTIES value: the instance's parent in the
+        requested (varying) dimension."""
+        if "/" in binding_coord:
+            parts = binding_coord.split("/")
+            return parts[-2]
+        return binding_coord
+
+
+def _as_set(expr: SetExpr, context: _Context) -> list[tuple[Binding, ...]]:
+    """Evaluate a set expression to a list of binding tuples."""
+    if isinstance(expr, SetLiteral):
+        result: list[tuple[Binding, ...]] = []
+        for element in expr.elements:
+            result.extend(_as_set(element, context))
+        return result
+    if isinstance(expr, TupleExpr):
+        bindings: list[Binding] = []
+        for path in expr.members:
+            expanded = _member_bindings(path, context)
+            if len(expanded) != 1:
+                raise MdxEvaluationError(
+                    f"tuple component {path.display()} is ambiguous "
+                    f"({len(expanded)} instances); name the instance via its "
+                    "parent"
+                )
+            bindings.append(expanded[0])
+        return [tuple(bindings)]
+    if isinstance(expr, MemberPath):
+        if len(expr.parts) == 1 and expr.parts[0] in context.query_sets:
+            name = expr.parts[0]
+            if name in context._expanding_sets:
+                raise MdxEvaluationError(
+                    f"named set {name!r} is defined in terms of itself"
+                )
+            context._expanding_sets.add(name)
+            try:
+                return _as_set(context.query_sets[name], context)
+            finally:
+                context._expanding_sets.discard(name)
+        return [(binding,) for binding in _member_bindings(expr, context)]
+    if isinstance(expr, ChildrenExpr):
+        return _children(expr.base, context)
+    if isinstance(expr, MembersExpr):
+        return _members(expr.base, context)
+    if isinstance(expr, LevelsMembersExpr):
+        return _levels_members(expr, context)
+    if isinstance(expr, DescendantsExpr):
+        return _descendants(expr, context)
+    if isinstance(expr, CrossJoinExpr):
+        left = _as_set(expr.left, context)
+        right = _as_set(expr.right, context)
+        return [l + r for l in left for r in right]
+    if isinstance(expr, UnionExpr):
+        left = _as_set(expr.left, context)
+        seen = set(left)
+        merged = list(left)
+        for item in _as_set(expr.right, context):
+            if item not in seen:
+                seen.add(item)
+                merged.append(item)
+        return merged
+    if isinstance(expr, FilterExpr):
+        return _filter(expr, context)
+    if isinstance(expr, OrderExpr):
+        return _order(expr, context)
+    if isinstance(expr, HeadExpr):
+        return _as_set(expr.base, context)[: expr.count]
+    if isinstance(expr, TailExpr):
+        base = _as_set(expr.base, context)
+        return base[len(base) - expr.count :] if expr.count else []
+    raise MdxEvaluationError(f"unsupported set expression {expr!r}")
+
+
+_RELOP_FUNCS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+}
+
+
+def _filter(expr: FilterExpr, context: _Context) -> list[tuple[Binding, ...]]:
+    """Filter(set, (tuple) relop n): σ with a value predicate (Sec. 4.1).
+
+    For each candidate position, the condition tuple's coordinates are
+    combined with the candidate's own and dimension-root defaults; the
+    cell is evaluated on the scenario view, and ⊥ cells fail every
+    comparison.
+    """
+    from repro.olap.missing import is_missing
+
+    compare = _RELOP_FUNCS[expr.relop]
+    condition_bindings = _resolve_condition(expr.condition, context, "Filter")
+    kept: list[tuple[Binding, ...]] = []
+    for candidate in _as_set(expr.base, context):
+        value = _condition_value(candidate, condition_bindings, context)
+        if not is_missing(value) and compare(float(value), expr.threshold):
+            kept.append(candidate)
+    return kept
+
+
+def _condition_value(
+    candidate: tuple[Binding, ...],
+    condition_bindings: list[Binding],
+    context: _Context,
+):
+    """Cell value for a Filter/Order condition at a candidate position."""
+    defaults = {d.name: d.root.name for d in context.schema.dimensions}
+    coords = dict(defaults)
+    coords.update({dim: coord for dim, coord, _ in condition_bindings})
+    coords.update({dim: coord for dim, coord, _ in candidate})
+    return context.view.effective_value(context.schema.address(**coords))
+
+
+def _resolve_condition(
+    condition: TupleExpr, context: _Context, what: str
+) -> list[Binding]:
+    bindings: list[Binding] = []
+    for path in condition.members:
+        expanded = _member_bindings(path, context)
+        if len(expanded) != 1:
+            raise MdxEvaluationError(
+                f"{what} condition component {path.display()} is ambiguous"
+            )
+        bindings.append(expanded[0])
+    return bindings
+
+
+def _order(expr: OrderExpr, context: _Context) -> list[tuple[Binding, ...]]:
+    """Order(set, (tuple), ASC|DESC): sort by cell value, ⊥ last."""
+    from repro.olap.missing import is_missing
+
+    condition_bindings = _resolve_condition(expr.condition, context, "Order")
+    candidates = _as_set(expr.base, context)
+    keyed = []
+    for position, candidate in enumerate(candidates):
+        value = _condition_value(candidate, condition_bindings, context)
+        missing = is_missing(value)
+        sort_value = 0.0 if missing else float(value)
+        if expr.descending:
+            sort_value = -sort_value
+        # ⊥ sorts after every real value; ties keep input order.
+        keyed.append(((missing, sort_value, position), candidate))
+    keyed.sort(key=lambda pair: pair[0])
+    return [candidate for _, candidate in keyed]
+
+
+def _member_bindings(path: MemberPath, context: _Context) -> list[Binding]:
+    named = context.warehouse.named_set(path.parts[-1])
+    if named is not None and len(path.parts) == 1:
+        bindings: list[Binding] = []
+        for name in named.members:
+            dim, member = context.warehouse.resolve_member((name,))
+            bindings.extend(context.expand_member(dim, member, ()))
+        return bindings
+    dim, member = context.warehouse.resolve_member(path.parts)
+    ancestors = path.parts[:-1]
+    ancestors = tuple(a for a in ancestors if a != dim.name)
+    return context.expand_member(dim, member, ancestors)
+
+
+def _children(path: MemberPath, context: _Context) -> list[tuple[Binding, ...]]:
+    named = context.warehouse.named_set(path.parts[-1])
+    if named is not None:
+        bindings: list[Binding] = []
+        for name in named.members:
+            dim, member = context.warehouse.resolve_member((name,))
+            bindings.extend(context.expand_member(dim, member, ()))
+        return [(b,) for b in bindings]
+    dim, member = context.warehouse.resolve_member(path.parts)
+    result: list[tuple[Binding, ...]] = []
+    for child in member.children:
+        for binding in context.expand_member(dim, child, ()):
+            result.append((binding,))
+    return result
+
+
+def _members(path: MemberPath, context: _Context) -> list[tuple[Binding, ...]]:
+    dim, member = context.warehouse.resolve_member(path.parts)
+    result: list[tuple[Binding, ...]] = []
+    for descendant in member.descendants(include_self=True):
+        for binding in context.expand_member(dim, descendant, ()):
+            result.append((binding,))
+    return result
+
+
+def _levels_members(
+    expr: LevelsMembersExpr, context: _Context
+) -> list[tuple[Binding, ...]]:
+    dim, member = context.warehouse.resolve_member(expr.base.parts)
+    result: list[tuple[Binding, ...]] = []
+    for descendant in member.descendants(include_self=True):
+        if descendant.level != expr.level:
+            continue
+        for binding in context.expand_member(dim, descendant, ()):
+            result.append((binding,))
+    return result
+
+
+def _descendants(
+    expr: DescendantsExpr, context: _Context
+) -> list[tuple[Binding, ...]]:
+    dim, member = context.warehouse.resolve_member(expr.base.parts)
+    base_depth = member.depth
+    flag = expr.flag
+    want_depth = base_depth + expr.depth
+
+    def keep(node: Member) -> bool:
+        distance = node.depth
+        if flag == "self":
+            return distance == want_depth
+        if flag == "self_and_after":
+            return distance >= want_depth
+        if flag == "after":
+            return distance > want_depth
+        if flag == "self_and_before":
+            return distance <= want_depth
+        if flag == "before":
+            return distance < want_depth
+        raise MdxEvaluationError(f"unknown Descendants flag {expr.flag!r}")
+
+    result: list[tuple[Binding, ...]] = []
+    for node in member.descendants(include_self=True):
+        if not keep(node):
+            continue
+        for binding in context.expand_member(dim, node, ()):
+            result.append((binding,))
+    return result
+
+
+def _axis_tuples(
+    axis: AxisSpec, context: _Context
+) -> list[AxisTuple]:
+    tuples = _as_set(axis.expr, context)
+    property_dims = [p.parts[-1] for p in axis.properties]
+    result: list[AxisTuple] = []
+    for bindings in tuples:
+        coordinates = tuple((dim, coord) for dim, coord, _ in bindings)
+        labels = tuple(label for _, _, label in bindings)
+        properties = []
+        for property_dim in property_dims:
+            for dim, coord, _ in bindings:
+                if dim == property_dim:
+                    properties.append(
+                        (property_dim, context.property_value(coord, property_dim))
+                    )
+                    break
+        result.append(AxisTuple(coordinates, labels, tuple(properties)))
+    return result
+
+
+def evaluate_query(warehouse, query: MdxQuery) -> MdxResult:
+    """Evaluate a parsed query against a warehouse."""
+    if not query.axes:
+        raise MdxEvaluationError("a query needs at least one axis")
+    if len(query.axes) > 2:
+        raise MdxEvaluationError(
+            "only COLUMNS and ROWS axes are supported in this implementation"
+        )
+    warehouse.check_cube_name(query.cube)
+    context = _Context(warehouse, query)
+
+    by_axis = {axis.axis: axis for axis in query.axes}
+    if "columns" not in by_axis:
+        raise MdxEvaluationError("a query must place a set ON COLUMNS")
+    columns = _axis_tuples(by_axis["columns"], context)
+    rows = (
+        _axis_tuples(by_axis["rows"], context)
+        if "rows" in by_axis
+        else [AxisTuple((), ())]
+    )
+
+    slicer: dict[str, str] = {}
+    if query.slicer is not None:
+        for binding_tuple in _as_set(query.slicer, context):
+            for dim, coord, _ in binding_tuple:
+                slicer[dim] = coord
+
+    defaults = {d.name: d.root.name for d in context.schema.dimensions}
+    cells: list[list[object]] = []
+    for row in rows:
+        row_cells: list[object] = []
+        for column in columns:
+            coords = dict(defaults)
+            coords.update(slicer)
+            coords.update(dict(row.coordinates))
+            coords.update(dict(column.coordinates))
+            address = context.schema.address(**coords)
+            row_cells.append(context.view.effective_value(address))
+        cells.append(row_cells)
+
+    from repro.olap.missing import is_missing
+
+    if "rows" in by_axis and by_axis["rows"].non_empty:
+        keep = [
+            i
+            for i, row_cells in enumerate(cells)
+            if any(not is_missing(v) for v in row_cells)
+        ]
+        rows = [rows[i] for i in keep]
+        cells = [cells[i] for i in keep]
+    if by_axis["columns"].non_empty:
+        keep = [
+            j
+            for j in range(len(columns))
+            if any(not is_missing(row_cells[j]) for row_cells in cells)
+        ]
+        columns = [columns[j] for j in keep]
+        cells = [[row_cells[j] for j in keep] for row_cells in cells]
+    return MdxResult(columns=columns, rows=rows, cells=cells)
+
+
+def execute(warehouse, text: str) -> MdxResult:
+    """Parse and evaluate extended-MDX text."""
+    return evaluate_query(warehouse, parse_query(text))

@@ -1,0 +1,116 @@
+"""Tokenizer for the extended MDX dialect (Sec. 3.2 and Fig. 10).
+
+Token kinds:
+
+* ``name`` — bare identifiers (``Organization``, ``self_and_after``) and
+  bracketed names (``[BU Version_1]``, ``[EmployeesWithAtleastOneMove-Set1]``);
+  bracketed names may contain anything but ``]``.
+* ``number`` — integer or decimal literals.
+* ``punct`` — one of ``( ) { } , .``.
+
+Keywords are *not* a separate kind: the parser matches names
+case-insensitively where the grammar expects a keyword, so member names
+that collide with keywords still work when bracketed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MdxSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_PUNCT = set("(){},.")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "name" | "number" | "punct" | "eof"
+    value: str
+    line: int
+    column: int
+    bracketed: bool = False
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """Case-insensitive keyword match; bracketed names never match."""
+        return (
+            self.kind == "name"
+            and not self.bracketed
+            and self.value.upper() == keyword.upper()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}@{self.line}:{self.column})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize MDX text; raises :class:`MdxSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch.isspace():
+            column += 1
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            # Line comment.
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("punct", ch, line, column))
+            i += 1
+            column += 1
+            continue
+        if ch in "<>=":
+            # Relational operators (used by Filter conditions): one of
+            # <  >  =  <=  >=  <>
+            if ch in "<>" and i + 1 < n and text[i + 1] in "=>":
+                op = ch + text[i + 1]
+                i += 2
+                column += 2
+            else:
+                op = ch
+                i += 1
+                column += 1
+            tokens.append(Token("punct", op, line, column - len(op)))
+            continue
+        if ch == "[":
+            end = text.find("]", i)
+            if end < 0:
+                raise MdxSyntaxError("unterminated '[' name", line, column)
+            value = text[i + 1 : end].strip()
+            if not value:
+                raise MdxSyntaxError("empty bracketed name", line, column)
+            tokens.append(Token("name", value, line, column, bracketed=True))
+            column += end - i + 1
+            i = end + 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            value = text[start:i]
+            if value.count(".") > 1:
+                raise MdxSyntaxError(f"bad number {value!r}", line, column)
+            tokens.append(Token("number", value, line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "_-%"):
+                i += 1
+            tokens.append(Token("name", text[start:i], line, column))
+            column += i - start
+            continue
+        raise MdxSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens

@@ -1,0 +1,449 @@
+"""Recursive-descent parser for the extended MDX dialect.
+
+Handles the classic MDX core (SELECT ... ON COLUMNS/ROWS ... FROM ...
+WHERE ...) plus the paper's extensions:
+
+* ``WITH PERSPECTIVE {(Jan), (Jul)} FOR Department STATIC|DYNAMIC FORWARD
+  ... [VISUAL|NON_VISUAL]`` (negative scenarios, Sec. 3.3);
+* ``WITH CHANGES {(member, old, new, moment), ...} [FOR dim] [mode]``
+  (positive scenarios, Sec. 3.4).
+
+All three queries of Fig. 10 parse verbatim.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MdxSyntaxError
+from repro.mdx.ast_nodes import (
+    AxisSpec,
+    ChangeSpec,
+    ChangesClause,
+    ChildrenExpr,
+    CrossJoinExpr,
+    DescendantsExpr,
+    FilterExpr,
+    HeadExpr,
+    LevelsMembersExpr,
+    MdxQuery,
+    MemberPath,
+    MembersExpr,
+    OrderExpr,
+    PerspectiveClause,
+    SetExpr,
+    SetLiteral,
+    TailExpr,
+    TupleExpr,
+    UnionExpr,
+)
+from repro.mdx.lexer import Token, tokenize
+
+__all__ = ["parse_query"]
+
+_SET_FUNCTIONS = {
+    "CROSSJOIN", "UNION", "HEAD", "TAIL", "DESCENDANTS", "FILTER", "ORDER",
+}
+_RELOPS = {"<", "<=", ">", ">=", "=", "<>"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> MdxSyntaxError:
+        token = token or self._peek()
+        return MdxSyntaxError(message, token.line, token.column)
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._next()
+        if token.kind != "punct" or token.value != value:
+            raise self._error(f"expected {value!r}, found {token.value!r}", token)
+        return token
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._next()
+        if not token.matches_keyword(keyword):
+            raise self._error(
+                f"expected keyword {keyword!r}, found {token.value!r}", token
+            )
+        return token
+
+    def _expect_name(self) -> Token:
+        token = self._next()
+        if token.kind != "name":
+            raise self._error(f"expected a name, found {token.value!r}", token)
+        return token
+
+    def _expect_number(self) -> int:
+        token = self._next()
+        if token.kind != "number":
+            raise self._error(f"expected a number, found {token.value!r}", token)
+        return int(float(token.value))
+
+    def _at_keyword(self, keyword: str, ahead: int = 0) -> bool:
+        return self._peek(ahead).matches_keyword(keyword)
+
+    def _at_punct(self, value: str, ahead: int = 0) -> bool:
+        token = self._peek(ahead)
+        return token.kind == "punct" and token.value == value
+
+    # -- query ----------------------------------------------------------------
+
+    def parse(self) -> MdxQuery:
+        perspective = None
+        changes = None
+        named_sets: list[tuple[str, SetExpr]] = []
+        if self._at_keyword("WITH"):
+            self._next()
+            while not self._at_keyword("SELECT"):
+                if self._at_keyword("PERSPECTIVE"):
+                    if perspective is not None:
+                        raise self._error("duplicate PERSPECTIVE clause")
+                    perspective = self._perspective_clause()
+                elif self._at_keyword("CHANGES"):
+                    if changes is not None:
+                        raise self._error("duplicate CHANGES clause")
+                    changes = self._changes_clause()
+                elif self._at_keyword("SET"):
+                    named_sets.append(self._set_definition())
+                else:
+                    raise self._error(
+                        "expected SET, PERSPECTIVE or CHANGES after WITH"
+                    )
+        self._expect_keyword("SELECT")
+        axes = [self._axis_spec()]
+        while self._at_punct(","):
+            self._next()
+            axes.append(self._axis_spec())
+        self._expect_keyword("FROM")
+        cube = self._dotted_names()
+        slicer = None
+        if self._at_keyword("WHERE"):
+            self._next()
+            slicer = self._slicer_tuple()
+        trailing = self._peek()
+        if trailing.kind != "eof":
+            raise self._error(
+                f"unexpected trailing input {trailing.value!r}", trailing
+            )
+        return MdxQuery(
+            axes=tuple(axes),
+            cube=cube,
+            slicer=slicer,
+            perspective=perspective,
+            changes=changes,
+            named_sets=tuple(named_sets),
+        )
+
+    def _set_definition(self) -> tuple[str, SetExpr]:
+        """WITH SET [Name] AS {...} — a query-scoped named set."""
+        self._expect_keyword("SET")
+        name = self._expect_name().value
+        self._expect_keyword("AS")
+        return name, self._set_expr()
+
+    # -- WITH clauses -------------------------------------------------------------
+
+    def _perspective_clause(self) -> PerspectiveClause:
+        self._expect_keyword("PERSPECTIVE")
+        self._expect_punct("{")
+        perspectives = [self._perspective_point()]
+        while self._at_punct(","):
+            self._next()
+            perspectives.append(self._perspective_point())
+        self._expect_punct("}")
+        self._expect_keyword("FOR")
+        dimension = self._expect_name().value
+        semantics = self._semantics()
+        mode = self._mode()
+        return PerspectiveClause(
+            perspectives=tuple(perspectives),
+            dimension=dimension,
+            semantics=semantics,
+            mode=mode,
+        )
+
+    def _perspective_point(self) -> str:
+        if self._at_punct("("):
+            self._next()
+            name = self._expect_name().value
+            self._expect_punct(")")
+            return name
+        return self._expect_name().value
+
+    def _semantics(self) -> str:
+        if self._at_keyword("STATIC"):
+            self._next()
+            return "static"
+        extended = False
+        if self._at_keyword("DYNAMIC"):
+            self._next()
+        if self._at_keyword("EXTENDED"):
+            self._next()
+            extended = True
+        if self._at_keyword("FORWARD"):
+            self._next()
+            return "extended_forward" if extended else "forward"
+        if self._at_keyword("BACKWARD"):
+            self._next()
+            return "extended_backward" if extended else "backward"
+        if extended:
+            raise self._error("EXTENDED must be followed by FORWARD or BACKWARD")
+        return "static"
+
+    def _mode(self) -> str:
+        if self._at_keyword("VISUAL"):
+            self._next()
+            return "visual"
+        if self._at_keyword("NON_VISUAL") or self._at_keyword("NONVISUAL"):
+            self._next()
+            return "non_visual"
+        # Paper: "when mode is not explicitly specified, non-visual mode is
+        # assumed by default."
+        return "non_visual"
+
+    def _changes_clause(self) -> ChangesClause:
+        self._expect_keyword("CHANGES")
+        self._expect_punct("{")
+        changes = [self._change_tuple()]
+        while self._at_punct(","):
+            self._next()
+            changes.append(self._change_tuple())
+        self._expect_punct("}")
+        dimension = None
+        if self._at_keyword("FOR"):
+            self._next()
+            dimension = self._expect_name().value
+        mode = self._mode()
+        return ChangesClause(tuple(changes), dimension, mode)
+
+    def _change_tuple(self) -> ChangeSpec:
+        self._expect_punct("(")
+        member_expr = self._member_path_with_suffixes()
+        expand = isinstance(member_expr, ChildrenExpr)
+        member = member_expr.base if expand else member_expr
+        if not isinstance(member, MemberPath):
+            raise self._error(
+                "first component of a change tuple must be a member or "
+                "member.Children"
+            )
+        self._expect_punct(",")
+        old_parent = self._expect_name().value
+        self._expect_punct(",")
+        new_parent = self._expect_name().value
+        self._expect_punct(",")
+        moment = self._expect_name().value
+        self._expect_punct(")")
+        return ChangeSpec(member, old_parent, new_parent, moment, expand)
+
+    # -- axes --------------------------------------------------------------------
+
+    def _axis_spec(self) -> AxisSpec:
+        non_empty = False
+        if self._at_keyword("NON") and self._peek(1).matches_keyword("EMPTY"):
+            self._next()
+            self._next()
+            non_empty = True
+        expr = self._set_expr()
+        properties: list[MemberPath] = []
+        if self._at_keyword("DIMENSION"):
+            self._next()
+            self._expect_keyword("PROPERTIES")
+            # Every comma before the closing ON belongs to the property
+            # list (the axis spec only ends at ON).
+            properties.append(self._plain_member_path())
+            while self._at_punct(","):
+                self._next()
+                properties.append(self._plain_member_path())
+        self._expect_keyword("ON")
+        axis = self._axis_name()
+        return AxisSpec(expr, axis, tuple(properties), non_empty)
+
+    def _axis_name(self) -> str:
+        token = self._next()
+        if token.matches_keyword("COLUMNS"):
+            return "columns"
+        if token.matches_keyword("ROWS"):
+            return "rows"
+        if token.kind == "number":
+            return f"axis{int(float(token.value))}"
+        if token.matches_keyword("AXIS"):
+            self._expect_punct("(")
+            number = self._expect_number()
+            self._expect_punct(")")
+            return f"axis{number}"
+        raise self._error(f"bad axis name {token.value!r}", token)
+
+    # -- set expressions --------------------------------------------------------------
+
+    def _set_expr(self) -> SetExpr:
+        if self._at_punct("{"):
+            self._next()
+            elements: list[SetExpr] = []
+            if not self._at_punct("}"):
+                elements.append(self._set_expr())
+                while self._at_punct(","):
+                    self._next()
+                    elements.append(self._set_expr())
+            self._expect_punct("}")
+            return SetLiteral(tuple(elements))
+        if self._at_punct("("):
+            return self._tuple_expr()
+        token = self._peek()
+        if (
+            token.kind == "name"
+            and not token.bracketed
+            and token.value.upper() in _SET_FUNCTIONS
+            and self._at_punct("(", ahead=1)
+        ):
+            return self._function_call()
+        return self._member_path_with_suffixes()
+
+    def _tuple_expr(self) -> TupleExpr:
+        self._expect_punct("(")
+        members = [self._require_member_path()]
+        while self._at_punct(","):
+            self._next()
+            members.append(self._require_member_path())
+        self._expect_punct(")")
+        return TupleExpr(tuple(members))
+
+    def _require_member_path(self) -> MemberPath:
+        expr = self._member_path_with_suffixes()
+        if not isinstance(expr, MemberPath):
+            raise self._error("tuples may only contain plain member references")
+        return expr
+
+    def _function_call(self) -> SetExpr:
+        name = self._expect_name().value.upper()
+        self._expect_punct("(")
+        if name == "CROSSJOIN":
+            left = self._set_expr()
+            self._expect_punct(",")
+            right = self._set_expr()
+            self._expect_punct(")")
+            return CrossJoinExpr(left, right)
+        if name == "UNION":
+            left = self._set_expr()
+            self._expect_punct(",")
+            right = self._set_expr()
+            self._expect_punct(")")
+            return UnionExpr(left, right)
+        if name in ("HEAD", "TAIL"):
+            base = self._set_expr()
+            self._expect_punct(",")
+            count = self._expect_number()
+            self._expect_punct(")")
+            return HeadExpr(base, count) if name == "HEAD" else TailExpr(base, count)
+        if name == "FILTER":
+            base = self._set_expr()
+            self._expect_punct(",")
+            if self._at_punct("("):
+                condition = self._tuple_expr()
+            else:
+                condition = TupleExpr((self._plain_member_path(),))
+            relop_token = self._next()
+            if relop_token.kind != "punct" or relop_token.value not in _RELOPS:
+                raise self._error(
+                    f"expected a relational operator, found {relop_token.value!r}",
+                    relop_token,
+                )
+            threshold = float(self._expect_number())
+            self._expect_punct(")")
+            return FilterExpr(base, condition, relop_token.value, threshold)
+        if name == "ORDER":
+            base = self._set_expr()
+            self._expect_punct(",")
+            if self._at_punct("("):
+                condition = self._tuple_expr()
+            else:
+                condition = TupleExpr((self._plain_member_path(),))
+            descending = False
+            if self._at_punct(","):
+                self._next()
+                direction = self._expect_name().value.upper()
+                if direction not in ("ASC", "DESC", "BASC", "BDESC"):
+                    raise self._error(
+                        f"Order direction must be ASC or DESC, got {direction!r}"
+                    )
+                descending = direction.endswith("DESC")
+            self._expect_punct(")")
+            return OrderExpr(base, condition, descending)
+        # DESCENDANTS
+        base = self._plain_member_path()
+        depth = 0
+        flag = "self"
+        if self._at_punct(","):
+            self._next()
+            depth = self._expect_number()
+        if self._at_punct(","):
+            self._next()
+            flag = self._expect_name().value.lower()
+        self._expect_punct(")")
+        return DescendantsExpr(base, depth, flag)
+
+    def _plain_member_path(self) -> MemberPath:
+        parts = [self._expect_name().value]
+        while self._at_punct("."):
+            suffix = self._peek(1)
+            if suffix.kind == "name" and not suffix.bracketed and (
+                suffix.value.upper() in ("MEMBERS", "CHILDREN", "LEVELS")
+            ):
+                break
+            self._next()
+            parts.append(self._expect_name().value)
+        return MemberPath(tuple(parts))
+
+    def _member_path_with_suffixes(self) -> SetExpr:
+        path = self._plain_member_path()
+        if not self._at_punct("."):
+            return path
+        suffix = self._peek(1)
+        if suffix.matches_keyword("MEMBERS"):
+            self._next()
+            self._next()
+            return MembersExpr(path)
+        if suffix.matches_keyword("CHILDREN"):
+            self._next()
+            self._next()
+            return ChildrenExpr(path)
+        if suffix.matches_keyword("LEVELS"):
+            self._next()
+            self._next()
+            self._expect_punct("(")
+            level = self._expect_number()
+            self._expect_punct(")")
+            self._expect_punct(".")
+            self._expect_keyword("MEMBERS")
+            return LevelsMembersExpr(path, level)
+        return path
+
+    # -- FROM / WHERE -------------------------------------------------------------
+
+    def _dotted_names(self) -> tuple[str, ...]:
+        parts = [self._expect_name().value]
+        while self._at_punct("."):
+            self._next()
+            parts.append(self._expect_name().value)
+        return tuple(parts)
+
+    def _slicer_tuple(self) -> TupleExpr:
+        if self._at_punct("("):
+            return self._tuple_expr()
+        return TupleExpr((self._plain_member_path(),))
+
+
+def parse_query(text: str) -> MdxQuery:
+    """Parse extended-MDX text into an :class:`MdxQuery`."""
+    return _Parser(tokenize(text)).parse()

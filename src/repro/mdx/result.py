@@ -1,0 +1,139 @@
+"""MDX result grids.
+
+An :class:`MdxResult` is the two-axis rendering of a query (Fig. 3): column
+tuples, row tuples, and a cell matrix.  ⊥ cells render as ``-`` in text
+output, matching the paper's convention of showing meaningless
+intersections as empty/null.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.olap.missing import Missing, is_missing
+
+__all__ = ["AxisTuple", "MdxResult"]
+
+CellValue = "float | Missing"
+
+
+@dataclass(frozen=True)
+class AxisTuple:
+    """One position on a result axis: coordinates keyed by dimension."""
+
+    coordinates: tuple[tuple[str, str], ...]  # ((dim, coord), ...)
+    labels: tuple[str, ...]  # display labels, one per coordinate
+    properties: tuple[tuple[str, str], ...] = ()  # (property dim, value)
+
+    def coordinate(self, dim: str) -> str | None:
+        for name, coord in self.coordinates:
+            if name == dim:
+                return coord
+        return None
+
+    def label(self) -> str:
+        parts = list(self.labels)
+        parts.extend(value for _, value in self.properties)
+        return " / ".join(parts)
+
+
+@dataclass
+class MdxResult:
+    """A rendered query result."""
+
+    columns: list[AxisTuple]
+    rows: list[AxisTuple]
+    cells: list[list[CellValue]] = field(default_factory=list)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.rows), len(self.columns))
+
+    def cell(self, row: int, column: int) -> CellValue:
+        return self.cells[row][column]
+
+    def cell_by_labels(self, row_label: str, column_label: str) -> CellValue:
+        row_index = self._find(self.rows, row_label)
+        column_index = self._find(self.columns, column_label)
+        return self.cells[row_index][column_index]
+
+    @staticmethod
+    def _find(axis: Sequence[AxisTuple], label: str) -> int:
+        for index, axis_tuple in enumerate(axis):
+            if axis_tuple.label() == label or label in axis_tuple.labels:
+                return index
+        raise KeyError(f"no axis position labelled {label!r}")
+
+    def row_labels(self) -> list[str]:
+        return [r.label() for r in self.rows]
+
+    def column_labels(self) -> list[str]:
+        return [c.label() for c in self.columns]
+
+    def to_records(self) -> list[dict[str, object]]:
+        """Flatten the grid into one dict per cell (for DataFrame-style
+        consumption).  ⊥ cells are represented as ``None``; coordinate
+        columns are keyed by dimension name."""
+        records: list[dict[str, object]] = []
+        for row, row_cells in zip(self.rows, self.cells):
+            for column, value in zip(self.columns, row_cells):
+                record: dict[str, object] = {}
+                for dim, coord in row.coordinates + column.coordinates:
+                    record[dim] = coord
+                for property_dim, property_value in row.properties:
+                    record[f"{property_dim} (property)"] = property_value
+                record["value"] = None if is_missing(value) else float(value)
+                records.append(record)
+        return records
+
+    def to_csv(self, missing: str = "") -> str:
+        """Comma-separated rendering: header of column labels, one line per
+        row, values quoted only when needed."""
+
+        def quote(text: str) -> str:
+            if "," in text or '"' in text:
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        def fmt(value: CellValue) -> str:
+            if is_missing(value):
+                return missing
+            return repr(float(value))
+
+        lines = [
+            ",".join([""] + [quote(label) for label in self.column_labels()])
+        ]
+        for axis_tuple, row_cells in zip(self.rows, self.cells):
+            lines.append(
+                ",".join(
+                    [quote(axis_tuple.label())]
+                    + [fmt(value) for value in row_cells]
+                )
+            )
+        return "\n".join(lines)
+
+    def to_text(self, width: int = 12, missing: str = "-") -> str:
+        """Spreadsheet-style rendering (Fig. 3)."""
+
+        def fmt(value: CellValue) -> str:
+            if is_missing(value):
+                return missing
+            if float(value).is_integer():
+                return str(int(value))
+            return f"{float(value):.2f}"
+
+        row_header_width = max(
+            [len(label) for label in self.row_labels()] + [0]
+        )
+        header = " " * row_header_width + " | " + " | ".join(
+            label.rjust(width) for label in self.column_labels()
+        )
+        lines = [header, "-" * len(header)]
+        for axis_tuple, row_cells in zip(self.rows, self.cells):
+            rendered = " | ".join(fmt(v).rjust(width) for v in row_cells)
+            lines.append(f"{axis_tuple.label().ljust(row_header_width)} | {rendered}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MdxResult({len(self.rows)} rows x {len(self.columns)} columns)"

@@ -1,0 +1,80 @@
+"""Aggregation functions with ⊥ (MISSING) semantics.
+
+The standard data-warehouse aggregates (sum, avg, min, max, count) are
+special cases of the paper's rules (Sec. 2).  All of them skip MISSING
+inputs; if every input is MISSING the result is MISSING.  ``count`` counts
+non-missing inputs and returns 0 (a real number) when given some inputs but
+none non-missing — except that an entirely empty scope is MISSING, matching
+the convention that a cell with no descendant data does not exist.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import RuleError
+from repro.olap.missing import MISSING, Missing, is_missing
+
+__all__ = ["AGGREGATORS", "aggregate", "agg_sum", "agg_avg", "agg_min", "agg_max", "agg_count"]
+
+Number = float
+CellValue = "Number | Missing"
+
+
+def _present(values: Iterable[object]) -> list[float]:
+    return [float(v) for v in values if not is_missing(v)]  # type: ignore[arg-type]
+
+
+def agg_sum(values: Iterable[object]) -> CellValue:
+    present = _present(values)
+    if not present:
+        return MISSING
+    return sum(present)
+
+
+def agg_avg(values: Iterable[object]) -> CellValue:
+    present = _present(values)
+    if not present:
+        return MISSING
+    return sum(present) / len(present)
+
+
+def agg_min(values: Iterable[object]) -> CellValue:
+    present = _present(values)
+    if not present:
+        return MISSING
+    return min(present)
+
+
+def agg_max(values: Iterable[object]) -> CellValue:
+    present = _present(values)
+    if not present:
+        return MISSING
+    return max(present)
+
+
+def agg_count(values: Iterable[object]) -> CellValue:
+    values = list(values)
+    if not values:
+        return MISSING
+    return float(len(_present(values)))
+
+
+AGGREGATORS: dict[str, Callable[[Iterable[object]], CellValue]] = {
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+    "count": agg_count,
+}
+
+
+def aggregate(name: str, values: Iterable[object]) -> CellValue:
+    """Apply a named aggregator; raises :class:`RuleError` for unknown names."""
+    try:
+        func = AGGREGATORS[name]
+    except KeyError:
+        raise RuleError(
+            f"unknown aggregator {name!r}; expected one of {sorted(AGGREGATORS)}"
+        ) from None
+    return func(values)

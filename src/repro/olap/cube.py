@@ -1,0 +1,259 @@
+"""The semantic (sparse) cube.
+
+An n-dimensional cube maps the cross product of member sets to a numeric
+domain (Sec. 2).  We store it sparsely: absent cells are ⊥ (MISSING).  Leaf
+cells (every coordinate at leaf level) are *base*; non-leaf cells are
+*derived* — their value comes from a rule, defaulting to sum-rollup over
+descendant leaf cells.  Derived values may also be *stored* (materialised
+aggregates): the paper's non-visual mode keeps such stored values even when
+leaf data hypothetically moves, while visual mode re-evaluates rules.
+
+Coordinate conventions are defined in :mod:`repro.olap.schema`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import RuleError, SchemaError
+from repro.olap.missing import MISSING, Missing, is_missing
+from repro.olap.schema import Address, CubeSchema
+
+__all__ = ["Cube"]
+
+CellValue = "float | Missing"
+
+
+class Cube:
+    """A sparse multidimensional cube over a :class:`CubeSchema`.
+
+    Parameters
+    ----------
+    schema:
+        The cube's schema (dimension line-up + varying registry).
+    rules:
+        Optional rule engine (:class:`repro.olap.rules.RuleEngine`) used to
+        evaluate derived cells; without one, derived cells use sum-rollup.
+    """
+
+    def __init__(self, schema: CubeSchema, rules: "object | None" = None) -> None:
+        self.schema = schema
+        self.rules = rules
+        self._leaf_cells: dict[Address, float] = {}
+        self._stored_derived: dict[Address, float] = {}
+        # memoised (dim_index, leaf_coord, coord) -> bool rollup tests
+        self._under_cache: dict[tuple[int, str, str], bool] = {}
+
+    # -- write path ------------------------------------------------------------
+
+    def set_value(self, address: Sequence[str], value: object) -> None:
+        """Store a cell value; MISSING/None deletes the cell."""
+        addr = self.schema.validate_address(address)
+        store = (
+            self._leaf_cells
+            if self.schema.is_leaf_address(addr)
+            else self._stored_derived
+        )
+        if is_missing(value):
+            store.pop(addr, None)
+        else:
+            store[addr] = float(value)  # type: ignore[arg-type]
+
+    def set(self, value: object, **coords: str) -> None:
+        """Keyword-style :meth:`set_value` (``cube.set(10, Time="Jan", ...)``)."""
+        self.set_value(self.schema.address(**coords), value)
+
+    def load(self, cells: Iterable[tuple[Sequence[str], object]]) -> None:
+        for address, value in cells:
+            self.set_value(address, value)
+
+    def clear_stored_derived(self) -> None:
+        """Drop all materialised aggregate cells."""
+        self._stored_derived.clear()
+
+    # -- read path ---------------------------------------------------------------
+
+    def value(self, address: Sequence[str]) -> CellValue:
+        """The *stored* value of a cell (MISSING if not stored)."""
+        addr = self.schema.validate_address(address)
+        if addr in self._leaf_cells:
+            return self._leaf_cells[addr]
+        return self._stored_derived.get(addr, MISSING)
+
+    def at(self, **coords: str) -> CellValue:
+        """Keyword-style :meth:`value`."""
+        return self.value(self.schema.address(**coords))
+
+    def effective_value(self, address: Sequence[str]) -> CellValue:
+        """Stored value if present; otherwise rule/rollup for derived cells.
+
+        Leaf cells that are not stored are ⊥ by definition.
+        """
+        addr = self.schema.validate_address(address)
+        if addr in self._leaf_cells:
+            return self._leaf_cells[addr]
+        if addr in self._stored_derived:
+            return self._stored_derived[addr]
+        if self.schema.is_leaf_address(addr):
+            # A leaf measure governed by a formula rule is still derived.
+            if self.rules is not None and self.rules.has_rule_for(self, addr):
+                return self.rules.evaluate_cell(self, addr)
+            return MISSING
+        return self.derive(addr)
+
+    def derive(self, address: Sequence[str]) -> CellValue:
+        """Evaluate the rule for a (derived) cell, ignoring any stored value."""
+        addr = self.schema.validate_address(address)
+        if self.rules is not None:
+            return self.rules.evaluate_cell(self, addr)
+        return self.rollup(addr)
+
+    def rollup(self, address: Sequence[str], aggregator: str = "sum") -> CellValue:
+        """Default derived-cell rule: aggregate descendant leaf cells.
+
+        The scope of a non-leaf cell is the set of its descendant leaf cells
+        (Sec. 4.3); leaf coordinates contribute themselves.
+        """
+        from repro.olap.aggregation import aggregate
+
+        addr = self.schema.validate_address(address)
+        return aggregate(aggregator, self.scope_values(addr))
+
+    def scope_values(self, address: Sequence[str]) -> Iterator[float]:
+        """Values of the leaf cells in a cell's scope."""
+        addr = self.schema.validate_address(address)
+        for leaf_addr, value in self._leaf_cells.items():
+            if self._address_under(leaf_addr, addr):
+                yield value
+
+    def scope_cells(self, address: Sequence[str]) -> Iterator[tuple[Address, float]]:
+        """(address, value) of leaf cells in a cell's scope."""
+        addr = self.schema.validate_address(address)
+        for leaf_addr, value in self._leaf_cells.items():
+            if self._address_under(leaf_addr, addr):
+                yield leaf_addr, value
+
+    def coord_rolls_up(self, dim_index: int, leaf_coord: str, coord: str) -> bool:
+        """Memoised :meth:`CubeSchema.is_under` (public query helper)."""
+        return self._coord_under(dim_index, leaf_coord, coord)
+
+    def _coord_under(self, dim_index: int, leaf_coord: str, coord: str) -> bool:
+        key = (dim_index, leaf_coord, coord)
+        hit = self._under_cache.get(key)
+        if hit is None:
+            hit = self.schema.is_under(dim_index, leaf_coord, coord)
+            self._under_cache[key] = hit
+        return hit
+
+    def _address_under(self, leaf_addr: Address, addr: Address) -> bool:
+        return all(
+            self._coord_under(i, leaf_addr[i], addr[i])
+            for i in range(self.schema.n_dims)
+        )
+
+    # -- iteration ------------------------------------------------------------
+
+    def leaf_cells(self) -> Iterator[tuple[Address, float]]:
+        yield from self._leaf_cells.items()
+
+    def stored_derived_cells(self) -> Iterator[tuple[Address, float]]:
+        yield from self._stored_derived.items()
+
+    def cells(self) -> Iterator[tuple[Address, float]]:
+        yield from self._leaf_cells.items()
+        yield from self._stored_derived.items()
+
+    @property
+    def n_leaf_cells(self) -> int:
+        return len(self._leaf_cells)
+
+    @property
+    def n_stored_derived(self) -> int:
+        return len(self._stored_derived)
+
+    def coordinates_used(self, dim_name: str) -> set[str]:
+        """Distinct leaf-cell coordinates appearing on a dimension."""
+        index = self.schema.dim_index(dim_name)
+        return {addr[index] for addr in self._leaf_cells}
+
+    # -- structure-preserving transforms -----------------------------------------
+
+    def copy(self) -> "Cube":
+        clone = Cube(self.schema, self.rules)
+        clone._leaf_cells = dict(self._leaf_cells)
+        clone._stored_derived = dict(self._stored_derived)
+        clone._under_cache = self._under_cache  # share: schema-derived, read-mostly
+        return clone
+
+    def empty_like(self) -> "Cube":
+        clone = Cube(self.schema, self.rules)
+        clone._under_cache = self._under_cache
+        return clone
+
+    def filter_dimension(
+        self, dim_name: str, keep: Callable[[str], bool]
+    ) -> "Cube":
+        """New cube keeping only cells whose coordinate on ``dim_name``
+        satisfies ``keep`` (used by the selection operator σ)."""
+        index = self.schema.dim_index(dim_name)
+        clone = self.empty_like()
+        clone._leaf_cells = {
+            addr: value for addr, value in self._leaf_cells.items() if keep(addr[index])
+        }
+        clone._stored_derived = {
+            addr: value
+            for addr, value in self._stored_derived.items()
+            if keep(addr[index])
+        }
+        return clone
+
+    def map_leaf_cells(
+        self,
+        transform: Callable[[Address, float], tuple[Address, object] | None],
+    ) -> "Cube":
+        """New cube with each leaf cell rewritten (or dropped on ``None``);
+        stored derived cells are carried over unchanged."""
+        clone = self.empty_like()
+        for addr, value in self._leaf_cells.items():
+            result = transform(addr, value)
+            if result is None:
+                continue
+            new_addr, new_value = result
+            if is_missing(new_value):
+                continue
+            clone.set_value(new_addr, new_value)
+        clone._stored_derived = dict(self._stored_derived)
+        return clone
+
+    # -- materialisation ----------------------------------------------------------
+
+    def materialize_derived(self, addresses: Iterable[Sequence[str]]) -> None:
+        """Evaluate and store derived values for the given addresses."""
+        for address in addresses:
+            addr = self.schema.validate_address(address)
+            if self.schema.is_leaf_address(addr):
+                raise RuleError(
+                    f"cannot materialise a leaf address as derived: {addr!r}"
+                )
+            value = self.derive(addr)
+            if is_missing(value):
+                self._stored_derived.pop(addr, None)
+            else:
+                self._stored_derived[addr] = float(value)  # type: ignore[arg-type]
+
+    # -- comparison helpers (for tests) ----------------------------------------------
+
+    def leaf_equal(self, other: "Cube", tolerance: float = 1e-9) -> bool:
+        """Whether two cubes have identical leaf cells (within tolerance)."""
+        if set(self._leaf_cells) != set(other._leaf_cells):
+            return False
+        return all(
+            abs(value - other._leaf_cells[addr]) <= tolerance
+            for addr, value in self._leaf_cells.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cube({self.schema!r}, {len(self._leaf_cells)} leaf cells, "
+            f"{len(self._stored_derived)} stored derived)"
+        )

@@ -1,0 +1,300 @@
+"""A small arithmetic formula language for derived-cell rules.
+
+The paper's rules (Sec. 2) include formulas such as::
+
+    Margin = Sales - COGS
+    Margin% = Margin / COGS * 100
+    Margin = 0.93 * Sales - COGS        (scoped to Market = East)
+
+This module parses the right-hand side into an expression tree of numbers,
+member references, and the four arithmetic operators (plus unary minus and
+parentheses).  Member names may be bare identifiers (``Sales``), bracketed
+(``[Margin %]`` — allowing spaces and symbols), or quoted.
+
+MISSING propagates through arithmetic: if any operand of an operator is ⊥,
+the result is ⊥.  Division by zero also yields ⊥ (the cell is meaningless
+rather than an error), matching OLAP-engine practice.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import FormulaSyntaxError
+from repro.olap.missing import MISSING, Missing, is_missing
+
+__all__ = [
+    "Expr",
+    "Number",
+    "MemberRef",
+    "UnaryOp",
+    "BinOp",
+    "parse_formula",
+    "format_expr",
+]
+
+CellValue = "float | Missing"
+Resolver = Callable[[str], object]
+
+
+class Expr:
+    """Base class for formula expression nodes."""
+
+    def evaluate(self, resolve: Resolver) -> CellValue:
+        raise NotImplementedError
+
+    def member_refs(self) -> set[str]:
+        """All member names referenced by the expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: float
+
+    def evaluate(self, resolve: Resolver) -> CellValue:
+        return self.value
+
+    def member_refs(self) -> set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class MemberRef(Expr):
+    name: str
+
+    def evaluate(self, resolve: Resolver) -> CellValue:
+        value = resolve(self.name)
+        if is_missing(value):
+            return MISSING
+        return float(value)  # type: ignore[arg-type]
+
+    def member_refs(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # only "-"
+    operand: Expr
+
+    def evaluate(self, resolve: Resolver) -> CellValue:
+        value = self.operand.evaluate(resolve)
+        if is_missing(value):
+            return MISSING
+        return -value  # type: ignore[operator]
+
+    def member_refs(self) -> set[str]:
+        return self.operand.member_refs()
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # one of + - * /
+    left: Expr
+    right: Expr
+
+    def evaluate(self, resolve: Resolver) -> CellValue:
+        left = self.left.evaluate(resolve)
+        if is_missing(left):
+            return MISSING
+        right = self.right.evaluate(resolve)
+        if is_missing(right):
+            return MISSING
+        if self.op == "+":
+            return left + right  # type: ignore[operator]
+        if self.op == "-":
+            return left - right  # type: ignore[operator]
+        if self.op == "*":
+            return left * right  # type: ignore[operator]
+        if right == 0:
+            return MISSING
+        return left / right  # type: ignore[operator]
+
+    def member_refs(self) -> set[str]:
+        return self.left.member_refs() | self.right.member_refs()
+
+
+# -- tokenizer -----------------------------------------------------------------
+
+_OPERATORS = set("+-*/()")
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    """Return (kind, value, position) tokens.
+
+    Kinds: ``num``, ``name``, ``op``.
+    """
+    tokens: list[tuple[str, str, int]] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in _OPERATORS:
+            tokens.append(("op", ch, i))
+            i += 1
+            continue
+        if ch == "[":
+            end = text.find("]", i)
+            if end < 0:
+                raise FormulaSyntaxError("unterminated '[' member reference", i)
+            tokens.append(("name", text[i + 1 : end].strip(), i))
+            i = end + 1
+            continue
+        if ch in {'"', "'"}:
+            end = text.find(ch, i + 1)
+            if end < 0:
+                raise FormulaSyntaxError("unterminated quoted member reference", i)
+            tokens.append(("name", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            if i < n and text[i] in "eE":
+                # Scientific notation: e / E, optional sign, digits.
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    i = j
+                    while i < n and text[i].isdigit():
+                        i += 1
+            literal = text[start:i]
+            try:
+                value = float(literal)
+            except ValueError:
+                raise FormulaSyntaxError(f"bad number literal {literal!r}", start) from None
+            tokens.append(("num", repr(value), start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] in "_%"):
+                i += 1
+            tokens.append(("name", text[start:i], start))
+            continue
+        raise FormulaSyntaxError(f"unexpected character {ch!r}", i)
+    return tokens
+
+
+# -- parser -----------------------------------------------------------------------
+
+
+class _Parser:
+    """Recursive-descent parser: expr := term (('+'|'-') term)*;
+    term := factor (('*'|'/') factor)*; factor := '-' factor | '(' expr ')'
+    | number | member."""
+
+    def __init__(self, tokens: list[tuple[str, str, int]], text: str) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._text = text
+
+    def _peek(self) -> tuple[str, str, int] | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> tuple[str, str, int]:
+        token = self._peek()
+        if token is None:
+            raise FormulaSyntaxError("unexpected end of formula", len(self._text))
+        self._pos += 1
+        return token
+
+    def parse(self) -> Expr:
+        expr = self._expr()
+        leftover = self._peek()
+        if leftover is not None:
+            raise FormulaSyntaxError(
+                f"unexpected token {leftover[1]!r}", leftover[2]
+            )
+        return expr
+
+    def _expr(self) -> Expr:
+        node = self._term()
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "op" or token[1] not in "+-":
+                return node
+            self._next()
+            node = BinOp(token[1], node, self._term())
+
+    def _term(self) -> Expr:
+        node = self._factor()
+        while True:
+            token = self._peek()
+            if token is None or token[0] != "op" or token[1] not in "*/":
+                return node
+            self._next()
+            node = BinOp(token[1], node, self._factor())
+
+    def _factor(self) -> Expr:
+        kind, value, position = self._next()
+        if kind == "op" and value == "-":
+            return UnaryOp("-", self._factor())
+        if kind == "op" and value == "(":
+            node = self._expr()
+            closing = self._next()
+            if closing[:2] != ("op", ")"):
+                raise FormulaSyntaxError("expected ')'", closing[2])
+            return node
+        if kind == "num":
+            return Number(float(value))
+        if kind == "name":
+            return MemberRef(value)
+        raise FormulaSyntaxError(f"unexpected token {value!r}", position)
+
+
+def parse_formula(text: str) -> Expr:
+    """Parse a formula right-hand side into an expression tree."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise FormulaSyntaxError("empty formula")
+    return _Parser(tokens, text).parse()
+
+
+_PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+def format_expr(expr: Expr) -> str:
+    """Serialise an expression back to formula text.
+
+    ``parse_formula(format_expr(e))`` evaluates identically to ``e`` (the
+    round trip is property-tested).  Member names are always bracketed so
+    arbitrary names survive.
+    """
+    return _format(expr, parent_precedence=0, right_operand=False)
+
+
+def _format(expr: Expr, parent_precedence: int, right_operand: bool) -> str:
+    if isinstance(expr, Number):
+        if expr.value < 0 or (expr.value == 0 and math.copysign(1, expr.value) < 0):
+            # Render like a unary minus so formatting is a fixpoint.
+            text = f"-{-expr.value!r}"
+            return f"({text})" if parent_precedence >= 1 else text
+        return repr(expr.value)
+    if isinstance(expr, MemberRef):
+        return f"[{expr.name}]"
+    if isinstance(expr, UnaryOp):
+        inner = _format(expr.operand, parent_precedence=3, right_operand=False)
+        text = f"-{inner}"
+        return f"({text})" if parent_precedence >= 1 else text
+    if isinstance(expr, BinOp):
+        precedence = _PRECEDENCE[expr.op]
+        left = _format(expr.left, precedence, right_operand=False)
+        # - and / are left-associative: a right operand at equal
+        # precedence needs parentheses (a - (b - c)).
+        right = _format(expr.right, precedence, right_operand=True)
+        text = f"{left} {expr.op} {right}"
+        needs_parens = precedence < parent_precedence or (
+            right_operand and precedence == parent_precedence
+        )
+        return f"({text})" if needs_parens else text
+    raise TypeError(f"cannot format {expr!r}")

@@ -1,0 +1,349 @@
+"""Member instances and varying dimensions (Sec. 2 and Def. 3.1).
+
+A *varying dimension* is a dimension whose hierarchy changes as a function
+of a *parameter dimension* (Def. 2.1) — e.g. Organization varying over Time.
+Reclassifying a member under different parents at different moments creates
+*member instances* (``FTE/Joe``, ``PTE/Joe``), each with a validity set: the
+set of moments at which that root-to-leaf path held.
+
+We model the varying structure as a per-moment parent assignment: for each
+*managed* member (one that participates in changes) and each moment ``t`` of
+the parameter dimension, either a parent member name or ``None`` (the member
+is invalid — e.g. Joe on vacation in May).  Members never registered as
+managed keep their static parent from the skeleton hierarchy and are valid
+at every moment.  Instances are then derived by grouping moments with equal
+root-to-member paths; per the paper, an instance that re-acquires an earlier
+path is *the same* instance (its validity set simply gains those moments),
+and validity sets of distinct instances of one member are always disjoint
+by construction.
+
+Legal changes (Def. 3.1) are applied with :meth:`VaryingDimension.reparent`:
+"change d's parent from e to f at moment i" assigns parent f to every moment
+``>= i`` at which d exists.  Arbitrary finite sequences of legal changes are
+supported, as the definition requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.validity import ValiditySet
+from repro.errors import InvalidChangeError, SchemaError
+from repro.olap.dimension import Dimension, Member
+
+__all__ = ["MemberInstance", "VaryingDimension"]
+
+
+@dataclass(frozen=True)
+class MemberInstance:
+    """One instance of a member: a root-to-member path plus its validity set.
+
+    ``path`` runs from the dimension root down to the member itself, e.g.
+    ``("Organization", "FTE", "Joe")``.
+    """
+
+    member: str
+    path: tuple[str, ...]
+    validity: ValiditySet
+
+    @property
+    def qualified_name(self) -> str:
+        """Short display name ``parent/member`` as used in the paper."""
+        if len(self.path) >= 2:
+            return f"{self.path[-2]}/{self.path[-1]}"
+        return self.member
+
+    @property
+    def full_path(self) -> str:
+        return "/".join(self.path)
+
+    @property
+    def parent_name(self) -> str | None:
+        return self.path[-2] if len(self.path) >= 2 else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemberInstance({self.qualified_name!r}, "
+            f"VS={self.validity.sorted_moments()})"
+        )
+
+
+class VaryingDimension:
+    """A dimension whose hierarchy varies over a parameter dimension.
+
+    Parameters
+    ----------
+    dimension:
+        The skeleton hierarchy.  Non-leaf structure and the *default*
+        parent of each member come from here.
+    parameter:
+        The parameter dimension driving the changes.  Its leaves are the
+        "moments"; it may be ordered (Time) or unordered (Location).
+    """
+
+    def __init__(self, dimension: Dimension, parameter: Dimension) -> None:
+        self.dimension = dimension
+        self.parameter = parameter
+        self._universe = parameter.leaf_count
+        if self._universe == 0:
+            raise SchemaError(
+                f"parameter dimension {parameter.name!r} has no leaf members"
+            )
+        # member name -> per-moment parent name (None = invalid at that moment)
+        self._parent_at: dict[str, list[str | None]] = {}
+        self._version = 0
+        self._instance_cache: tuple[int, dict[str, list[MemberInstance]]] | None = None
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.dimension.name
+
+    @property
+    def universe(self) -> int:
+        """Number of moments (leaves of the parameter dimension)."""
+        return self._universe
+
+    def moment_index(self, moment: str | int) -> int:
+        """Normalise a moment given as leaf name or order index."""
+        if isinstance(moment, int):
+            if not 0 <= moment < self._universe:
+                raise SchemaError(
+                    f"moment index {moment} out of range [0, {self._universe})"
+                )
+            return moment
+        return self.parameter.order_index(moment)
+
+    def is_managed(self, member: str) -> bool:
+        """Whether this member has a per-moment parent assignment."""
+        return member in self._parent_at
+
+    # -- mutation -------------------------------------------------------------
+
+    def _managed_row(self, member: str) -> list[str | None]:
+        member_obj = self.dimension.member(member)  # validates existence
+        row = self._parent_at.get(member)
+        if row is None:
+            # Seed from the skeleton: valid everywhere under the static parent.
+            parent = member_obj.parent
+            default = parent.name if parent is not None else None
+            row = [default] * self._universe
+            self._parent_at[member] = row
+        return row
+
+    def _check_parent(self, parent: str) -> Member:
+        parent_obj = self.dimension.member(parent)
+        if parent_obj.is_leaf and parent_obj.children == ():
+            # Def. 3.1 requires the new parent to be a non-leaf member.  A
+            # skeleton member without children that is *intended* as a class
+            # (e.g. an empty department) is still acceptable only if it is
+            # not itself a managed leaf; we reject true leaves that carry
+            # data of their own.
+            if self.is_managed(parent):
+                raise InvalidChangeError(
+                    f"cannot reparent under {parent!r}: it is a leaf member"
+                )
+        return parent_obj
+
+    def _touch(self) -> None:
+        self._version += 1
+        self._instance_cache = None
+
+    def assign(
+        self,
+        member: str,
+        parent: str,
+        moments: Iterable[str | int] | None = None,
+    ) -> None:
+        """Set the parent of ``member`` for the given moments (default: all).
+
+        This is the bulk-loading primitive; :meth:`reparent` is the
+        Def. 3.1 legal-change primitive.
+        """
+        self._check_parent(parent)
+        row = self._managed_row(member)
+        if moments is None:
+            for t in range(self._universe):
+                row[t] = parent
+        else:
+            for moment in moments:
+                row[self.moment_index(moment)] = parent
+        self._touch()
+
+    def set_invalid(self, member: str, moments: Iterable[str | int]) -> None:
+        """Mark ``member`` invalid (no instance) at the given moments."""
+        row = self._managed_row(member)
+        for moment in moments:
+            row[self.moment_index(moment)] = None
+        self._touch()
+
+    def reparent(self, member: str, new_parent: str, from_moment: str | int) -> None:
+        """Apply a legal structural change (Def. 3.1).
+
+        Changes ``member``'s parent to ``new_parent`` for every moment at or
+        after ``from_moment`` at which the member exists.  Requires an
+        ordered parameter dimension ("moments" in the sense of Sec. 3.1).
+        """
+        if not self.parameter.ordered:
+            raise InvalidChangeError(
+                "reparent() requires an ordered parameter dimension; use "
+                "assign() with explicit moments for unordered parameters"
+            )
+        self._check_parent(new_parent)
+        start = self.moment_index(from_moment)
+        row = self._managed_row(member)
+        for t in range(start, self._universe):
+            if row[t] is not None:
+                row[t] = new_parent
+        self._touch()
+
+    def assignments(self) -> dict[str, list[str | None]]:
+        """Snapshot of the per-moment parent table (for persistence)."""
+        return {name: list(row) for name, row in self._parent_at.items()}
+
+    def load_assignments(
+        self, table: "dict[str, list[str | None]]"
+    ) -> None:
+        """Restore a snapshot produced by :meth:`assignments`."""
+        for member, row in table.items():
+            self.dimension.member(member)  # validates existence
+            if len(row) != self._universe:
+                raise SchemaError(
+                    f"assignment row for {member!r} has {len(row)} moments; "
+                    f"parameter has {self._universe}"
+                )
+            for parent in row:
+                if parent is not None:
+                    self.dimension.member(parent)
+        self._parent_at = {name: list(row) for name, row in table.items()}
+        self._touch()
+
+    def copy(self) -> "VaryingDimension":
+        """Independent copy sharing the skeleton and parameter dimensions.
+
+        Used to build *hypothetical* structures (positive scenarios) without
+        disturbing the real one.
+        """
+        clone = VaryingDimension(self.dimension, self.parameter)
+        clone._parent_at = {name: list(row) for name, row in self._parent_at.items()}
+        return clone
+
+    # -- structure queries ---------------------------------------------------
+
+    def parent_at(self, member: str, moment: str | int) -> str | None:
+        """Parent of ``member`` at a moment (``None`` if invalid there)."""
+        t = self.moment_index(moment)
+        row = self._parent_at.get(member)
+        if row is not None:
+            return row[t]
+        parent = self.dimension.member(member).parent
+        return parent.name if parent is not None else None
+
+    def path_at(self, member: str, moment: str | int) -> tuple[str, ...] | None:
+        """Root-to-member path at a moment, or ``None`` if invalid.
+
+        Walks parent assignments upward, falling back to the skeleton for
+        unmanaged ancestors, so reparenting a non-leaf member changes the
+        root-to-leaf path of every leaf below it (as Def. 3.1 notes).
+        """
+        t = self.moment_index(moment)
+        parts = [member]
+        current = member
+        seen = {member}
+        root_name = self.dimension.root.name
+        while current != root_name:
+            parent = self.parent_at(current, t)
+            if parent is None:
+                return None
+            if parent in seen:
+                raise SchemaError(
+                    f"cycle in varying hierarchy of {self.name!r} at moment "
+                    f"{t}: {' -> '.join(parts)} -> {parent}"
+                )
+            parts.append(parent)
+            seen.add(parent)
+            current = parent
+        return tuple(reversed(parts))
+
+    # -- instances -------------------------------------------------------------
+
+    def _instance_table(self) -> dict[str, list[MemberInstance]]:
+        if self._instance_cache is not None and self._instance_cache[0] == self._version:
+            return self._instance_cache[1]
+        table: dict[str, list[MemberInstance]] = {}
+        for member in self._parent_at:
+            table[member] = self._compute_instances(member)
+        self._instance_cache = (self._version, table)
+        return table
+
+    def _compute_instances(self, member: str) -> list[MemberInstance]:
+        by_path: dict[tuple[str, ...], list[int]] = {}
+        first_seen: dict[tuple[str, ...], int] = {}
+        for t in range(self._universe):
+            path = self.path_at(member, t)
+            if path is None:
+                continue
+            by_path.setdefault(path, []).append(t)
+            first_seen.setdefault(path, t)
+        instances = [
+            MemberInstance(member, path, ValiditySet(moments, self._universe))
+            for path, moments in by_path.items()
+        ]
+        instances.sort(key=lambda inst: first_seen[inst.path])
+        return instances
+
+    def instances_of(self, member: str) -> list[MemberInstance]:
+        """All instances of a member, ordered by first moment of validity.
+
+        Instances are always derived from the per-moment root-to-member
+        path, so a member with an unmanaged row but a *managed ancestor*
+        (non-leaf reparenting, Def. 3.1) still gets the induced instances.
+        A member with no managed ancestors yields its single static
+        instance, valid at every moment.
+        """
+        table = self._instance_table()
+        if member not in table:
+            self.dimension.member(member)  # validate existence
+            table[member] = self._compute_instances(member)
+        return list(table[member])
+
+    def instance_at(self, member: str, moment: str | int) -> MemberInstance | None:
+        """The unique instance of ``member`` valid at a moment, if any.
+
+        This is the paper's ``d_t``.
+        """
+        t = self.moment_index(moment)
+        for instance in self.instances_of(member):
+            if t in instance.validity:
+                return instance
+        return None
+
+    def managed_members(self) -> list[str]:
+        """Members with an explicit per-moment assignment, in insertion order."""
+        return list(self._parent_at)
+
+    def changing_members(self) -> list[str]:
+        """Managed members with more than one instance (they actually change)."""
+        return [m for m in self._parent_at if len(self.instances_of(m)) > 1]
+
+    def all_instances(self) -> Iterator[MemberInstance]:
+        """Instances of every managed member."""
+        for member in self._parent_at:
+            yield from self.instances_of(member)
+
+    def find_instance(self, qualified_or_path: str) -> MemberInstance:
+        """Look up an instance by qualified name (``FTE/Joe``) or full path."""
+        for instance in self.all_instances():
+            if qualified_or_path in (instance.qualified_name, instance.full_path):
+                return instance
+        raise SchemaError(
+            f"no instance {qualified_or_path!r} in varying dimension {self.name!r}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VaryingDimension({self.name!r} over {self.parameter.name!r}, "
+            f"{len(self._parent_at)} managed members)"
+        )

@@ -1,0 +1,40 @@
+"""The ⊥ ("meaningless") cell value.
+
+The paper renders meaningless combinations — e.g. ``(FTE/Joe, Feb)`` when
+``FTE/Joe`` is not valid in Feb — as the null value ⊥.  We model ⊥ with a
+dedicated singleton, :data:`MISSING`, distinct from a stored ``0.0``.  The
+sparse cube treats absent cells as MISSING; aggregation skips MISSING inputs
+and yields MISSING when every input is MISSING.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MISSING", "Missing", "is_missing"]
+
+
+class Missing:
+    """Singleton type for the ⊥ value.  Falsy, not equal to any number."""
+
+    _instance: "Missing | None" = None
+
+    def __new__(cls) -> "Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+    def __reduce__(self):  # keep the singleton under pickling
+        return (Missing, ())
+
+
+MISSING = Missing()
+
+
+def is_missing(value: object) -> bool:
+    """True for the MISSING sentinel (and for ``None``, tolerated on input)."""
+    return value is MISSING or value is None

@@ -1,0 +1,224 @@
+"""Cube schemas: dimension line-up plus the varying-dimension registry.
+
+A :class:`CubeSchema` fixes the ordered list of dimensions of a cube and
+records which of them are *varying* (Def. 2.1), together with the
+:class:`~repro.olap.instances.VaryingDimension` objects that carry their
+per-moment structure.
+
+Coordinate conventions
+----------------------
+A cell address is a tuple with one *coordinate* (a string) per dimension, in
+schema order:
+
+* **non-varying dimension** — the member name, at any hierarchy level;
+* **varying dimension, leaf level** — the *member-instance full path*
+  (``"Organization/FTE/Joe"``), because at leaf level the cube addresses
+  instances, not members (Fig. 2 has three distinct rows for Joe);
+* **varying dimension, non-leaf level** — the member name (``"FTE"``), an
+  aggregate row.
+
+``"/" in coordinate`` therefore distinguishes leaf instances from non-leaf
+members on varying dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+from repro.olap.dimension import Dimension
+from repro.olap.instances import MemberInstance, VaryingDimension
+
+__all__ = ["CubeSchema"]
+
+Address = tuple[str, ...]
+
+
+class CubeSchema:
+    """Ordered dimensions of a cube plus its varying-dimension registry."""
+
+    def __init__(self, dimensions: Sequence[Dimension]) -> None:
+        if not dimensions:
+            raise SchemaError("a cube schema needs at least one dimension")
+        names = [d.name for d in dimensions]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate dimension names in schema: {names}")
+        self.dimensions: tuple[Dimension, ...] = tuple(dimensions)
+        self._index = {d.name: i for i, d in enumerate(self.dimensions)}
+        self._varying: dict[str, VaryingDimension] = {}
+
+    # -- registry ------------------------------------------------------------
+
+    def register_varying(self, varying: VaryingDimension) -> VaryingDimension:
+        """Declare one of the schema's dimensions as varying."""
+        name = varying.dimension.name
+        if name not in self._index:
+            raise SchemaError(f"dimension {name!r} is not part of this schema")
+        if varying.parameter.name not in self._index:
+            raise SchemaError(
+                f"parameter dimension {varying.parameter.name!r} of varying "
+                f"dimension {name!r} is not part of this schema"
+            )
+        if self.dimensions[self._index[name]] is not varying.dimension:
+            raise SchemaError(
+                f"varying dimension object for {name!r} does not wrap the "
+                "schema's dimension instance"
+            )
+        self._varying[name] = varying
+        return varying
+
+    def make_varying(self, dim_name: str, parameter_name: str) -> VaryingDimension:
+        """Convenience: build + register a VaryingDimension from names."""
+        varying = VaryingDimension(
+            self.dimension(dim_name), self.dimension(parameter_name)
+        )
+        return self.register_varying(varying)
+
+    @property
+    def varying(self) -> dict[str, VaryingDimension]:
+        return dict(self._varying)
+
+    def varying_dimension(self, name: str) -> VaryingDimension:
+        try:
+            return self._varying[name]
+        except KeyError:
+            raise SchemaError(f"dimension {name!r} is not varying") from None
+
+    def is_varying(self, name: str) -> bool:
+        return name in self._varying
+
+    # -- dimension access -------------------------------------------------------
+
+    def dimension(self, name: str) -> Dimension:
+        try:
+            return self.dimensions[self._index[name]]
+        except KeyError:
+            raise SchemaError(f"no dimension named {name!r} in schema") from None
+
+    def dim_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no dimension named {name!r} in schema") from None
+
+    def dim_names(self) -> list[str]:
+        return [d.name for d in self.dimensions]
+
+    @property
+    def n_dims(self) -> int:
+        return len(self.dimensions)
+
+    def measures_dimension(self) -> Dimension | None:
+        for dimension in self.dimensions:
+            if dimension.is_measures:
+                return dimension
+        return None
+
+    # -- addresses ------------------------------------------------------------
+
+    def address(self, **coords: str) -> Address:
+        """Build an address tuple from ``dim_name=coordinate`` keywords."""
+        missing = [d.name for d in self.dimensions if d.name not in coords]
+        if missing:
+            raise SchemaError(f"address is missing coordinates for {missing}")
+        extra = [name for name in coords if name not in self._index]
+        if extra:
+            raise SchemaError(f"address has unknown dimensions {extra}")
+        return tuple(coords[d.name] for d in self.dimensions)
+
+    def validate_address(self, address: Sequence[str]) -> Address:
+        if len(address) != self.n_dims:
+            raise SchemaError(
+                f"address {address!r} has {len(address)} coordinates; "
+                f"schema has {self.n_dims} dimensions"
+            )
+        return tuple(address)
+
+    # -- coordinate semantics ------------------------------------------------
+
+    def coordinate_is_leaf(self, dim_index: int, coord: str) -> bool:
+        """Whether a coordinate addresses a leaf-level cell slot."""
+        dimension = self.dimensions[dim_index]
+        if dimension.name in self._varying:
+            return "/" in coord
+        return dimension.member(coord).is_leaf
+
+    def is_leaf_address(self, address: Sequence[str]) -> bool:
+        """A cell is leaf iff every coordinate is leaf level (Sec. 2)."""
+        return all(
+            self.coordinate_is_leaf(i, coord) for i, coord in enumerate(address)
+        )
+
+    def coordinate_display(self, dim_index: int, coord: str) -> str:
+        """Short display form (``FTE/Joe`` for instance paths)."""
+        if "/" in coord:
+            parts = coord.split("/")
+            return "/".join(parts[-2:])
+        return coord
+
+    def is_under(self, dim_index: int, leaf_coord: str, coord: str) -> bool:
+        """Whether ``leaf_coord`` rolls up into ``coord`` on this dimension.
+
+        ``coord`` may be the leaf coordinate itself, an ancestor member, or
+        the dimension root.
+        """
+        if leaf_coord == coord:
+            return True
+        dimension = self.dimensions[dim_index]
+        if dimension.name in self._varying:
+            if "/" in coord:
+                return False  # two distinct leaf instances never roll up
+            # leaf_coord is an instance path; ancestors are its components.
+            return coord in leaf_coord.split("/")[:-1]
+        leaf_member = dimension.member(leaf_coord)
+        ancestor = dimension.member(coord)
+        return leaf_member.is_descendant_of(ancestor)
+
+    def leaf_coordinates_under(self, dim_index: int, coord: str) -> list[str]:
+        """All leaf coordinates rolling up into ``coord`` on this dimension.
+
+        For varying dimensions this enumerates member-instance paths whose
+        path passes through ``coord`` (managed members) plus static paths of
+        unmanaged leaf members below ``coord``.
+        """
+        dimension = self.dimensions[dim_index]
+        if dimension.name not in self._varying:
+            if self.coordinate_is_leaf(dim_index, coord):
+                return [coord]
+            return [m.name for m in dimension.member(coord).leaves()]
+        varying = self._varying[dimension.name]
+        if "/" in coord:
+            return [coord]
+        result: list[str] = []
+        managed = set(varying.managed_members())
+        for member in managed:
+            for instance in varying.instances_of(member):
+                if coord == instance.path[-1] or coord in instance.path[:-1]:
+                    result.append(instance.full_path)
+        for leaf in dimension.member(coord).leaves():
+            if leaf.name in managed:
+                continue
+            (instance,) = varying.instances_of(leaf.name)
+            result.append(instance.full_path)
+        return result
+
+    def instance_for_coordinate(
+        self, dim_index: int, coord: str
+    ) -> MemberInstance | None:
+        """Resolve a varying-dimension leaf coordinate to its MemberInstance."""
+        dimension = self.dimensions[dim_index]
+        varying = self._varying.get(dimension.name)
+        if varying is None or "/" not in coord:
+            return None
+        member = coord.split("/")[-1]
+        for instance in varying.instances_of(member):
+            if instance.full_path == coord:
+                return instance
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        for dimension in self.dimensions:
+            suffix = "*" if dimension.name in self._varying else ""
+            parts.append(dimension.name + suffix)
+        return f"CubeSchema({', '.join(parts)})"

@@ -1,0 +1,131 @@
+"""Time-series calculations over ordered dimensions.
+
+Sec. 1 notes that OLAP engines "provide special support for calculations
+involving ratios, percentages, allocations and time series".  Ratios live
+in the rule engine, allocations in
+:mod:`repro.core.data_scenario`; this module supplies the time-series
+family, evaluated against any cube-like object exposing
+``effective_value`` — including :class:`~repro.core.scenario.WhatIfCube`,
+so period-to-date and rolling metrics work directly on hypothetical
+scenarios.
+
+All functions address cells by a *template address* whose coordinate on
+the ordered dimension is replaced per moment.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import QueryError
+from repro.olap.aggregation import aggregate
+from repro.olap.dimension import Dimension
+from repro.olap.missing import MISSING, Missing, is_missing
+
+__all__ = [
+    "series",
+    "period_to_date",
+    "rolling",
+    "prior_period",
+    "period_over_period",
+]
+
+CellValue = "float | Missing"
+
+
+def _leaf_names(dimension: Dimension) -> list[str]:
+    if not dimension.ordered:
+        raise QueryError(
+            f"time-series functions need an ordered dimension; "
+            f"{dimension.name!r} is unordered"
+        )
+    return [m.name for m in dimension.leaf_members()]
+
+
+def _moment_index(dimension: Dimension, moment: str) -> int:
+    return dimension.order_index(moment)
+
+
+def _value_at(view, schema, address: Sequence[str], dim_index: int, name: str):
+    probe = list(address)
+    probe[dim_index] = name
+    return view.effective_value(tuple(probe))
+
+
+def series(view, dimension: Dimension, address: Sequence[str]) -> list[CellValue]:
+    """The full leaf-order series of a template address.
+
+    ``view`` is any cube-like object (Cube / WhatIfCube); ``address`` is a
+    full address whose coordinate on ``dimension`` is ignored and swept.
+    """
+    schema = view.schema
+    dim_index = schema.dim_index(dimension.name)
+    return [
+        _value_at(view, schema, address, dim_index, name)
+        for name in _leaf_names(dimension)
+    ]
+
+
+def period_to_date(
+    view,
+    dimension: Dimension,
+    address: Sequence[str],
+    aggregator: str = "sum",
+) -> CellValue:
+    """Accumulate from the first moment through the address's moment
+    (YTD when the dimension is a year of months)."""
+    schema = view.schema
+    dim_index = schema.dim_index(dimension.name)
+    moment = _moment_index(dimension, address[dim_index])
+    names = _leaf_names(dimension)[: moment + 1]
+    values = [
+        _value_at(view, schema, address, dim_index, name) for name in names
+    ]
+    return aggregate(aggregator, values)
+
+
+def rolling(
+    view,
+    dimension: Dimension,
+    address: Sequence[str],
+    window: int,
+    aggregator: str = "avg",
+) -> CellValue:
+    """Aggregate over the trailing ``window`` moments ending at the
+    address's moment (fewer at the start of the series)."""
+    if window < 1:
+        raise QueryError(f"rolling window must be >= 1, got {window}")
+    schema = view.schema
+    dim_index = schema.dim_index(dimension.name)
+    moment = _moment_index(dimension, address[dim_index])
+    names = _leaf_names(dimension)[max(0, moment - window + 1) : moment + 1]
+    values = [
+        _value_at(view, schema, address, dim_index, name) for name in names
+    ]
+    return aggregate(aggregator, values)
+
+
+def prior_period(
+    view, dimension: Dimension, address: Sequence[str], lag: int = 1
+) -> CellValue:
+    """The value ``lag`` moments earlier (⊥ before the series start)."""
+    if lag < 0:
+        raise QueryError(f"lag must be non-negative, got {lag}")
+    schema = view.schema
+    dim_index = schema.dim_index(dimension.name)
+    moment = _moment_index(dimension, address[dim_index])
+    if moment - lag < 0:
+        return MISSING
+    names = _leaf_names(dimension)
+    return _value_at(view, schema, address, dim_index, names[moment - lag])
+
+
+def period_over_period(
+    view, dimension: Dimension, address: Sequence[str], lag: int = 1
+) -> CellValue:
+    """Change vs ``lag`` moments earlier; ⊥ when either operand is ⊥."""
+    current = view.effective_value(tuple(address))
+    previous = prior_period(view, dimension, address, lag)
+    if is_missing(current) or is_missing(previous):
+        return MISSING
+    return float(current) - float(previous)

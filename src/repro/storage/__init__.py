@@ -1,0 +1,43 @@
+"""Chunked array storage: the physical substrate of Sec. 5.
+
+Implements the Zhao et al. array-chunking scheme the paper builds on —
+chunk grids, a simulated on-disk chunk store with explicit read/seek cost
+accounting, the group-by lattice with memory requirements and the
+minimum-memory spanning tree, and single-scan simultaneous aggregation.
+"""
+
+from repro.storage.array_cube import Axis, ChunkedCube
+from repro.storage.chunk_store import ChunkStore, ResidencyTracker
+from repro.storage.chunks import Chunk, ChunkGrid
+from repro.storage.cube_compute import (
+    GroupByResult,
+    compute_group_bys,
+    compute_group_bys_budgeted,
+    compute_group_bys_naive,
+    full_array,
+)
+from repro.storage.io_stats import IoCostModel, IoStats
+from repro.storage.lattice import all_group_bys, direct_children, direct_parents
+from repro.storage.mmst import MemorySpanningTree, build_mmst, memory_requirement
+
+__all__ = [
+    "Axis",
+    "ChunkedCube",
+    "ChunkStore",
+    "ResidencyTracker",
+    "Chunk",
+    "ChunkGrid",
+    "GroupByResult",
+    "compute_group_bys",
+    "compute_group_bys_budgeted",
+    "compute_group_bys_naive",
+    "full_array",
+    "IoCostModel",
+    "IoStats",
+    "all_group_bys",
+    "direct_children",
+    "direct_parents",
+    "MemorySpanningTree",
+    "build_mmst",
+    "memory_requirement",
+]

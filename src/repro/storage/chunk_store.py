@@ -1,0 +1,171 @@
+"""A simulated on-disk chunk store with explicit I/O accounting.
+
+Chunks live at integer *file positions*; reading a chunk records a read
+plus a distance-dependent seek relative to the previously accessed
+position (:mod:`repro.storage.io_stats`).  The physical layout is
+controllable — :meth:`ChunkStore.insert_padding` grows the file between two
+related chunks exactly like the Fig. 12 experiment, which inserted data to
+create multiples of 719,928 chunks between two employee instances.
+
+:class:`ResidencyTracker` counts chunks co-resident in (simulated) memory;
+its high-water mark is the quantity the pebbling strategy of Sec. 5.2
+minimises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.chunks import Chunk, ChunkCoord, ChunkGrid
+from repro.storage.io_stats import IoCostModel, IoStats
+
+__all__ = ["ChunkStore", "ResidencyTracker"]
+
+
+class ResidencyTracker:
+    """Tracks which chunks are held in memory and the high-water count."""
+
+    def __init__(self) -> None:
+        self._resident: set[ChunkCoord] = set()
+        self.high_water = 0
+
+    def acquire(self, coord: ChunkCoord) -> None:
+        self._resident.add(coord)
+        if len(self._resident) > self.high_water:
+            self.high_water = len(self._resident)
+
+    def release(self, coord: ChunkCoord) -> None:
+        self._resident.discard(coord)
+
+    @property
+    def resident(self) -> frozenset[ChunkCoord]:
+        return frozenset(self._resident)
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    def reset(self) -> None:
+        self._resident.clear()
+        self.high_water = 0
+
+
+class ChunkStore:
+    """Holds the chunks of one chunked cube on a simulated disk.
+
+    Parameters
+    ----------
+    grid:
+        The chunk geometry.
+    cost_model:
+        Simulated-disk cost parameters.
+    """
+
+    def __init__(self, grid: ChunkGrid, cost_model: IoCostModel | None = None) -> None:
+        self.grid = grid
+        self.cost_model = cost_model or IoCostModel()
+        self.stats = IoStats()
+        self._chunks: dict[ChunkCoord, np.ndarray] = {}
+        self._positions: dict[ChunkCoord, int] = {}
+        self._next_position = 0
+
+    # -- loading (no I/O accounting: this is ETL, not query time) -------------
+
+    def load(self, coord: ChunkCoord, data: np.ndarray, position: int | None = None) -> None:
+        """Place a chunk on disk; assigns the next free position by default."""
+        expected = self.grid.chunk_extent(coord)
+        if tuple(data.shape) != expected:
+            raise StorageError(
+                f"chunk {coord!r} has shape {data.shape}, expected {expected}"
+            )
+        self._chunks[coord] = data
+        if position is None:
+            position = self._next_position
+        self._positions[coord] = position
+        self._next_position = max(self._next_position, position + 1)
+
+    def assign_layout(self, order: Sequence[int]) -> None:
+        """Re-lay chunks contiguously in a dimension-order scan sequence."""
+        position = 0
+        for coord in self.grid.iter_chunks(order):
+            if coord in self._chunks:
+                self._positions[coord] = position
+                position += 1
+        self._next_position = position
+
+    def insert_padding(self, after_position: int, count: int) -> None:
+        """Grow the file by ``count`` chunk slots after a position.
+
+        Every chunk stored beyond ``after_position`` shifts by ``count``;
+        this reproduces Fig. 12's separation mechanism (the cube grows, the
+        two related chunks move apart, and the query must seek further).
+        """
+        if count < 0:
+            raise StorageError("padding count must be non-negative")
+        for coord, position in self._positions.items():
+            if position > after_position:
+                self._positions[coord] = position + count
+        self._next_position += count
+
+    # -- query-time access ------------------------------------------------------
+
+    def read(self, coord: ChunkCoord) -> np.ndarray:
+        """Read a chunk, recording read + seek costs.
+
+        Missing chunks read as all-⊥ (NaN) without I/O cost — a sparse cube
+        does not store chunks with no data (Sec. 2's "a cube never stores
+        data corresponding to non-active members").
+        """
+        data = self._chunks.get(coord)
+        if data is None:
+            return self.grid.empty_chunk(coord).data
+        self.stats.record_read(self._positions[coord], self.cost_model)
+        return data
+
+    def read_chunk(self, coord: ChunkCoord) -> Chunk:
+        return Chunk(coord, self.grid.chunk_origin(coord), self.read(coord))
+
+    def write(self, coord: ChunkCoord, data: np.ndarray) -> None:
+        """Query-time write (counts toward I/O stats)."""
+        self.load(coord, data)
+        self.stats.record_write(self._positions[coord], self.cost_model)
+
+    def peek(self, coord: ChunkCoord) -> np.ndarray:
+        """Read a chunk *without* I/O accounting (tests, assembly, ETL)."""
+        data = self._chunks.get(coord)
+        if data is None:
+            return self.grid.empty_chunk(coord).data
+        return data
+
+    def position_of(self, coord: ChunkCoord) -> int:
+        try:
+            return self._positions[coord]
+        except KeyError:
+            raise StorageError(f"chunk {coord!r} is not stored") from None
+
+    def has_chunk(self, coord: ChunkCoord) -> bool:
+        return coord in self._chunks
+
+    def stored_chunks(self) -> Iterator[ChunkCoord]:
+        yield from self._chunks
+
+    @property
+    def n_stored(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def file_extent(self) -> int:
+        """Disk footprint in chunk slots (includes padding)."""
+        return self._next_position
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChunkStore({self.n_stored} chunks, extent={self.file_extent}, "
+            f"{self.grid!r})"
+        )

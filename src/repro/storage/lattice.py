@@ -1,0 +1,43 @@
+"""The group-by (cube) lattice.
+
+A group-by of an n-dimensional cube is identified by the frozenset of the
+dimension indices it *retains*; the remaining dimensions are aggregated
+away.  The lattice orders group-bys by set inclusion: the base cuboid
+(all dimensions) is the root; the apex (empty set) is the grand total.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator
+
+__all__ = ["GroupBy", "all_group_bys", "direct_parents", "direct_children"]
+
+GroupBy = frozenset[int]
+
+
+def all_group_bys(n_dims: int, include_base: bool = True) -> list[GroupBy]:
+    """Every group-by of an n-dimensional cube, largest first.
+
+    ``include_base=False`` omits the base cuboid itself (it is the input,
+    not a computed aggregate).
+    """
+    result: list[GroupBy] = []
+    start = n_dims if include_base else n_dims - 1
+    for size in range(start, -1, -1):
+        for combo in combinations(range(n_dims), size):
+            result.append(frozenset(combo))
+    return result
+
+
+def direct_parents(group_by: GroupBy, n_dims: int) -> Iterator[GroupBy]:
+    """Group-bys with exactly one more retained dimension."""
+    for dim in range(n_dims):
+        if dim not in group_by:
+            yield group_by | {dim}
+
+
+def direct_children(group_by: GroupBy) -> Iterator[GroupBy]:
+    """Group-bys with exactly one fewer retained dimension."""
+    for dim in sorted(group_by):
+        yield group_by - {dim}

@@ -1,0 +1,136 @@
+"""Memory requirements and the minimum-memory spanning tree (Zhao et al.).
+
+Sec. 5 of the paper reviews the chunking algorithm: scanning the base cube's
+chunks in a dimension order, every group-by can be accumulated
+simultaneously, but each needs a certain amount of memory.  With scan order
+``D_{o1} < D_{o2} < ... < D_{on}`` (first varies fastest) and a group-by G,
+let ``u`` be the *slowest-varying* aggregated dimension (the aggregated
+dimension latest in the order).  A retained dimension d needs
+
+* its **full extent** in cells if d varies faster than u (its partial
+  results cannot be flushed until u completes a cycle), or
+* **one chunk's extent** if d varies slower than u.
+
+This yields Fig. 6's numbers for a 4x4x4-chunk cube scanned in order ABC:
+group-by BC needs 1 chunk, AC needs 4 chunks, AB needs 16 chunks.
+
+The MMST assigns each group-by a parent (a direct superset) from which it
+is computed; following Zhao et al. we pick, for each node, the parent with
+the smallest memory requirement (ties broken deterministically), and we
+support splitting the tree into multiple passes when the total requirement
+exceeds a memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+
+from repro.errors import StorageError
+from repro.storage.chunks import ChunkGrid
+from repro.storage.lattice import GroupBy, all_group_bys, direct_parents
+
+__all__ = ["memory_requirement", "MemorySpanningTree", "build_mmst"]
+
+
+def memory_requirement(
+    grid: ChunkGrid, group_by: GroupBy, order: tuple[int, ...]
+) -> int:
+    """Cells of memory needed to accumulate ``group_by`` during a scan.
+
+    The base cuboid (all dimensions retained) needs exactly one chunk: it
+    streams through.  The apex (nothing retained) needs a single cell.
+    """
+    if sorted(order) != list(range(grid.n_dims)):
+        raise StorageError(f"order {order!r} is not a permutation")
+    aggregated = [d for d in range(grid.n_dims) if d not in group_by]
+    if not aggregated:
+        return prod(grid.chunk_shape)
+    position = {dim: i for i, dim in enumerate(order)}
+    slowest_aggregated = max(aggregated, key=position.__getitem__)
+    cells = 1
+    for dim in group_by:
+        if position[dim] < position[slowest_aggregated]:
+            cells *= grid.dim_sizes[dim]
+        else:
+            cells *= grid.chunk_shape[dim]
+    return cells
+
+
+@dataclass
+class MemorySpanningTree:
+    """A parent assignment over the group-by lattice plus memory totals."""
+
+    order: tuple[int, ...]
+    parent: dict[GroupBy, GroupBy]
+    requirement: dict[GroupBy, int]
+
+    @property
+    def total_memory(self) -> int:
+        return sum(self.requirement.values())
+
+    def children_of(self, node: GroupBy) -> list[GroupBy]:
+        return sorted(
+            (child for child, parent in self.parent.items() if parent == node),
+            key=sorted,
+        )
+
+    def passes(self, budget: int) -> list[list[GroupBy]]:
+        """Partition computed group-bys into scan passes within a budget.
+
+        When total memory fits the budget, one pass computes everything
+        (Zhao's single-pass case).  Otherwise nodes are greedily packed into
+        batches (largest requirement first), each batch forming one scan
+        over the input — a simplified rendition of Zhao's subtree
+        partitioning; every pass stays within the budget unless a single
+        group-by alone exceeds it, which is reported as an error.
+        """
+        nodes = sorted(
+            self.requirement, key=lambda g: (-self.requirement[g], sorted(g))
+        )
+        oversized = [g for g in nodes if self.requirement[g] > budget]
+        if oversized:
+            raise StorageError(
+                f"group-by {sorted(oversized[0])} alone needs "
+                f"{self.requirement[oversized[0]]} cells, over the budget "
+                f"of {budget}"
+            )
+        passes: list[list[GroupBy]] = []
+        loads: list[int] = []
+        for node in nodes:
+            need = self.requirement[node]
+            for i, load in enumerate(loads):
+                if load + need <= budget:
+                    passes[i].append(node)
+                    loads[i] += need
+                    break
+            else:
+                passes.append([node])
+                loads.append(need)
+        return passes
+
+
+def build_mmst(grid: ChunkGrid, order: tuple[int, ...] | None = None) -> MemorySpanningTree:
+    """Build the minimum-memory spanning tree for a grid and scan order.
+
+    The default order is ascending cardinality, Zhao et al.'s heuristic for
+    reducing memory requirements.
+    """
+    if order is None:
+        order = grid.default_order()
+    base: GroupBy = frozenset(range(grid.n_dims))
+    parent: dict[GroupBy, GroupBy] = {}
+    requirement: dict[GroupBy, int] = {}
+    for node in all_group_bys(grid.n_dims, include_base=False):
+        requirement[node] = memory_requirement(grid, node, tuple(order))
+        candidates = sorted(
+            direct_parents(node, grid.n_dims),
+            key=lambda p: (
+                memory_requirement(grid, p, tuple(order)) if p != base else 0,
+                sorted(p),
+            ),
+        )
+        # Prefer the parent that is itself cheapest to hold; the base is
+        # free (it streams), so it wins for the (n-1)-dim group-bys.
+        parent[node] = candidates[0]
+    return MemorySpanningTree(tuple(order), parent, requirement)

@@ -1,0 +1,152 @@
+"""The warehouse facade: schema + data + named sets + the query entry point.
+
+A :class:`Warehouse` bundles everything a client needs: the cube schema
+(with its varying-dimension registry), the base cube, named sets (the
+``[EmployeesWithAtleastOneMove-Set1]`` style sets used in Fig. 10), and
+``query()`` — the extended-MDX front door.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import MdxEvaluationError, SchemaError
+from repro.olap.cube import Cube
+from repro.olap.dimension import Dimension, Member
+from repro.olap.instances import VaryingDimension
+from repro.olap.schema import CubeSchema
+
+__all__ = ["NamedSet", "Warehouse"]
+
+
+@dataclass(frozen=True)
+class NamedSet:
+    """A named collection of member names (all from one dimension)."""
+
+    name: str
+    members: tuple[str, ...]
+
+
+class Warehouse:
+    """A queryable OLAP warehouse.
+
+    Parameters
+    ----------
+    schema:
+        The cube schema.
+    cube:
+        The base cube (leaf data; materialised aggregates optional).
+    name:
+        The cube's canonical name, accepted in ``FROM`` clauses.
+    aliases:
+        Additional names (each component of a dotted ``FROM`` reference is
+        checked against name+aliases; ``[App].[Db]`` works by aliasing both).
+    """
+
+    def __init__(
+        self,
+        schema: CubeSchema,
+        cube: Cube,
+        name: str = "Warehouse",
+        aliases: Iterable[str] = (),
+    ) -> None:
+        if cube.schema is not schema:
+            raise SchemaError("cube and warehouse must share one schema object")
+        self.schema = schema
+        self.cube = cube
+        self.name = name
+        self.aliases = set(aliases)
+        self._named_sets: dict[str, NamedSet] = {}
+
+    # -- named sets ---------------------------------------------------------------
+
+    def define_named_set(self, name: str, members: Sequence[str]) -> NamedSet:
+        """Define (or replace) a named set of member names."""
+        for member in members:
+            self.resolve_member((member,))  # validates existence
+        named = NamedSet(name, tuple(members))
+        self._named_sets[name] = named
+        return named
+
+    def named_set(self, name: str) -> NamedSet | None:
+        return self._named_sets.get(name)
+
+    def named_sets(self) -> list[NamedSet]:
+        return list(self._named_sets.values())
+
+    # -- member resolution ----------------------------------------------------------
+
+    def resolve_member(self, parts: Sequence[str]) -> tuple[Dimension, Member]:
+        """Resolve a dotted member path to (dimension, member).
+
+        The first component may be a dimension name; intermediate
+        components must exist in the dimension (they are *not* required to
+        be current hierarchy ancestors — ``Organization.[PTE].[Joe]`` is a
+        valid reference to an instance of Joe under PTE even though the
+        skeleton has Joe under FTE; instance filtering happens at set
+        expansion).
+        """
+        if not parts:
+            raise MdxEvaluationError("empty member path")
+        candidates: list[Dimension]
+        rest = list(parts)
+        first_dim = next(
+            (d for d in self.schema.dimensions if d.name == parts[0]), None
+        )
+        if first_dim is not None and len(parts) > 1:
+            candidates = [first_dim]
+            rest = list(parts[1:])
+        elif first_dim is not None and len(parts) == 1:
+            return first_dim, first_dim.root
+        else:
+            candidates = list(self.schema.dimensions)
+        leaf = rest[-1]
+        matches = [d for d in candidates if leaf in d]
+        if not matches:
+            raise MdxEvaluationError(f"unknown member {'.'.join(parts)!r}")
+        if len(matches) > 1:
+            names = [d.name for d in matches]
+            raise MdxEvaluationError(
+                f"member {leaf!r} is ambiguous across dimensions {names}; "
+                "qualify it with the dimension name"
+            )
+        dimension = matches[0]
+        for intermediate in rest[:-1]:
+            if intermediate not in dimension:
+                raise MdxEvaluationError(
+                    f"path component {intermediate!r} does not exist in "
+                    f"dimension {dimension.name!r}"
+                )
+        return dimension, dimension.member(leaf)
+
+    # -- varying access ----------------------------------------------------------------
+
+    def varying(self, dim_name: str) -> VaryingDimension:
+        return self.schema.varying_dimension(dim_name)
+
+    # -- querying ------------------------------------------------------------------------
+
+    def check_cube_name(self, ref: Sequence[str]) -> None:
+        """Validate a FROM-clause cube reference."""
+        if not ref:
+            raise MdxEvaluationError("empty cube reference")
+        acceptable = {self.name} | self.aliases
+        if not any(part in acceptable for part in ref):
+            raise MdxEvaluationError(
+                f"query addresses cube {'.'.join(ref)!r}; this warehouse is "
+                f"{self.name!r}"
+            )
+
+    def query(self, text: str):
+        """Run an extended-MDX query; returns an
+        :class:`~repro.mdx.result.MdxResult`."""
+        from repro.mdx.evaluator import execute
+
+        return execute(self, text)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Warehouse({self.name!r}, {self.schema!r}, "
+            f"{self.cube.n_leaf_cells} leaf cells)"
+        )

@@ -1,0 +1,12 @@
+"""Workload generators: the paper's running example, the Sec. 6 workforce
+planning dataset (scaled), and a retail dataset mirroring Fig. 7 for the
+chunk-merging experiments."""
+
+from repro.workload.running_example import (
+    MONTHS,
+    QUARTERS,
+    RunningExample,
+    build_running_example,
+)
+
+__all__ = ["MONTHS", "QUARTERS", "RunningExample", "build_running_example"]

@@ -1,0 +1,38 @@
+"""Smoke test for the benchmark CLI (python -m repro.bench)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.bench", *args],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+
+
+def test_fig12_cli():
+    completed = run_cli("fig12")
+    assert completed.returncode == 0, completed.stderr
+    assert "Fig. 12" in completed.stdout
+    assert "simulated_ms" in completed.stdout
+    assert "seek_distance" in completed.stdout
+
+
+def test_ablations_cli():
+    completed = run_cli("ablations")
+    assert completed.returncode == 0, completed.stderr
+    assert "pebbling" in completed.stdout
+    assert "Lemma 5.1" in completed.stdout
+    assert "Zhao" in completed.stdout
+
+
+def test_unknown_target_rejected():
+    completed = run_cli("fig99")
+    assert completed.returncode != 0

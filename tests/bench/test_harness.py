@@ -1,0 +1,63 @@
+"""Tests for the experiment harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentSeries,
+    SeriesPoint,
+    format_table,
+    print_series,
+    timed,
+)
+
+
+class TestSeries:
+    def test_add_and_read(self):
+        series = ExperimentSeries("s")
+        series.add(1, wall_ms=2.0, reads=3.0)
+        series.add(2, wall_ms=4.0, reads=5.0)
+        assert series.xs() == [1, 2]
+        assert series.values("wall_ms") == [2.0, 4.0]
+        assert series.points[0].metric("reads") == 3.0
+
+    def test_unknown_metric(self):
+        point = SeriesPoint(1, (("a", 2.0),))
+        with pytest.raises(KeyError):
+            point.metric("b")
+
+
+class TestTimed:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = timed(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0.0
+
+
+class TestTables:
+    def test_format_table(self):
+        text = format_table("T", ["x", "y"], [[1, 2.5], [3, 4.0]])
+        assert "T" in text
+        assert "2.50" in text
+        lines = text.splitlines()
+        assert len(lines) == 6
+
+    def test_print_series_alignment(self, capsys):
+        a = ExperimentSeries("A")
+        b = ExperimentSeries("B")
+        for x in (1, 2):
+            a.add(x, m=float(x))
+            b.add(x, m=float(x * 2))
+        print_series("title", [a, b], metric="m", x_label="x")
+        out = capsys.readouterr().out
+        assert "title" in out
+        assert "A" in out and "B" in out
+
+    def test_print_series_mismatched_x_rejected(self):
+        a = ExperimentSeries("A")
+        b = ExperimentSeries("B")
+        a.add(1, m=1.0)
+        b.add(2, m=1.0)
+        with pytest.raises(ValueError):
+            print_series("t", [a, b], metric="m", x_label="x")

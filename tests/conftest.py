@@ -1,0 +1,38 @@
+"""Shared fixtures: the paper's running example and small helper builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.olap.cube import Cube
+from repro.olap.dimension import Dimension
+from repro.olap.schema import CubeSchema
+from repro.workload.running_example import RunningExample, build_running_example
+
+
+@pytest.fixture
+def example() -> RunningExample:
+    """A freshly built Fig. 1/2 running-example warehouse."""
+    return build_running_example()
+
+
+@pytest.fixture
+def tiny_schema() -> CubeSchema:
+    """A minimal 2-dimension schema (ordered Time x Measures)."""
+    time = Dimension("Time", ordered=True)
+    time.add_member("H1")
+    time.add_children("H1", ["Jan", "Feb", "Mar"])
+    time.add_member("H2")
+    time.add_children("H2", ["Apr", "May", "Jun"])
+    measures = Dimension("Measures", is_measures=True)
+    measures.add_children(None, ["Sales", "COGS"])
+    return CubeSchema([time, measures])
+
+
+@pytest.fixture
+def tiny_cube(tiny_schema: CubeSchema) -> Cube:
+    cube = Cube(tiny_schema)
+    for index, month in enumerate(["Jan", "Feb", "Mar", "Apr", "May", "Jun"]):
+        cube.set(10.0 * (index + 1), Time=month, Measures="Sales")
+        cube.set(4.0 * (index + 1), Time=month, Measures="COGS")
+    return cube

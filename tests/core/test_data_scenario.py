@@ -1,0 +1,162 @@
+"""Tests for data-driven allocation scenarios (the paper's 10%-to-MA
+example)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.data_scenario import AllocationScenario
+from repro.core.perspective import Mode, Semantics
+from repro.core.scenario import NegativeScenario, apply_scenarios
+from repro.errors import QueryError
+from repro.olap.missing import is_missing
+
+
+def paper_allocation(mode=Mode.VISUAL) -> AllocationScenario:
+    """10% of PTEs' salary in NY during Qtr1 given to the same cells in MA."""
+    return AllocationScenario(
+        source={"Organization": "PTE", "Location": "NY", "Time": "Qtr1",
+                "Measures": "Salary"},
+        target={"Location": "MA"},
+        fraction=0.10,
+        mode=mode,
+    )
+
+
+class TestAllocation:
+    def test_source_cells_reduced(self, example):
+        result = paper_allocation().apply(example.cube)
+        # Tom's NY Jan salary 10 -> 9.
+        assert result.at(
+            Organization="Organization/PTE/Tom",
+            Location="NY",
+            Time="Jan",
+            Measures="Salary",
+        ) == pytest.approx(9.0)
+
+    def test_target_cells_receive(self, example):
+        result = paper_allocation().apply(example.cube)
+        # Tom had no MA data; the moved 1.0 lands there.
+        assert result.at(
+            Organization="Organization/PTE/Tom",
+            Location="MA",
+            Time="Jan",
+            Measures="Salary",
+        ) == pytest.approx(1.0)
+
+    def test_target_adds_to_existing_values(self, example):
+        result = paper_allocation().apply(example.cube)
+        # PTE/Joe Feb: NY 10 -> 9; MA had 5, receives 1 -> 6.
+        assert result.at(
+            Organization="Organization/PTE/Joe",
+            Location="MA",
+            Time="Feb",
+            Measures="Salary",
+        ) == pytest.approx(6.0)
+
+    def test_unmatched_cells_untouched(self, example):
+        result = paper_allocation().apply(example.cube)
+        assert result.at(
+            Organization="Organization/FTE/Lisa",
+            Location="NY",
+            Time="Jan",
+            Measures="Salary",
+        ) == 10.0
+        # Q2 cells of PTE members also untouched.
+        assert result.at(
+            Organization="Organization/PTE/Tom",
+            Location="NY",
+            Time="Apr",
+            Measures="Salary",
+        ) == 10.0
+
+    def test_total_is_conserved(self, example):
+        before = sum(v for _, v in example.cube.leaf_cells())
+        result = paper_allocation().apply(example.cube)
+        after = sum(v for _, v in result.leaf_cube.leaf_cells())
+        assert after == pytest.approx(before)
+
+    def test_visual_aggregates_reflect_move(self, example):
+        result = paper_allocation(Mode.VISUAL).apply(example.cube)
+        # PTE at (MA, Qtr1): Joe Feb 5+1 plus Tom's moved 3x1 = 9.
+        assert result.at(
+            Organization="PTE", Location="MA", Time="Qtr1", Measures="Salary"
+        ) == pytest.approx(9.0)
+
+    def test_non_visual_keeps_input_aggregates(self, example):
+        cube = example.cube.copy()
+        q1 = cube.schema.address(
+            Organization="PTE", Location="NY", Time="Qtr1", Measures="Salary"
+        )
+        cube.materialize_derived([q1])
+        original = cube.value(q1)
+        result = paper_allocation(Mode.NON_VISUAL).apply(cube)
+        assert result.effective_value(q1) == original
+
+    def test_full_fraction_empties_source(self, example):
+        scenario = AllocationScenario(
+            source={"Organization": "PTE", "Location": "NY",
+                    "Measures": "Salary"},
+            target={"Location": "MA"},
+            fraction=1.0,
+        )
+        result = scenario.apply(example.cube)
+        assert result.at(
+            Organization="Organization/PTE/Tom",
+            Location="NY",
+            Time="Jan",
+            Measures="Salary",
+        ) == 0.0
+
+
+class TestValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(QueryError):
+            AllocationScenario({}, {"Location": "MA"}, 0.0)
+        with pytest.raises(QueryError):
+            AllocationScenario({}, {"Location": "MA"}, 1.5)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(QueryError):
+            AllocationScenario({"Location": "NY"}, {}, 0.5)
+
+    def test_non_leaf_target_rejected(self, example):
+        scenario = AllocationScenario(
+            source={"Location": "NY"}, target={"Location": "East"}, fraction=0.5
+        )
+        with pytest.raises(QueryError, match="leaf"):
+            scenario.apply(example.cube)
+
+    def test_cyclic_target_rejected(self, example):
+        scenario = AllocationScenario(
+            source={"Location": "NY"}, target={"Location": "NY"}, fraction=0.5
+        )
+        with pytest.raises(QueryError, match="equals"):
+            scenario.apply(example.cube)
+
+
+class TestComposition:
+    def test_structural_then_data_driven(self, example):
+        """Negate the org changes, then re-allocate — both in one pipeline
+        (the paper's scenarios compose)."""
+        result = apply_scenarios(
+            example.cube,
+            [
+                NegativeScenario("Organization", ["Jan"], Semantics.FORWARD),
+                paper_allocation(),
+            ],
+        )
+        # After forward-from-Jan, Joe is FTE all year, so PTE in NY Q1 is
+        # Tom only; his Jan salary ends at 9 and MA receives 1.
+        assert result.at(
+            Organization="Organization/PTE/Tom",
+            Location="MA",
+            Time="Jan",
+            Measures="Salary",
+        ) == pytest.approx(1.0)
+        assert result.at(
+            Organization="Organization/FTE/Joe",
+            Location="NY",
+            Time="Feb",
+            Measures="Salary",
+        ) == 10.0  # FTE cells untouched by the PTE allocation

@@ -1,0 +1,155 @@
+"""Tests for delta aggregation over perspective cubes.
+
+The ground truth: apply the visual scenario on the semantic cube and roll
+up; the delta-adjusted chunk-level group-by must match cell for cell.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.delta_aggregate import adjusted_group_by, original_rows
+from repro.core.merge_graph import VaryingAxisSpec
+from repro.core.perspective import Mode, PerspectiveSet, Semantics
+from repro.core.perspective_cube import run_perspective_query
+from repro.core.scenario import NegativeScenario
+from repro.errors import QueryError
+from repro.olap.missing import is_missing
+from repro.storage.array_cube import ChunkedCube
+from repro.storage.cube_compute import compute_group_bys
+
+
+@pytest.fixture
+def spec(example) -> VaryingAxisSpec:
+    chunked = ChunkedCube.from_cube(example.cube, chunk_shape=(2, 2, 3, 2))
+    member_of, validity = {}, {}
+    for label in chunked.axis("Organization").labels:
+        member = label.split("/")[-1]
+        member_of[label] = member
+        for instance in example.org.instances_of(member):
+            if instance.full_path == label:
+                validity[label] = instance.validity
+    return VaryingAxisSpec(chunked, "Organization", "Time", member_of, validity)
+
+
+def reference_rollup(example, perspectives, dims_axes, spec):
+    """Visual scenario on the semantic cube, rolled up over axis labels."""
+    scenario = NegativeScenario(
+        "Organization", perspectives, Semantics.FORWARD, Mode.VISUAL
+    )
+    whatif = scenario.apply(example.cube)
+    axes = spec.cube.axes
+    shape = tuple(len(axes[d]) for d in dims_axes)
+    expected = np.full(shape, np.nan)
+    for addr, value in whatif.leaf_cube.leaf_cells():
+        position = tuple(
+            axes[d].index(addr[d]) for d in dims_axes
+        )
+        current = expected[position]
+        expected[position] = value if np.isnan(current) else current + value
+    return expected
+
+
+class TestOriginalRows:
+    def test_rows_hold_stored_values(self, example, spec):
+        rows = original_rows(spec, ["Joe"])
+        assert set(rows) == {
+            "Organization/FTE/Joe",
+            "Organization/PTE/Joe",
+            "Organization/Contractor/Joe",
+        }
+        # Contractor/Joe at Mar, NY, Salary = 30.
+        data = rows["Organization/Contractor/Joe"]
+        t = spec.param_axis.index("Mar")
+        li = spec.cube.axes[1].index("NY")
+        mi = spec.cube.axes[3].index("Salary")
+        assert data[t, li, mi] == 30.0
+
+    def test_invalid_moments_stay_missing(self, example, spec):
+        rows = original_rows(spec, ["Joe"])
+        data = rows["Organization/Contractor/Joe"]
+        t_may = spec.param_axis.index("May")
+        assert np.isnan(data[t_may]).all()
+
+
+class TestAdjustedGroupBy:
+    @pytest.mark.parametrize(
+        "dims",
+        [
+            (1, 2),      # Location x Time (varying axis aggregated away)
+            (0, 2),      # Organization x Time (varying axis retained)
+            (2,),        # Time alone
+            (0, 1, 2, 3),  # everything (the relocated base itself)
+        ],
+    )
+    def test_matches_semantic_visual_rollup(self, example, spec, dims):
+        perspectives = ["Feb", "Apr"]
+        pset = PerspectiveSet.from_names(perspectives, example.org)
+        result = run_perspective_query(spec, ["Joe"], pset, Semantics.FORWARD)
+        adjusted = adjusted_group_by(spec, result, ["Joe"], dims)
+        expected = reference_rollup(example, perspectives, dims, spec)
+        np.testing.assert_allclose(adjusted.data, expected, equal_nan=True)
+
+    def test_cached_base_reused(self, example, spec):
+        pset = PerspectiveSet.from_names(["Feb", "Apr"], example.org)
+        result = run_perspective_query(spec, ["Joe"], pset, Semantics.FORWARD)
+        dims = (1, 2)
+        base = compute_group_bys(spec.cube.store, [dims])[dims]
+        adjusted = adjusted_group_by(spec, result, ["Joe"], dims, base=base)
+        expected = reference_rollup(example, ["Feb", "Apr"], dims, spec)
+        np.testing.assert_allclose(adjusted.data, expected, equal_nan=True)
+
+    def test_wrong_cached_dims_rejected(self, example, spec):
+        pset = PerspectiveSet.from_names(["Feb"], example.org)
+        result = run_perspective_query(spec, ["Joe"], pset, Semantics.FORWARD)
+        base = compute_group_bys(spec.cube.store, [(2,)])[(2,)]
+        with pytest.raises(QueryError):
+            adjusted_group_by(spec, result, ["Joe"], (1, 2), base=base)
+
+    def test_base_without_counts_rejected(self, example, spec):
+        from repro.storage.cube_compute import GroupByResult
+
+        pset = PerspectiveSet.from_names(["Feb"], example.org)
+        result = run_perspective_query(spec, ["Joe"], pset, Semantics.FORWARD)
+        bare = GroupByResult((2,), np.zeros(12), 1, counts=None)
+        with pytest.raises(QueryError, match="counts"):
+            adjusted_group_by(spec, result, ["Joe"], (2,), base=bare)
+
+    def test_random_perspectives_property(self, example, spec):
+        """Delta adjustment == semantic visual rollup for random P and dims."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        months = list(spec.param_axis.labels)
+
+        @settings(max_examples=15, deadline=None)
+        @given(
+            p_moments=st.sets(
+                st.integers(min_value=0, max_value=11), min_size=1, max_size=3
+            ),
+            dims=st.sampled_from([(1, 2), (0, 2), (2, 3), (0, 1, 2, 3)]),
+        )
+        def run(p_moments, dims):
+            perspectives = [months[m] for m in sorted(p_moments)]
+            pset = PerspectiveSet.from_names(perspectives, example.org)
+            result = run_perspective_query(
+                spec, ["Joe"], pset, Semantics.FORWARD
+            )
+            adjusted = adjusted_group_by(spec, result, ["Joe"], dims)
+            expected = reference_rollup(example, perspectives, dims, spec)
+            np.testing.assert_allclose(adjusted.data, expected, equal_nan=True)
+
+        run()
+
+    def test_dropped_member_cells_become_missing(self, example, spec):
+        """Static P={Jan} drops PTE/Joe and Contractor/Joe entirely; their
+        moments' totals must revert to the colleagues' values only."""
+        pset = PerspectiveSet.from_names(["Jan"], example.org)
+        result = run_perspective_query(spec, ["Joe"], pset, Semantics.STATIC)
+        dims = (2,)
+        adjusted = adjusted_group_by(spec, result, ["Joe"], dims)
+        t_mar = spec.param_axis.index("Mar")
+        # Mar total without Joe's 30+15: Lisa 10 + Tom 10 + Jane 10 +
+        # benefits 2+2 = 34.
+        assert adjusted.data[t_mar] == pytest.approx(34.0)

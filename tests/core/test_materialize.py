@@ -1,0 +1,116 @@
+"""Tests for perspective-cube materialisation and parent totals."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.merge_graph import VaryingAxisSpec
+from repro.core.perspective import Mode, PerspectiveSet, Semantics
+from repro.core.perspective_cube import (
+    materialize_perspective_cube,
+    run_perspective_query,
+)
+from repro.core.scenario import NegativeScenario
+from repro.errors import QueryError
+from repro.olap.missing import is_missing
+from repro.storage.array_cube import ChunkedCube
+
+
+@pytest.fixture
+def spec(example) -> VaryingAxisSpec:
+    chunked = ChunkedCube.from_cube(example.cube, chunk_shape=(2, 2, 3, 2))
+    member_of, validity = {}, {}
+    for label in chunked.axis("Organization").labels:
+        member = label.split("/")[-1]
+        member_of[label] = member
+        for instance in example.org.instances_of(member):
+            if instance.full_path == label:
+                validity[label] = instance.validity
+    return VaryingAxisSpec(chunked, "Organization", "Time", member_of, validity)
+
+
+def forward_result(example, spec, perspectives=("Feb", "Apr")):
+    pset = PerspectiveSet.from_names(list(perspectives), example.org)
+    return run_perspective_query(spec, ["Joe"], pset, Semantics.FORWARD)
+
+
+class TestParentTotals:
+    def test_matches_visual_scenario_aggregates(self, example, spec):
+        result = forward_result(example, spec)
+        totals = result.parent_totals()
+        reference = NegativeScenario(
+            "Organization", ["Feb", "Apr"], Semantics.FORWARD, Mode.VISUAL
+        ).apply(example.cube)
+        # (PTE, Feb): PTE/Joe's Feb across NY+MA Salary (+Benefits if any).
+        for (parent, t), total in totals.items():
+            month = spec.param_axis.labels[t]
+            # Sum the reference's Joe instances under this parent at month.
+            expected = 0.0
+            for addr, value in reference.leaf_cube.leaf_cells():
+                if (
+                    addr[0].split("/")[-1] == "Joe"
+                    and addr[0].split("/")[-2] == parent
+                    and addr[2] == month
+                ):
+                    expected += value
+            assert total == pytest.approx(expected), (parent, month)
+
+    def test_fig4_pte_values(self, example, spec):
+        totals = forward_result(example, spec).parent_totals()
+        # PTE/Joe Feb: NY 10 + MA 5 = 15; Mar: NY 30 + MA 15 = 45.
+        assert totals[("PTE", 1)] == 15.0
+        assert totals[("PTE", 2)] == 45.0
+        assert ("PTE", 0) not in totals  # Jan stays ⊥
+
+
+class TestMaterialize:
+    def test_values_round_trip(self, example, spec):
+        result = forward_result(example, spec)
+        out, out_spec = materialize_perspective_cube(spec, result)
+        for label, data in result.rows.items():
+            for t, month in enumerate(spec.param_axis.labels):
+                for li, location in enumerate(spec.cube.axes[1].labels):
+                    for mi, measure in enumerate(spec.cube.axes[3].labels):
+                        expected = data[t, li, mi]
+                        got = out.peek_at(
+                            out.cell_of((label, location, month, measure))
+                        )
+                        if math.isnan(expected):
+                            assert math.isnan(got)
+                        else:
+                            assert got == expected
+
+    def test_axis_holds_only_survivors(self, example, spec):
+        result = forward_result(example, spec)
+        out, _ = materialize_perspective_cube(spec, result)
+        assert set(out.axis("Organization").labels) == set(result.rows)
+
+    def test_validity_carried_to_new_spec(self, example, spec):
+        result = forward_result(example, spec)
+        _, out_spec = materialize_perspective_cube(spec, result)
+        for label in result.rows:
+            assert out_spec.validity_of_slot[label] == result.validity_out[label]
+
+    def test_chained_query(self, example, spec):
+        """A second what-if over the materialised perspective cube."""
+        result = forward_result(example, spec)
+        _, out_spec = materialize_perspective_cube(spec, result)
+        pset = PerspectiveSet.from_names(["Feb"], example.org)
+        chained = run_perspective_query(out_spec, ["Joe"], pset, Semantics.STATIC)
+        assert list(chained.rows) == ["Organization/PTE/Joe"]
+
+    def test_empty_result_rejected(self, example, spec):
+        result = forward_result(example, spec)
+        result.rows.clear()
+        with pytest.raises(QueryError):
+            materialize_perspective_cube(spec, result)
+
+    def test_instance_order_follows_input_axis(self, example, spec):
+        result = forward_result(example, spec)
+        out, _ = materialize_perspective_cube(spec, result)
+        input_order = {l: i for i, l in enumerate(spec.axis.labels)}
+        positions = [input_order[l] for l in out.axis("Organization").labels]
+        assert positions == sorted(positions)

@@ -1,0 +1,80 @@
+"""Tests for memory-budgeted multi-pass perspective evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.perspective import PerspectiveSet, Semantics
+from repro.core.perspective_cube import run_perspective_query
+from repro.errors import QueryError
+from repro.workload.retail import RetailConfig, build_retail
+
+
+@pytest.fixture(scope="module")
+def world():
+    retail = build_retail(
+        RetailConfig(
+            n_groups=6,
+            products_per_group=4,
+            n_varying=6,
+            max_moves=3,
+            n_locations=2,
+            seed=17,
+        )
+    )
+    chunked, spec = retail.chunked(chunk_shape=(1, 3, 2))
+    return retail, chunked, spec
+
+
+def run(spec, retail, budget=None):
+    pset = PerspectiveSet([0, 6], 12)
+    return run_perspective_query(
+        spec,
+        retail.varying_products,
+        pset,
+        Semantics.FORWARD,
+        memory_budget=budget,
+    )
+
+
+class TestBudgetedExecution:
+    def test_results_identical_to_single_pass(self, world):
+        retail, chunked, spec = world
+        single = run(spec, retail)
+        budgeted = run(spec, retail, budget=2)
+        assert set(single.rows) == set(budgeted.rows)
+        for label in single.rows:
+            np.testing.assert_allclose(
+                single.rows[label], budgeted.rows[label], equal_nan=True
+            )
+        assert single.validity_out == budgeted.validity_out
+
+    def test_budget_respected(self, world):
+        retail, chunked, spec = world
+        budgeted = run(spec, retail, budget=2)
+        assert budgeted.memory_high_water <= 2
+
+    def test_tighter_budget_reads_at_least_as_many_chunks(self, world):
+        retail, chunked, spec = world
+        single = run(spec, retail)
+        budgeted = run(spec, retail, budget=2)
+        assert budgeted.chunks_read >= single.chunks_read
+
+    def test_generous_budget_single_batch(self, world):
+        retail, chunked, spec = world
+        single = run(spec, retail)
+        budgeted = run(spec, retail, budget=10_000)
+        assert budgeted.chunks_read == single.chunks_read
+
+    def test_zero_budget_rejected(self, world):
+        retail, chunked, spec = world
+        with pytest.raises(QueryError):
+            run(spec, retail, budget=0)
+
+    def test_impossible_budget_reported(self, world):
+        retail, chunked, spec = world
+        # Every member with >= 2 merging chunks needs at least 2 pebbles;
+        # a budget of 1 cannot accommodate any changing member.
+        with pytest.raises(QueryError, match="over the budget"):
+            run(spec, retail, budget=1)

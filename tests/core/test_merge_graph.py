@@ -1,0 +1,172 @@
+"""Tests for merge dependency graphs and Lemma 5.1 dimension ordering."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.dimension_order import (
+    choose_dimension_order,
+    memory_for_dimension_order,
+)
+from repro.core.merge_graph import (
+    VaryingAxisSpec,
+    build_merge_graph,
+    fig8_example_graph,
+    merge_graph_from_occurrences,
+)
+from repro.core.perspective import PerspectiveSet, Semantics
+from repro.errors import QueryError
+from repro.storage.array_cube import Axis, ChunkedCube
+from repro.storage.chunks import ChunkGrid
+from repro.validity import ValiditySet
+
+
+class TestOccurrenceBuilder:
+    def test_star_per_member(self):
+        graph = merge_graph_from_occurrences({"p": ["c1", "c2", "c3"]})
+        assert set(map(frozenset, graph.edges)) == {
+            frozenset({"c1", "c2"}),
+            frozenset({"c1", "c3"}),
+        }
+
+    def test_single_chunk_member_is_isolated_node(self):
+        graph = merge_graph_from_occurrences({"p": ["c1"]})
+        assert set(graph.nodes) == {"c1"}
+        assert graph.number_of_edges() == 0
+
+    def test_empty_member_ignored(self):
+        graph = merge_graph_from_occurrences({"p": []})
+        assert graph.number_of_nodes() == 0
+
+    def test_edges_remember_member(self):
+        graph = merge_graph_from_occurrences({"p": ["a", "b"]})
+        assert graph.edges["a", "b"]["member"] == "p"
+
+    def test_fig8_graph_shape(self):
+        graph = fig8_example_graph()
+        assert graph.number_of_nodes() == 7
+        assert graph.number_of_edges() == 6
+
+
+def build_spec(n_products=6, n_months=12, chunk=(2, 3)) -> VaryingAxisSpec:
+    """A Product x Time chunked cube where product 'p' has instances on
+    rows 0 (early year) and 3 (late year), others are static."""
+    labels = [f"slot{i}" for i in range(n_products)]
+    axes = [Axis("Product", labels), Axis("Time", [f"m{i}" for i in range(n_months)])]
+    cells = []
+    half = n_months // 2
+    for t in range(half):
+        cells.append(((labels[0], f"m{t}"), 1.0))
+    for t in range(half, n_months):
+        cells.append(((labels[3], f"m{t}"), 2.0))
+    cube = ChunkedCube.build(axes, cells, chunk_shape=chunk)
+    universe = n_months
+    member_of_slot = {labels[0]: "p", labels[3]: "p"}
+    validity = {
+        labels[0]: ValiditySet.interval(0, half, universe),
+        labels[3]: ValiditySet.interval(half, None, universe),
+    }
+    return VaryingAxisSpec(cube, "Product", "Time", member_of_slot, validity)
+
+
+class TestBuildMergeGraph:
+    def test_forward_single_perspective_links_chunks(self):
+        spec = build_spec()
+        pset = PerspectiveSet([0], 12)
+        graph = build_merge_graph(spec, pset, Semantics.FORWARD)
+        # Row 0's instance absorbs the whole year; rows 0 and 3 are in
+        # different row-chunks (chunk rows 0 and 1), so for each late-year
+        # time chunk there is an edge between (0, tc) and (1, tc).
+        assert graph.number_of_edges() == 2  # time chunks 2 and 3 (months 6-11)
+        for (a, b) in graph.edges:
+            assert a[1] == b[1]
+            assert {a[0], b[0]} == {0, 1}
+
+    def test_static_semantics_yields_no_merges(self):
+        spec = build_spec()
+        pset = PerspectiveSet([0, 6], 12)
+        graph = build_merge_graph(spec, pset, Semantics.STATIC)
+        assert graph.number_of_edges() == 0
+
+    def test_same_chunk_instances_need_no_merge(self):
+        # Chunk rows of slots 0 and 3 coincide when chunk height covers both.
+        spec = build_spec(chunk=(6, 3))
+        pset = PerspectiveSet([0], 12)
+        graph = build_merge_graph(spec, pset, Semantics.FORWARD)
+        assert graph.number_of_edges() == 0
+
+    def test_explicit_member_list(self):
+        spec = build_spec()
+        pset = PerspectiveSet([0], 12)
+        graph = build_merge_graph(spec, pset, Semantics.FORWARD, members=["q"])
+        assert graph.number_of_nodes() == 0
+
+    def test_changing_members(self):
+        spec = build_spec()
+        assert spec.changing_members() == ["p"]
+
+    def test_validity_universe_mismatch_rejected(self):
+        spec = build_spec()
+        with pytest.raises(QueryError):
+            VaryingAxisSpec(
+                spec.cube,
+                "Product",
+                "Time",
+                {"slot0": "p"},
+                {"slot0": ValiditySet.full(5)},
+            )
+
+
+class TestDimensionOrder:
+    def test_lemma51_varying_first_uses_less_memory(self):
+        """Lemma 5.1 on the Fig. 7-style layout: reading the varying
+        (Product) dimension fastest lets related chunks merge sooner."""
+        spec = build_spec(n_products=8, n_months=12, chunk=(1, 3))
+        pset = PerspectiveSet([0], 12)
+        graph = build_merge_graph(spec, pset, Semantics.FORWARD)
+        grid = spec.cube.grid
+        varying_first = memory_for_dimension_order(graph, grid, (0, 1))
+        varying_last = memory_for_dimension_order(graph, grid, (1, 0))
+        assert varying_first <= varying_last
+
+    def test_memory_of_empty_graph_is_one(self):
+        grid = ChunkGrid([4, 4], [2, 2])
+        assert memory_for_dimension_order(nx.Graph(), grid, (0, 1)) == 1
+
+    def test_choose_order_puts_varying_prefix(self):
+        grid = ChunkGrid([8, 2, 4], [1, 1, 1])
+        order = choose_dimension_order(grid, varying_axes=[0])
+        assert order[0] == 0
+        assert set(order) == {0, 1, 2}
+        # remaining dims ascending chunk count: 2 chunks then 4
+        assert order[1:] == (1, 2)
+
+    def test_choose_order_multiple_varying(self):
+        grid = ChunkGrid([8, 2, 4], [1, 1, 1])
+        order = choose_dimension_order(grid, varying_axes=[0, 2])
+        assert set(order[:2]) == {0, 2}
+        assert order[0] == 2  # fewer chunks first within the varying block
+
+    def test_choose_order_validates_axes(self):
+        grid = ChunkGrid([4], [2])
+        with pytest.raises(ValueError):
+            choose_dimension_order(grid, varying_axes=[3])
+
+
+class TestOccurrenceChunks:
+    def test_occurrences_follow_validity(self):
+        spec = build_spec(n_products=6, n_months=12, chunk=(2, 3))
+        from repro.core.merge_graph import occurrence_chunks
+
+        # slot0 holds months 0..5 -> time chunks 0 and 1; row chunk 0.
+        chunks = occurrence_chunks(spec, "slot0")
+        assert chunks == [(0, 0), (0, 1)]
+        # slot3 holds months 6..11 -> time chunks 2 and 3; row chunk 1.
+        assert occurrence_chunks(spec, "slot3") == [(1, 2), (1, 3)]
+
+    def test_explicit_moments(self):
+        spec = build_spec(n_products=6, n_months=12, chunk=(2, 3))
+        from repro.core.merge_graph import occurrence_chunks
+
+        assert occurrence_chunks(spec, "slot0", moments=[0, 1, 2]) == [(0, 0)]

@@ -1,0 +1,114 @@
+"""Property tests for the algebra operators' structural invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators import ChangeTuple, relocate, select, split
+from repro.core.perspective import PerspectiveSet, Semantics, phi_member
+from repro.core.predicates import member_in
+from repro.errors import InvalidChangeError
+from repro.workload.running_example import MONTHS, build_running_example
+
+MEMBERS = ["Joe", "Lisa", "Tom", "Jane"]
+PARENTS = ["FTE", "PTE", "Contractor"]
+
+
+def leaf_multiset_by_member(cube, dim_index=0):
+    """Multiset of (member, other-coords, value) ignoring instance parents."""
+    table = {}
+    for addr, value in cube.leaf_cells():
+        member = addr[dim_index].split("/")[-1]
+        key = (member,) + addr[1:]
+        table.setdefault(key, []).append(value)
+    return {k: sorted(v) for k, v in table.items()}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    member=st.sampled_from(MEMBERS),
+    new_parent=st.sampled_from(PARENTS),
+    moment=st.integers(min_value=1, max_value=11),
+)
+def test_split_conserves_values_per_member(member, new_parent, moment):
+    """S only moves cells between instances of the changed member: the
+    multiset of (member, ē, value) leaf entries is invariant."""
+    example = build_running_example()
+    old_parent = example.org.parent_at(member, moment)
+    if old_parent is None or old_parent == new_parent:
+        return
+    try:
+        out, _ = split(
+            example.cube,
+            "Organization",
+            [ChangeTuple(member, old_parent, new_parent, MONTHS[moment])],
+        )
+    except InvalidChangeError:
+        return
+    assert leaf_multiset_by_member(out) == leaf_multiset_by_member(example.cube)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keep=st.sets(st.sampled_from(MEMBERS), min_size=0, max_size=4),
+)
+def test_select_output_is_subset(keep):
+    example = build_running_example()
+    out = select(example.cube, "Organization", member_in(keep))
+    input_cells = dict(example.cube.leaf_cells())
+    for addr, value in out.leaf_cells():
+        assert input_cells[addr] == value
+        assert addr[0].split("/")[-1] in keep
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p_moments=st.sets(
+        st.integers(min_value=0, max_value=11), min_size=1, max_size=4
+    ),
+)
+def test_forward_relocation_preserves_per_moment_values(p_moments):
+    """ρ∘Φ_forward never invents values: every output (member, moment, ē)
+    cell equals the input cell of the same member/moment/ē (held by some
+    instance)."""
+    example = build_running_example()
+    pset = PerspectiveSet(p_moments, 12)
+    validity = {}
+    for member in MEMBERS:
+        for inst, vs in phi_member(
+            example.org.instances_of(member), pset, Semantics.FORWARD
+        ).items():
+            validity[inst.full_path] = vs
+    out = relocate(example.cube, "Organization", validity)
+    input_by_key = {}
+    for addr, value in example.cube.leaf_cells():
+        key = (addr[0].split("/")[-1],) + addr[1:]
+        input_by_key[key] = value
+    for addr, value in out.leaf_cells():
+        key = (addr[0].split("/")[-1],) + addr[1:]
+        assert input_by_key[key] == value
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p_moments=st.sets(
+        st.integers(min_value=0, max_value=11), min_size=1, max_size=4
+    ),
+)
+def test_static_relocation_is_subcube(p_moments):
+    """Static semantics never moves values — the output is the input with
+    some instances' sub-cubes removed."""
+    example = build_running_example()
+    pset = PerspectiveSet(p_moments, 12)
+    validity = {}
+    for member in MEMBERS:
+        for inst, vs in phi_member(
+            example.org.instances_of(member), pset, Semantics.STATIC
+        ).items():
+            validity[inst.full_path] = vs
+    out = relocate(example.cube, "Organization", validity)
+    input_cells = dict(example.cube.leaf_cells())
+    for addr, value in out.leaf_cells():
+        assert input_cells[addr] == value

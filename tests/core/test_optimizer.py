@@ -1,0 +1,257 @@
+"""Tests for the algebraic optimiser: every rewrite preserves results."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import optimize
+from repro.core.perspective import Semantics
+from repro.core.plans import (
+    And,
+    BaseCube,
+    DescendantOf,
+    EvaluateNode,
+    MemberEquals,
+    MemberIn,
+    PerspectiveNode,
+    PlanNode,
+    SelectNode,
+    SplitNode,
+    execute_plan,
+    explain,
+)
+
+
+def plan_depth(plan: PlanNode) -> int:
+    depth = 0
+    node = plan
+    while node.child is not None:
+        depth += 1
+        node = node.child
+    return depth
+
+
+class TestRewrites:
+    def test_merge_same_dimension_selections(self):
+        plan = SelectNode(
+            SelectNode(BaseCube(), "Organization", MemberEquals("Joe")),
+            "Organization",
+            MemberIn({"Joe", "Lisa"}),
+        )
+        optimized, trace = optimize(plan)
+        assert "merge-selections" in trace.rules_fired
+        assert isinstance(optimized, SelectNode)
+        assert isinstance(optimized.input_plan, BaseCube)
+        assert isinstance(optimized.predicate, And)
+
+    def test_reorder_then_merge_across_dimensions(self):
+        plan = SelectNode(
+            SelectNode(
+                SelectNode(BaseCube(), "Location", MemberEquals("NY")),
+                "Organization",
+                MemberEquals("Joe"),
+            ),
+            "Location",
+            MemberEquals("NY"),
+        )
+        optimized, trace = optimize(plan)
+        assert "reorder-selections" in trace.rules_fired
+        assert "merge-selections" in trace.rules_fired
+        assert plan_depth(optimized) == 2  # two selects left
+
+    def test_push_member_select_through_perspective(self):
+        plan = SelectNode(
+            PerspectiveNode(BaseCube(), "Organization", (0,), Semantics.FORWARD),
+            "Organization",
+            MemberEquals("Joe"),
+        )
+        optimized, trace = optimize(plan)
+        assert "push-select-through-perspective" in trace.rules_fired
+        assert isinstance(optimized, PerspectiveNode)
+        assert isinstance(optimized.input_plan, SelectNode)
+
+    def test_descendant_select_not_pushed_same_dimension(self):
+        plan = SelectNode(
+            PerspectiveNode(BaseCube(), "Organization", (0,), Semantics.FORWARD),
+            "Organization",
+            DescendantOf("FTE"),
+        )
+        optimized, trace = optimize(plan)
+        assert trace.rules_fired == []
+        assert optimized == plan
+
+    def test_other_dimension_select_always_pushed(self):
+        plan = SelectNode(
+            PerspectiveNode(BaseCube(), "Organization", (0,), Semantics.FORWARD),
+            "Location",
+            DescendantOf("East"),
+        )
+        optimized, trace = optimize(plan)
+        assert "push-select-through-perspective" in trace.rules_fired
+
+    def test_push_select_through_split(self):
+        plan = SelectNode(
+            SplitNode(BaseCube(), "Organization", (("Lisa", "FTE", "PTE", "Apr"),)),
+            "Organization",
+            MemberEquals("Lisa"),
+        )
+        optimized, trace = optimize(plan)
+        assert "push-select-through-split" in trace.rules_fired
+        assert isinstance(optimized, SplitNode)
+
+    def test_drop_redundant_static_perspective(self):
+        plan = PerspectiveNode(
+            PerspectiveNode(BaseCube(), "Organization", (0,), Semantics.STATIC),
+            "Organization",
+            (0, 3),
+            Semantics.STATIC,
+        )
+        optimized, trace = optimize(plan)
+        assert "drop-redundant-static-perspective" in trace.rules_fired
+        assert isinstance(optimized, PerspectiveNode)
+        assert optimized.perspectives == (0,)
+
+    def test_non_subset_static_perspectives_kept(self):
+        plan = PerspectiveNode(
+            PerspectiveNode(BaseCube(), "Organization", (0, 5), Semantics.STATIC),
+            "Organization",
+            (0, 3),
+            Semantics.STATIC,
+        )
+        optimized, trace = optimize(plan)
+        assert "drop-redundant-static-perspective" not in trace.rules_fired
+
+    def test_collapse_evaluate(self):
+        plan = EvaluateNode(EvaluateNode(BaseCube()))
+        optimized, trace = optimize(plan)
+        assert "collapse-evaluate" in trace.rules_fired
+        assert plan_depth(optimized) == 1
+
+    def test_fixpoint_terminates(self):
+        plan = BaseCube()
+        for _ in range(6):
+            plan = SelectNode(plan, "Organization", MemberEquals("Joe"))
+        optimized, _ = optimize(plan)
+        assert plan_depth(optimized) == 1
+
+
+class TestEquivalence:
+    """Optimised plans must produce identical result cubes."""
+
+    CASES = [
+        # (description, plan builder)
+        (
+            "select-over-forward",
+            lambda: SelectNode(
+                PerspectiveNode(
+                    BaseCube(), "Organization", (1, 3), Semantics.FORWARD
+                ),
+                "Organization",
+                MemberEquals("Joe"),
+            ),
+        ),
+        (
+            "select-other-dim-over-static",
+            lambda: SelectNode(
+                PerspectiveNode(
+                    BaseCube(), "Organization", (0,), Semantics.STATIC
+                ),
+                "Location",
+                DescendantOf("East"),
+            ),
+        ),
+        (
+            "double-select-and-split",
+            lambda: SelectNode(
+                SelectNode(
+                    SplitNode(
+                        BaseCube(),
+                        "Organization",
+                        (("Lisa", "FTE", "PTE", "Apr"),),
+                    ),
+                    "Organization",
+                    MemberIn({"Lisa", "Tom"}),
+                ),
+                "Organization",
+                MemberEquals("Lisa"),
+            ),
+        ),
+        (
+            "static-subset-perspectives",
+            lambda: PerspectiveNode(
+                PerspectiveNode(BaseCube(), "Organization", (1,), Semantics.STATIC),
+                "Organization",
+                (1, 3),
+                Semantics.STATIC,
+            ),
+        ),
+        (
+            "evaluate-over-everything",
+            lambda: EvaluateNode(
+                SelectNode(
+                    PerspectiveNode(
+                        BaseCube(), "Organization", (0, 6), Semantics.FORWARD
+                    ),
+                    "Organization",
+                    MemberIn({"Joe", "Lisa", "Tom", "Jane"}),
+                )
+            ),
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "description,builder", CASES, ids=[c[0] for c in CASES]
+    )
+    def test_optimized_equals_original(self, example, description, builder):
+        plan = builder()
+        optimized, _ = optimize(plan)
+        original = execute_plan(plan, example.cube)
+        rewritten = execute_plan(optimized, example.cube)
+        assert original.leaf_equal(rewritten), explain(optimized)
+
+
+PREDICATES = [
+    MemberEquals("Joe"),
+    MemberIn({"Joe", "Lisa"}),
+    MemberEquals("Tom"),
+]
+DIMS = ["Organization", "Location"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    layers=st.lists(
+        st.tuples(
+            st.sampled_from(["select", "perspective"]),
+            st.integers(min_value=0, max_value=2),
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_random_plans_optimize_equivalently(layers):
+    """Property: any stack of selects/perspectives optimises equivalently."""
+    from repro.workload.running_example import build_running_example
+
+    example = build_running_example()  # plans never mutate it, but keep
+    # construction inside the test so hypothesis inputs stay independent.
+    plan: PlanNode = BaseCube()
+    for kind, index in layers:
+        if kind == "select":
+            dimension = DIMS[index % len(DIMS)]
+            predicate = (
+                PREDICATES[index]
+                if dimension == "Organization"
+                else MemberEquals("NY")
+            )
+            plan = SelectNode(plan, dimension, predicate)
+        else:
+            plan = PerspectiveNode(
+                plan, "Organization", (index, index + 3), Semantics.FORWARD
+            )
+    optimized, _ = optimize(plan)
+    original = execute_plan(plan, example.cube)
+    rewritten = execute_plan(optimized, example.cube)
+    assert original.leaf_equal(rewritten)

@@ -1,0 +1,162 @@
+"""Tests for graph pebbling (Sec. 5.2), anchored on the Fig. 9 example."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.merge_graph import fig8_example_graph
+from repro.core.pebbling import (
+    node_cost,
+    optimal_pebbles,
+    pebble,
+    pebbles_for_order,
+)
+
+
+@pytest.fixture
+def fig9() -> nx.Graph:
+    return fig8_example_graph()
+
+
+class TestFig9Golden:
+    def test_edges_match_paper(self, fig9):
+        assert set(map(frozenset, fig9.edges)) == {
+            frozenset({1, 5}),
+            frozenset({1, 9}),
+            frozenset({1, 10}),
+            frozenset({5, 3}),
+            frozenset({10, 7}),
+            frozenset({9, 6}),
+        }
+
+    def test_node_costs_match_paper(self, fig9):
+        """cost(1)=cost(3)=cost(6)=cost(7)=1, cost(5)=cost(9)=cost(10)=0."""
+        expected = {1: 1, 3: 1, 6: 1, 7: 1, 5: 0, 9: 0, 10: 0}
+        assert {n: node_cost(fig9, n) for n in fig9.nodes} == expected
+
+    def test_heuristic_uses_three_pebbles(self, fig9):
+        result = pebble(fig9)
+        assert result.max_pebbles == 3
+        assert sorted(result.order) == sorted(fig9.nodes)
+
+    def test_three_is_optimal(self, fig9):
+        assert optimal_pebbles(fig9) == 3
+
+    def test_without_node_7_two_suffice(self, fig9):
+        """The paper: removing node 7 makes the graph 2-pebbleable."""
+        fig9.remove_node(7)
+        assert optimal_pebbles(fig9) == 2
+
+    def test_naive_sequential_order_needs_more(self, fig9):
+        """Reading chunks 1..10 in file order: nothing frees until chunk 10
+        arrives, so all four of 1, 5, 9, 10 pile up (plus 6 and 7 pending)."""
+        naive = pebbles_for_order(fig9, [1, 3, 5, 6, 7, 9, 10])
+        assert naive > 3
+        assert naive >= pebble(fig9).max_pebbles
+
+    def test_paper_discussed_order(self, fig9):
+        """The order 3, 5, 1, 9, 6, 10, 7 keeps at most three chunks."""
+        assert pebbles_for_order(fig9, [3, 5, 1, 9, 6, 10, 7]) == 3
+
+
+class TestStar:
+    def test_star_needs_two_pebbles(self):
+        """The paper: a star with centre x can be pebbled with two pebbles
+        (one fewer than max-degree + 1)."""
+        star = nx.star_graph(6)  # centre 0, leaves 1..6
+        assert optimal_pebbles(star) == 2
+        assert pebble(star).max_pebbles == 2
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        graph = nx.Graph()
+        assert pebble(graph).max_pebbles == 0
+        assert optimal_pebbles(graph) == 0
+
+    def test_single_node(self):
+        graph = nx.Graph()
+        graph.add_node("a")
+        result = pebble(graph)
+        assert result.max_pebbles == 1
+        assert result.order == ["a"]
+
+    def test_single_edge(self):
+        graph = nx.path_graph(2)
+        assert pebble(graph).max_pebbles == 2
+
+    def test_path_graph_two_pebbles(self):
+        graph = nx.path_graph(8)
+        assert pebble(graph).max_pebbles == 2
+        assert optimal_pebbles(graph) == 2
+
+    def test_disconnected_components(self):
+        graph = nx.union(nx.path_graph(3), nx.path_graph(3, create_using=None), rename=("a", "b"))
+        result = pebble(graph)
+        assert sorted(result.order) == sorted(graph.nodes)
+        assert result.max_pebbles == 2
+
+    def test_clique_needs_full_size(self):
+        clique = nx.complete_graph(4)
+        assert optimal_pebbles(clique) == 4
+        assert pebble(clique).max_pebbles == 4
+
+    def test_order_missing_nodes_rejected(self, fig9):
+        with pytest.raises(ValueError):
+            pebbles_for_order(fig9, [1, 3])
+
+    def test_optimal_rejects_big_graphs(self):
+        with pytest.raises(ValueError):
+            optimal_pebbles(nx.path_graph(40))
+
+    def test_events_trace_is_consistent(self, fig9):
+        result = pebble(fig9)
+        placed = [n for _, kind, n in result.events if kind == "place"]
+        removed = [n for _, kind, n in result.events if kind == "remove"]
+        assert placed == result.order
+        assert set(removed) <= set(placed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=9),
+    edge_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_heuristic_pebbles_every_node_once(n, edge_seed):
+    """Lemma 5.2: the heuristic eventually pebbles every node."""
+    graph = nx.gnp_random_graph(n, 0.4, seed=edge_seed)
+    result = pebble(graph)
+    assert sorted(result.order) == sorted(graph.nodes)
+    assert len(result.order) == len(set(result.order))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    edge_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_heuristic_at_least_optimal_and_optimal_bounded(n, edge_seed):
+    graph = nx.gnp_random_graph(n, 0.4, seed=edge_seed)
+    optimum = optimal_pebbles(graph)
+    heuristic = pebble(graph).max_pebbles
+    assert heuristic >= optimum
+    if graph.number_of_edges():
+        max_degree = max(d for _, d in graph.degree)
+        # Paper: the optimum needs at most max degree + 1 pebbles.
+        assert optimum <= max_degree + 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    edge_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_fixed_orders_never_beat_the_optimum(n, edge_seed):
+    graph = nx.gnp_random_graph(n, 0.4, seed=edge_seed)
+    naive = pebbles_for_order(graph, sorted(graph.nodes))
+    heuristic_order = pebble(graph).order
+    assert naive >= optimal_pebbles(graph)
+    assert pebbles_for_order(graph, heuristic_order) >= optimal_pebbles(graph)

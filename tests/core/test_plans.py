@@ -1,0 +1,147 @@
+"""Tests for algebra plans: structured predicates, execution, explain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operators import ChangeTuple, split
+from repro.core.perspective import Semantics
+from repro.core.plans import (
+    And,
+    BaseCube,
+    DescendantOf,
+    EvaluateNode,
+    MemberEquals,
+    MemberIn,
+    Not,
+    Or,
+    PerspectiveNode,
+    SelectNode,
+    SplitNode,
+    ValidityIntersects,
+    ValueCompare,
+    execute_plan,
+    explain,
+)
+from repro.core.scenario import NegativeScenario
+from repro.olap.missing import is_missing
+
+JOE_PTE = "Organization/PTE/Joe"
+
+
+class TestStructuredPredicates:
+    def test_member_level_flags(self):
+        assert MemberEquals("Joe").is_member_level
+        assert MemberIn({"Joe", "Lisa"}).is_member_level
+        assert not DescendantOf("FTE").is_member_level
+        assert not ValidityIntersects({1}).is_member_level
+        assert not ValueCompare({"Time": "Jan"}, ">", 1).is_member_level
+        assert And(MemberEquals("a"), MemberIn({"b"})).is_member_level
+        assert not And(MemberEquals("a"), DescendantOf("x")).is_member_level
+        assert Or(MemberEquals("a"), MemberEquals("b")).is_member_level
+        assert Not(MemberEquals("a")).is_member_level
+        assert not Not(DescendantOf("x")).is_member_level
+
+    def test_compiled_predicates_behave(self, example):
+        pred = MemberEquals("Joe").compile()
+        org = example.schema.dim_index("Organization")
+        assert pred(example.cube, org, JOE_PTE)
+        assert not pred(example.cube, org, "Organization/FTE/Lisa")
+
+    def test_value_compare_hashable_and_compiles(self, example):
+        a = ValueCompare({"Time": "Mar", "Measures": "Salary"}, ">", 25)
+        b = ValueCompare({"Measures": "Salary", "Time": "Mar"}, ">", 25)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestExecution:
+    def test_base_cube_is_identity(self, example):
+        result = execute_plan(BaseCube(), example.cube)
+        assert result is example.cube
+
+    def test_select_node(self, example):
+        plan = SelectNode(BaseCube(), "Organization", MemberEquals("Joe"))
+        result = execute_plan(plan, example.cube)
+        members = {c.split("/")[-1] for c in result.coordinates_used("Organization")}
+        assert members == {"Joe"}
+
+    def test_perspective_node_matches_scenario(self, example):
+        plan = PerspectiveNode(
+            BaseCube(), "Organization", (1, 3), Semantics.FORWARD
+        )
+        result = execute_plan(plan, example.cube)
+        reference = NegativeScenario(
+            "Organization", ["Feb", "Apr"], Semantics.FORWARD
+        ).apply(example.cube)
+        assert result.leaf_equal(reference.leaf_cube)
+
+    def test_split_node_matches_operator(self, example):
+        plan = SplitNode(
+            BaseCube(), "Organization", (("Lisa", "FTE", "PTE", "Apr"),)
+        )
+        result = execute_plan(plan, example.cube)
+        reference, _ = split(
+            example.cube,
+            "Organization",
+            [ChangeTuple("Lisa", "FTE", "PTE", "Apr")],
+        )
+        assert result.leaf_equal(reference)
+
+    def test_evaluate_node_rederives(self, example):
+        cube = example.cube.copy()
+        q1 = cube.schema.address(
+            Organization="PTE", Location="NY", Time="Qtr1", Measures="Salary"
+        )
+        cube.materialize_derived([q1])
+        plan = EvaluateNode(
+            SplitNode(BaseCube(), "Organization", (("Lisa", "FTE", "PTE", "Feb"),))
+        )
+        result = execute_plan(plan, cube)
+        assert result.value(q1) == cube.value(q1) + 20.0
+
+    def test_composed_plan(self, example):
+        plan = PerspectiveNode(
+            SelectNode(BaseCube(), "Organization", MemberEquals("Joe")),
+            "Organization",
+            (0,),
+            Semantics.FORWARD,
+        )
+        result = execute_plan(plan, example.cube)
+        # Only Joe's data, relocated onto FTE/Joe for the whole year.
+        assert result.value(
+            example.schema.address(
+                Organization="Organization/FTE/Joe",
+                Location="NY",
+                Time="Mar",
+                Measures="Salary",
+            )
+        ) == 30.0
+        assert is_missing(
+            result.value(
+                example.schema.address(
+                    Organization="Organization/FTE/Lisa",
+                    Location="NY",
+                    Time="Jan",
+                    Measures="Salary",
+                )
+            )
+        )
+
+
+class TestExplain:
+    def test_explain_renders_tree(self):
+        plan = EvaluateNode(
+            PerspectiveNode(
+                SelectNode(BaseCube(), "Organization", MemberEquals("Joe")),
+                "Organization",
+                (0, 3),
+                Semantics.STATIC,
+            )
+        )
+        text = explain(plan)
+        lines = text.splitlines()
+        assert lines[0].startswith("Evaluate")
+        assert lines[1].strip().startswith("Perspective")
+        assert lines[2].strip().startswith("Select")
+        assert lines[3].strip() == "BaseCube"

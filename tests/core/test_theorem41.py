@@ -1,0 +1,118 @@
+"""Theorem 4.1 as a property: every extended-MDX what-if query equals an
+algebra expression over the core query's result.
+
+We check both directions the theorem states:
+
+* **negative scenarios**: ``NegativeScenario.apply`` ≡ executing the plan
+  ``Perspective(BaseCube)`` (which composes Φ then ρ), for every
+  semantics and perspective set;
+* **positive scenarios**: ``PositiveScenario.apply`` ≡ executing
+  ``Split(BaseCube)``;
+* **visual mode**: the scenario's aggregate values equal ``E`` applied to
+  the algebra result.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators import ChangeTuple
+from repro.core.perspective import Mode, Semantics
+from repro.core.plans import BaseCube, PerspectiveNode, SplitNode, execute_plan
+from repro.core.scenario import NegativeScenario, PositiveScenario
+from repro.errors import InvalidChangeError
+from repro.workload.running_example import MONTHS, build_running_example
+
+ALL_SEMANTICS = [
+    Semantics.STATIC,
+    Semantics.FORWARD,
+    Semantics.EXTENDED_FORWARD,
+    Semantics.BACKWARD,
+    Semantics.EXTENDED_BACKWARD,
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    p_moments=st.sets(
+        st.integers(min_value=0, max_value=11), min_size=1, max_size=4
+    ),
+    semantics=st.sampled_from(ALL_SEMANTICS),
+)
+def test_negative_scenario_equals_algebra_plan(p_moments, semantics):
+    example = build_running_example()
+    names = [MONTHS[m] for m in sorted(p_moments)]
+    scenario_cube = NegativeScenario(
+        "Organization", names, semantics, Mode.NON_VISUAL
+    ).apply(example.cube)
+    plan_cube = execute_plan(
+        PerspectiveNode(
+            BaseCube(), "Organization", tuple(sorted(p_moments)), semantics
+        ),
+        example.cube,
+    )
+    assert scenario_cube.leaf_cube.leaf_equal(plan_cube)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    member=st.sampled_from(["Lisa", "Tom", "Jane"]),
+    new_parent=st.sampled_from(["FTE", "PTE", "Contractor"]),
+    moment=st.integers(min_value=1, max_value=11),
+)
+def test_positive_scenario_equals_algebra_plan(member, new_parent, moment):
+    example = build_running_example()
+    old_parent = example.org.parent_at(member, moment)
+    if old_parent == new_parent:
+        return  # not a change
+    change = ChangeTuple(member, old_parent, new_parent, MONTHS[moment])
+    try:
+        scenario_cube = PositiveScenario(
+            "Organization", [change], Mode.NON_VISUAL
+        ).apply(example.cube)
+    except InvalidChangeError:
+        return
+    plan_cube = execute_plan(
+        SplitNode(
+            BaseCube(),
+            "Organization",
+            ((member, old_parent, new_parent, MONTHS[moment]),),
+        ),
+        example.cube,
+    )
+    assert scenario_cube.leaf_cube.leaf_equal(plan_cube)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p_moments=st.sets(
+        st.integers(min_value=0, max_value=11), min_size=1, max_size=3
+    ),
+    semantics=st.sampled_from([Semantics.STATIC, Semantics.FORWARD]),
+)
+def test_visual_aggregates_equal_E_over_algebra_result(p_moments, semantics):
+    """Visual-mode non-leaf values = rules evaluated on the relocated cube."""
+    example = build_running_example()
+    names = [MONTHS[m] for m in sorted(p_moments)]
+    visual = NegativeScenario(
+        "Organization", names, semantics, Mode.VISUAL
+    ).apply(example.cube)
+    plan_cube = execute_plan(
+        PerspectiveNode(
+            BaseCube(), "Organization", tuple(sorted(p_moments)), semantics
+        ),
+        example.cube,
+    )
+    for org in ("FTE", "PTE", "Contractor"):
+        for quarter in ("Qtr1", "Qtr2"):
+            address = example.schema.address(
+                Organization=org, Location="NY", Time=quarter, Measures="Salary"
+            )
+            from repro.olap.missing import is_missing
+
+            left = visual.effective_value(address)
+            right = plan_cube.derive(address)
+            assert is_missing(left) == is_missing(right)
+            if not is_missing(left):
+                assert left == right

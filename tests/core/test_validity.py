@@ -1,0 +1,157 @@
+"""Unit and property tests for ValiditySet."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidityError
+from repro.validity import ValiditySet
+
+UNIVERSE = 12
+
+
+def vs(*moments: int, universe: int = UNIVERSE) -> ValiditySet:
+    return ValiditySet(moments, universe)
+
+
+class TestConstruction:
+    def test_empty(self):
+        empty = ValiditySet.empty(UNIVERSE)
+        assert empty.is_empty
+        assert len(empty) == 0
+        assert not empty
+
+    def test_full(self):
+        full = ValiditySet.full(UNIVERSE)
+        assert len(full) == UNIVERSE
+        assert all(m in full for m in range(UNIVERSE))
+
+    def test_single(self):
+        single = ValiditySet.single(3, UNIVERSE)
+        assert single.sorted_moments() == [3]
+
+    def test_interval_half_open(self):
+        assert ValiditySet.interval(2, 5, UNIVERSE).sorted_moments() == [2, 3, 4]
+
+    def test_interval_unbounded(self):
+        assert ValiditySet.interval(9, None, UNIVERSE).sorted_moments() == [9, 10, 11]
+
+    def test_interval_clamps(self):
+        assert ValiditySet.interval(-3, 99, UNIVERSE) == ValiditySet.full(UNIVERSE)
+
+    def test_interval_empty_when_degenerate(self):
+        assert ValiditySet.interval(5, 5, UNIVERSE).is_empty
+        assert ValiditySet.interval(7, 3, UNIVERSE).is_empty
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidityError):
+            vs(12)
+        with pytest.raises(ValidityError):
+            vs(-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ValidityError):
+            ValiditySet(["Jan"], UNIVERSE)  # type: ignore[list-item]
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(ValidityError):
+            ValiditySet((), -1)
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert (vs(1, 2) | vs(2, 3)).sorted_moments() == [1, 2, 3]
+
+    def test_intersection(self):
+        assert (vs(1, 2, 3) & vs(2, 3, 4)).sorted_moments() == [2, 3]
+
+    def test_difference(self):
+        assert (vs(1, 2, 3) - vs(2)).sorted_moments() == [1, 3]
+
+    def test_complement(self):
+        assert vs(0, 1, universe=3).complement().sorted_moments() == [2]
+
+    def test_mismatched_universe_rejected(self):
+        with pytest.raises(ValidityError):
+            vs(1) | ValiditySet((1,), 5)
+
+    def test_intersects_and_disjoint(self):
+        assert vs(1, 2).intersects(vs(2, 3))
+        assert vs(1).is_disjoint(vs(2))
+
+    def test_intersects_moments(self):
+        assert vs(3, 4).intersects_moments({4, 9})
+        assert not vs(3, 4).intersects_moments({5})
+
+    def test_issubset(self):
+        assert vs(1).issubset(vs(1, 2))
+        assert not vs(1, 5).issubset(vs(1, 2))
+
+
+class TestIntervalHelpers:
+    def test_restrict_before(self):
+        assert vs(1, 4, 7).restrict_before(5).sorted_moments() == [1, 4]
+
+    def test_restrict_from(self):
+        assert vs(1, 4, 7).restrict_from(4).sorted_moments() == [4, 7]
+
+    def test_reversed_mirrors(self):
+        assert vs(0, 2, universe=5).reversed().sorted_moments() == [2, 4]
+
+    def test_min_max(self):
+        assert vs(3, 7).min() == 3
+        assert vs(3, 7).max() == 7
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValidityError):
+            ValiditySet.empty(UNIVERSE).min()
+
+
+class TestEquality:
+    def test_equal_and_hash(self):
+        assert vs(1, 2) == vs(2, 1)
+        assert hash(vs(1, 2)) == hash(vs(2, 1))
+
+    def test_unequal_universe(self):
+        assert ValiditySet((1,), 5) != ValiditySet((1,), 6)
+
+    def test_not_equal_other_type(self):
+        assert vs(1) != {1}
+
+
+moments_strategy = st.sets(st.integers(min_value=0, max_value=UNIVERSE - 1))
+
+
+@given(a=moments_strategy, b=moments_strategy)
+def test_union_is_commutative(a, b):
+    left = ValiditySet(a, UNIVERSE) | ValiditySet(b, UNIVERSE)
+    right = ValiditySet(b, UNIVERSE) | ValiditySet(a, UNIVERSE)
+    assert left == right
+
+
+@given(a=moments_strategy, b=moments_strategy)
+def test_de_morgan(a, b):
+    sa, sb = ValiditySet(a, UNIVERSE), ValiditySet(b, UNIVERSE)
+    assert (sa | sb).complement() == sa.complement() & sb.complement()
+
+
+@given(a=moments_strategy)
+def test_double_complement_is_identity(a):
+    sa = ValiditySet(a, UNIVERSE)
+    assert sa.complement().complement() == sa
+
+
+@given(a=moments_strategy)
+def test_double_reverse_is_identity(a):
+    sa = ValiditySet(a, UNIVERSE)
+    assert sa.reversed().reversed() == sa
+
+
+@given(a=moments_strategy, cut=st.integers(min_value=0, max_value=UNIVERSE))
+def test_before_from_partition(a, cut):
+    sa = ValiditySet(a, UNIVERSE)
+    before, after = sa.restrict_before(cut), sa.restrict_from(cut)
+    assert before | after == sa
+    assert before.is_disjoint(after)

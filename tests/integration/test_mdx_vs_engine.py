@@ -1,0 +1,129 @@
+"""Cross-layer integration: MDX results vs direct engine calls on the
+workforce warehouse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.perspective import Mode, PerspectiveSet, Semantics
+from repro.core.perspective_cube import run_perspective_query
+from repro.core.scenario import NegativeScenario
+from repro.olap.missing import is_missing
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+MONTHS = ("Jan", "Feb", "Mar", "Apr", "May", "Jun",
+          "Jul", "Aug", "Sep", "Oct", "Nov", "Dec")
+
+
+@pytest.fixture(scope="module")
+def workforce():
+    return build_workforce(
+        WorkforceConfig(
+            n_employees=40,
+            n_departments=4,
+            n_changing=6,
+            n_accounts=3,
+            n_scenarios=2,
+            seed=7,
+        )
+    )
+
+
+@pytest.mark.parametrize(
+    "perspectives,semantics_kw,semantics",
+    [
+        (("Jan", "Jul"), "STATIC", Semantics.STATIC),
+        (("Jan", "Apr", "Jul", "Oct"), "DYNAMIC FORWARD", Semantics.FORWARD),
+        (("Jun",), "DYNAMIC BACKWARD", Semantics.BACKWARD),
+    ],
+)
+def test_mdx_matches_scenario_engine(
+    workforce, perspectives, semantics_kw, semantics
+):
+    """Every cell of an MDX perspective query equals the scenario engine."""
+    employee = workforce.changing_employees[0]
+    account = workforce.accounts[0]
+    points = ", ".join(f"({p})" for p in perspectives)
+    result = workforce.warehouse.query(
+        f"""
+        WITH PERSPECTIVE {{{points}}} FOR Department {semantics_kw}
+        SELECT {{{", ".join(f"Period.[{m}]" for m in MONTHS)}}} ON COLUMNS,
+               {{[{employee}]}} ON ROWS
+        FROM [App].[Db]
+        WHERE ([{account}], [Current], [Local], [BU Version_1],
+               [HSP_InputValue])
+        """
+    )
+    reference = NegativeScenario(
+        "Department", list(perspectives), semantics, Mode.NON_VISUAL
+    ).apply(workforce.cube)
+
+    expected_rows = {
+        label
+        for label in reference.validity_out
+        if label.split("/")[-1] == employee
+    }
+    got_rows = {row.coordinates[0][1] for row in result.rows}
+    assert got_rows == expected_rows
+
+    for r, row in enumerate(result.rows):
+        label = row.coordinates[0][1]
+        for c, column in enumerate(result.columns):
+            month = column.coordinates[0][1]
+            address = workforce.schema.address(
+                Department=label,
+                Period=month,
+                Account=account,
+                Scenario="Current",
+                Currency="Local",
+                Version="BU Version_1",
+                Value="HSP_InputValue",
+            )
+            expected = reference.leaf_cube.value(address)
+            got = result.cell(r, c)
+            assert is_missing(got) == is_missing(expected), (label, month)
+            if not is_missing(expected):
+                assert got == expected
+
+
+def test_mdx_matches_chunk_engine_totals(workforce):
+    """MDX row sums equal the chunk engine's relocated row sums."""
+    chunked, spec = workforce.chunked()
+    employee = workforce.changing_employees[1]
+    pset = PerspectiveSet.from_names(
+        ["Jan", "Apr", "Jul", "Oct"], workforce.employee_varying
+    )
+    chunk_result = run_perspective_query(
+        spec, [employee], pset, Semantics.FORWARD
+    )
+
+    # VISUAL mode: the per-cell aggregates (non-axis dimensions default to
+    # their roots) must be computed over the *relocated* leaves to be
+    # comparable with the chunk engine's row totals.
+    months = ", ".join(f"Period.[{m}]" for m in MONTHS)
+    mdx = workforce.warehouse.query(
+        f"""
+        WITH PERSPECTIVE {{(Jan), (Apr), (Jul), (Oct)}} FOR Department
+        DYNAMIC FORWARD VISUAL
+        SELECT {{{months}}} ON COLUMNS, {{[{employee}]}} ON ROWS
+        FROM [App].[Db]
+        """
+    )
+    import math
+
+    for row in mdx.rows:
+        label = row.coordinates[0][1]
+        mdx_total = 0.0
+        row_index = mdx.rows.index(row)
+        for c in range(len(mdx.columns)):
+            value = mdx.cell(row_index, c)
+            if not is_missing(value):
+                mdx_total += float(value)
+        chunk_total = chunk_result.total(label)
+        if math.isnan(chunk_total):
+            assert mdx_total == 0.0
+        else:
+            # The MDX query's cells default every non-axis dimension to its
+            # root, i.e. they sum over accounts and scenarios — same scope
+            # as the chunk engine's row totals.
+            assert mdx_total == pytest.approx(chunk_total)

@@ -1,0 +1,154 @@
+"""The paper's Sec. 1 analyst scenarios S1-S4 as executable stories.
+
+* S1 — "What if Tom became a contractor from March onward and became an
+  FTE July onward?" (positive changes, a sequence);
+* S2 — "What if FTE Lisa performed some work in MA where she is
+  classified as PTE?" (location-driven; covered in
+  ``test_unordered_and_multivarying.py``, cross-referenced here);
+* S3 — "What if whatever structure existed in January continued until
+  April and then the structure in April continued through the rest of the
+  year?" (P = {Jan, Apr}, forward);
+* S4 — "What if Feb's structure continued through April, April's till
+  July, and July's through the rest of the year?" (P = {Feb, Apr, Jul},
+  forward).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operators import ChangeTuple
+from repro.core.perspective import Mode, PerspectiveSet, Semantics
+from repro.core.scenario import NegativeScenario, PositiveScenario
+from repro.olap.missing import is_missing
+from repro.workload.running_example import MONTHS
+
+
+class TestS1TomReclassified:
+    """Positive scenario: Tom PTE -> Contractor (Mar) -> FTE (Jul)."""
+
+    @pytest.fixture
+    def applied(self, example):
+        scenario = PositiveScenario(
+            "Organization",
+            [
+                ChangeTuple("Tom", "PTE", "Contractor", "Mar"),
+                ChangeTuple("Tom", "Contractor", "FTE", "Jul"),
+            ],
+            Mode.VISUAL,
+        )
+        return scenario.apply(example.cube)
+
+    def test_instance_timeline(self, applied):
+        instances = {
+            i.qualified_name: i.validity.sorted_moments()
+            for i in applied.varying_out.instances_of("Tom")
+        }
+        assert instances == {
+            "PTE/Tom": [0, 1],
+            "Contractor/Tom": [2, 3, 4, 5],
+            "FTE/Tom": list(range(6, 12)),
+        }
+
+    def test_salary_follows_the_moves(self, applied, example):
+        assert applied.at(
+            Organization="Organization/PTE/Tom",
+            Location="NY", Time="Feb", Measures="Salary",
+        ) == 10.0
+        assert applied.at(
+            Organization="Organization/Contractor/Tom",
+            Location="NY", Time="Apr", Measures="Salary",
+        ) == 10.0
+        assert is_missing(applied.at(
+            Organization="Organization/PTE/Tom",
+            Location="NY", Time="Apr", Measures="Salary",
+        ))
+
+    def test_impact_on_type_totals(self, applied):
+        """The analyst's goal: impact on salary allocation per type."""
+        # PTE Q2 loses Tom entirely (he's a contractor Apr-Jun).
+        assert is_missing(applied.at(
+            Organization="PTE", Location="NY", Time="Qtr2", Measures="Salary",
+        )) or applied.at(
+            Organization="PTE", Location="NY", Time="Qtr2", Measures="Salary",
+        ) != 30.0
+
+
+class TestS3JanuaryThenApril:
+    """P = {Jan, Apr} forward: Joe is FTE (per Jan) through Mar, then
+    Contractor (per Apr) for the rest of the year."""
+
+    @pytest.fixture
+    def applied(self, example):
+        return NegativeScenario(
+            "Organization", ["Jan", "Apr"], Semantics.FORWARD, Mode.VISUAL
+        ).apply(example.cube)
+
+    def test_joe_under_jan_structure_until_april(self, applied):
+        assert applied.at(
+            Organization="Organization/FTE/Joe",
+            Location="NY", Time="Feb", Measures="Salary",
+        ) == 10.0  # actual Feb salary, classified as FTE
+        assert applied.at(
+            Organization="Organization/FTE/Joe",
+            Location="NY", Time="Mar", Measures="Salary",
+        ) == 30.0
+
+    def test_joe_under_april_structure_after(self, applied):
+        assert applied.at(
+            Organization="Organization/Contractor/Joe",
+            Location="NY", Time="Jun", Measures="Salary",
+        ) == 20.0
+        assert is_missing(applied.at(
+            Organization="Organization/FTE/Joe",
+            Location="NY", Time="Jun", Measures="Salary",
+        ))
+
+    def test_pte_joe_gone(self, applied):
+        assert "Organization/PTE/Joe" not in applied.validity_out
+
+
+class TestS4ThreeRanges:
+    """P = {Feb, Apr, Jul} forward: three governed ranges."""
+
+    def test_range_boundaries(self, example):
+        applied = NegativeScenario(
+            "Organization", ["Feb", "Apr", "Jul"], Semantics.FORWARD
+        ).apply(example.cube)
+        # Feb's structure (PTE/Joe) governs Feb-Mar.
+        assert applied.validity_out[
+            "Organization/PTE/Joe"
+        ].sorted_moments() == [1, 2]
+        # Apr's structure (Contractor/Joe) governs Apr-Jun AND Jul onward
+        # (Joe is also a contractor at the Jul perspective).  Def. 4.3's
+        # Stretch keeps May in the validity set even though no instance
+        # exists there — the May *value* is ⊥ via relocate (Def. 4.4).
+        assert applied.validity_out[
+            "Organization/Contractor/Joe"
+        ].sorted_moments() == list(range(3, 12))
+        assert is_missing(applied.at(
+            Organization="Organization/Contractor/Joe",
+            Location="NY", Time="May", Measures="Salary",
+        ))
+
+    def test_matches_stretch_construction(self, example):
+        """The validity sets equal the Def. 4.3 Stretch computed directly."""
+        from repro.core.perspective import phi_member, stretch
+
+        pset = PerspectiveSet.from_names(["Feb", "Apr", "Jul"], example.org)
+        for instance, out in phi_member(
+            example.org.instances_of("Joe"), pset, Semantics.FORWARD
+        ).items():
+            expected = stretch(instance.validity, pset) | (
+                instance.validity.restrict_before(pset.pmin)
+            )
+            assert out == expected
+
+
+class TestS2CrossReference:
+    def test_s2_lives_in_unordered_suite(self):
+        """S2 (location-driven changes) is exercised in
+        tests/integration/test_unordered_and_multivarying.py."""
+        import tests.integration.test_unordered_and_multivarying as module
+
+        assert hasattr(module, "TestUnorderedParameter")

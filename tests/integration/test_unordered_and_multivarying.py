@@ -1,0 +1,210 @@
+"""Integration: unordered parameter dimensions and multiple varying dims.
+
+The paper (Sec. 2, 3.1): "structural changes are not necessarily temporal,
+but can vary by location or by both time and location" and "a cube may have
+several varying dimensions, each depending on one or more parameters".
+
+Scenario S2: FTE Lisa performs some work in MA where she is classified as
+PTE — Organization varies over the *unordered* Location dimension.  Static
+perspectives apply; dynamic semantics require an order and are rejected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.perspective import Mode, Semantics
+from repro.core.scenario import NegativeScenario, apply_scenarios
+from repro.errors import QueryError
+from repro.olap.cube import Cube
+from repro.olap.dimension import Dimension
+from repro.olap.missing import is_missing
+from repro.olap.schema import CubeSchema
+from repro.warehouse import Warehouse
+
+LOCATIONS = ["NY", "MA", "CA"]
+
+
+@pytest.fixture
+def location_world():
+    """Organization varying over Location (unordered): Lisa is FTE in NY
+    and CA but PTE in MA (scenario S2)."""
+    org = Dimension("Organization")
+    org.add_children(None, ["FTE", "PTE"])
+    org.add_member("Lisa", "FTE")
+    org.add_member("Tom", "PTE")
+    location = Dimension("Location")  # unordered
+    for name in LOCATIONS:
+        location.add_member(name)
+    measures = Dimension("Measures", is_measures=True)
+    measures.add_member("Hours")
+
+    schema = CubeSchema([org, location, measures])
+    varying = schema.make_varying("Organization", "Location")
+    varying.assign("Lisa", "FTE", ["NY", "CA"])
+    varying.assign("Lisa", "PTE", ["MA"])
+
+    cube = Cube(schema)
+    for instance in varying.instances_of("Lisa"):
+        for index in instance.validity:
+            cube.set_value(
+                (instance.full_path, LOCATIONS[index], "Hours"), 8.0
+            )
+    for location_name in LOCATIONS:
+        cube.set_value(("Organization/PTE/Tom", location_name, "Hours"), 6.0)
+    return schema, varying, cube
+
+
+class TestUnorderedParameter:
+    def test_instances_by_location(self, location_world):
+        _, varying, _ = location_world
+        instances = {i.qualified_name: i for i in varying.instances_of("Lisa")}
+        assert instances["FTE/Lisa"].validity.sorted_moments() == [0, 2]
+        assert instances["PTE/Lisa"].validity.sorted_moments() == [1]
+
+    def test_static_perspective_over_location(self, location_world):
+        """Perspective {NY}: only Lisa-as-FTE remains (her NY/CA self)."""
+        schema, varying, cube = location_world
+        scenario = NegativeScenario(
+            "Organization", ["NY"], Semantics.STATIC, Mode.VISUAL
+        )
+        result = scenario.apply(cube)
+        assert "Organization/FTE/Lisa" in result.validity_out
+        assert "Organization/PTE/Lisa" not in result.validity_out
+        assert result.at(
+            Organization="Organization/FTE/Lisa", Location="NY", Measures="Hours"
+        ) == 8.0
+        assert is_missing(
+            result.at(
+                Organization="Organization/PTE/Lisa",
+                Location="MA",
+                Measures="Hours",
+            )
+        )
+
+    def test_static_perspective_ma_keeps_pte_lisa(self, location_world):
+        schema, varying, cube = location_world
+        scenario = NegativeScenario("Organization", ["MA"], Semantics.STATIC)
+        result = scenario.apply(cube)
+        assert set(result.validity_out) == {
+            "Organization/PTE/Lisa",
+            "Organization/PTE/Tom",
+        }
+
+    def test_dynamic_semantics_rejected_on_unordered_parameter(
+        self, location_world
+    ):
+        _, _, cube = location_world
+        scenario = NegativeScenario("Organization", ["NY"], Semantics.FORWARD)
+        with pytest.raises(QueryError, match="unordered"):
+            scenario.apply(cube)
+
+    def test_mdx_static_perspective_over_location(self, location_world):
+        schema, varying, cube = location_world
+        warehouse = Warehouse(schema, cube, name="W")
+        result = warehouse.query(
+            """
+            WITH PERSPECTIVE {(MA)} FOR Organization STATIC
+            SELECT {[NY], [MA], [CA]} ON COLUMNS, {[Lisa]} ON ROWS
+            FROM W WHERE ([Hours])
+            """
+        )
+        assert result.row_labels() == ["PTE/Lisa"]
+        assert result.cell_by_labels("PTE/Lisa", "MA") == 8.0
+        assert is_missing(result.cell_by_labels("PTE/Lisa", "NY"))
+
+
+@pytest.fixture
+def two_varying_world():
+    """Organization varies over Time AND Product varies over Time."""
+    org = Dimension("Organization")
+    org.add_children(None, ["FTE", "PTE"])
+    org.add_member("Joe", "FTE")
+    product = Dimension("Product")
+    product.add_children(None, ["A", "B"])
+    product.add_member("p1", "A")
+    time = Dimension("Time", ordered=True)
+    for month in ("Jan", "Feb", "Mar", "Apr"):
+        time.add_member(month)
+    schema = CubeSchema([org, product, time])
+    org_varying = schema.make_varying("Organization", "Time")
+    product_varying = schema.make_varying("Product", "Time")
+    org_varying.reparent("Joe", "PTE", "Mar")
+    product_varying.reparent("p1", "B", "Feb")
+
+    cube = Cube(schema)
+    for org_instance in org_varying.instances_of("Joe"):
+        for product_instance in product_varying.instances_of("p1"):
+            overlap = org_instance.validity & product_instance.validity
+            for t in overlap:
+                cube.set_value(
+                    (
+                        org_instance.full_path,
+                        product_instance.full_path,
+                        ("Jan", "Feb", "Mar", "Apr")[t],
+                    ),
+                    float(t + 1),
+                )
+    return schema, org_varying, product_varying, cube
+
+
+class TestMultipleVaryingDimensions:
+    def test_scenarios_compose_across_dimensions(self, two_varying_world):
+        schema, org_varying, product_varying, cube = two_varying_world
+        result = apply_scenarios(
+            cube,
+            [
+                NegativeScenario("Organization", ["Jan"], Semantics.FORWARD),
+                NegativeScenario("Product", ["Jan"], Semantics.FORWARD),
+            ],
+        )
+        # Everything lands on (FTE/Joe, A/p1): the Jan structures of both
+        # dimensions imposed over the year.
+        for t, month in enumerate(("Jan", "Feb", "Mar", "Apr")):
+            value = result.at(
+                Organization="Organization/FTE/Joe",
+                Product="Product/A/p1",
+                Time=month,
+            )
+            assert value == float(t + 1)
+
+    def test_partial_negation_keeps_other_dimension_changes(
+        self, two_varying_world
+    ):
+        schema, org_varying, product_varying, cube = two_varying_world
+        result = NegativeScenario(
+            "Organization", ["Jan"], Semantics.FORWARD
+        ).apply(cube)
+        # Org change negated; the product change is still visible.
+        assert result.at(
+            Organization="Organization/FTE/Joe",
+            Product="Product/B/p1",
+            Time="Feb",
+        ) == 2.0
+        assert is_missing(
+            result.at(
+                Organization="Organization/PTE/Joe",
+                Product="Product/B/p1",
+                Time="Mar",
+            )
+        )
+
+    def test_order_of_scenarios_is_immaterial_across_dimensions(
+        self, two_varying_world
+    ):
+        schema, org_varying, product_varying, cube = two_varying_world
+        ab = apply_scenarios(
+            cube,
+            [
+                NegativeScenario("Organization", ["Jan"], Semantics.FORWARD),
+                NegativeScenario("Product", ["Jan"], Semantics.FORWARD),
+            ],
+        )
+        ba = apply_scenarios(
+            cube,
+            [
+                NegativeScenario("Product", ["Jan"], Semantics.FORWARD),
+                NegativeScenario("Organization", ["Jan"], Semantics.FORWARD),
+            ],
+        )
+        assert ab.leaf_cube.leaf_equal(ba.leaf_cube)

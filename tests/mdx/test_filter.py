@@ -1,0 +1,119 @@
+"""Tests for the MDX Filter function (value-predicate σ, Sec. 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MdxSyntaxError
+from repro.mdx.ast_nodes import FilterExpr
+from repro.mdx.lexer import tokenize
+from repro.mdx.parser import parse_query
+from repro.warehouse import Warehouse
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+class TestLexerRelops:
+    @pytest.mark.parametrize("op", ["<", ">", "=", "<=", ">=", "<>"])
+    def test_relop_tokens(self, op):
+        tokens = tokenize(f"a {op} 5")
+        assert tokens[1].kind == "punct"
+        assert tokens[1].value == op
+
+    def test_adjacent_relops_split_correctly(self):
+        values = [t.value for t in tokenize("x >= 1")][:-1]
+        assert values == ["x", ">=", "1"]
+
+
+class TestParsing:
+    def test_filter_with_tuple_condition(self):
+        query = parse_query(
+            "SELECT Filter({[a]}, ([Sales], [NY]) > 100) ON COLUMNS FROM W"
+        )
+        expr = query.axes[0].expr
+        assert isinstance(expr, FilterExpr)
+        assert expr.relop == ">"
+        assert expr.threshold == 100.0
+        assert len(expr.condition.members) == 2
+
+    def test_filter_with_bare_member_condition(self):
+        query = parse_query(
+            "SELECT Filter({[a]}, [Sales] >= 10) ON COLUMNS FROM W"
+        )
+        expr = query.axes[0].expr
+        assert isinstance(expr, FilterExpr)
+        assert expr.relop == ">="
+
+    def test_filter_missing_relop_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            parse_query("SELECT Filter({[a]}, ([Sales]) 10) ON COLUMNS FROM W")
+
+    def test_nested_filter(self):
+        query = parse_query(
+            "SELECT Filter(Filter({[a]}, [x] > 1), [y] < 2) ON COLUMNS FROM W"
+        )
+        outer = query.axes[0].expr
+        assert isinstance(outer, FilterExpr)
+        assert isinstance(outer.base, FilterExpr)
+
+
+class TestEvaluation:
+    def test_filter_members_by_value(self, warehouse):
+        result = warehouse.query(
+            """
+            SELECT {Time.[Mar]} ON COLUMNS,
+                   Filter({[Joe], [Lisa], [Tom], [Jane]},
+                          ([NY], [Salary], Time.[Mar]) > 25) ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert result.row_labels() == ["Contractor/Joe"]
+
+    def test_filter_keeps_all_when_threshold_low(self, warehouse):
+        result = warehouse.query(
+            """
+            SELECT {Time.[Jan]} ON COLUMNS,
+                   Filter({[Lisa], [Tom]},
+                          ([NY], [Salary], Time.[Jan]) >= 10) ON ROWS
+            FROM Warehouse
+            """
+        )
+        assert result.row_labels() == ["FTE/Lisa", "PTE/Tom"]
+
+    def test_filter_missing_cells_fail_comparison(self, warehouse):
+        # Sue has no data at all: she never passes a Filter.
+        result = warehouse.query(
+            """
+            SELECT {Time.[Jan]} ON COLUMNS,
+                   Filter({[Sue], [Lisa]}, ([NY], [Salary]) > 0) ON ROWS
+            FROM Warehouse
+            """
+        )
+        assert result.row_labels() == ["FTE/Lisa"]
+
+    def test_filter_not_equal(self, warehouse):
+        result = warehouse.query(
+            """
+            SELECT Filter({Time.[Jan], Time.[Feb]},
+                          ([Lisa], [NY], [Salary]) <> 10) ON COLUMNS
+            FROM Warehouse
+            """
+        )
+        assert result.column_labels() == []
+
+    def test_filter_sees_perspective_view(self, warehouse):
+        """Filter evaluates on the hypothetical cube: under forward-from-Feb
+        visual, PTE/Joe holds March's 30."""
+        result = warehouse.query(
+            """
+            WITH PERSPECTIVE {(Feb)} FOR Organization DYNAMIC FORWARD VISUAL
+            SELECT {Time.[Mar]} ON COLUMNS,
+                   Filter({[Joe]}, ([NY], [Salary], Time.[Mar]) > 25) ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert result.row_labels() == ["PTE/Joe"]
+        assert result.cell(0, 0) == 30.0

@@ -1,0 +1,87 @@
+"""Tests for the MDX tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MdxSyntaxError
+from repro.mdx.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_names_and_punct(self):
+        assert kinds("SELECT {a} ON COLUMNS") == [
+            ("name", "SELECT"),
+            ("punct", "{"),
+            ("name", "a"),
+            ("punct", "}"),
+            ("name", "ON"),
+            ("name", "COLUMNS"),
+        ]
+
+    def test_bracketed_names_keep_spaces(self):
+        tokens = tokenize("[BU Version_1]")
+        assert tokens[0].value == "BU Version_1"
+        assert tokens[0].bracketed
+
+    def test_bracketed_name_with_dash(self):
+        tokens = tokenize("[EmployeesWithAtleastOneMove-Set1]")
+        assert tokens[0].value == "EmployeesWithAtleastOneMove-Set1"
+
+    def test_numbers(self):
+        assert kinds("Head(x, 50)")[3] == ("punct", ",")
+        assert kinds("50")[0] == ("number", "50")
+
+    def test_dots_and_parens(self):
+        assert kinds("a.b(1)") == [
+            ("name", "a"),
+            ("punct", "."),
+            ("name", "b"),
+            ("punct", "("),
+            ("number", "1"),
+            ("punct", ")"),
+        ]
+
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment\nb") == [("name", "a"), ("name", "b")]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestKeywordMatching:
+    def test_case_insensitive(self):
+        token = tokenize("select")[0]
+        assert token.matches_keyword("SELECT")
+        assert token.matches_keyword("Select")
+
+    def test_bracketed_names_never_match_keywords(self):
+        token = tokenize("[SELECT]")[0]
+        assert not token.matches_keyword("SELECT")
+
+
+class TestErrors:
+    def test_unterminated_bracket(self):
+        with pytest.raises(MdxSyntaxError):
+            tokenize("[abc")
+
+    def test_empty_bracketed_name(self):
+        with pytest.raises(MdxSyntaxError):
+            tokenize("[ ]")
+
+    def test_bad_character(self):
+        with pytest.raises(MdxSyntaxError):
+            tokenize("a ; b")
+
+    def test_bad_number(self):
+        with pytest.raises(MdxSyntaxError):
+            tokenize("1.2.3")

@@ -1,0 +1,110 @@
+"""Tests for WITH SET ... AS query-scoped named sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MdxEvaluationError, MdxSyntaxError
+from repro.mdx.parser import parse_query
+from repro.warehouse import Warehouse
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+class TestParsing:
+    def test_set_definition(self):
+        query = parse_query(
+            "WITH SET [Mine] AS {[Jan], [Feb]} "
+            "SELECT {[Mine]} ON COLUMNS FROM W"
+        )
+        assert len(query.named_sets) == 1
+        assert query.named_sets[0][0] == "Mine"
+
+    def test_multiple_sets(self):
+        query = parse_query(
+            "WITH SET [A] AS {[Jan]} SET [B] AS {[Feb]} "
+            "SELECT {[A], [B]} ON COLUMNS FROM W"
+        )
+        assert [name for name, _ in query.named_sets] == ["A", "B"]
+
+    def test_set_combined_with_perspective(self):
+        query = parse_query(
+            "WITH SET [A] AS {[Joe]} "
+            "PERSPECTIVE {(Jan)} FOR Organization STATIC "
+            "SELECT {[A]} ON COLUMNS FROM W"
+        )
+        assert query.named_sets
+        assert query.perspective is not None
+
+    def test_duplicate_perspective_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            parse_query(
+                "WITH PERSPECTIVE {(Jan)} FOR D PERSPECTIVE {(Feb)} FOR D "
+                "SELECT {[x]} ON COLUMNS FROM W"
+            )
+
+    def test_missing_as_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            parse_query("WITH SET [A] {[Jan]} SELECT {[A]} ON COLUMNS FROM W")
+
+
+class TestEvaluation:
+    def test_set_used_on_axis(self, warehouse):
+        result = warehouse.query(
+            "WITH SET [Early] AS {Time.[Jan], Time.[Feb]} "
+            "SELECT {[Early]} ON COLUMNS FROM Warehouse"
+        )
+        assert result.column_labels() == ["Jan", "Feb"]
+
+    def test_set_with_function_body(self, warehouse):
+        result = warehouse.query(
+            "WITH SET [EastStates] AS [East].Children "
+            "SELECT {Time.[Jan]} ON COLUMNS, {[EastStates]} ON ROWS "
+            "FROM Warehouse"
+        )
+        assert result.row_labels() == ["NY", "MA", "NH"]
+
+    def test_set_referencing_set(self, warehouse):
+        result = warehouse.query(
+            "WITH SET [A] AS {Time.[Jan]} SET [B] AS {[A], Time.[Feb]} "
+            "SELECT {[B]} ON COLUMNS FROM Warehouse"
+        )
+        assert result.column_labels() == ["Jan", "Feb"]
+
+    def test_self_referencing_set_rejected(self, warehouse):
+        with pytest.raises(MdxEvaluationError, match="itself"):
+            warehouse.query(
+                "WITH SET [A] AS {[A]} SELECT {[A]} ON COLUMNS FROM Warehouse"
+            )
+
+    def test_query_set_shadows_member_resolution(self, warehouse):
+        """A query set named like nothing else resolves before members;
+        member names still resolve when no set matches."""
+        result = warehouse.query(
+            "WITH SET [JoeSet] AS {[Joe]} "
+            "SELECT {Time.[Jan]} ON COLUMNS, {[JoeSet]} ON ROWS "
+            "FROM Warehouse WHERE ([NY], [Salary])"
+        )
+        assert result.row_labels() == ["FTE/Joe", "PTE/Joe", "Contractor/Joe"]
+
+    def test_set_inside_crossjoin(self, warehouse):
+        result = warehouse.query(
+            "WITH SET [Q] AS {Time.[Qtr1], Time.[Qtr2]} "
+            "SELECT CrossJoin({[Q]}, {[Salary]}) ON COLUMNS, {[Lisa]} ON ROWS "
+            "FROM Warehouse WHERE ([NY])"
+        )
+        assert len(result.columns) == 2
+        assert result.cell(0, 0) == 30.0
+
+    def test_set_visible_in_perspective_query(self, warehouse):
+        result = warehouse.query(
+            "WITH SET [JoeSet] AS {[Joe]} "
+            "PERSPECTIVE {(Jan)} FOR Organization DYNAMIC FORWARD "
+            "SELECT {Time.[Mar]} ON COLUMNS, {[JoeSet]} ON ROWS "
+            "FROM Warehouse WHERE ([NY], [Salary])"
+        )
+        assert result.row_labels() == ["FTE/Joe"]
+        assert result.cell(0, 0) == 30.0

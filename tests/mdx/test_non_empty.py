@@ -1,0 +1,85 @@
+"""Tests for NON EMPTY axis filtering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mdx.parser import parse_query
+from repro.warehouse import Warehouse
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+class TestParsing:
+    def test_non_empty_flag(self):
+        query = parse_query(
+            "SELECT NON EMPTY {[Jan]} ON COLUMNS, {[Joe]} ON ROWS FROM W"
+        )
+        assert query.axes[0].non_empty
+        assert not query.axes[1].non_empty
+
+    def test_non_empty_on_rows(self):
+        query = parse_query(
+            "SELECT {[Jan]} ON COLUMNS, NON EMPTY {[Joe]} ON ROWS FROM W"
+        )
+        assert not query.axes[0].non_empty
+        assert query.axes[1].non_empty
+
+
+class TestEvaluation:
+    def test_empty_rows_dropped(self, warehouse):
+        # Sue and Dave have no data; NON EMPTY removes their rows.
+        result = warehouse.query(
+            """
+            SELECT {Time.[Jan]} ON COLUMNS,
+                   NON EMPTY {[Lisa], [Sue], [Dave]} ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert result.row_labels() == ["FTE/Lisa"]
+
+    def test_empty_columns_dropped(self, warehouse):
+        # No data beyond June in the running example.
+        result = warehouse.query(
+            """
+            SELECT NON EMPTY {Time.[Jun], Time.[Jul], Time.[Aug]} ON COLUMNS,
+                   {[Lisa]} ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert result.column_labels() == ["Jun"]
+
+    def test_without_non_empty_rows_kept(self, warehouse):
+        result = warehouse.query(
+            """
+            SELECT {Time.[Jan]} ON COLUMNS, {[Lisa], [Sue]} ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert result.row_labels() == ["FTE/Lisa", "FTE/Sue"]
+
+    def test_non_empty_with_perspective(self, warehouse):
+        """Under static P={Jan}, Joe's only surviving row has Jan data; the
+        Feb/Mar columns become empty and NON EMPTY drops them."""
+        result = warehouse.query(
+            """
+            WITH PERSPECTIVE {(Jan)} FOR Organization STATIC
+            SELECT NON EMPTY {Time.[Jan], Time.[Feb], Time.[Mar]} ON COLUMNS,
+                   NON EMPTY {[Joe]} ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert result.row_labels() == ["FTE/Joe"]
+        assert result.column_labels() == ["Jan"]
+
+    def test_all_rows_empty_gives_empty_grid(self, warehouse):
+        result = warehouse.query(
+            """
+            SELECT {Time.[Dec]} ON COLUMNS, NON EMPTY {[Sue]} ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert result.shape == (0, 1)

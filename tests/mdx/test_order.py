@@ -1,0 +1,97 @@
+"""Tests for the MDX Order function."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MdxSyntaxError
+from repro.mdx.ast_nodes import OrderExpr
+from repro.mdx.parser import parse_query
+from repro.warehouse import Warehouse
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+class TestParsing:
+    def test_defaults_ascending(self):
+        query = parse_query("SELECT Order({[a]}, ([x])) ON COLUMNS FROM W")
+        expr = query.axes[0].expr
+        assert isinstance(expr, OrderExpr)
+        assert not expr.descending
+
+    def test_desc(self):
+        query = parse_query("SELECT Order({[a]}, ([x]), DESC) ON COLUMNS FROM W")
+        assert query.axes[0].expr.descending
+
+    def test_bdesc_accepted(self):
+        query = parse_query("SELECT Order({[a]}, [x], BDESC) ON COLUMNS FROM W")
+        assert query.axes[0].expr.descending
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            parse_query("SELECT Order({[a]}, [x], SIDEWAYS) ON COLUMNS FROM W")
+
+
+class TestEvaluation:
+    def test_ascending_by_value(self, warehouse):
+        # Joe's NY salaries: Jan 10 (FTE), Mar 30, Apr 20 (Contractor).
+        result = warehouse.query(
+            """
+            SELECT Order({Time.[Mar], Time.[Jan], Time.[Apr]},
+                         (Organization.[Contractor].[Joe], [NY], [Salary])) ON COLUMNS
+            FROM Warehouse
+            """
+        )
+        # Contractor/Joe has no Jan value: ⊥ sorts last.
+        assert result.column_labels() == ["Apr", "Mar", "Jan"]
+
+    def test_descending(self, warehouse):
+        result = warehouse.query(
+            """
+            SELECT Order({Time.[Mar], Time.[Jan], Time.[Apr]},
+                         (Organization.[Contractor].[Joe], [NY], [Salary]),
+                         DESC) ON COLUMNS
+            FROM Warehouse
+            """
+        )
+        assert result.column_labels() == ["Mar", "Apr", "Jan"]
+
+    def test_ties_keep_input_order(self, warehouse):
+        # Lisa's Jan-Jun salaries are all 10: input order preserved.
+        result = warehouse.query(
+            """
+            SELECT Order({Time.[Feb], Time.[Jan]},
+                         (Organization.[FTE].[Lisa], [NY], [Salary])) ON COLUMNS
+            FROM Warehouse
+            """
+        )
+        assert result.column_labels() == ["Feb", "Jan"]
+
+    def test_order_members_by_their_own_cells(self, warehouse):
+        result = warehouse.query(
+            """
+            SELECT {Time.[Mar]} ON COLUMNS,
+                   Order({[Lisa], [Joe], [Tom]},
+                         ([NY], [Salary], Time.[Mar]), DESC) ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        labels = result.row_labels()
+        # Contractor/Joe's Mar 30 outranks Lisa/Tom's 10; Joe's ⊥ rows last.
+        assert labels[0] == "Contractor/Joe"
+        assert set(labels[-2:]) == {"FTE/Joe", "PTE/Joe"}
+
+    def test_order_with_head_top_n(self, warehouse):
+        """Order + Head = top-N, a classic reporting idiom."""
+        result = warehouse.query(
+            """
+            SELECT {Time.[Mar]} ON COLUMNS,
+                   Head(Order({[Lisa], [Joe], [Tom], [Jane]},
+                              ([NY], [Salary], Time.[Mar]), DESC), 1) ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert result.row_labels() == ["Contractor/Joe"]

@@ -1,0 +1,239 @@
+"""Tests for the extended-MDX parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MdxSyntaxError
+from repro.mdx.ast_nodes import (
+    ChildrenExpr,
+    CrossJoinExpr,
+    DescendantsExpr,
+    HeadExpr,
+    LevelsMembersExpr,
+    MemberPath,
+    MembersExpr,
+    SetLiteral,
+    TailExpr,
+    TupleExpr,
+    UnionExpr,
+)
+from repro.mdx.parser import parse_query
+
+
+def parse(text):
+    return parse_query(text)
+
+
+BASIC = "SELECT {[Jan]} ON COLUMNS FROM Warehouse"
+
+
+class TestCoreQuery:
+    def test_minimal(self):
+        query = parse(BASIC)
+        assert query.cube == ("Warehouse",)
+        assert query.axes[0].axis == "columns"
+        assert query.slicer is None
+        assert query.perspective is None
+
+    def test_two_axes(self):
+        query = parse(
+            "SELECT {[Jan]} ON COLUMNS, {[Joe]} ON ROWS FROM Warehouse"
+        )
+        assert [a.axis for a in query.axes] == ["columns", "rows"]
+
+    def test_numbered_axes(self):
+        query = parse("SELECT {[Jan]} ON 0 FROM Warehouse")
+        assert query.axes[0].axis == "axis0"
+        query = parse("SELECT {[Jan]} ON AXIS(1) FROM Warehouse")
+        assert query.axes[0].axis == "axis1"
+
+    def test_dotted_cube_reference(self):
+        query = parse("SELECT {[Jan]} ON COLUMNS FROM [App].[Db]")
+        assert query.cube == ("App", "Db")
+
+    def test_where_tuple(self):
+        query = parse(
+            "SELECT {[Jan]} ON COLUMNS FROM W "
+            "WHERE (Organization.[FTE].[Joe], Measures.[Salary])"
+        )
+        assert isinstance(query.slicer, TupleExpr)
+        assert query.slicer.members[0].parts == ("Organization", "FTE", "Joe")
+
+    def test_where_single_member(self):
+        query = parse("SELECT {[Jan]} ON COLUMNS FROM W WHERE [NY]")
+        assert query.slicer.members[0].parts == ("NY",)
+
+    def test_dimension_properties(self):
+        query = parse(
+            "SELECT {[x]} DIMENSION PROPERTIES [Department] ON ROWS FROM W"
+        )
+        assert query.axes[0].properties[0].parts == ("Department",)
+
+    def test_multiple_dimension_properties(self):
+        query = parse(
+            "SELECT {[x]} DIMENSION PROPERTIES [A], [B] ON ROWS FROM W"
+        )
+        assert len(query.axes[0].properties) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            parse(BASIC + " bogus extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            parse("SELECT {[Jan]} ON COLUMNS")
+
+
+class TestSetExpressions:
+    def axis_expr(self, text):
+        return parse(f"SELECT {text} ON COLUMNS FROM W").axes[0].expr
+
+    def test_set_literal(self):
+        expr = self.axis_expr("{[Jan], [Feb]}")
+        assert isinstance(expr, SetLiteral)
+        assert len(expr.elements) == 2
+
+    def test_empty_set(self):
+        assert self.axis_expr("{}") == SetLiteral(())
+
+    def test_nested_sets(self):
+        expr = self.axis_expr("{{[a]}, {[b], [c]}}")
+        assert isinstance(expr, SetLiteral)
+        assert isinstance(expr.elements[0], SetLiteral)
+
+    def test_tuple(self):
+        expr = self.axis_expr("{([Current], [Local])}")
+        inner = expr.elements[0]
+        assert isinstance(inner, TupleExpr)
+        assert [m.parts for m in inner.members] == [("Current",), ("Local",)]
+
+    def test_member_path(self):
+        expr = self.axis_expr("Organization.[FTE].[Joe]")
+        assert expr == MemberPath(("Organization", "FTE", "Joe"))
+
+    def test_children(self):
+        expr = self.axis_expr("[East].Children")
+        assert isinstance(expr, ChildrenExpr)
+        assert expr.base.parts == ("East",)
+
+    def test_members(self):
+        expr = self.axis_expr("Location.Members")
+        assert isinstance(expr, MembersExpr)
+
+    def test_levels_members(self):
+        expr = self.axis_expr("[Account].Levels(0).Members")
+        assert isinstance(expr, LevelsMembersExpr)
+        assert expr.level == 0
+
+    def test_crossjoin_union(self):
+        expr = self.axis_expr("CrossJoin({[a]}, Union({[b]}, {[c]}))")
+        assert isinstance(expr, CrossJoinExpr)
+        assert isinstance(expr.right, UnionExpr)
+
+    def test_head_tail(self):
+        expr = self.axis_expr("Head({[a]}, 5)")
+        assert isinstance(expr, HeadExpr)
+        assert expr.count == 5
+        expr = self.axis_expr("Tail({[a]}, 2)")
+        assert isinstance(expr, TailExpr)
+
+    def test_descendants_full_form(self):
+        expr = self.axis_expr("Descendants([Period], 1, self_and_after)")
+        assert isinstance(expr, DescendantsExpr)
+        assert expr.depth == 1
+        assert expr.flag == "self_and_after"
+
+    def test_descendants_defaults(self):
+        expr = self.axis_expr("Descendants([Period])")
+        assert expr.depth == 0
+        assert expr.flag == "self"
+
+    def test_bracketed_function_name_is_member(self):
+        expr = self.axis_expr("[CrossJoin]")
+        assert expr == MemberPath(("CrossJoin",))
+
+    def test_tuple_with_set_component_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            self.axis_expr("([a].Children, [b])")
+
+
+class TestPerspectiveClause:
+    def test_static(self):
+        query = parse(
+            "WITH PERSPECTIVE {(Jan), (Jul)} FOR Department STATIC " + BASIC
+        )
+        clause = query.perspective
+        assert clause.perspectives == ("Jan", "Jul")
+        assert clause.dimension == "Department"
+        assert clause.semantics == "static"
+        assert clause.mode == "non_visual"
+
+    def test_dynamic_forward(self):
+        query = parse(
+            "WITH PERSPECTIVE {(Jan)} FOR Department DYNAMIC FORWARD VISUAL "
+            + BASIC
+        )
+        assert query.perspective.semantics == "forward"
+        assert query.perspective.mode == "visual"
+
+    def test_plain_forward(self):
+        query = parse("WITH PERSPECTIVE {(Jan)} FOR D FORWARD " + BASIC)
+        assert query.perspective.semantics == "forward"
+
+    def test_extended_backward(self):
+        query = parse(
+            "WITH PERSPECTIVE {(Jan)} FOR D DYNAMIC EXTENDED BACKWARD " + BASIC
+        )
+        assert query.perspective.semantics == "extended_backward"
+
+    def test_default_semantics_is_static(self):
+        query = parse("WITH PERSPECTIVE {(Jan)} FOR D " + BASIC)
+        assert query.perspective.semantics == "static"
+
+    def test_points_without_parens(self):
+        query = parse("WITH PERSPECTIVE {Jan, Feb} FOR D " + BASIC)
+        assert query.perspective.perspectives == ("Jan", "Feb")
+
+    def test_dangling_extended_rejected(self):
+        with pytest.raises(MdxSyntaxError):
+            parse("WITH PERSPECTIVE {(Jan)} FOR D EXTENDED " + BASIC)
+
+    def test_nonvisual_spelling(self):
+        query = parse("WITH PERSPECTIVE {(Jan)} FOR D STATIC NONVISUAL " + BASIC)
+        assert query.perspective.mode == "non_visual"
+
+
+class TestChangesClause:
+    def test_single_change(self):
+        query = parse(
+            "WITH CHANGES {([Lisa], FTE, PTE, Apr)} FOR Organization VISUAL "
+            + BASIC
+        )
+        clause = query.changes
+        assert clause.dimension == "Organization"
+        assert clause.mode == "visual"
+        (change,) = clause.changes
+        assert change.member.parts == ("Lisa",)
+        assert (change.old_parent, change.new_parent, change.moment) == (
+            "FTE",
+            "PTE",
+            "Apr",
+        )
+        assert not change.expand
+
+    def test_children_expansion(self):
+        query = parse("WITH CHANGES {([FTE].Children, FTE, PTE, Apr)} " + BASIC)
+        (change,) = query.changes.changes
+        assert change.expand
+        assert change.member.parts == ("FTE",)
+
+    def test_multiple_changes(self):
+        query = parse(
+            "WITH CHANGES {([a], X, Y, Jan), ([b], Y, Z, Mar)} " + BASIC
+        )
+        assert len(query.changes.changes) == 2
+
+    def test_with_requires_known_clause(self):
+        with pytest.raises(MdxSyntaxError):
+            parse("WITH FOO " + BASIC)

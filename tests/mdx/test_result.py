@@ -1,0 +1,82 @@
+"""Tests for MDX result grids and their text rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mdx.result import AxisTuple, MdxResult
+from repro.olap.missing import MISSING, is_missing
+
+
+def grid() -> MdxResult:
+    columns = [
+        AxisTuple((("Time", "Qtr1"),), ("Qtr1",)),
+        AxisTuple((("Time", "Qtr2"),), ("Qtr2",)),
+    ]
+    rows = [
+        AxisTuple(
+            (("Organization", "Organization/FTE/Joe"),),
+            ("FTE/Joe",),
+            (("Department", "FTE"),),
+        ),
+        AxisTuple((("Organization", "Organization/PTE/Tom"),), ("PTE/Tom",)),
+    ]
+    cells = [[60.0, MISSING], [30.0, 30.5]]
+    return MdxResult(columns=columns, rows=rows, cells=cells)
+
+
+class TestAccessors:
+    def test_shape(self):
+        assert grid().shape == (2, 2)
+
+    def test_cell_by_index(self):
+        assert grid().cell(0, 0) == 60.0
+        assert is_missing(grid().cell(0, 1))
+
+    def test_cell_by_labels(self):
+        result = grid()
+        assert result.cell_by_labels("PTE/Tom", "Qtr2") == 30.5
+
+    def test_label_includes_properties(self):
+        result = grid()
+        assert result.rows[0].label() == "FTE/Joe / FTE"
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError):
+            grid().cell_by_labels("Nobody", "Qtr1")
+
+    def test_coordinate_lookup(self):
+        row = grid().rows[0]
+        assert row.coordinate("Organization") == "Organization/FTE/Joe"
+        assert row.coordinate("Time") is None
+
+    def test_axis_label_lists(self):
+        result = grid()
+        assert result.column_labels() == ["Qtr1", "Qtr2"]
+        assert result.row_labels() == ["FTE/Joe / FTE", "PTE/Tom"]
+
+
+class TestRendering:
+    def test_to_text_contains_values_and_missing(self):
+        text = grid().to_text()
+        assert "60" in text
+        assert "30.50" in text
+        assert "-" in text  # the ⊥ cell
+
+    def test_to_text_alignment(self):
+        lines = grid().to_text(width=8).splitlines()
+        # header + rule + 2 data rows
+        assert len(lines) == 4
+        assert lines[0].count("|") == lines[2].count("|")
+
+    def test_integer_values_render_without_decimals(self):
+        text = grid().to_text()
+        assert "60.00" not in text
+
+    def test_custom_missing_marker(self):
+        text = grid().to_text(missing="#Missing")
+        assert "#Missing" in text
+
+    def test_empty_grid(self):
+        result = MdxResult(columns=[], rows=[], cells=[])
+        assert result.to_text()  # renders without crashing

@@ -1,0 +1,107 @@
+"""Tests for MdxResult export forms and Filter/σ equivalence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators import select
+from repro.core.predicates import value_predicate
+from repro.warehouse import Warehouse
+from repro.workload.running_example import build_running_example
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+class TestRecords:
+    def test_records_shape(self, warehouse):
+        result = warehouse.query(
+            "SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS, "
+            "{[Lisa], [Tom]} ON ROWS FROM Warehouse WHERE ([NY], [Salary])"
+        )
+        records = result.to_records()
+        assert len(records) == 4
+        first = records[0]
+        assert first["Time"] == "Qtr1"
+        assert first["Organization"] == "Organization/FTE/Lisa"
+        assert first["value"] == 30.0
+
+    def test_missing_as_none(self, warehouse):
+        result = warehouse.query(
+            "SELECT {Time.[Dec]} ON COLUMNS, {[Lisa]} ON ROWS "
+            "FROM Warehouse WHERE ([NY], [Salary])"
+        )
+        assert result.to_records()[0]["value"] is None
+
+    def test_properties_included(self, warehouse):
+        result = warehouse.query(
+            "SELECT {Time.[Jan]} ON COLUMNS, "
+            "{[Lisa]} DIMENSION PROPERTIES [Organization] ON ROWS "
+            "FROM Warehouse WHERE ([NY], [Salary])"
+        )
+        record = result.to_records()[0]
+        assert record["Organization (property)"] == "FTE"
+
+
+class TestCsv:
+    def test_csv_grid(self, warehouse):
+        result = warehouse.query(
+            "SELECT {Time.[Qtr1]} ON COLUMNS, {[Lisa]} ON ROWS "
+            "FROM Warehouse WHERE ([NY], [Salary])"
+        )
+        lines = result.to_csv().splitlines()
+        assert lines[0] == ",Qtr1"
+        assert lines[1] == "FTE/Lisa,30.0"
+
+    def test_csv_quoting(self, warehouse):
+        result = warehouse.query(
+            "SELECT {Time.[Qtr1]} ON COLUMNS, {[Lisa]} ON ROWS "
+            "FROM Warehouse WHERE ([NY], [Salary])"
+        )
+        # Inject a label needing quoting via a crafted rendering check.
+        text = result.to_csv()
+        assert '"' not in text  # nothing needed quoting here
+
+    def test_csv_missing_marker(self, warehouse):
+        result = warehouse.query(
+            "SELECT {Time.[Dec]} ON COLUMNS, {[Lisa]} ON ROWS "
+            "FROM Warehouse WHERE ([NY], [Salary])"
+        )
+        assert result.to_csv(missing="#Missing").splitlines()[1].endswith(
+            "#Missing"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(threshold=st.integers(min_value=0, max_value=40))
+def test_mdx_filter_equals_sigma_value_predicate(threshold):
+    """The MDX Filter surface form and the σ value predicate (two renderings
+    of the same Sec. 4.1 construct) agree on which members qualify."""
+    example = build_running_example()
+    warehouse = Warehouse(example.schema, example.cube, name="Warehouse")
+    result = warehouse.query(
+        f"""
+        SELECT {{Time.[Mar]}} ON COLUMNS,
+               Filter({{[Joe], [Lisa], [Tom], [Jane]}},
+                      ([NY], [Salary], Time.[Mar]) > {threshold}) ON ROWS
+        FROM Warehouse WHERE ([NY], [Salary])
+        """
+    )
+    mdx_members = {
+        row.coordinates[0][1].split("/")[-1] for row in result.rows
+    }
+
+    pred = value_predicate(
+        {"Location": "NY", "Time": "Mar", "Measures": "Salary"}, ">", threshold
+    )
+    selected = select(example.cube, "Organization", pred)
+    sigma_members = {
+        c.split("/")[-1] for c in selected.coordinates_used("Organization")
+    }
+    # Filter keeps instances whose *specific* cell passes; σ keeps members
+    # with *some* passing cell — for this single-cell pin they coincide.
+    assert mdx_members == sigma_members

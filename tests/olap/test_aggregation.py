@@ -1,0 +1,94 @@
+"""Tests for the aggregate functions and MISSING semantics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RuleError
+from repro.olap.aggregation import (
+    agg_avg,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+    aggregate,
+)
+from repro.olap.missing import MISSING, Missing, is_missing
+
+
+class TestMissingSentinel:
+    def test_singleton(self):
+        assert Missing() is MISSING
+
+    def test_falsy(self):
+        assert not MISSING
+
+    def test_is_missing(self):
+        assert is_missing(MISSING)
+        assert is_missing(None)
+        assert not is_missing(0.0)
+
+    def test_repr(self):
+        assert repr(MISSING) == "MISSING"
+
+    def test_pickle_preserves_singleton(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(MISSING)) is MISSING
+
+
+class TestAggregators:
+    def test_sum_skips_missing(self):
+        assert agg_sum([1, MISSING, 2]) == 3.0
+
+    def test_sum_all_missing_is_missing(self):
+        assert is_missing(agg_sum([MISSING, MISSING]))
+
+    def test_sum_empty_is_missing(self):
+        assert is_missing(agg_sum([]))
+
+    def test_avg(self):
+        assert agg_avg([1, 3, MISSING]) == 2.0
+
+    def test_min_max(self):
+        assert agg_min([3, 1, MISSING]) == 1.0
+        assert agg_max([3, 1, MISSING]) == 3.0
+
+    def test_count_counts_non_missing(self):
+        assert agg_count([1, MISSING, 2]) == 2.0
+
+    def test_count_of_only_missing_is_zero(self):
+        assert agg_count([MISSING]) == 0.0
+
+    def test_count_of_empty_is_missing(self):
+        assert is_missing(agg_count([]))
+
+    def test_aggregate_by_name(self):
+        assert aggregate("sum", [1, 2]) == 3.0
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(RuleError):
+            aggregate("median", [1])
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32)))
+def test_sum_matches_python_sum(values):
+    result = agg_sum(values)
+    if not values:
+        assert is_missing(result)
+    else:
+        assert result == pytest.approx(sum(values))
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.none(), st.floats(allow_nan=False, allow_infinity=False, width=32)
+        )
+    )
+)
+def test_aggregators_never_raise_on_mixed_input(values):
+    for name in ("sum", "avg", "min", "max", "count"):
+        aggregate(name, values)

@@ -1,0 +1,152 @@
+"""Tests for the sparse semantic Cube: storage, ⊥, rollup, transforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RuleError, SchemaError
+from repro.olap.cube import Cube
+from repro.olap.missing import MISSING, is_missing
+
+
+class TestStorage:
+    def test_set_and_get(self, tiny_cube):
+        assert tiny_cube.at(Time="Jan", Measures="Sales") == 10.0
+
+    def test_absent_cell_is_missing(self, tiny_cube):
+        cube = tiny_cube
+        cube.set_value(cube.schema.address(Time="Jan", Measures="Sales"), MISSING)
+        assert is_missing(cube.at(Time="Jan", Measures="Sales"))
+
+    def test_none_deletes(self, tiny_cube):
+        tiny_cube.set(None, Time="Jan", Measures="Sales")
+        assert is_missing(tiny_cube.at(Time="Jan", Measures="Sales"))
+
+    def test_wrong_arity_rejected(self, tiny_cube):
+        with pytest.raises(SchemaError):
+            tiny_cube.value(("Jan",))
+
+    def test_unknown_dimension_kw_rejected(self, tiny_cube):
+        with pytest.raises(SchemaError):
+            tiny_cube.at(Nope="Jan")
+
+    def test_load_bulk(self, tiny_schema):
+        cube = Cube(tiny_schema)
+        cube.load([(("Jan", "Sales"), 1), (("Feb", "Sales"), 2)])
+        assert cube.n_leaf_cells == 2
+
+    def test_leaf_vs_derived_store(self, tiny_cube):
+        tiny_cube.set(99.0, Time="H1", Measures="Sales")
+        assert tiny_cube.n_stored_derived == 1
+        assert tiny_cube.at(Time="H1", Measures="Sales") == 99.0
+
+    def test_clear_stored_derived(self, tiny_cube):
+        tiny_cube.set(99.0, Time="H1", Measures="Sales")
+        tiny_cube.clear_stored_derived()
+        assert tiny_cube.n_stored_derived == 0
+
+
+class TestRollup:
+    def test_rollup_over_time(self, tiny_cube):
+        # Jan+Feb+Mar sales = 10+20+30
+        assert tiny_cube.effective_value(("H1", "Sales")) == 60.0
+
+    def test_rollup_full_root(self, tiny_cube):
+        assert tiny_cube.effective_value(("Time", "Sales")) == 210.0
+
+    def test_rollup_two_nonleaf_coords(self, tiny_cube):
+        assert tiny_cube.effective_value(("H1", "Measures")) == 60.0 + 24.0
+
+    def test_rollup_of_empty_scope_is_missing(self, tiny_schema):
+        cube = Cube(tiny_schema)
+        assert is_missing(cube.effective_value(("H1", "Sales")))
+
+    def test_stored_derived_wins_over_rollup(self, tiny_cube):
+        tiny_cube.set(999.0, Time="H1", Measures="Sales")
+        assert tiny_cube.effective_value(("H1", "Sales")) == 999.0
+        # derive() ignores the stored value
+        assert tiny_cube.derive(("H1", "Sales")) == 60.0
+
+    def test_rollup_other_aggregators(self, tiny_cube):
+        assert tiny_cube.rollup(("H1", "Sales"), "max") == 30.0
+        assert tiny_cube.rollup(("H1", "Sales"), "min") == 10.0
+        assert tiny_cube.rollup(("H1", "Sales"), "avg") == 20.0
+        assert tiny_cube.rollup(("H1", "Sales"), "count") == 3.0
+
+    def test_scope_cells(self, tiny_cube):
+        cells = dict(tiny_cube.scope_cells(("H1", "Sales")))
+        assert set(cells) == {("Jan", "Sales"), ("Feb", "Sales"), ("Mar", "Sales")}
+
+    def test_materialize_derived(self, tiny_cube):
+        tiny_cube.materialize_derived([("H1", "Sales")])
+        assert tiny_cube.value(("H1", "Sales")) == 60.0
+
+    def test_materialize_leaf_rejected(self, tiny_cube):
+        with pytest.raises(RuleError):
+            tiny_cube.materialize_derived([("Jan", "Sales")])
+
+
+class TestTransforms:
+    def test_copy_is_deep_for_cells(self, tiny_cube):
+        clone = tiny_cube.copy()
+        clone.set(0.0, Time="Jan", Measures="Sales")
+        assert tiny_cube.at(Time="Jan", Measures="Sales") == 10.0
+
+    def test_filter_dimension(self, tiny_cube):
+        filtered = tiny_cube.filter_dimension("Measures", lambda c: c == "Sales")
+        assert filtered.n_leaf_cells == 6
+        assert is_missing(filtered.at(Time="Jan", Measures="COGS"))
+
+    def test_filter_also_drops_stored_derived(self, tiny_cube):
+        tiny_cube.set(99.0, Time="H1", Measures="COGS")
+        filtered = tiny_cube.filter_dimension("Measures", lambda c: c == "Sales")
+        assert filtered.n_stored_derived == 0
+
+    def test_map_leaf_cells_moves_and_drops(self, tiny_cube):
+        def transform(addr, value):
+            if addr[0] == "Jan":
+                return None  # drop Jan
+            return addr, value * 2
+
+        doubled = tiny_cube.map_leaf_cells(transform)
+        assert is_missing(doubled.at(Time="Jan", Measures="Sales"))
+        assert doubled.at(Time="Feb", Measures="Sales") == 40.0
+
+    def test_coordinates_used(self, tiny_cube):
+        assert tiny_cube.coordinates_used("Measures") == {"Sales", "COGS"}
+
+    def test_empty_like_shares_schema(self, tiny_cube):
+        empty = tiny_cube.empty_like()
+        assert empty.schema is tiny_cube.schema
+        assert empty.n_leaf_cells == 0
+
+
+class TestVaryingCoordinates:
+    def test_instance_rollup(self, example):
+        """Aggregate row FTE at Qtr1 sums only instances routed via FTE."""
+        value = example.cube.effective_value(
+            example.schema.address(
+                Organization="FTE", Location="NY", Time="Qtr1", Measures="Salary"
+            )
+        )
+        # Lisa 10+10+10 plus FTE/Joe Jan 10
+        assert value == 40.0
+
+    def test_two_instances_never_roll_into_each_other(self, example):
+        schema = example.schema
+        dim = schema.dim_index("Organization")
+        assert not schema.is_under(
+            dim, "Organization/FTE/Joe", "Organization/PTE/Joe"
+        )
+
+    def test_leaf_equal(self, example):
+        assert example.cube.leaf_equal(example.cube.copy())
+        other = example.cube.copy()
+        other.set(
+            1.0,
+            Organization="Organization/FTE/Lisa",
+            Location="NY",
+            Time="Dec",
+            Measures="Salary",
+        )
+        assert not example.cube.leaf_equal(other)

@@ -1,0 +1,136 @@
+"""Tests for Dimension / Member hierarchies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DuplicateMemberError, MemberNotFoundError, SchemaError
+from repro.olap.dimension import Dimension
+
+
+@pytest.fixture
+def org() -> Dimension:
+    d = Dimension("Organization")
+    d.add_children(None, ["FTE", "PTE"])
+    d.add_children("FTE", ["Joe", "Lisa"])
+    d.add_children("PTE", ["Tom"])
+    return d
+
+
+class TestConstruction:
+    def test_root_carries_dimension_name(self, org):
+        assert org.root.name == "Organization"
+        assert org.root.is_root
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Dimension("")
+
+    def test_duplicate_member_rejected(self, org):
+        with pytest.raises(DuplicateMemberError):
+            org.add_member("Joe", "PTE")
+
+    def test_add_under_missing_parent_rejected(self, org):
+        with pytest.raises(MemberNotFoundError):
+            org.add_member("X", "NoSuchParent")
+
+    def test_add_member_by_object(self, org):
+        fte = org.member("FTE")
+        sue = org.add_member("Sue", fte)
+        assert sue.parent is fte
+
+    def test_member_of_other_dimension_rejected(self, org):
+        other = Dimension("Other")
+        with pytest.raises(SchemaError):
+            org.add_member("Y", other.root)
+
+
+class TestNavigation:
+    def test_parent_child(self, org):
+        joe = org.member("Joe")
+        assert joe.parent.name == "FTE"
+        assert joe in org.member("FTE").children
+
+    def test_path(self, org):
+        assert org.member("Joe").path() == "Organization/FTE/Joe"
+
+    def test_ancestors(self, org):
+        names = [m.name for m in org.member("Joe").ancestors()]
+        assert names == ["FTE", "Organization"]
+
+    def test_descendants_document_order(self, org):
+        names = [m.name for m in org.root.descendants()]
+        assert names == ["FTE", "Joe", "Lisa", "PTE", "Tom"]
+
+    def test_leaves(self, org):
+        assert [m.name for m in org.root.leaves()] == ["Joe", "Lisa", "Tom"]
+
+    def test_is_descendant_of(self, org):
+        assert org.member("Joe").is_descendant_of(org.member("FTE"))
+        assert org.member("Joe").is_descendant_of(org.root)
+        assert not org.member("Joe").is_descendant_of(org.member("PTE"))
+        assert not org.member("FTE").is_descendant_of(org.member("Joe"))
+
+    def test_contains(self, org):
+        assert "Joe" in org
+        assert "Nobody" not in org
+
+    def test_len_counts_root(self, org):
+        assert len(org) == 6
+
+
+class TestLevels:
+    def test_leaf_level_zero(self, org):
+        assert org.member("Joe").level == 0
+
+    def test_internal_levels(self, org):
+        assert org.member("FTE").level == 1
+        assert org.root.level == 2
+
+    def test_depth(self, org):
+        assert org.root.depth == 0
+        assert org.member("FTE").depth == 1
+        assert org.member("Joe").depth == 2
+
+    def test_members_at_level(self, org):
+        assert {m.name for m in org.members_at_level(0)} == {"Joe", "Lisa", "Tom"}
+        assert {m.name for m in org.members_at_level(1)} == {"FTE", "PTE"}
+
+
+class TestOrdering:
+    def test_order_index_document_order(self):
+        time = Dimension("Time", ordered=True)
+        time.add_member("Q1")
+        time.add_children("Q1", ["Jan", "Feb"])
+        time.add_member("Q2")
+        time.add_children("Q2", ["Mar"])
+        assert time.order_index("Jan") == 0
+        assert time.order_index("Feb") == 1
+        assert time.order_index("Mar") == 2
+        assert time.leaf_count == 3
+        assert time.leaf_at(2).name == "Mar"
+
+    def test_order_index_of_non_leaf_rejected(self):
+        time = Dimension("Time", ordered=True)
+        time.add_member("Q1")
+        time.add_children("Q1", ["Jan"])
+        with pytest.raises(SchemaError):
+            time.order_index("Q1")
+
+    def test_leaf_order_invalidated_on_mutation(self):
+        time = Dimension("Time", ordered=True)
+        time.add_member("Jan")
+        assert time.order_index("Jan") == 0
+        time.add_member("Feb")
+        assert time.order_index("Feb") == 1
+
+    def test_leaf_at_out_of_range(self):
+        time = Dimension("Time", ordered=True)
+        time.add_member("Jan")
+        with pytest.raises(SchemaError):
+            time.leaf_at(5)
+
+
+def test_select_members(org):
+    starts_with_l = org.select_members(lambda m: m.name.startswith("L"))
+    assert [m.name for m in starts_with_l] == ["Lisa"]

@@ -1,0 +1,92 @@
+"""Property tests: formula serialisation round-trips through the parser."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.olap.formula import (
+    BinOp,
+    Expr,
+    MemberRef,
+    Number,
+    UnaryOp,
+    format_expr,
+    parse_formula,
+)
+from repro.olap.missing import MISSING, is_missing
+
+MEMBER_NAMES = ["Sales", "COGS", "Margin %", "Net-Value", "a_b"]
+
+
+def expressions() -> st.SearchStrategy[Expr]:
+    leaves = st.one_of(
+        st.floats(
+            min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+        ).map(Number),
+        st.sampled_from(MEMBER_NAMES).map(MemberRef),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from("+-*/"), children, children).map(
+                lambda t: BinOp(t[0], t[1], t[2])
+            ),
+            children.map(lambda e: UnaryOp("-", e)),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+ENV = {"Sales": 7.0, "COGS": 3.0, "Margin %": 2.5, "Net-Value": -4.0, "a_b": 0.5}
+
+
+def evaluate(expr: Expr):
+    return expr.evaluate(lambda name: ENV[name])
+
+
+@settings(max_examples=200, deadline=None)
+@given(expr=expressions())
+def test_format_parse_round_trip_evaluates_identically(expr):
+    text = format_expr(expr)
+    reparsed = parse_formula(text)
+    left = evaluate(expr)
+    right = evaluate(reparsed)
+    if is_missing(left):
+        assert is_missing(right)
+    else:
+        assert math.isclose(left, right, rel_tol=1e-12, abs_tol=1e-12), text
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=expressions())
+def test_formatted_text_is_stable(expr):
+    """Formatting is a fixpoint: format(parse(format(e))) == format(e)."""
+    once = format_expr(expr)
+    twice = format_expr(parse_formula(once))
+    assert once == twice
+
+
+@settings(max_examples=100, deadline=None)
+@given(expr=expressions())
+def test_member_refs_preserved(expr):
+    reparsed = parse_formula(format_expr(expr))
+    assert reparsed.member_refs() == expr.member_refs()
+
+
+def test_known_formatting_examples():
+    expr = parse_formula("Sales - COGS * 2")
+    assert format_expr(expr) == "[Sales] - [COGS] * 2.0"
+    expr = parse_formula("(Sales - COGS) * 2")
+    assert format_expr(expr) == "([Sales] - [COGS]) * 2.0"
+    expr = parse_formula("Sales - (COGS - 1)")
+    assert format_expr(expr) == "[Sales] - ([COGS] - 1.0)"
+
+
+def test_missing_propagates_through_round_trip():
+    expr = parse_formula("[Ghost] + 1")
+    text = format_expr(expr)
+    assert is_missing(parse_formula(text).evaluate(lambda name: MISSING))

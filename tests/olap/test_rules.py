@@ -1,0 +1,170 @@
+"""Tests for the formula parser and scoped rule engine (paper Sec. 2 rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FormulaSyntaxError, RuleError
+from repro.olap.cube import Cube
+from repro.olap.dimension import Dimension
+from repro.olap.formula import BinOp, MemberRef, Number, UnaryOp, parse_formula
+from repro.olap.missing import MISSING, is_missing
+from repro.olap.rules import Rule, RuleEngine
+from repro.olap.schema import CubeSchema
+
+
+class TestFormulaParsing:
+    def test_simple_difference(self):
+        expr = parse_formula("Sales - COGS")
+        assert isinstance(expr, BinOp)
+        assert expr.member_refs() == {"Sales", "COGS"}
+
+    def test_precedence(self):
+        expr = parse_formula("2 + 3 * 4")
+        assert expr.evaluate(lambda name: 0) == 14.0
+
+    def test_parentheses(self):
+        expr = parse_formula("(2 + 3) * 4")
+        assert expr.evaluate(lambda name: 0) == 20.0
+
+    def test_unary_minus(self):
+        expr = parse_formula("-Sales")
+        assert isinstance(expr, UnaryOp)
+        assert expr.evaluate(lambda name: 7) == -7.0
+
+    def test_bracketed_member(self):
+        expr = parse_formula("[Margin %] / COGS")
+        assert "Margin %" in expr.member_refs()
+
+    def test_quoted_member(self):
+        expr = parse_formula('"Net Sales" - COGS')
+        assert "Net Sales" in expr.member_refs()
+
+    def test_percent_in_identifier(self):
+        expr = parse_formula("Margin% * 2")
+        assert "Margin%" in expr.member_refs()
+
+    def test_paper_rule_3(self):
+        expr = parse_formula("0.93 * Sales - COGS")
+        assert expr.evaluate({"Sales": 100, "COGS": 50}.get) == pytest.approx(43.0)
+
+    def test_missing_propagates(self):
+        expr = parse_formula("Sales - COGS")
+        assert is_missing(expr.evaluate(lambda name: MISSING))
+
+    def test_division_by_zero_is_missing(self):
+        expr = parse_formula("Sales / COGS")
+        assert is_missing(expr.evaluate({"Sales": 10.0, "COGS": 0.0}.get))
+
+    def test_number_literal(self):
+        assert isinstance(parse_formula("42"), Number)
+        assert isinstance(parse_formula("Sales"), MemberRef)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "Sales -", "(Sales", "[Sales", "'Sales", "Sales COGS", "1.2.3", "@"],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(FormulaSyntaxError):
+            parse_formula(bad)
+
+
+def build_margin_cube() -> Cube:
+    """Product x Market x Measures cube with the paper's margin rules."""
+    product = Dimension("Product")
+    product.add_children(None, ["TV", "Radio"])
+    market = Dimension("Market")
+    market.add_children(None, ["East", "West"])
+    market.add_children("East", ["NY", "MA"])
+    market.add_children("West", ["CA"])
+    measures = Dimension("Measures", is_measures=True)
+    measures.add_children(None, ["Sales", "COGS", "Margin", "Margin%"])
+    schema = CubeSchema([product, market, measures])
+    engine = RuleEngine(schema)
+    # Rules (1)-(4) of Sec. 2.
+    engine.define("Margin", "Sales - COGS")
+    engine.define("Margin", "Sales - COGS", scope={"Market": "West"})
+    engine.define("Margin", "0.93 * Sales - COGS", scope={"Market": "East"})
+    engine.define("Margin%", "Margin / COGS * 100")
+    cube = Cube(schema, engine)
+    cube.set(100.0, Product="TV", Market="NY", Measures="Sales")
+    cube.set(40.0, Product="TV", Market="NY", Measures="COGS")
+    cube.set(200.0, Product="TV", Market="CA", Measures="Sales")
+    cube.set(80.0, Product="TV", Market="CA", Measures="COGS")
+    return cube
+
+
+class TestRuleEngine:
+    def test_default_rule_applies(self):
+        cube = build_margin_cube()
+        # CA (West): plain Sales - COGS via rule (2)
+        assert cube.effective_value(("TV", "CA", "Margin")) == pytest.approx(120.0)
+
+    def test_scoped_rule_overrides(self):
+        cube = build_margin_cube()
+        # NY (East): 0.93 * 100 - 40 via rule (3)
+        assert cube.effective_value(("TV", "NY", "Margin")) == pytest.approx(53.0)
+
+    def test_rule_chains(self):
+        cube = build_margin_cube()
+        # Margin% at CA: 120/80*100 = 150
+        assert cube.effective_value(("TV", "CA", "Margin%")) == pytest.approx(150.0)
+
+    def test_formula_at_aggregate_uses_aggregated_operands(self):
+        cube = build_margin_cube()
+        # Market root: East rule does not apply (root is not under East);
+        # default rule with aggregated Sales/COGS: (100+200)-(40+80)=180.
+        assert cube.effective_value(("TV", "Market", "Margin")) == pytest.approx(180.0)
+
+    def test_formula_missing_operand_propagates(self):
+        cube = build_margin_cube()
+        assert is_missing(cube.effective_value(("Radio", "NY", "Margin")))
+
+    def test_rollup_fallback_without_formula(self):
+        cube = build_margin_cube()
+        assert cube.effective_value(("TV", "East", "Sales")) == 100.0
+
+    def test_cycle_detection(self):
+        measures = Dimension("Measures", is_measures=True)
+        measures.add_children(None, ["A", "B"])
+        schema = CubeSchema([measures])
+        engine = RuleEngine(schema)
+        engine.define("A", "B + 1")
+        engine.define("B", "A + 1")
+        cube = Cube(schema, engine)
+        with pytest.raises(RuleError, match="cyclic"):
+            cube.effective_value(("A",))
+
+    def test_has_rule_for(self):
+        cube = build_margin_cube()
+        schema = cube.schema
+        assert cube.rules.has_rule_for(cube, ("TV", "NY", "Margin"))
+        assert not cube.rules.has_rule_for(cube, ("TV", "NY", "Sales"))
+
+    def test_leaf_formula_cell_is_derived(self):
+        cube = build_margin_cube()
+        # Margin at a fully-leaf address is computed by its rule, not ⊥.
+        assert cube.effective_value(("TV", "NY", "Margin")) == pytest.approx(53.0)
+
+    def test_unknown_rule_dimension_rejected(self):
+        cube = build_margin_cube()
+        with pytest.raises(Exception):
+            cube.rules.add_rule(Rule("X", "1", dimension="Nope"))
+
+    def test_rule_without_measures_dimension_rejected(self):
+        plain = Dimension("D")
+        plain.add_member("x")
+        schema = CubeSchema([plain])
+        engine = RuleEngine(schema)
+        with pytest.raises(RuleError):
+            engine.define("x", "1")
+
+    def test_later_equal_specificity_wins(self):
+        measures = Dimension("Measures", is_measures=True)
+        measures.add_children(None, ["A", "B"])
+        schema = CubeSchema([measures])
+        engine = RuleEngine(schema)
+        engine.define("A", "1")
+        engine.define("A", "2")
+        cube = Cube(schema, engine)
+        assert cube.effective_value(("A",)) == 2.0

@@ -1,0 +1,151 @@
+"""Tests for CubeSchema: addresses, coordinate semantics, varying registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.olap.dimension import Dimension
+from repro.olap.instances import VaryingDimension
+from repro.olap.schema import CubeSchema
+
+
+class TestRegistry:
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema([Dimension("A"), Dimension("A")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            CubeSchema([])
+
+    def test_dim_lookup(self, example):
+        assert example.schema.dim_index("Time") == 2
+        assert example.schema.dimension("Time").ordered
+        with pytest.raises(SchemaError):
+            example.schema.dim_index("Nope")
+
+    def test_measures_dimension(self, example):
+        assert example.schema.measures_dimension().name == "Measures"
+
+    def test_varying_registry(self, example):
+        assert example.schema.is_varying("Organization")
+        assert not example.schema.is_varying("Location")
+        assert example.schema.varying_dimension("Organization") is example.org
+        with pytest.raises(SchemaError):
+            example.schema.varying_dimension("Location")
+
+    def test_register_foreign_dimension_rejected(self, example):
+        rogue = Dimension("Rogue")
+        time = example.time
+        with pytest.raises(SchemaError):
+            example.schema.register_varying(VaryingDimension(rogue, time))
+
+    def test_register_parameter_outside_schema_rejected(self):
+        d = Dimension("D")
+        d.add_member("x")
+        t = Dimension("T", ordered=True)
+        t.add_member("Jan")
+        schema = CubeSchema([d])
+        with pytest.raises(SchemaError):
+            schema.register_varying(VaryingDimension(d, t))
+
+
+class TestAddresses:
+    def test_address_builder(self, example):
+        addr = example.schema.address(
+            Organization="FTE", Location="NY", Time="Jan", Measures="Salary"
+        )
+        assert addr == ("FTE", "NY", "Jan", "Salary")
+
+    def test_address_missing_dim_rejected(self, example):
+        with pytest.raises(SchemaError):
+            example.schema.address(Organization="FTE")
+
+    def test_address_extra_dim_rejected(self, example):
+        with pytest.raises(SchemaError):
+            example.schema.address(
+                Organization="FTE",
+                Location="NY",
+                Time="Jan",
+                Measures="Salary",
+                Bogus="x",
+            )
+
+    def test_validate_address_arity(self, example):
+        with pytest.raises(SchemaError):
+            example.schema.validate_address(("a", "b"))
+
+
+class TestCoordinateSemantics:
+    def test_varying_leafness_by_slash(self, example):
+        schema = example.schema
+        org = schema.dim_index("Organization")
+        assert schema.coordinate_is_leaf(org, "Organization/FTE/Joe")
+        assert not schema.coordinate_is_leaf(org, "FTE")
+
+    def test_plain_dimension_leafness(self, example):
+        schema = example.schema
+        time = schema.dim_index("Time")
+        assert schema.coordinate_is_leaf(time, "Jan")
+        assert not schema.coordinate_is_leaf(time, "Qtr1")
+
+    def test_is_leaf_address(self, example):
+        schema = example.schema
+        assert schema.is_leaf_address(
+            ("Organization/FTE/Joe", "NY", "Jan", "Salary")
+        )
+        assert not schema.is_leaf_address(("FTE", "NY", "Jan", "Salary"))
+        assert not schema.is_leaf_address(
+            ("Organization/FTE/Joe", "NY", "Qtr1", "Salary")
+        )
+
+    def test_coordinate_display(self, example):
+        schema = example.schema
+        org = schema.dim_index("Organization")
+        assert schema.coordinate_display(org, "Organization/FTE/Joe") == "FTE/Joe"
+        assert schema.coordinate_display(org, "FTE") == "FTE"
+
+    def test_is_under_varying(self, example):
+        schema = example.schema
+        org = schema.dim_index("Organization")
+        assert schema.is_under(org, "Organization/FTE/Joe", "FTE")
+        assert schema.is_under(org, "Organization/FTE/Joe", "Organization")
+        assert not schema.is_under(org, "Organization/FTE/Joe", "PTE")
+        assert schema.is_under(
+            org, "Organization/FTE/Joe", "Organization/FTE/Joe"
+        )
+
+    def test_is_under_plain(self, example):
+        schema = example.schema
+        loc = schema.dim_index("Location")
+        assert schema.is_under(loc, "NY", "East")
+        assert not schema.is_under(loc, "NY", "West")
+
+    def test_leaf_coordinates_under_varying(self, example):
+        schema = example.schema
+        org = schema.dim_index("Organization")
+        under_fte = set(schema.leaf_coordinates_under(org, "FTE"))
+        assert "Organization/FTE/Joe" in under_fte
+        assert "Organization/FTE/Lisa" in under_fte
+        assert "Organization/FTE/Sue" in under_fte
+        assert "Organization/PTE/Joe" not in under_fte
+        under_contr = set(schema.leaf_coordinates_under(org, "Contractor"))
+        assert "Organization/Contractor/Joe" in under_contr
+        assert "Organization/Contractor/Jane" in under_contr
+
+    def test_leaf_coordinates_under_plain(self, example):
+        schema = example.schema
+        loc = schema.dim_index("Location")
+        assert set(schema.leaf_coordinates_under(loc, "East")) == {"NY", "MA", "NH"}
+        assert schema.leaf_coordinates_under(loc, "NY") == ["NY"]
+
+    def test_instance_for_coordinate(self, example):
+        schema = example.schema
+        org = schema.dim_index("Organization")
+        instance = schema.instance_for_coordinate(org, "Organization/PTE/Joe")
+        assert instance.qualified_name == "PTE/Joe"
+        assert instance.validity.sorted_moments() == [1]
+        assert schema.instance_for_coordinate(org, "FTE") is None
+        time = schema.dim_index("Time")
+        assert schema.instance_for_coordinate(time, "Jan") is None

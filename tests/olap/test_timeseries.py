@@ -1,0 +1,139 @@
+"""Tests for time-series calculations, including over WhatIfCubes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.perspective import Mode, Semantics
+from repro.core.scenario import NegativeScenario
+from repro.errors import QueryError
+from repro.olap.missing import is_missing
+from repro.olap.timeseries import (
+    period_over_period,
+    period_to_date,
+    prior_period,
+    rolling,
+    series,
+)
+
+JOE_FTE = "Organization/FTE/Joe"
+LISA = "Organization/FTE/Lisa"
+
+
+def lisa_addr(example, month):
+    return example.schema.address(
+        Organization=LISA, Location="NY", Time=month, Measures="Salary"
+    )
+
+
+class TestSeries:
+    def test_full_series(self, example):
+        values = series(example.cube, example.time, lisa_addr(example, "Jan"))
+        assert values[:6] == [10.0] * 6
+        assert all(is_missing(v) for v in values[6:])
+
+    def test_unordered_dimension_rejected(self, example):
+        with pytest.raises(QueryError):
+            series(example.cube, example.location, lisa_addr(example, "Jan"))
+
+
+class TestPeriodToDate:
+    def test_ytd_accumulates(self, example):
+        assert period_to_date(
+            example.cube, example.time, lisa_addr(example, "Mar")
+        ) == 30.0
+        assert period_to_date(
+            example.cube, example.time, lisa_addr(example, "Jun")
+        ) == 60.0
+
+    def test_first_moment(self, example):
+        assert period_to_date(
+            example.cube, example.time, lisa_addr(example, "Jan")
+        ) == 10.0
+
+    def test_other_aggregators(self, example):
+        assert period_to_date(
+            example.cube, example.time, lisa_addr(example, "Jun"), "count"
+        ) == 6.0
+
+    def test_missing_tail_included_gracefully(self, example):
+        # Dec YTD: Jul-Dec are ⊥ but Jan-Jun sum remains.
+        assert period_to_date(
+            example.cube, example.time, lisa_addr(example, "Dec")
+        ) == 60.0
+
+
+class TestRolling:
+    def test_rolling_average(self, example):
+        assert rolling(
+            example.cube, example.time, lisa_addr(example, "Mar"), window=3
+        ) == 10.0
+
+    def test_truncated_window_at_start(self, example):
+        assert rolling(
+            example.cube,
+            example.time,
+            lisa_addr(example, "Jan"),
+            window=3,
+            aggregator="count",
+        ) == 1.0
+
+    def test_bad_window(self, example):
+        with pytest.raises(QueryError):
+            rolling(example.cube, example.time, lisa_addr(example, "Jan"), 0)
+
+
+class TestPriorAndChange:
+    def test_prior_period(self, example):
+        assert prior_period(
+            example.cube, example.time, lisa_addr(example, "Feb")
+        ) == 10.0
+
+    def test_prior_before_start_is_missing(self, example):
+        assert is_missing(
+            prior_period(example.cube, example.time, lisa_addr(example, "Jan"))
+        )
+
+    def test_negative_lag_rejected(self, example):
+        with pytest.raises(QueryError):
+            prior_period(example.cube, example.time, lisa_addr(example, "Feb"), -1)
+
+    def test_period_over_period_flat_series(self, example):
+        assert period_over_period(
+            example.cube, example.time, lisa_addr(example, "Feb")
+        ) == 0.0
+
+    def test_period_over_period_missing_operand(self, example):
+        assert is_missing(
+            period_over_period(example.cube, example.time, lisa_addr(example, "Jul"))
+        )
+
+
+class TestOverWhatIfCube:
+    def test_ytd_on_hypothetical_structure(self, example):
+        """Forward-from-Jan: Joe's whole year lands under FTE/Joe, so his
+        FTE/Joe YTD grows month over month."""
+        whatif = NegativeScenario(
+            "Organization", ["Jan"], Semantics.FORWARD, Mode.VISUAL
+        ).apply(example.cube)
+        addr = example.schema.address(
+            Organization=JOE_FTE, Location="NY", Time="Apr", Measures="Salary"
+        )
+        # Jan 10 + Feb 10 + Mar 30 + Apr 20 = 70.
+        assert period_to_date(whatif, example.time, addr) == 70.0
+
+    def test_ytd_on_actual_structure_differs(self, example):
+        addr = example.schema.address(
+            Organization=JOE_FTE, Location="NY", Time="Apr", Measures="Salary"
+        )
+        # Actually FTE/Joe only has Jan's 10.
+        assert period_to_date(example.cube, example.time, addr) == 10.0
+
+    def test_rolling_on_whatif(self, example):
+        whatif = NegativeScenario(
+            "Organization", ["Jan"], Semantics.FORWARD, Mode.VISUAL
+        ).apply(example.cube)
+        addr = example.schema.address(
+            Organization=JOE_FTE, Location="NY", Time="Apr", Measures="Salary"
+        )
+        assert rolling(whatif, example.time, addr, window=2, aggregator="sum") == 50.0

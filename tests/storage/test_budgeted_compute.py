@@ -1,0 +1,71 @@
+"""Tests for multi-pass group-by computation under a memory budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.chunks import ChunkGrid
+from repro.storage.cube_compute import (
+    compute_group_bys,
+    compute_group_bys_budgeted,
+)
+from repro.storage.lattice import all_group_bys
+
+
+@pytest.fixture
+def store() -> ChunkStore:
+    rng = np.random.default_rng(1)
+    array = rng.normal(size=(8, 8, 8))
+    array[rng.random(array.shape) < 0.2] = np.nan
+    grid = ChunkGrid(array.shape, (2, 2, 2))
+    store = ChunkStore(grid)
+    for coord in grid.iter_chunks(grid.default_order()):
+        region = tuple(
+            slice(o, o + e)
+            for o, e in zip(grid.chunk_origin(coord), grid.chunk_extent(coord))
+        )
+        store.load(coord, array[region].copy())
+    return store
+
+
+class TestBudgetedCompute:
+    def test_results_match_single_pass(self, store):
+        group_bys = all_group_bys(3)
+        single = compute_group_bys(store, group_bys)
+        budgeted, _ = compute_group_bys_budgeted(store, group_bys, 80)
+        assert set(single) == set(budgeted)
+        for dims in single:
+            np.testing.assert_allclose(
+                single[dims].data, budgeted[dims].data, equal_nan=True
+            )
+
+    def test_tight_budget_needs_multiple_passes(self, store):
+        _, n_passes = compute_group_bys_budgeted(store, all_group_bys(3), 80)
+        assert n_passes > 1
+
+    def test_generous_budget_single_pass(self, store):
+        _, n_passes = compute_group_bys_budgeted(
+            store, all_group_bys(3), 10_000_000
+        )
+        assert n_passes == 1
+
+    def test_passes_multiply_chunk_reads(self, store):
+        group_bys = all_group_bys(3)
+        store.reset_stats()
+        compute_group_bys(store, group_bys)
+        single_reads = store.stats.chunk_reads
+        store.reset_stats()
+        _, n_passes = compute_group_bys_budgeted(store, group_bys, 80)
+        assert store.stats.chunk_reads == n_passes * single_reads
+
+    def test_impossible_budget_rejected(self, store):
+        with pytest.raises(StorageError):
+            compute_group_bys_budgeted(store, all_group_bys(3), 1)
+
+    def test_subset_of_group_bys(self, store):
+        wanted = [(0,), (1, 2)]
+        results, _ = compute_group_bys_budgeted(store, wanted, 10_000)
+        assert set(results) == {(0,), (1, 2)}

@@ -1,0 +1,159 @@
+"""Tests for the simulated chunk store: I/O accounting, layout, padding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.chunk_store import ChunkStore, ResidencyTracker
+from repro.storage.chunks import ChunkGrid
+from repro.storage.io_stats import IoCostModel, IoStats
+
+
+def make_store(**model_kwargs) -> ChunkStore:
+    grid = ChunkGrid([4, 4], [2, 2])
+    store = ChunkStore(grid, IoCostModel(**model_kwargs))
+    for i, coord in enumerate(grid.iter_chunks((0, 1))):
+        store.load(coord, np.full((2, 2), float(i)))
+    return store
+
+
+class TestLoadRead:
+    def test_round_trip(self):
+        store = make_store()
+        assert store.read((0, 0))[0, 0] == 0.0
+        assert store.read((1, 1))[0, 0] == 3.0
+
+    def test_missing_chunk_reads_as_nan_without_io(self):
+        grid = ChunkGrid([4], [2])
+        store = ChunkStore(grid)
+        data = store.read((1,))
+        assert np.isnan(data).all()
+        assert store.stats.chunk_reads == 0
+
+    def test_wrong_shape_rejected(self):
+        grid = ChunkGrid([4], [2])
+        store = ChunkStore(grid)
+        with pytest.raises(StorageError):
+            store.load((0,), np.zeros((3,)))
+
+    def test_peek_does_not_count(self):
+        store = make_store()
+        store.peek((0, 0))
+        assert store.stats.chunk_reads == 0
+
+    def test_read_chunk_carries_origin(self):
+        store = make_store()
+        chunk = store.read_chunk((1, 0))
+        assert chunk.origin == (2, 0)
+        assert chunk.cell_slices() == (slice(2, 4), slice(0, 2))
+
+    def test_write_counts(self):
+        store = make_store()
+        grid = store.grid
+        store.write((0, 0), np.zeros((2, 2)))
+        assert store.stats.chunk_writes == 1
+
+
+class TestIoAccounting:
+    def test_sequential_reads_have_no_seek(self):
+        store = make_store(read_ms=1.0)
+        for coord in store.grid.iter_chunks((0, 1)):
+            store.read(coord)
+        assert store.stats.chunk_reads == 4
+        assert store.stats.simulated_ms == pytest.approx(4.0)
+
+    def test_jump_reads_cost_seeks(self):
+        store = make_store(read_ms=1.0, seek_ms_per_chunk=0.5, seek_cap_ms=100.0)
+        store.read((0, 0))  # position 0
+        store.read((1, 1))  # position 3: gap 3 -> seek 1.5
+        assert store.stats.seek_distance == 3
+        assert store.stats.simulated_ms == pytest.approx(2.0 + 1.5)
+
+    def test_seek_cost_is_capped(self):
+        model = IoCostModel(seek_ms_per_chunk=1.0, seek_cap_ms=2.5)
+        assert model.seek_cost(100) == 2.5
+        assert model.seek_cost(2) == 2.0
+        assert model.seek_cost(1) == 0.0
+
+    def test_reset_stats(self):
+        store = make_store()
+        store.read((0, 0))
+        store.reset_stats()
+        assert store.stats.chunk_reads == 0
+        assert store.stats.simulated_ms == 0.0
+
+    def test_snapshot(self):
+        stats = IoStats()
+        stats.record_read(0, IoCostModel())
+        snap = stats.snapshot()
+        assert snap["chunk_reads"] == 1
+
+
+class TestLayout:
+    def test_positions_follow_load_order(self):
+        store = make_store()
+        assert store.position_of((0, 0)) == 0
+        assert store.position_of((1, 1)) == 3
+        assert store.file_extent == 4
+
+    def test_assign_layout_reorders(self):
+        store = make_store()
+        store.assign_layout((1, 0))
+        # (1,0) order: (0,0),(0,1),(1,0),(1,1)
+        assert store.position_of((0, 1)) == 1
+        assert store.position_of((1, 0)) == 2
+
+    def test_insert_padding_shifts_later_chunks(self):
+        store = make_store()
+        p_before = store.position_of((1, 1))
+        store.insert_padding(after_position=0, count=10)
+        assert store.position_of((0, 0)) == 0
+        assert store.position_of((1, 1)) == p_before + 10
+        assert store.file_extent == 14
+
+    def test_padding_increases_seek_cost(self):
+        store = make_store(read_ms=0.0, seek_ms_per_chunk=1.0, seek_cap_ms=1e9)
+        store.read((0, 0))
+        store.read((0, 1))
+        base_seek = store.stats.seek_distance
+        store.reset_stats()
+        store.insert_padding(after_position=0, count=100)
+        store.read((0, 0))
+        store.read((0, 1))
+        assert store.stats.seek_distance == base_seek + 100
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(StorageError):
+            make_store().insert_padding(0, -1)
+
+    def test_position_of_missing_chunk(self):
+        grid = ChunkGrid([4], [2])
+        with pytest.raises(StorageError):
+            ChunkStore(grid).position_of((0,))
+
+
+class TestResidencyTracker:
+    def test_high_water(self):
+        tracker = ResidencyTracker()
+        tracker.acquire((0,))
+        tracker.acquire((1,))
+        tracker.release((0,))
+        tracker.acquire((2,))
+        assert tracker.high_water == 2
+        assert tracker.resident_count == 2
+        assert tracker.resident == frozenset({(1,), (2,)})
+
+    def test_reset(self):
+        tracker = ResidencyTracker()
+        tracker.acquire((0,))
+        tracker.reset()
+        assert tracker.high_water == 0
+        assert tracker.resident_count == 0
+
+    def test_double_acquire_idempotent(self):
+        tracker = ResidencyTracker()
+        tracker.acquire((0,))
+        tracker.acquire((0,))
+        assert tracker.high_water == 1

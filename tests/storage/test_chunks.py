@@ -1,0 +1,88 @@
+"""Tests for ChunkGrid geometry and scan orders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.chunks import ChunkGrid
+
+
+@pytest.fixture
+def grid_4x4x4() -> ChunkGrid:
+    """Fig. 6's geometry: 3 dimensions, 4 chunks each (chunk edge 4)."""
+    return ChunkGrid([16, 16, 16], [4, 4, 4])
+
+
+class TestGeometry:
+    def test_chunk_counts(self, grid_4x4x4):
+        assert grid_4x4x4.chunks_per_dim == (4, 4, 4)
+        assert grid_4x4x4.n_chunks == 64
+        assert grid_4x4x4.n_cells == 16**3
+
+    def test_uneven_edge_chunks(self):
+        grid = ChunkGrid([10], [4])
+        assert grid.chunks_per_dim == (3,)
+        assert grid.chunk_extent((2,)) == (2,)
+
+    def test_chunk_of_cell(self, grid_4x4x4):
+        assert grid_4x4x4.chunk_of_cell((0, 0, 0)) == (0, 0, 0)
+        assert grid_4x4x4.chunk_of_cell((5, 11, 15)) == (1, 2, 3)
+
+    def test_chunk_origin(self, grid_4x4x4):
+        assert grid_4x4x4.chunk_origin((1, 2, 3)) == (4, 8, 12)
+
+    def test_empty_chunk_is_all_nan(self, grid_4x4x4):
+        import numpy as np
+
+        chunk = grid_4x4x4.empty_chunk((0, 0, 0))
+        assert chunk.data.shape == (4, 4, 4)
+        assert np.isnan(chunk.data).all()
+
+    def test_validation(self, grid_4x4x4):
+        with pytest.raises(StorageError):
+            grid_4x4x4.chunk_of_cell((0, 0))
+        with pytest.raises(StorageError):
+            grid_4x4x4.chunk_of_cell((16, 0, 0))
+        with pytest.raises(StorageError):
+            grid_4x4x4.chunk_origin((4, 0, 0))
+        with pytest.raises(StorageError):
+            ChunkGrid([0], [1])
+        with pytest.raises(StorageError):
+            ChunkGrid([4], [1, 1])
+        with pytest.raises(StorageError):
+            ChunkGrid([], [])
+
+
+class TestScanOrder:
+    def test_first_dimension_varies_fastest(self):
+        grid = ChunkGrid([4, 4], [2, 2])  # 2x2 chunks
+        order_ab = list(grid.iter_chunks((0, 1)))
+        assert order_ab == [(0, 0), (1, 0), (0, 1), (1, 1)]
+        order_ba = list(grid.iter_chunks((1, 0)))
+        assert order_ba == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_linear_index_matches_iteration(self, grid_4x4x4):
+        order = (0, 1, 2)
+        for expected, coord in enumerate(grid_4x4x4.iter_chunks(order)):
+            assert grid_4x4x4.linear_index(coord, order) == expected
+
+    def test_fig6_numbering(self, grid_4x4x4):
+        """Fig. 6 numbers chunks 1..64 in order ABC with A fastest: chunk 1
+        is (a0,b0,c0), chunk 4 is (a3,b0,c0), chunk 5 is (a0,b1,c0)."""
+        order = (0, 1, 2)
+        assert grid_4x4x4.linear_index((0, 0, 0), order) == 0
+        assert grid_4x4x4.linear_index((3, 0, 0), order) == 3
+        assert grid_4x4x4.linear_index((0, 1, 0), order) == 4
+        assert grid_4x4x4.linear_index((0, 0, 1), order) == 16
+        assert grid_4x4x4.linear_index((3, 3, 3), order) == 63
+
+    def test_bad_order_rejected(self, grid_4x4x4):
+        with pytest.raises(StorageError):
+            list(grid_4x4x4.iter_chunks((0, 0, 1)))
+        with pytest.raises(StorageError):
+            grid_4x4x4.linear_index((0, 0, 0), (0, 1))
+
+    def test_default_order_ascending_cardinality(self):
+        grid = ChunkGrid([8, 2, 4], [1, 1, 1])
+        assert grid.default_order() == (1, 2, 0)

@@ -1,0 +1,183 @@
+"""Tests for single-scan simultaneous aggregation vs brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.array_cube import Axis, ChunkedCube
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.chunks import ChunkGrid
+from repro.storage.cube_compute import (
+    compute_group_bys,
+    compute_group_bys_naive,
+    full_array,
+)
+from repro.storage.lattice import all_group_bys
+
+
+def brute_force(array: np.ndarray, dims: tuple[int, ...]) -> np.ndarray:
+    axes = tuple(a for a in range(array.ndim) if a not in dims)
+    mask = ~np.isnan(array)
+    sums = np.where(mask, array, 0.0).sum(axis=axes)
+    counts = mask.sum(axis=axes)
+    return np.where(counts > 0, sums, np.nan)
+
+
+def load_array(array: np.ndarray, chunk_shape) -> ChunkStore:
+    grid = ChunkGrid(array.shape, chunk_shape)
+    store = ChunkStore(grid)
+    for coord in grid.iter_chunks(grid.default_order()):
+        region = tuple(
+            slice(o, o + e)
+            for o, e in zip(grid.chunk_origin(coord), grid.chunk_extent(coord))
+        )
+        data = array[region]
+        if not np.isnan(data).all():
+            store.load(coord, data.copy())
+    return store
+
+
+class TestComputeGroupBys:
+    def test_matches_brute_force_all_group_bys(self):
+        rng = np.random.default_rng(7)
+        array = rng.normal(size=(6, 5, 4))
+        array[rng.random(array.shape) < 0.3] = np.nan
+        store = load_array(array, (2, 3, 2))
+        results = compute_group_bys(store, all_group_bys(3))
+        for dims, result in results.items():
+            expected = brute_force(array, dims)
+            np.testing.assert_allclose(result.data, expected, equal_nan=True)
+
+    def test_empty_regions_stay_missing(self):
+        array = np.full((4, 4), np.nan)
+        array[0, 0] = 5.0
+        store = load_array(array, (2, 2))
+        result = compute_group_bys(store, [(0,)])[(0,)]
+        assert result.data[0] == 5.0
+        assert np.isnan(result.data[2])
+
+    def test_sparse_chunks_not_read(self):
+        array = np.full((4, 4), np.nan)
+        array[0, 0] = 1.0
+        store = load_array(array, (2, 2))
+        compute_group_bys(store, [(0, 1)])
+        assert store.stats.chunk_reads == 1
+
+    def test_shared_scan_reads_each_chunk_once(self):
+        rng = np.random.default_rng(3)
+        array = rng.normal(size=(4, 4))
+        store = load_array(array, (2, 2))
+        compute_group_bys(store, all_group_bys(2))
+        assert store.stats.chunk_reads == 4
+
+    def test_naive_rescans_per_group_by(self):
+        rng = np.random.default_rng(3)
+        array = rng.normal(size=(4, 4))
+        store = load_array(array, (2, 2))
+        results = compute_group_bys_naive(store, all_group_bys(2))
+        assert store.stats.chunk_reads == 4 * len(results)
+        for dims, result in results.items():
+            np.testing.assert_allclose(
+                result.data, brute_force(array, dims), equal_nan=True
+            )
+
+    def test_apex_group_by(self):
+        array = np.arange(16, dtype=float).reshape(4, 4)
+        store = load_array(array, (2, 2))
+        result = compute_group_bys(store, [()])[()]
+        assert result.data == pytest.approx(array.sum())
+
+    def test_memory_cells_reported(self):
+        array = np.ones((4, 4))
+        store = load_array(array, (2, 2))
+        result = compute_group_bys(store, [(0,)], order=(0, 1))[(0,)]
+        # retained dim 0 faster than aggregated dim 1 -> full extent 4
+        assert result.memory_cells == 4
+
+    def test_scan_order_does_not_change_results(self):
+        rng = np.random.default_rng(11)
+        array = rng.normal(size=(4, 6))
+        store = load_array(array, (2, 2))
+        a = compute_group_bys(store, [(0,), (1,)], order=(0, 1))
+        b = compute_group_bys(store, [(0,), (1,)], order=(1, 0))
+        for dims in a:
+            np.testing.assert_allclose(a[dims].data, b[dims].data, equal_nan=True)
+
+    def test_full_array_round_trip(self):
+        rng = np.random.default_rng(5)
+        array = rng.normal(size=(5, 3))
+        array[0, 0] = np.nan
+        store = load_array(array, (2, 2))
+        np.testing.assert_allclose(full_array(store), array, equal_nan=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6)
+    ),
+    chunk=st.tuples(
+        st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4)
+    ),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_chunked_equals_brute_force(shape, chunk, seed):
+    rng = np.random.default_rng(seed)
+    array = rng.normal(size=shape)
+    array[rng.random(shape) < 0.4] = np.nan
+    store = load_array(array, chunk)
+    results = compute_group_bys(store, all_group_bys(2))
+    for dims, result in results.items():
+        np.testing.assert_allclose(
+            result.data, brute_force(array, dims), equal_nan=True
+        )
+
+
+class TestChunkedCube:
+    def test_build_and_read_by_labels(self):
+        axes = [Axis("Product", ["p1", "p2", "p3"]), Axis("Time", ["Jan", "Feb"])]
+        cube = ChunkedCube.build(
+            axes,
+            [(("p1", "Jan"), 10.0), (("p3", "Feb"), 7.0)],
+            chunk_shape=(2, 2),
+        )
+        assert cube.value(("p1", "Jan")) == 10.0
+        assert cube.value(("p3", "Feb")) == 7.0
+        assert np.isnan(cube.value(("p2", "Jan")))
+
+    def test_reads_count_io(self):
+        axes = [Axis("Product", ["p1", "p2"]), Axis("Time", ["Jan", "Feb"])]
+        cube = ChunkedCube.build(axes, [(("p1", "Jan"), 1.0)], chunk_shape=(1, 1))
+        cube.value(("p1", "Jan"))
+        assert cube.store.stats.chunk_reads == 1
+        cube.peek_at((0, 0))
+        assert cube.store.stats.chunk_reads == 1
+
+    def test_axis_lookup(self):
+        axes = [Axis("A", ["x"]), Axis("B", ["y"])]
+        cube = ChunkedCube.build(axes, [], chunk_shape=(1, 1))
+        assert cube.axis("B").labels == ("y",)
+        assert cube.axis_position("B") == 1
+        with pytest.raises(Exception):
+            cube.axis("C")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(Exception):
+            Axis("A", ["x", "x"])
+
+    def test_from_semantic_cube_matches_values(self, example):
+        chunked = ChunkedCube.from_cube(example.cube)
+        org_axis = chunked.axis("Organization")
+        assert "Organization/FTE/Joe" in org_axis
+        value = chunked.value(
+            ("Organization/Contractor/Joe", "NY", "Mar", "Salary")
+        )
+        assert value == 30.0
+
+    def test_from_semantic_cube_time_axis_ordered(self, example):
+        chunked = ChunkedCube.from_cube(example.cube)
+        labels = chunked.axis("Time").labels
+        assert labels.index("Jan") < labels.index("Feb") < labels.index("Jun")

@@ -1,0 +1,137 @@
+"""Tests for memory requirements and the MMST (Fig. 6 golden numbers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.chunks import ChunkGrid
+from repro.storage.lattice import all_group_bys, direct_children, direct_parents
+from repro.storage.mmst import build_mmst, memory_requirement
+
+
+@pytest.fixture
+def fig6_grid() -> ChunkGrid:
+    return ChunkGrid([16, 16, 16], [4, 4, 4])
+
+
+# A group-by over two of the three dimensions has 4x4-cell plane chunks;
+# the base cuboid's chunks are 4x4x4.  The paper counts memory in chunks of
+# the group-by's own plane: BC needs 1 such chunk, AC needs 4, AB needs 16.
+PLANE_CHUNK_CELLS = 16  # 4*4
+BASE_CHUNK_CELLS = 64  # 4*4*4
+
+
+class TestLattice:
+    def test_all_group_bys_count(self):
+        assert len(all_group_bys(3)) == 8
+        assert len(all_group_bys(3, include_base=False)) == 7
+
+    def test_parents_and_children(self):
+        node = frozenset({0})
+        assert set(direct_parents(node, 3)) == {
+            frozenset({0, 1}),
+            frozenset({0, 2}),
+        }
+        assert list(direct_children(frozenset({0, 1}))) == [
+            frozenset({1}),
+            frozenset({0}),
+        ]
+
+
+class TestMemoryRequirement:
+    """The paper's walkthrough of Fig. 6 under scan order ABC (A fastest)."""
+
+    ORDER = (0, 1, 2)
+
+    def test_bc_needs_one_chunk(self, fig6_grid):
+        assert (
+            memory_requirement(fig6_grid, frozenset({1, 2}), self.ORDER)
+            == PLANE_CHUNK_CELLS
+        )
+
+    def test_ac_needs_four_chunks(self, fig6_grid):
+        assert (
+            memory_requirement(fig6_grid, frozenset({0, 2}), self.ORDER)
+            == 4 * PLANE_CHUNK_CELLS
+        )
+
+    def test_ab_needs_sixteen_chunks(self, fig6_grid):
+        assert (
+            memory_requirement(fig6_grid, frozenset({0, 1}), self.ORDER)
+            == 16 * PLANE_CHUNK_CELLS
+        )
+
+    def test_base_streams_one_chunk(self, fig6_grid):
+        assert (
+            memory_requirement(fig6_grid, frozenset({0, 1, 2}), self.ORDER)
+            == BASE_CHUNK_CELLS
+        )
+
+    def test_apex_needs_one_cell(self, fig6_grid):
+        assert memory_requirement(fig6_grid, frozenset(), self.ORDER) == 1
+
+    def test_single_dim_group_bys(self, fig6_grid):
+        # A: aggregated {B, C}, slowest aggregated = C; A before C -> full 16.
+        assert memory_requirement(fig6_grid, frozenset({0}), self.ORDER) == 16
+        # C: aggregated {A, B}, slowest = B; C after B -> one chunk edge 4.
+        assert memory_requirement(fig6_grid, frozenset({2}), self.ORDER) == 4
+
+    def test_cardinality_order_reduces_memory(self):
+        """Zhao's heuristic: scanning small dimensions first costs less."""
+        grid = ChunkGrid([32, 8], [4, 4])
+        big_first = sum(
+            memory_requirement(grid, g, (0, 1))
+            for g in all_group_bys(2, include_base=False)
+        )
+        small_first = sum(
+            memory_requirement(grid, g, (1, 0))
+            for g in all_group_bys(2, include_base=False)
+        )
+        assert small_first <= big_first
+
+    def test_bad_order_rejected(self, fig6_grid):
+        with pytest.raises(StorageError):
+            memory_requirement(fig6_grid, frozenset({0}), (0, 0, 1))
+
+
+class TestMmst:
+    def test_tree_covers_all_non_base_nodes(self, fig6_grid):
+        tree = build_mmst(fig6_grid)
+        assert set(tree.parent) == set(all_group_bys(3, include_base=False))
+
+    def test_parents_are_direct_supersets(self, fig6_grid):
+        tree = build_mmst(fig6_grid)
+        for node, parent in tree.parent.items():
+            assert node < parent
+            assert len(parent) == len(node) + 1
+
+    def test_total_memory_positive(self, fig6_grid):
+        tree = build_mmst(fig6_grid)
+        assert tree.total_memory > 0
+        assert tree.requirement[frozenset({1, 2})] == PLANE_CHUNK_CELLS
+
+    def test_single_pass_when_budget_sufficient(self, fig6_grid):
+        tree = build_mmst(fig6_grid)
+        passes = tree.passes(tree.total_memory)
+        assert len(passes) == 1
+
+    def test_multiple_passes_under_tight_budget(self, fig6_grid):
+        tree = build_mmst(fig6_grid)
+        biggest = max(tree.requirement.values())
+        passes = tree.passes(biggest)
+        assert len(passes) > 1
+        for batch in passes:
+            assert sum(tree.requirement[g] for g in batch) <= biggest
+
+    def test_oversized_group_by_rejected(self, fig6_grid):
+        tree = build_mmst(fig6_grid)
+        with pytest.raises(StorageError):
+            tree.passes(1)
+
+    def test_children_of(self, fig6_grid):
+        tree = build_mmst(fig6_grid)
+        base = frozenset({0, 1, 2})
+        children = tree.children_of(base)
+        assert all(len(c) == 2 for c in children)
+        assert len(children) == 3

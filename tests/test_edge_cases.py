@@ -1,0 +1,110 @@
+"""Assorted edge-case tests across modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compression import compress
+from repro.core.operators import ChangeTuple
+from repro.core.perspective import Mode
+from repro.core.scenario import PositiveScenario
+from repro.olap.cube import Cube
+from repro.olap.missing import MISSING, is_missing
+from repro.warehouse import Warehouse
+
+
+class TestMdxTailAndHeadEdges:
+    @pytest.fixture
+    def warehouse(self, example):
+        return Warehouse(example.schema, example.cube, name="Warehouse")
+
+    def test_tail_zero(self, warehouse):
+        result = warehouse.query(
+            "SELECT Tail({[Jan], [Feb]}, 0) ON COLUMNS FROM Warehouse"
+        )
+        assert result.column_labels() == []
+
+    def test_head_larger_than_set(self, warehouse):
+        result = warehouse.query(
+            "SELECT Head({[Jan], [Feb]}, 10) ON COLUMNS FROM Warehouse"
+        )
+        assert result.column_labels() == ["Jan", "Feb"]
+
+    def test_crossjoin_with_empty_set(self, warehouse):
+        result = warehouse.query(
+            "SELECT CrossJoin({}, {[Jan]}) ON COLUMNS, {[Lisa]} ON ROWS "
+            "FROM Warehouse"
+        )
+        assert result.column_labels() == []
+
+
+class TestCubeEdges:
+    def test_materialize_missing_removes_stored(self, tiny_schema):
+        cube = Cube(tiny_schema)
+        cube.set(1.0, Time="Jan", Measures="Sales")
+        cube.set(99.0, Time="H1", Measures="Sales")
+        cube.set_value(("Jan", "Sales"), MISSING)  # drop the only leaf
+        cube.materialize_derived([("H1", "Sales")])
+        assert is_missing(cube.value(("H1", "Sales")))
+        assert cube.n_stored_derived == 0
+
+    def test_effective_value_missing_leaf_without_rules(self, tiny_cube):
+        tiny_cube.set(None, Time="Feb", Measures="Sales")
+        assert is_missing(tiny_cube.effective_value(("Feb", "Sales")))
+
+    def test_scope_values_for_leaf_is_self(self, tiny_cube):
+        assert list(tiny_cube.scope_values(("Jan", "Sales"))) == [10.0]
+
+
+class TestCompressionOfPositiveScenarios:
+    def test_split_compresses_and_round_trips(self, example):
+        scenario = PositiveScenario(
+            "Organization",
+            [ChangeTuple("Lisa", "FTE", "PTE", "Apr")],
+            Mode.NON_VISUAL,
+        )
+        result = scenario.apply(example.cube)
+        compressed = compress(example.cube, result)
+        # Lisa's Apr-Jun NY salaries and benefits moved:
+        # 6 overrides + 6 deletions (3 months x 2 measures).
+        assert len(compressed.overrides) == 6
+        assert len(compressed.deletions) == 6
+        assert compressed.materialize().leaf_equal(result.leaf_cube)
+
+
+class TestWhatIfCubeAggregateRouting:
+    def test_non_visual_prefers_input_even_when_not_stored(self, example):
+        from repro.core.perspective import Semantics
+        from repro.core.scenario import NegativeScenario
+
+        result = NegativeScenario(
+            "Organization", ["Jan"], Semantics.FORWARD, Mode.NON_VISUAL
+        ).apply(example.cube)
+        q1 = example.schema.address(
+            Organization="Contractor", Location="NY", Time="Qtr1",
+            Measures="Salary",
+        )
+        # Input aggregate: Jane 30 + Contractor/Joe Mar 30 = 60, even
+        # though under the hypothetical structure Joe's Mar is FTE's.
+        assert result.effective_value(q1) == 60.0
+
+    def test_visual_same_address_differs(self, example):
+        from repro.core.perspective import Semantics
+        from repro.core.scenario import NegativeScenario
+
+        result = NegativeScenario(
+            "Organization", ["Jan"], Semantics.FORWARD, Mode.VISUAL
+        ).apply(example.cube)
+        q1 = example.schema.address(
+            Organization="Contractor", Location="NY", Time="Qtr1",
+            Measures="Salary",
+        )
+        assert result.effective_value(q1) == 30.0  # Jane only
+
+
+class TestValiditySetReprAndBounds:
+    def test_repr_is_informative(self):
+        from repro.validity import ValiditySet
+
+        text = repr(ValiditySet((3, 1), 12))
+        assert "1" in text and "3" in text and "12" in text

@@ -1,0 +1,73 @@
+"""Golden-output regression guards for the headline user-facing flows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.warehouse import Warehouse
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+FIG4_QUERY = """
+    WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+    SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS,
+           {[Joe]} ON ROWS
+    FROM Warehouse WHERE ([NY], [Salary])
+"""
+
+FIG4_EXPECTED = """\
+               |          Jan |          Feb |          Mar |          Apr
+--------------------------------------------------------------------------
+PTE/Joe        |            - |           10 |           30 |            -
+Contractor/Joe |            - |            - |            - |           20"""
+
+
+def test_fig4_grid_text_snapshot(warehouse):
+    """The paper's Fig. 4 rendering must stay byte-stable."""
+    assert warehouse.query(FIG4_QUERY).to_text() == FIG4_EXPECTED
+
+
+def test_classic_grid_snapshot(warehouse):
+    result = warehouse.query(
+        """
+        SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS,
+               Location.[East].Children ON ROWS
+        FROM Warehouse
+        WHERE (Organization.[Contractor].[Joe], Measures.[Salary])
+        """
+    )
+    expected = """\
+   |         Qtr1 |         Qtr2
+--------------------------------
+NY |           30 |           40
+MA |           15 |            -
+NH |            - |            -"""
+    assert result.to_text() == expected
+
+
+def test_fig9_pebbling_snapshot():
+    """The Sec. 5.2 walkthrough numbers must stay pinned."""
+    from repro.core.merge_graph import fig8_example_graph
+    from repro.core.pebbling import node_cost, optimal_pebbles, pebble
+
+    graph = fig8_example_graph()
+    assert {n: node_cost(graph, n) for n in sorted(graph.nodes)} == {
+        1: 1, 3: 1, 5: 0, 6: 1, 7: 1, 9: 0, 10: 0,
+    }
+    assert pebble(graph).max_pebbles == 3
+    assert optimal_pebbles(graph) == 3
+
+
+def test_running_example_joe_instances_snapshot(example):
+    assert {
+        i.qualified_name: i.validity.sorted_moments()
+        for i in example.org.instances_of("Joe")
+    } == {
+        "FTE/Joe": [0],
+        "PTE/Joe": [1],
+        "Contractor/Joe": [2, 3, 5, 6, 7, 8, 9, 10, 11],
+    }

@@ -1,0 +1,134 @@
+"""Tests for warehouse persistence (save/load round trip)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.io import load_warehouse, save_warehouse
+from repro.olap.missing import is_missing
+from repro.warehouse import Warehouse
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    wh = Warehouse(example.schema, example.cube, name="Warehouse", aliases={"WH"})
+    wh.define_named_set("Changers", ["Joe"])
+    # A derived measure with a formula rule, to exercise rule I/O.
+    example.measures.add_member("CompPerHead", "Compensation")
+    example.rules.define("CompPerHead", "Salary / 1")
+    return wh
+
+
+class TestRoundTrip:
+    def test_leaf_cells_survive(self, warehouse, tmp_path):
+        save_warehouse(warehouse, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        assert loaded.cube.leaf_equal(warehouse.cube)
+
+    def test_schema_structure_survives(self, warehouse, tmp_path):
+        save_warehouse(warehouse, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        assert loaded.schema.dim_names() == warehouse.schema.dim_names()
+        assert loaded.schema.dimension("Time").ordered
+        assert loaded.schema.dimension("Measures").is_measures
+        assert loaded.schema.is_varying("Organization")
+
+    def test_instances_survive(self, warehouse, tmp_path):
+        save_warehouse(warehouse, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        instances = {
+            i.qualified_name: i.validity.sorted_moments()
+            for i in loaded.varying("Organization").instances_of("Joe")
+        }
+        assert instances == {
+            "FTE/Joe": [0],
+            "PTE/Joe": [1],
+            "Contractor/Joe": [2, 3] + list(range(5, 12)),
+        }
+
+    def test_named_sets_survive(self, warehouse, tmp_path):
+        save_warehouse(warehouse, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        assert loaded.named_set("Changers").members == ("Joe",)
+
+    def test_name_and_aliases_survive(self, warehouse, tmp_path):
+        save_warehouse(warehouse, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        assert loaded.name == "Warehouse"
+        assert loaded.aliases == {"WH"}
+
+    def test_rules_survive(self, warehouse, tmp_path):
+        save_warehouse(warehouse, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        address = loaded.schema.address(
+            Organization="Organization/FTE/Lisa",
+            Location="NY",
+            Time="Jan",
+            Measures="CompPerHead",
+        )
+        assert loaded.cube.effective_value(address) == 10.0
+
+    def test_stored_derived_survive(self, warehouse, tmp_path):
+        q1 = warehouse.schema.address(
+            Organization="FTE", Location="NY", Time="Qtr1", Measures="Salary"
+        )
+        warehouse.cube.materialize_derived([q1])
+        save_warehouse(warehouse, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        assert loaded.cube.value(q1) == warehouse.cube.value(q1)
+
+    def test_queries_agree_after_reload(self, warehouse, tmp_path):
+        save_warehouse(warehouse, tmp_path / "wh")
+        loaded = load_warehouse(tmp_path / "wh")
+        text = """
+            WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+            SELECT {Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS,
+                   {[Joe]} ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+        """
+        original = warehouse.query(text)
+        reloaded = loaded.query(text)
+        assert original.row_labels() == reloaded.row_labels()
+        for r in range(len(original.rows)):
+            for c in range(len(original.columns)):
+                left, right = original.cell(r, c), reloaded.cell(r, c)
+                assert is_missing(left) == is_missing(right)
+                if not is_missing(left):
+                    assert left == right
+
+    def test_workforce_round_trip(self, tmp_path):
+        workforce = build_workforce(
+            WorkforceConfig(n_employees=30, n_departments=4, n_changing=4, seed=2)
+        )
+        save_warehouse(workforce.warehouse, tmp_path / "wf")
+        loaded = load_warehouse(tmp_path / "wf")
+        assert loaded.cube.leaf_equal(workforce.cube)
+        assert loaded.named_set("EmployeeS3") is not None
+
+
+class TestFormat:
+    def test_save_is_deterministic(self, warehouse, tmp_path):
+        save_warehouse(warehouse, tmp_path / "a")
+        save_warehouse(warehouse, tmp_path / "b")
+        for name in ("schema.json", "cells.json"):
+            assert (tmp_path / "a" / name).read_text() == (
+                tmp_path / "b" / name
+            ).read_text()
+
+    def test_schema_is_valid_json(self, warehouse, tmp_path):
+        save_warehouse(warehouse, tmp_path / "wh")
+        payload = json.loads((tmp_path / "wh" / "schema.json").read_text())
+        assert payload["format_version"] == 1
+        assert "Organization" in payload["varying"]
+
+    def test_version_check(self, warehouse, tmp_path):
+        root = save_warehouse(warehouse, tmp_path / "wh")
+        payload = json.loads((root / "schema.json").read_text())
+        payload["format_version"] = 99
+        (root / "schema.json").write_text(json.dumps(payload))
+        with pytest.raises(SchemaError, match="version"):
+            load_warehouse(root)

@@ -1,0 +1,28 @@
+"""Smoke test for the package entry point (python -m repro)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+
+def run_module(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_demo_runs():
+    completed = run_module()
+    assert completed.returncode == 0, completed.stderr
+    assert "PTE/Joe" in completed.stdout
+    assert "Contractor/Joe" in completed.stdout
+
+
+def test_version_flag():
+    completed = run_module("--version")
+    assert completed.returncode == 0
+    assert completed.stdout.strip()

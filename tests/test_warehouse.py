@@ -1,0 +1,110 @@
+"""Tests for the Warehouse facade: resolution, named sets, cube names."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MdxEvaluationError, SchemaError
+from repro.olap.cube import Cube
+from repro.warehouse import NamedSet, Warehouse
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(
+        example.schema, example.cube, name="Warehouse", aliases={"WH"}
+    )
+
+
+class TestConstruction:
+    def test_schema_mismatch_rejected(self, example, tiny_schema):
+        rogue = Cube(tiny_schema)
+        with pytest.raises(SchemaError):
+            Warehouse(example.schema, rogue)
+
+    def test_repr(self, warehouse):
+        assert "Warehouse" in repr(warehouse)
+
+
+class TestMemberResolution:
+    def test_bare_member(self, warehouse):
+        dim, member = warehouse.resolve_member(("Joe",))
+        assert dim.name == "Organization"
+        assert member.name == "Joe"
+
+    def test_dimension_qualified(self, warehouse):
+        dim, member = warehouse.resolve_member(("Organization", "FTE", "Joe"))
+        assert member.name == "Joe"
+
+    def test_dimension_name_alone_is_root(self, warehouse):
+        dim, member = warehouse.resolve_member(("Organization",))
+        assert member.is_root
+
+    def test_hypothetical_parent_allowed(self, warehouse):
+        # Organization.[PTE].[Joe]: Joe's skeleton parent is FTE, but PTE
+        # exists, so the path is valid (instance filtering is the
+        # evaluator's job).
+        dim, member = warehouse.resolve_member(("Organization", "PTE", "Joe"))
+        assert member.name == "Joe"
+
+    def test_nonexistent_intermediate_rejected(self, warehouse):
+        with pytest.raises(MdxEvaluationError):
+            warehouse.resolve_member(("Organization", "Nowhere", "Joe"))
+
+    def test_unknown_member_rejected(self, warehouse):
+        with pytest.raises(MdxEvaluationError):
+            warehouse.resolve_member(("Nobody",))
+
+    def test_empty_path_rejected(self, warehouse):
+        with pytest.raises(MdxEvaluationError):
+            warehouse.resolve_member(())
+
+    def test_ambiguity_reported_with_dimensions(self, example):
+        example.location.add_member("Dup")
+        example.organization.add_member("Dup", "FTE")
+        warehouse = Warehouse(example.schema, example.cube)
+        with pytest.raises(MdxEvaluationError, match="ambiguous"):
+            warehouse.resolve_member(("Dup",))
+        # Qualification resolves it.
+        dim, _ = warehouse.resolve_member(("Location", "Dup"))
+        assert dim.name == "Location"
+
+
+class TestNamedSets:
+    def test_define_and_fetch(self, warehouse):
+        named = warehouse.define_named_set("Changers", ["Joe", "Lisa"])
+        assert isinstance(named, NamedSet)
+        assert warehouse.named_set("Changers").members == ("Joe", "Lisa")
+        assert warehouse.named_sets() == [named]
+
+    def test_unknown_member_in_set_rejected(self, warehouse):
+        with pytest.raises(MdxEvaluationError):
+            warehouse.define_named_set("Bad", ["Nope"])
+
+    def test_redefinition_replaces(self, warehouse):
+        warehouse.define_named_set("S", ["Joe"])
+        warehouse.define_named_set("S", ["Lisa"])
+        assert warehouse.named_set("S").members == ("Lisa",)
+
+    def test_missing_set_is_none(self, warehouse):
+        assert warehouse.named_set("Nope") is None
+
+
+class TestCubeNames:
+    def test_canonical_name_accepted(self, warehouse):
+        warehouse.check_cube_name(("Warehouse",))
+
+    def test_alias_accepted(self, warehouse):
+        warehouse.check_cube_name(("WH",))
+        warehouse.check_cube_name(("App", "WH"))
+
+    def test_unknown_name_rejected(self, warehouse):
+        with pytest.raises(MdxEvaluationError):
+            warehouse.check_cube_name(("Another",))
+
+    def test_empty_reference_rejected(self, warehouse):
+        with pytest.raises(MdxEvaluationError):
+            warehouse.check_cube_name(())
+
+    def test_varying_accessor(self, warehouse, example):
+        assert warehouse.varying("Organization") is example.org

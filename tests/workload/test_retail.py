@@ -1,0 +1,89 @@
+"""Tests for the retail workload (Fig. 7 shape and the generalised form)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.perspective import PerspectiveSet, Semantics
+from repro.core.merge_graph import build_merge_graph
+from repro.workload.retail import RetailConfig, build_retail, fig7_example
+
+
+class TestFig7Example:
+    def test_instance_rows(self):
+        retail = fig7_example()
+        instances = {
+            i.qualified_name: i
+            for i in retail.product_varying.instances_of("1001")
+        }
+        assert set(instances) == {"300/1001", "200/1001", "100/1001"}
+        assert instances["300/1001"].validity.sorted_moments() == [0, 1, 2, 3]
+        assert instances["200/1001"].validity.sorted_moments() == [4, 5, 6, 7]
+        assert instances["100/1001"].validity.sorted_moments() == [8, 9, 10, 11]
+
+    def test_chunked_layout_groups_rows(self):
+        retail = fig7_example()
+        chunked, spec = retail.chunked(chunk_shape=(2, 3, 1))
+        labels = chunked.axis("Product").labels
+        # Rows ordered by group: 100/1001, 100/1002, 200/1001, 200/2001, ...
+        assert labels == (
+            "Product/100/1001",
+            "Product/100/1002",
+            "Product/200/1001",
+            "Product/200/2001",
+            "Product/300/1001",
+            "Product/300/3001",
+        )
+
+    def test_merge_graph_links_instance_rows(self):
+        retail = fig7_example()
+        chunked, spec = retail.chunked(chunk_shape=(2, 3, 1))
+        pset = PerspectiveSet([1], 12)  # P = {Feb}, as in Sec. 5.1
+        graph = build_merge_graph(spec, pset, Semantics.FORWARD)
+        # 300/1001 (row chunk 2) absorbs the year; merges needed with the
+        # chunks holding 200/1001 (row chunk 1) and 100/1001 (row chunk 0).
+        assert graph.number_of_edges() > 0
+        row_chunks = {a[0] for edge in graph.edges for a in edge}
+        assert row_chunks == {0, 1, 2}
+
+    def test_aggregate_rows(self):
+        retail = fig7_example()
+        value = retail.cube.effective_value(("300", "Jan", "NY"))
+        assert value == 20.0  # 300/1001 + 300/3001
+
+
+class TestGeneralisedRetail:
+    def test_deterministic(self):
+        a = build_retail(RetailConfig(seed=3))
+        b = build_retail(RetailConfig(seed=3))
+        assert a.varying_products == b.varying_products
+        assert a.cube.n_leaf_cells == b.cube.n_leaf_cells
+
+    def test_varying_products_have_instances(self):
+        retail = build_retail(RetailConfig(n_varying=3, seed=5))
+        for name in retail.varying_products:
+            assert len(retail.product_varying.instances_of(name)) >= 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RetailConfig(n_groups=1)
+        with pytest.raises(ValueError):
+            RetailConfig(n_varying=1000)
+
+    def test_chunked_values_roundtrip(self):
+        retail = build_retail(RetailConfig(seed=9))
+        chunked, spec = retail.chunked()
+        for addr, value in list(retail.cube.leaf_cells())[:20]:
+            assert chunked.peek_at(chunked.cell_of(addr[:3])) == value
+
+    def test_mdx_over_retail(self):
+        retail = fig7_example()
+        result = retail.warehouse.query(
+            "SELECT {[Jan], [May], [Sep]} ON COLUMNS, {[1001]} ON ROWS "
+            "FROM Retail WHERE ([NY])"
+        )
+        assert result.row_labels() == ["300/1001", "200/1001", "100/1001"]
+        assert result.cell_by_labels("300/1001", "Jan") == 10.0
+        assert result.cell_by_labels("200/1001", "May") == 10.0
+        assert result.cell_by_labels("100/1001", "Sep") == 10.0

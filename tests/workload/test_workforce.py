@@ -1,0 +1,170 @@
+"""Tests for the workforce workload generator (Sec. 6 dataset, scaled)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+
+@pytest.fixture(scope="module")
+def workforce():
+    return build_workforce(
+        WorkforceConfig(
+            n_employees=50,
+            n_departments=5,
+            n_changing=8,
+            max_moves=3,
+            n_accounts=4,
+            n_scenarios=2,
+            seed=11,
+        )
+    )
+
+
+class TestStructure:
+    def test_changing_count(self, workforce):
+        assert len(workforce.changing_employees) == 8
+
+    def test_every_changer_has_multiple_instances(self, workforce):
+        for name in workforce.changing_employees:
+            assert len(workforce.employee_varying.instances_of(name)) >= 2
+
+    def test_moves_within_bounds(self, workforce):
+        for name, moves in workforce.moves.items():
+            assert 1 <= len(moves) <= 3
+
+    def test_static_employees_have_one_instance(self, workforce):
+        statics = [
+            f"e{i:05d}"
+            for i in range(50)
+            if f"e{i:05d}" not in set(workforce.changing_employees)
+        ]
+        for name in statics[:5]:
+            assert len(workforce.employee_varying.instances_of(name)) == 1
+
+    def test_seven_dimensions(self, workforce):
+        assert workforce.schema.n_dims == 7
+        assert workforce.schema.is_varying("Department")
+
+    def test_named_sets_partition_changers(self, workforce):
+        wh = workforce.warehouse
+        union: list[str] = []
+        for i in (1, 2, 3):
+            union.extend(
+                wh.named_set(f"EmployeesWithAtleastOneMove-Set{i}").members
+            )
+        assert sorted(union) == sorted(workforce.changing_employees)
+
+    def test_employee_s3_exists(self, workforce):
+        s3 = workforce.warehouse.named_set("EmployeeS3")
+        assert len(s3.members) == 1
+        assert s3.members[0] in workforce.changing_employees
+
+
+class TestData:
+    def test_changers_fully_populated(self, workforce):
+        name = workforce.changing_employees[0]
+        total_moments = sum(
+            len(inst.validity)
+            for inst in workforce.employee_varying.instances_of(name)
+        )
+        assert total_moments == 12  # never invalid
+
+    def test_deterministic_given_seed(self):
+        config = WorkforceConfig(
+            n_employees=20, n_departments=3, n_changing=3, seed=5
+        )
+        a = build_workforce(config)
+        b = build_workforce(config)
+        assert a.changing_employees == b.changing_employees
+        assert a.cube.n_leaf_cells == b.cube.n_leaf_cells
+        addr = next(iter(dict(a.cube.leaf_cells())))
+        assert a.cube.value(addr) == b.cube.value(addr)
+
+    def test_different_seeds_differ(self):
+        a = build_workforce(WorkforceConfig(n_employees=20, n_changing=3, seed=1))
+        b = build_workforce(WorkforceConfig(n_employees=20, n_changing=3, seed=2))
+        assert a.changing_employees != b.changing_employees
+
+    def test_density_reduces_cells(self):
+        dense = build_workforce(
+            WorkforceConfig(n_employees=30, n_changing=3, density=1.0, seed=3)
+        )
+        sparse = build_workforce(
+            WorkforceConfig(n_employees=30, n_changing=3, density=0.2, seed=3)
+        )
+        assert sparse.cube.n_leaf_cells < dense.cube.n_leaf_cells
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkforceConfig(n_changing=0)
+        with pytest.raises(ValueError):
+            WorkforceConfig(n_departments=1)
+        with pytest.raises(ValueError):
+            WorkforceConfig(density=1.5)
+
+
+class TestChunkedBuild:
+    def test_chunked_matches_semantic_cube(self, workforce):
+        chunked, spec = workforce.chunked()
+        # Sample a handful of stored cells and compare.
+        for addr, value in list(workforce.cube.leaf_cells())[:25]:
+            assert chunked.peek_at(chunked.cell_of(addr)) == value
+
+    def test_slots_grouped_by_department(self, workforce):
+        chunked, spec = workforce.chunked()
+        labels = chunked.axis("Department").labels
+        departments = [label.split("/")[1] for label in labels]
+        assert departments == sorted(departments)
+
+    def test_changing_members_exposed(self, workforce):
+        _, spec = workforce.chunked()
+        assert sorted(spec.changing_members()) == sorted(
+            workforce.changing_employees
+        )
+
+    def test_instances_of_changer_in_separate_slots(self, workforce):
+        chunked, spec = workforce.chunked()
+        name = workforce.changing_employees[0]
+        slots = spec.slots_of_member(name)
+        assert len(slots) >= 2
+        rows = [spec.slot_row(s) for s in slots]
+        assert len(set(rows)) == len(rows)
+
+    def test_chunked_query_roundtrip(self, workforce):
+        """Chunk engine agrees with the semantic engine on a forward query."""
+        from repro.core.perspective import PerspectiveSet, Semantics
+        from repro.core.perspective_cube import run_perspective_query
+        from repro.core.scenario import NegativeScenario
+        from repro.olap.missing import is_missing
+
+        chunked, spec = workforce.chunked()
+        name = workforce.changing_employees[0]
+        pset = PerspectiveSet.from_names(["Jan", "Jul"], workforce.employee_varying)
+        result = run_perspective_query(
+            spec, [name], pset, Semantics.FORWARD
+        )
+        reference = NegativeScenario(
+            "Department", ["Jan", "Jul"], Semantics.FORWARD
+        ).apply(workforce.cube)
+        months = chunked.axis("Period").labels
+        for label, data in result.rows.items():
+            for t, month in enumerate(months):
+                got = data[t, 0, 0, 0, 0, 0]
+                expected = reference.leaf_cube.value(
+                    workforce.schema.address(
+                        Department=label,
+                        Period=month,
+                        Account=workforce.accounts[0],
+                        Scenario="Current",
+                        Currency="Local",
+                        Version="BU Version_1",
+                        Value="HSP_InputValue",
+                    )
+                )
+                if is_missing(expected):
+                    assert np.isnan(got)
+                else:
+                    assert got == expected
