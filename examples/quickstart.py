@@ -27,6 +27,19 @@ def main() -> None:
         print(f"  {instance.qualified_name:16s} VS = {instance.validity.sorted_moments()}")
     print()
 
+    print("=== Static analysis: catch bad what-if queries before execution ===")
+    report = warehouse.analyze(
+        """
+        WITH CHANGES {([Joe], [FTE], [PTE], [Mar])} FOR Organization
+        SELECT {Time.[Qtr1]} ON COLUMNS FROM Warehouse
+        """
+    )
+    for diagnostic in report:
+        print(f"  {diagnostic.to_text()}")
+    print("  (at Mar, Joe's instance is under Contractor, not FTE —")
+    print("   Warehouse.query would refuse this; analyze=False overrides)")
+    print()
+
     print("=== 1. Classic MDX: Joe-as-Contractor salary by quarter x state ===")
     result = warehouse.query(
         """

@@ -1,30 +1,68 @@
-"""``python -m repro`` — a tiny demonstration entry point.
+"""``python -m repro`` — demonstration and analysis entry points.
 
-Prints the library version and runs the paper's headline what-if query on
-the running example, so a fresh install can verify itself in one command.
-Use ``python -m repro.bench all`` for the experiment harness and the
-scripts under ``examples/`` for full walkthroughs.
+Without arguments, prints the library version and runs the paper's headline
+what-if query on the running example, so a fresh install can verify itself
+in one command.  ``python -m repro analyze <query-file>`` runs the static
+analyzer (:mod:`repro.analysis`) over an extended-MDX query without
+executing it.  Use ``python -m repro.bench all`` for the experiment harness
+and the scripts under ``examples/`` for full walkthroughs.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 import repro
 from repro import Warehouse
 from repro.workload import build_running_example
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
-    parser.add_argument(
-        "--version", action="store_true", help="print the version and exit"
-    )
-    args = parser.parse_args()
-    if args.version:
-        print(repro.__version__)
-        return
+def _build_warehouse(workload: str) -> Warehouse:
+    if workload == "running":
+        example = build_running_example()
+        return Warehouse(example.schema, example.cube)
+    if workload == "workforce":
+        from repro.workload.workforce import build_workforce
 
+        return build_workforce().warehouse
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    """The ``analyze`` subcommand.
+
+    Exit-code contract: 0 = clean (or warnings without ``--strict``),
+    1 = warnings under ``--strict``, 2 = error-level findings.
+    """
+    if args.query_file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.query_file, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            print(f"repro analyze: {exc}", file=sys.stderr)
+            return 2
+    warehouse = _build_warehouse(args.workload)
+    report = warehouse.analyze(text)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        source = "<stdin>" if args.query_file == "-" else args.query_file
+        if report.is_clean:
+            print(f"{source}: no diagnostics")
+        else:
+            for diagnostic in report:
+                print(f"{source}: {diagnostic.to_text()}")
+            print(
+                f"{len(report.errors)} error(s), "
+                f"{len(report.warnings)} warning(s)"
+            )
+    return report.exit_code(strict=args.strict)
+
+
+def _demo() -> int:
     print(f"repro {repro.__version__} — What-if OLAP queries "
           "with changing dimensions (ICDE 2008 reproduction)\n")
     example = build_running_example()
@@ -44,8 +82,52 @@ def main() -> None:
         """
     )
     print(result.to_text())
-    print("\nNext steps: python -m repro.bench all | python examples/quickstart.py")
+    print("\nNext steps: python -m repro analyze <query-file> | "
+          "python -m repro.bench all | python examples/quickstart.py")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="store_true", help="print the version and exit"
+    )
+    subparsers = parser.add_subparsers(dest="command")
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="statically analyze an extended-MDX query without executing it",
+        description=(
+            "Run the static analyzer over a query file (or stdin with '-') "
+            "and print its diagnostics.  Exit codes: 0 = clean, 1 = "
+            "warnings under --strict, 2 = errors."
+        ),
+    )
+    analyze.add_argument(
+        "query_file", help="path to an extended-MDX query file, or - for stdin"
+    )
+    analyze.add_argument(
+        "--workload",
+        choices=("running", "workforce"),
+        default="running",
+        help="warehouse to analyze against (default: the paper's running "
+        "example)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    analyze.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when the report contains warnings",
+    )
+    args = parser.parse_args(argv)
+    if args.version:
+        print(repro.__version__)
+        return 0
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    return _demo()
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Static semantic analysis for what-if queries and algebra plans.
+
+Public surface:
+
+* :func:`analyze_query` — analyze extended-MDX text (or a parsed
+  :class:`~repro.mdx.ast_nodes.MdxQuery`) against a warehouse's metadata;
+* :func:`analyze_plan` — analyze a :mod:`repro.core.plans` tree against a
+  cube schema;
+* the :class:`Diagnostic` / :class:`DiagnosticReport` framework and the
+  :data:`CODE_CATALOG` of stable ``WIFnnn`` codes.
+
+Both analyzers are pure metadata passes: no cube data is read.  They run
+by default inside :meth:`repro.warehouse.Warehouse.query` and
+:func:`repro.core.plans.execute_plan`; pass ``analyze=False`` there to
+skip enforcement.
+"""
+
+from repro.analysis.diagnostics import (
+    CODE_CATALOG,
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+)
+from repro.analysis.plan_analyzer import PlanAnalyzer, analyze_plan
+from repro.analysis.query_analyzer import QueryAnalyzer, analyze_query
+
+__all__ = [
+    "CODE_CATALOG",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "analyze_query",
+    "QueryAnalyzer",
+    "analyze_plan",
+    "PlanAnalyzer",
+]

@@ -1,0 +1,297 @@
+"""Static analysis of algebra plans (:mod:`repro.core.plans`).
+
+Runs over a plan tree plus schema metadata before :func:`execute_plan`
+touches any cube data.  Error-level findings are guaranteed execution
+failures (unknown dimensions, perspectives outside the parameter universe,
+split relations violating Def. 3.1); warnings flag plans that run but
+cannot do useful work (dead selections); info findings are the optimizer's
+own rewrite opportunities (:mod:`repro.core.optimizer`), surfaced as
+performance lints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.analysis.diagnostics import DiagnosticReport, Severity
+from repro.core.operators import ChangeTuple, _hypothetical_structure
+from repro.core.plans import (
+    And,
+    BaseCube,
+    DescendantOf,
+    EvaluateNode,
+    MemberEquals,
+    MemberIn,
+    Not,
+    Or,
+    PerspectiveNode,
+    PlanNode,
+    Pred,
+    SelectNode,
+    SplitNode,
+    ValidityIntersects,
+)
+from repro.errors import InvalidChangeError, SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.olap.dimension import Dimension
+    from repro.olap.instances import VaryingDimension
+    from repro.olap.schema import CubeSchema
+
+__all__ = ["analyze_plan", "PlanAnalyzer"]
+
+
+def analyze_plan(
+    plan: PlanNode,
+    schema: "CubeSchema",
+    varying: "Mapping[str, VaryingDimension] | None" = None,
+) -> DiagnosticReport:
+    """Analyze a plan against a schema (and optional varying overrides,
+    matching the ``varying`` argument of :func:`execute_plan`)."""
+    return PlanAnalyzer(schema, varying).run(plan)
+
+
+class PlanAnalyzer:
+    """One analysis run over one plan tree."""
+
+    def __init__(
+        self,
+        schema: "CubeSchema",
+        varying: "Mapping[str, VaryingDimension] | None" = None,
+    ) -> None:
+        self.schema = schema
+        self.overrides = dict(varying or {})
+        self.report = DiagnosticReport()
+
+    def _varying_for(self, dimension: str) -> "VaryingDimension | None":
+        """The varying structure a node would execute against, mirroring
+        ``_execute``'s override-then-schema lookup."""
+        override = self.overrides.get(dimension)
+        if override is not None:
+            return override
+        if self.schema.is_varying(dimension):
+            return self.schema.varying_dimension(dimension)
+        return None
+
+    def run(self, plan: PlanNode) -> DiagnosticReport:
+        node: PlanNode | None = plan
+        while node is not None and not isinstance(node, BaseCube):
+            if isinstance(node, SelectNode):
+                self._check_select(node)
+            elif isinstance(node, PerspectiveNode):
+                self._check_perspective(node)
+            elif isinstance(node, SplitNode):
+                self._check_split(node)
+            elif isinstance(node, EvaluateNode):
+                self._check_evaluate(node)
+            else:
+                self.report.add(
+                    "WIF401",
+                    f"unknown plan node {node.label()}",
+                    subject=node.label(),
+                )
+            node = node.child
+        return self.report.sorted()
+
+    # -- per-node checks ----------------------------------------------------
+
+    def _check_select(self, node: SelectNode) -> None:
+        label = node.label()
+        if node.dimension not in self.schema.dim_names():
+            self.report.add(
+                "WIF401",
+                f"selection over unknown dimension {node.dimension!r}",
+                subject=label,
+            )
+            return
+        dimension = self.schema.dimension(node.dimension)
+        varying = self._varying_for(node.dimension)
+        if self._predicate_dead(node.predicate, dimension, varying):
+            self.report.add(
+                "WIF403",
+                f"dead selection: {node.predicate!r} can never match a "
+                f"member of {node.dimension!r}; σ drops every sub-cube",
+                subject=label,
+            )
+        inner = node.input_plan
+        if isinstance(inner, (PerspectiveNode, SplitNode)):
+            pushable = (
+                node.dimension != inner.dimension
+                or node.predicate.is_member_level
+            )
+            if pushable:
+                op = (
+                    "Perspective"
+                    if isinstance(inner, PerspectiveNode)
+                    else "Split"
+                )
+                self.report.add(
+                    "WIF405",
+                    f"selection above {op} commutes downward; pushing σ "
+                    "below shrinks the cube the relocation processes "
+                    "(optimizer rule push-select-through-"
+                    f"{op.lower()})",
+                    subject=label,
+                )
+
+    def _check_perspective(self, node: PerspectiveNode) -> None:
+        label = node.label()
+        varying = self._varying_for(node.dimension)
+        if varying is None:
+            self.report.add(
+                "WIF401",
+                f"perspective over {node.dimension!r}, which is not a "
+                "varying dimension of this schema",
+                subject=label,
+            )
+            return
+        if not node.perspectives:
+            self.report.add(
+                "WIF402",
+                "a perspective set must contain at least one moment",
+                subject=label,
+            )
+        universe = varying.universe
+        bad = [p for p in node.perspectives if not 0 <= p < universe]
+        if bad:
+            self.report.add(
+                "WIF402",
+                f"perspective moments {bad} outside the parameter range "
+                f"[0, {universe})",
+                subject=label,
+            )
+        if node.semantics.is_dynamic and not varying.parameter.ordered:
+            # The plan executor tolerates this (unlike NegativeScenario),
+            # but the paper's Sec. 3.3 precondition makes it suspect.
+            self.report.add(
+                "WIF402",
+                f"{node.semantics.value} semantics over the unordered "
+                f"parameter dimension {varying.parameter.name!r} treats its "
+                "leaf order as a timeline",
+                subject=label,
+                severity=Severity.WARNING,
+            )
+        inner = node.input_plan
+        if (
+            node.semantics.value == "static"
+            and isinstance(inner, PerspectiveNode)
+            and inner.semantics.value == "static"
+            and inner.dimension == node.dimension
+            and set(inner.perspectives) <= set(node.perspectives)
+        ):
+            self.report.add(
+                "WIF404",
+                "redundant Φ composition: survivors of the inner static "
+                f"perspective P={sorted(set(inner.perspectives))} already "
+                "survive the outer one (optimizer rule "
+                "drop-redundant-static-perspective)",
+                subject=label,
+            )
+
+    def _check_split(self, node: SplitNode) -> None:
+        label = node.label()
+        varying = self._varying_for(node.dimension)
+        if varying is None:
+            self.report.add(
+                "WIF401",
+                f"split over {node.dimension!r}, which is not a varying "
+                "dimension of this schema",
+                subject=label,
+            )
+            return
+        ok = True
+        for member, old_parent, new_parent, moment in node.changes:
+            for role, name in (
+                ("member", member), ("old parent", old_parent),
+                ("new parent", new_parent),
+            ):
+                if name not in varying.dimension:
+                    self.report.add(
+                        "WIF407",
+                        f"change tuple {role} {name!r} does not exist in "
+                        f"dimension {node.dimension!r}",
+                        subject=label,
+                    )
+                    ok = False
+            try:
+                varying.moment_index(moment)
+            except SchemaError:
+                self.report.add(
+                    "WIF407",
+                    f"change moment {moment!r} is not a leaf of the "
+                    f"parameter dimension {varying.parameter.name!r}",
+                    subject=label,
+                )
+                ok = False
+        if not ok:
+            return
+        changes = [ChangeTuple(*spec) for spec in node.changes]
+        try:
+            hypo = _hypothetical_structure(varying, changes)
+        except (InvalidChangeError, SchemaError) as exc:
+            self.report.add("WIF407", str(exc), subject=label)
+            return
+        for member in {change.member for change in changes}:
+            for t in range(hypo.universe):
+                try:
+                    hypo.path_at(member, t)
+                except SchemaError as exc:
+                    self.report.add("WIF407", str(exc), subject=label)
+                    return
+
+    def _check_evaluate(self, node: EvaluateNode) -> None:
+        inner = node.input_plan
+        if (
+            isinstance(inner, EvaluateNode)
+            and inner.rule_source == node.rule_source
+        ):
+            self.report.add(
+                "WIF406",
+                "consecutive Evaluate nodes are idempotent; one suffices "
+                "(optimizer rule collapse-evaluate)",
+                subject=node.label(),
+            )
+
+    # -- predicate reasoning -------------------------------------------------
+
+    def _predicate_dead(
+        self,
+        pred: Pred,
+        dimension: "Dimension",
+        varying: "VaryingDimension | None",
+    ) -> bool:
+        """Conservatively prove a predicate matches no member at all.
+
+        Only returns True when emptiness is certain from metadata alone.
+        """
+        if isinstance(pred, MemberEquals):
+            return pred.name not in dimension
+        if isinstance(pred, MemberIn):
+            return all(name not in dimension for name in pred.names)
+        if isinstance(pred, DescendantOf):
+            return pred.ancestor not in dimension
+        if isinstance(pred, ValidityIntersects):
+            if varying is None:
+                return False
+            return all(
+                not 0 <= moment < varying.universe for moment in pred.moments
+            )
+        if isinstance(pred, And):
+            if any(
+                self._predicate_dead(part, dimension, varying)
+                for part in pred.parts
+            ):
+                return True
+            names = [
+                part.name for part in pred.parts
+                if isinstance(part, MemberEquals)
+            ]
+            return len(set(names)) > 1
+        if isinstance(pred, Or):
+            return bool(pred.parts) and all(
+                self._predicate_dead(part, dimension, varying)
+                for part in pred.parts
+            )
+        if isinstance(pred, Not):
+            return False
+        return False

@@ -17,7 +17,7 @@ round-trip, property-tested).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, TypeAlias
 
 from repro.core.scenario import WhatIfCube
 from repro.errors import QueryError
@@ -28,7 +28,7 @@ from repro.validity import ValiditySet
 
 __all__ = ["CompressedPerspectiveCube", "compress"]
 
-CellValue = "float | Missing"
+CellValue: TypeAlias = "float | Missing"
 
 
 @dataclass

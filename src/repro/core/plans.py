@@ -14,8 +14,8 @@ them to the callable form used by :func:`repro.core.operators.select`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.core import predicates as predicate_funcs
 from repro.core.operators import ChangeTuple, evaluate, relocate, select, split
@@ -298,8 +298,22 @@ def execute_plan(
     plan: PlanNode,
     base: Cube,
     varying: Mapping[str, VaryingDimension] | None = None,
+    analyze: bool = True,
 ) -> Cube:
-    """Execute a plan against a base cube; returns the result cube."""
+    """Execute a plan against a base cube; returns the result cube.
+
+    With ``analyze=True`` (the default) the plan analyzer runs first and
+    error-level findings abort execution with
+    :class:`~repro.errors.PlanAnalysisError`; ``analyze=False`` skips the
+    check.
+    """
+    if analyze:
+        from repro.analysis.plan_analyzer import analyze_plan
+        from repro.errors import PlanAnalysisError
+
+        report = analyze_plan(plan, base.schema, varying)
+        if report.has_errors:
+            raise PlanAnalysisError(report)
     return _execute(plan, base, dict(varying or {}))
 
 

@@ -20,7 +20,7 @@ re-evaluated output for **visual** mode, the original input cube for
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, TypeAlias
 
 from repro.core.operators import ChangeTuple, relocate, split
 from repro.core.perspective import Mode, PerspectiveSet, Semantics, phi_member
@@ -38,7 +38,7 @@ __all__ = [
     "apply_scenarios",
 ]
 
-CellValue = "float | Missing"
+CellValue: TypeAlias = "float | Missing"
 
 
 class WhatIfCube:
@@ -169,7 +169,7 @@ class PositiveScenario:
         return WhatIfCube(out, cube, self.mode, validity_out, varying_out=hypo)
 
 
-Scenario = "NegativeScenario | PositiveScenario"
+Scenario: TypeAlias = "NegativeScenario | PositiveScenario"
 
 
 def apply_scenarios(

@@ -57,18 +57,43 @@ class MdxError(ReproError):
 
 
 class MdxSyntaxError(MdxError):
-    """The extended-MDX query text could not be parsed."""
+    """The extended-MDX query text could not be parsed.
+
+    Carries the 1-based ``line``/``column`` of the offending token whenever
+    the parser or lexer knows it, and renders it in the same
+    ``line L, column C`` format used by analyzer diagnostics (see
+    :mod:`repro.analysis.diagnostics`).
+    """
 
     def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.raw_message = message
         if line:
             message = f"{message} (line {line}, column {column})"
         super().__init__(message)
         self.line = line
         self.column = column
 
+    @property
+    def span(self):
+        """The error position as a :class:`~repro.mdx.span.SourceSpan`
+        (``None`` when the position is unknown)."""
+        from repro.mdx.span import SourceSpan
+
+        if not self.line:
+            return None
+        return SourceSpan(self.line, self.column)
+
 
 class MdxEvaluationError(MdxError):
     """A parsed query failed during evaluation (unknown member, bad axis...)."""
+
+
+class UnknownMemberError(MdxEvaluationError):
+    """A member path in a query resolved to nothing."""
+
+
+class AmbiguousMemberError(MdxEvaluationError):
+    """A member path in a query matched more than one dimension."""
 
 
 class StorageError(ReproError):
@@ -78,3 +103,33 @@ class StorageError(ReproError):
 class QueryError(ReproError):
     """A what-if query is inconsistent (e.g. perspectives outside the
     parameter dimension, or a scenario over a non-varying dimension)."""
+
+
+class AnalysisError(ReproError):
+    """Base class for static-analysis rejections.
+
+    Raised when the analyzer (see :mod:`repro.analysis`) finds error-level
+    diagnostics and enforcement is on.  The full report is available as
+    ``exc.report``; ``str(exc)`` includes every diagnostic message so
+    callers matching on message fragments keep working.
+    """
+
+
+class MdxAnalysisError(AnalysisError, MdxEvaluationError):
+    """An extended-MDX query was rejected by static analysis."""
+
+    def __init__(self, report) -> None:
+        self.report = report
+        super().__init__(
+            "query rejected by static analysis:\n" + report.to_text()
+        )
+
+
+class PlanAnalysisError(AnalysisError, QueryError):
+    """An algebra plan was rejected by static analysis."""
+
+    def __init__(self, report) -> None:
+        self.report = report
+        super().__init__(
+            "plan rejected by static analysis:\n" + report.to_text()
+        )

@@ -9,7 +9,8 @@ and are resolved against the warehouse by the evaluator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+
+from repro.mdx.span import SourceSpan
 
 __all__ = [
     "SetExpr",
@@ -40,9 +41,14 @@ class SetExpr:
 
 @dataclass(frozen=True)
 class MemberPath(SetExpr):
-    """A (possibly dotted) member reference, e.g. Organization.[FTE].[Joe]."""
+    """A (possibly dotted) member reference, e.g. Organization.[FTE].[Joe].
+
+    ``span`` is the source position of the first path component; it is
+    excluded from equality/hashing so paths still compare by content.
+    """
 
     parts: tuple[str, ...]
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
     @property
     def leaf_name(self) -> str:
@@ -156,6 +162,7 @@ class AxisSpec:
     properties: tuple[MemberPath, ...] = ()
     #: NON EMPTY: drop axis positions whose cells are all ⊥
     non_empty: bool = False
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -166,6 +173,7 @@ class PerspectiveClause:
     dimension: str
     semantics: str = "static"  # Semantics enum value name (lowered)
     mode: str = "non_visual"
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -179,6 +187,7 @@ class ChangeSpec:
     #: when True, `member` denotes a set (e.g. [FTE].Children) and the
     #: change applies to each element (Sec. 3.4).
     expand: bool = False
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -188,6 +197,7 @@ class ChangesClause:
     changes: tuple[ChangeSpec, ...]
     dimension: str | None = None
     mode: str = "non_visual"
+    span: SourceSpan | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -199,3 +209,5 @@ class MdxQuery:
     changes: ChangesClause | None = None
     #: query-scoped named sets: WITH SET [Name] AS {...}
     named_sets: tuple[tuple[str, SetExpr], ...] = ()
+    #: span of the FROM-clause cube reference
+    cube_span: SourceSpan | None = field(default=None, compare=False, repr=False)

@@ -16,7 +16,7 @@ The pipeline follows the paper's semantics exactly:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.core.operators import ChangeTuple
 from repro.core.perspective import Mode, Semantics
@@ -61,37 +61,46 @@ class _Context:
         #: query-scoped named sets (WITH SET ... AS ...), by name
         self.query_sets = dict(query.named_sets)
         self._expanding_sets: set[str] = set()
-        self.scenario = self._build_scenario(query)
-        if self.scenario is None:
+        self.scenarios = self._build_scenarios(query)
+        self.varying_view = dict(self.schema.varying)
+        if not self.scenarios:
             self.view = warehouse.cube
             self.surviving: dict[str, set[str]] | None = None
-            self.varying_view = {
-                name: varying for name, varying in self.schema.varying.items()
-            }
         else:
-            applied = self.scenario.apply(warehouse.cube)
+            # Apply left to right (changes first, then perspectives view
+            # the hypothetical history), threading the hypothetical varying
+            # structure exactly like apply_scenarios().
+            current = warehouse.cube
+            applied: WhatIfCube | None = None
+            for scenario in self.scenarios:
+                varying = self.varying_view.get(scenario.dimension)
+                applied = scenario.apply(current, varying)
+                if applied.varying_out is not None:
+                    self.varying_view[scenario.dimension] = applied.varying_out
+                current = applied.leaf_cube
+            assert applied is not None
             self.view = applied
             self.surviving = self._surviving_instances(applied)
-            self.varying_view = {
-                name: varying for name, varying in self.schema.varying.items()
-            }
-            if applied.varying_out is not None:
-                self.varying_view[self.scenario.dimension] = applied.varying_out
 
     # -- scenario construction ---------------------------------------------------
 
-    def _build_scenario(self, query: MdxQuery):
+    def _build_scenarios(
+        self, query: MdxQuery
+    ) -> "list[NegativeScenario | PositiveScenario]":
+        scenarios: list[NegativeScenario | PositiveScenario] = []
+        if query.changes is not None:
+            scenarios.append(self._build_positive(query.changes))
         if query.perspective is not None:
             clause = query.perspective
-            return NegativeScenario(
-                dimension=clause.dimension,
-                perspectives=list(clause.perspectives),
-                semantics=Semantics(clause.semantics),
-                mode=Mode(clause.mode),
+            scenarios.append(
+                NegativeScenario(
+                    dimension=clause.dimension,
+                    perspectives=list(clause.perspectives),
+                    semantics=Semantics(clause.semantics),
+                    mode=Mode(clause.mode),
+                )
             )
-        if query.changes is not None:
-            return self._build_positive(query.changes)
-        return None
+        return scenarios
 
     def _build_positive(self, clause: ChangesClause) -> PositiveScenario:
         dimension = clause.dimension
@@ -120,7 +129,7 @@ class _Context:
 
     def _surviving_instances(self, applied: WhatIfCube) -> dict[str, set[str]]:
         surviving: dict[str, set[str]] = {}
-        dim = self.scenario.dimension  # type: ignore[union-attr]
+        dim = self.scenarios[-1].dimension
         surviving[dim] = set(applied.validity_out)
         return surviving
 
@@ -199,7 +208,7 @@ def _as_set(expr: SetExpr, context: _Context) -> list[tuple[Binding, ...]]:
     if isinstance(expr, CrossJoinExpr):
         left = _as_set(expr.left, context)
         right = _as_set(expr.right, context)
-        return [l + r for l in left for r in right]
+        return [lhs + rhs for lhs in left for rhs in right]
     if isinstance(expr, UnionExpr):
         left = _as_set(expr.left, context)
         seen = set(left)
@@ -217,7 +226,9 @@ def _as_set(expr: SetExpr, context: _Context) -> list[tuple[Binding, ...]]:
         return _as_set(expr.base, context)[: expr.count]
     if isinstance(expr, TailExpr):
         base = _as_set(expr.base, context)
-        return base[len(base) - expr.count :] if expr.count else []
+        # max() guards against count > len(base): a negative start would
+        # wrap around and silently drop the head of the set.
+        return base[max(0, len(base) - expr.count) :] if expr.count else []
     raise MdxEvaluationError(f"unsupported set expression {expr!r}")
 
 
@@ -401,14 +412,34 @@ def _axis_tuples(
     return result
 
 
-def evaluate_query(warehouse, query: MdxQuery) -> MdxResult:
-    """Evaluate a parsed query against a warehouse."""
+def evaluate_query(warehouse, query: MdxQuery, analyze: bool = True) -> MdxResult:
+    """Evaluate a parsed query against a warehouse.
+
+    With ``analyze=True`` (the default) the static analyzer runs first and
+    error-level findings abort evaluation with
+    :class:`~repro.errors.MdxAnalysisError` before any cube data is read;
+    ``analyze=False`` is the escape hatch that goes straight to execution.
+    """
+    if analyze:
+        from repro.analysis.query_analyzer import analyze_query
+        from repro.errors import MdxAnalysisError
+
+        report = analyze_query(warehouse, query)
+        if report.has_errors:
+            raise MdxAnalysisError(report)
     if not query.axes:
         raise MdxEvaluationError("a query needs at least one axis")
     if len(query.axes) > 2:
         raise MdxEvaluationError(
             "only COLUMNS and ROWS axes are supported in this implementation"
         )
+    seen_axes: set[str] = set()
+    for axis in query.axes:
+        if axis.axis in seen_axes:
+            raise MdxEvaluationError(
+                f"axis {axis.axis!r} is bound more than once"
+            )
+        seen_axes.add(axis.axis)
     warehouse.check_cube_name(query.cube)
     context = _Context(warehouse, query)
 
@@ -462,6 +493,6 @@ def evaluate_query(warehouse, query: MdxQuery) -> MdxResult:
     return MdxResult(columns=columns, rows=rows, cells=cells)
 
 
-def execute(warehouse, text: str) -> MdxResult:
+def execute(warehouse, text: str, analyze: bool = True) -> MdxResult:
     """Parse and evaluate extended-MDX text."""
-    return evaluate_query(warehouse, parse_query(text))
+    return evaluate_query(warehouse, parse_query(text), analyze=analyze)

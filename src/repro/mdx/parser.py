@@ -36,6 +36,7 @@ from repro.mdx.ast_nodes import (
     UnionExpr,
 )
 from repro.mdx.lexer import Token, tokenize
+from repro.mdx.span import SourceSpan
 
 __all__ = ["parse_query"]
 
@@ -91,6 +92,12 @@ class _Parser:
             raise self._error(f"expected a number, found {token.value!r}", token)
         return int(float(token.value))
 
+    def _expect_float(self) -> float:
+        token = self._next()
+        if token.kind != "number":
+            raise self._error(f"expected a number, found {token.value!r}", token)
+        return float(token.value)
+
     def _at_keyword(self, keyword: str, ahead: int = 0) -> bool:
         return self._peek(ahead).matches_keyword(keyword)
 
@@ -127,6 +134,7 @@ class _Parser:
             self._next()
             axes.append(self._axis_spec())
         self._expect_keyword("FROM")
+        cube_span = SourceSpan.from_token(self._peek())
         cube = self._dotted_names()
         slicer = None
         if self._at_keyword("WHERE"):
@@ -144,6 +152,7 @@ class _Parser:
             perspective=perspective,
             changes=changes,
             named_sets=tuple(named_sets),
+            cube_span=cube_span,
         )
 
     def _set_definition(self) -> tuple[str, SetExpr]:
@@ -156,6 +165,7 @@ class _Parser:
     # -- WITH clauses -------------------------------------------------------------
 
     def _perspective_clause(self) -> PerspectiveClause:
+        span = SourceSpan.from_token(self._peek())
         self._expect_keyword("PERSPECTIVE")
         self._expect_punct("{")
         perspectives = [self._perspective_point()]
@@ -172,6 +182,7 @@ class _Parser:
             dimension=dimension,
             semantics=semantics,
             mode=mode,
+            span=span,
         )
 
     def _perspective_point(self) -> str:
@@ -186,9 +197,11 @@ class _Parser:
         if self._at_keyword("STATIC"):
             self._next()
             return "static"
+        dynamic = False
         extended = False
         if self._at_keyword("DYNAMIC"):
             self._next()
+            dynamic = True
         if self._at_keyword("EXTENDED"):
             self._next()
             extended = True
@@ -198,8 +211,10 @@ class _Parser:
         if self._at_keyword("BACKWARD"):
             self._next()
             return "extended_backward" if extended else "backward"
-        if extended:
-            raise self._error("EXTENDED must be followed by FORWARD or BACKWARD")
+        if dynamic or extended:
+            raise self._error(
+                "DYNAMIC/EXTENDED must be followed by FORWARD or BACKWARD"
+            )
         return "static"
 
     def _mode(self) -> str:
@@ -214,6 +229,7 @@ class _Parser:
         return "non_visual"
 
     def _changes_clause(self) -> ChangesClause:
+        span = SourceSpan.from_token(self._peek())
         self._expect_keyword("CHANGES")
         self._expect_punct("{")
         changes = [self._change_tuple()]
@@ -226,9 +242,10 @@ class _Parser:
             self._next()
             dimension = self._expect_name().value
         mode = self._mode()
-        return ChangesClause(tuple(changes), dimension, mode)
+        return ChangesClause(tuple(changes), dimension, mode, span=span)
 
     def _change_tuple(self) -> ChangeSpec:
+        span = SourceSpan.from_token(self._peek())
         self._expect_punct("(")
         member_expr = self._member_path_with_suffixes()
         expand = isinstance(member_expr, ChildrenExpr)
@@ -245,11 +262,12 @@ class _Parser:
         self._expect_punct(",")
         moment = self._expect_name().value
         self._expect_punct(")")
-        return ChangeSpec(member, old_parent, new_parent, moment, expand)
+        return ChangeSpec(member, old_parent, new_parent, moment, expand, span=span)
 
     # -- axes --------------------------------------------------------------------
 
     def _axis_spec(self) -> AxisSpec:
+        span = SourceSpan.from_token(self._peek())
         non_empty = False
         if self._at_keyword("NON") and self._peek(1).matches_keyword("EMPTY"):
             self._next()
@@ -268,7 +286,7 @@ class _Parser:
                 properties.append(self._plain_member_path())
         self._expect_keyword("ON")
         axis = self._axis_name()
-        return AxisSpec(expr, axis, tuple(properties), non_empty)
+        return AxisSpec(expr, axis, tuple(properties), non_empty, span=span)
 
     def _axis_name(self) -> str:
         token = self._next()
@@ -359,7 +377,7 @@ class _Parser:
                     f"expected a relational operator, found {relop_token.value!r}",
                     relop_token,
                 )
-            threshold = float(self._expect_number())
+            threshold = self._expect_float()
             self._expect_punct(")")
             return FilterExpr(base, condition, relop_token.value, threshold)
         if name == "ORDER":
@@ -394,6 +412,7 @@ class _Parser:
         return DescendantsExpr(base, depth, flag)
 
     def _plain_member_path(self) -> MemberPath:
+        span = SourceSpan.from_token(self._peek())
         parts = [self._expect_name().value]
         while self._at_punct("."):
             suffix = self._peek(1)
@@ -403,7 +422,7 @@ class _Parser:
                 break
             self._next()
             parts.append(self._expect_name().value)
-        return MemberPath(tuple(parts))
+        return MemberPath(tuple(parts), span=span)
 
     def _member_path_with_suffixes(self) -> SetExpr:
         path = self._plain_member_path()

@@ -9,13 +9,13 @@ intersections as empty/null.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Sequence, TypeAlias
 
 from repro.olap.missing import Missing, is_missing
 
 __all__ = ["AxisTuple", "MdxResult"]
 
-CellValue = "float | Missing"
+CellValue: TypeAlias = "float | Missing"
 
 
 @dataclass(frozen=True)

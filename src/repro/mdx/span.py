@@ -1,0 +1,31 @@
+"""Source spans for extended-MDX text.
+
+The lexer has always tracked line/column on every :class:`~repro.mdx.lexer.Token`;
+this module gives that position a first-class type shared by parse errors
+(:class:`~repro.errors.MdxSyntaxError`) and analyzer diagnostics
+(:mod:`repro.analysis.diagnostics`), so both render positions the same way:
+``line L, column C``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SourceSpan"]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A 1-based (line, column) position in the query text."""
+
+    line: int
+    column: int
+
+    @classmethod
+    def from_token(cls, token: Any) -> "SourceSpan":
+        """Span of anything carrying ``line`` and ``column`` attributes."""
+        return cls(token.line, token.column)
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"

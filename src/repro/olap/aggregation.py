@@ -10,7 +10,7 @@ the convention that a cell with no descendant data does not exist.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable, Iterable, TypeAlias
 
 from repro.errors import RuleError
 from repro.olap.missing import MISSING, Missing, is_missing
@@ -18,7 +18,7 @@ from repro.olap.missing import MISSING, Missing, is_missing
 __all__ = ["AGGREGATORS", "aggregate", "agg_sum", "agg_avg", "agg_min", "agg_max", "agg_count"]
 
 Number = float
-CellValue = "Number | Missing"
+CellValue: TypeAlias = "Number | Missing"
 
 
 def _present(values: Iterable[object]) -> list[float]:

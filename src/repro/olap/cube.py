@@ -13,15 +13,15 @@ Coordinate conventions are defined in :mod:`repro.olap.schema`.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Sequence, TypeAlias
 
-from repro.errors import RuleError, SchemaError
+from repro.errors import RuleError
 from repro.olap.missing import MISSING, Missing, is_missing
 from repro.olap.schema import Address, CubeSchema
 
 __all__ = ["Cube"]
 
-CellValue = "float | Missing"
+CellValue: TypeAlias = "float | Missing"
 
 
 class Cube:

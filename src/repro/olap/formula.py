@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, TypeAlias
 
 from repro.errors import FormulaSyntaxError
 from repro.olap.missing import MISSING, Missing, is_missing
@@ -36,7 +36,7 @@ __all__ = [
     "format_expr",
 ]
 
-CellValue = "float | Missing"
+CellValue: TypeAlias = "float | Missing"
 Resolver = Callable[[str], object]
 
 

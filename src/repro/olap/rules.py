@@ -28,16 +28,16 @@ aggregator (sum) over their descendant leaf scope.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, TypeAlias
 
 from repro.errors import RuleError
 from repro.olap.formula import Expr, parse_formula
-from repro.olap.missing import MISSING, Missing
+from repro.olap.missing import Missing
 from repro.olap.schema import Address, CubeSchema
 
 __all__ = ["Rule", "RuleEngine"]
 
-CellValue = "float | Missing"
+CellValue: TypeAlias = "float | Missing"
 
 
 class Rule:

@@ -23,7 +23,7 @@ members on varying dimensions.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.errors import SchemaError
 from repro.olap.dimension import Dimension

@@ -15,7 +15,7 @@ the ordered dimension is replaced per moment.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, TypeAlias
 
 from repro.errors import QueryError
 from repro.olap.aggregation import aggregate
@@ -30,7 +30,7 @@ __all__ = [
     "period_over_period",
 ]
 
-CellValue = "float | Missing"
+CellValue: TypeAlias = "float | Missing"
 
 
 def _leaf_names(dimension: Dimension) -> list[str]:

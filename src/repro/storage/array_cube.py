@@ -11,7 +11,7 @@ in Fig. 7 where 100/1001, 200/1001 and 300/1001 are three separate rows.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

@@ -11,7 +11,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.errors import MdxEvaluationError, SchemaError
+from repro.errors import (
+    AmbiguousMemberError,
+    MdxEvaluationError,
+    SchemaError,
+    UnknownMemberError,
+)
 from repro.olap.cube import Cube
 from repro.olap.dimension import Dimension, Member
 from repro.olap.instances import VaryingDimension
@@ -104,17 +109,17 @@ class Warehouse:
         leaf = rest[-1]
         matches = [d for d in candidates if leaf in d]
         if not matches:
-            raise MdxEvaluationError(f"unknown member {'.'.join(parts)!r}")
+            raise UnknownMemberError(f"unknown member {'.'.join(parts)!r}")
         if len(matches) > 1:
             names = [d.name for d in matches]
-            raise MdxEvaluationError(
+            raise AmbiguousMemberError(
                 f"member {leaf!r} is ambiguous across dimensions {names}; "
                 "qualify it with the dimension name"
             )
         dimension = matches[0]
         for intermediate in rest[:-1]:
             if intermediate not in dimension:
-                raise MdxEvaluationError(
+                raise UnknownMemberError(
                     f"path component {intermediate!r} does not exist in "
                     f"dimension {dimension.name!r}"
                 )
@@ -138,12 +143,24 @@ class Warehouse:
                 f"{self.name!r}"
             )
 
-    def query(self, text: str):
+    def query(self, text: str, analyze: bool = True):
         """Run an extended-MDX query; returns an
-        :class:`~repro.mdx.result.MdxResult`."""
+        :class:`~repro.mdx.result.MdxResult`.
+
+        The static analyzer (:mod:`repro.analysis`) runs first unless
+        ``analyze=False``; error-level findings raise
+        :class:`~repro.errors.MdxAnalysisError` before any data is read.
+        """
         from repro.mdx.evaluator import execute
 
-        return execute(self, text)
+        return execute(self, text, analyze=analyze)
+
+    def analyze(self, text: str):
+        """Statically analyze a query without executing it; returns a
+        :class:`~repro.analysis.DiagnosticReport`."""
+        from repro.analysis.query_analyzer import analyze_query
+
+        return analyze_query(self, text)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

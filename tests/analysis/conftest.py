@@ -1,0 +1,45 @@
+"""Fixtures for the static-analysis test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.olap.cube import Cube
+from repro.olap.dimension import Dimension
+from repro.olap.schema import CubeSchema
+from repro.warehouse import Warehouse
+from repro.workload import build_running_example
+
+
+@pytest.fixture(scope="module")
+def warehouse() -> Warehouse:
+    """The paper's running example (Organization varying over Time)."""
+    example = build_running_example()
+    return Warehouse(example.schema, example.cube)
+
+
+@pytest.fixture(scope="module")
+def ambiguous_warehouse() -> Warehouse:
+    """Two dimensions sharing the member name ``Overlap``."""
+    left = Dimension("Left")
+    left.add_children(None, ["L1", "Overlap"])
+    right = Dimension("Right")
+    right.add_children(None, ["R1", "Overlap"])
+    schema = CubeSchema([left, right])
+    return Warehouse(schema, Cube(schema))
+
+
+@pytest.fixture(scope="module")
+def unordered_warehouse() -> Warehouse:
+    """Product varying over the *unordered* Location dimension, so dynamic
+    semantics and positive changes are illegal there."""
+    product = Dimension("Product")
+    product.add_children(None, ["Food", "Drink"])
+    product.add_children("Food", ["Bread"])
+    product.add_children("Drink", ["Milk"])
+    location = Dimension("Location")  # unordered
+    location.add_children(None, ["NY", "MA"])
+    schema = CubeSchema([product, location])
+    varying = schema.make_varying("Product", "Location")
+    varying.assign("Bread", "Food")
+    return Warehouse(schema, Cube(schema))

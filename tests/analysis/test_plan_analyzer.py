@@ -1,0 +1,210 @@
+"""Coverage of the plan-level diagnostic codes (WIF4xx)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import Severity, analyze_plan
+from repro.core.perspective import Semantics
+from repro.core.plans import (
+    And,
+    BaseCube,
+    EvaluateNode,
+    MemberEquals,
+    MemberIn,
+    Not,
+    Or,
+    PerspectiveNode,
+    SelectNode,
+    SplitNode,
+    ValidityIntersects,
+)
+from repro.workload import build_running_example
+
+
+@pytest.fixture(scope="module")
+def example():
+    return build_running_example()
+
+
+def codes_of(plan, example, varying=None):
+    return analyze_plan(plan, example.schema, varying).codes()
+
+
+class TestErrors:
+    def test_wif401_unknown_dimension(self, example):
+        plan = SelectNode(BaseCube(), "Nowhere", MemberEquals("NY"))
+        assert "WIF401" in codes_of(plan, example)
+
+    def test_wif401_perspective_over_non_varying(self, example):
+        plan = PerspectiveNode(BaseCube(), "Location", (0,), Semantics.STATIC)
+        assert "WIF401" in codes_of(plan, example)
+
+    def test_wif401_split_over_non_varying(self, example):
+        plan = SplitNode(BaseCube(), "Time", (("Joe", "FTE", "PTE", "Feb"),))
+        assert "WIF401" in codes_of(plan, example)
+
+    def test_wif402_moments_outside_universe(self, example):
+        plan = PerspectiveNode(
+            BaseCube(), "Organization", (0, 99), Semantics.STATIC
+        )
+        assert "WIF402" in codes_of(plan, example)
+
+    def test_wif402_empty_perspectives(self, example):
+        plan = PerspectiveNode(BaseCube(), "Organization", (), Semantics.STATIC)
+        assert "WIF402" in codes_of(plan, example)
+
+    def test_wif407_bad_old_parent(self, example):
+        plan = SplitNode(
+            BaseCube(), "Organization", (("Joe", "FTE", "PTE", "Mar"),)
+        )
+        report = analyze_plan(plan, example.schema)
+        assert "WIF407" in report.codes()
+        assert report.has_errors
+
+    def test_wif407_unknown_names(self, example):
+        plan = SplitNode(
+            BaseCube(), "Organization", (("Nobody", "FTE", "PTE", "Feb"),)
+        )
+        assert "WIF407" in codes_of(plan, example)
+        plan = SplitNode(
+            BaseCube(), "Organization", (("Joe", "FTE", "PTE", "Noon"),)
+        )
+        assert "WIF407" in codes_of(plan, example)
+
+    def test_wif407_cyclic_relation(self, example):
+        plan = SplitNode(
+            BaseCube(),
+            "Organization",
+            (
+                ("FTE", "Organization", "PTE", "Jan"),
+                ("PTE", "Organization", "FTE", "Jan"),
+            ),
+        )
+        assert "WIF407" in codes_of(plan, example)
+
+    def test_clean_split_has_no_errors(self, example):
+        plan = SplitNode(
+            BaseCube(), "Organization", (("Joe", "FTE", "PTE", "Mar"),)
+        )
+        # Fix the old parent (Contractor at Mar) and the plan is clean.
+        good = SplitNode(
+            BaseCube(), "Organization", (("Joe", "Contractor", "PTE", "Mar"),)
+        )
+        assert analyze_plan(good, example.schema).is_clean
+        assert not analyze_plan(plan, example.schema).is_clean
+
+
+class TestWarnings:
+    def test_wif403_dead_member_equals(self, example):
+        plan = SelectNode(BaseCube(), "Location", MemberEquals("Nowhere"))
+        report = analyze_plan(plan, example.schema)
+        assert "WIF403" in report.codes()
+        assert not report.has_errors  # runnable, just useless
+
+    def test_wif403_contradictory_and(self, example):
+        plan = SelectNode(
+            BaseCube(),
+            "Location",
+            And(MemberEquals("NY"), MemberEquals("MA")),
+        )
+        assert "WIF403" in codes_of(plan, example)
+
+    def test_wif403_dead_member_in_and_or(self, example):
+        dead = SelectNode(
+            BaseCube(), "Location", MemberIn({"Nope1", "Nope2"})
+        )
+        assert "WIF403" in codes_of(dead, example)
+        alive = SelectNode(
+            BaseCube(), "Location", MemberIn({"Nope1", "NY"})
+        )
+        assert "WIF403" not in codes_of(alive, example)
+        dead_or = SelectNode(
+            BaseCube(),
+            "Location",
+            Or(MemberEquals("Nope1"), MemberEquals("Nope2")),
+        )
+        assert "WIF403" in codes_of(dead_or, example)
+
+    def test_wif403_validity_outside_universe(self, example):
+        plan = SelectNode(
+            BaseCube(), "Organization", ValidityIntersects({99})
+        )
+        assert "WIF403" in codes_of(plan, example)
+
+    def test_not_is_never_proven_dead(self, example):
+        plan = SelectNode(
+            BaseCube(), "Location", Not(MemberEquals("Nowhere"))
+        )
+        assert "WIF403" not in codes_of(plan, example)
+
+    def test_dynamic_over_unordered_parameter_is_warning(self):
+        from repro.olap.cube import Cube
+        from repro.olap.dimension import Dimension
+        from repro.olap.schema import CubeSchema
+
+        product = Dimension("Product")
+        product.add_children(None, ["Food"])
+        product.add_children("Food", ["Bread"])
+        location = Dimension("Location")
+        location.add_children(None, ["NY", "MA"])
+        schema = CubeSchema([product, location])
+        schema.make_varying("Product", "Location")
+        Cube(schema)
+        plan = PerspectiveNode(BaseCube(), "Product", (0,), Semantics.FORWARD)
+        report = analyze_plan(plan, schema)
+        assert "WIF402" in report.codes()
+        assert not report.has_errors
+
+
+class TestOptimizerLints:
+    def test_wif404_redundant_static_perspective(self, example):
+        inner = PerspectiveNode(
+            BaseCube(), "Organization", (1,), Semantics.STATIC
+        )
+        plan = PerspectiveNode(inner, "Organization", (1, 3), Semantics.STATIC)
+        report = analyze_plan(plan, example.schema)
+        hits = [d for d in report if d.code == "WIF404"]
+        assert hits and all(d.severity is Severity.INFO for d in hits)
+
+    def test_wif404_not_reported_when_not_subset(self, example):
+        inner = PerspectiveNode(
+            BaseCube(), "Organization", (0, 2), Semantics.STATIC
+        )
+        plan = PerspectiveNode(inner, "Organization", (1, 3), Semantics.STATIC)
+        assert "WIF404" not in codes_of(plan, example)
+
+    def test_wif405_pushable_selection(self, example):
+        inner = PerspectiveNode(
+            BaseCube(), "Organization", (1,), Semantics.STATIC
+        )
+        plan = SelectNode(inner, "Location", MemberEquals("NY"))
+        report = analyze_plan(plan, example.schema)
+        hits = [d for d in report if d.code == "WIF405"]
+        assert hits and all(d.severity is Severity.INFO for d in hits)
+
+    def test_wif405_not_reported_for_non_commuting_selection(self, example):
+        inner = PerspectiveNode(
+            BaseCube(), "Organization", (1,), Semantics.STATIC
+        )
+        # Validity-dependent predicate on the same dimension cannot be
+        # pushed below the perspective.
+        plan = SelectNode(inner, "Organization", ValidityIntersects({1}))
+        assert "WIF405" not in codes_of(plan, example)
+
+    def test_wif406_consecutive_evaluate(self, example):
+        plan = EvaluateNode(EvaluateNode(BaseCube()))
+        report = analyze_plan(plan, example.schema)
+        hits = [d for d in report if d.code == "WIF406"]
+        assert hits and all(d.severity is Severity.INFO for d in hits)
+
+    def test_optimized_plan_sheds_lints(self, example):
+        from repro.core.optimizer import optimize
+
+        inner = PerspectiveNode(
+            BaseCube(), "Organization", (1,), Semantics.STATIC
+        )
+        plan = SelectNode(inner, "Location", MemberEquals("NY"))
+        optimized, trace = optimize(plan)
+        assert trace.rules_fired  # the rewrite actually happened
+        assert "WIF405" not in codes_of(optimized, example)

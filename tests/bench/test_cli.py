@@ -5,8 +5,6 @@ from __future__ import annotations
 import subprocess
 import sys
 
-import pytest
-
 
 def run_cli(*args: str) -> subprocess.CompletedProcess:
     return subprocess.run(

@@ -9,7 +9,6 @@ from repro.core.data_scenario import AllocationScenario
 from repro.core.perspective import Mode, Semantics
 from repro.core.scenario import NegativeScenario, apply_scenarios
 from repro.errors import QueryError
-from repro.olap.missing import is_missing
 
 
 def paper_allocation(mode=Mode.VISUAL) -> AllocationScenario:

@@ -15,7 +15,6 @@ from repro.core.perspective import Mode, PerspectiveSet, Semantics
 from repro.core.perspective_cube import run_perspective_query
 from repro.core.scenario import NegativeScenario
 from repro.errors import QueryError
-from repro.olap.missing import is_missing
 from repro.storage.array_cube import ChunkedCube
 from repro.storage.cube_compute import compute_group_bys
 

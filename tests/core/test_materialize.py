@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core.merge_graph import VaryingAxisSpec
@@ -15,7 +14,6 @@ from repro.core.perspective_cube import (
 )
 from repro.core.scenario import NegativeScenario
 from repro.errors import QueryError
-from repro.olap.missing import is_missing
 from repro.storage.array_cube import ChunkedCube
 
 

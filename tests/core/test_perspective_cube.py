@@ -21,7 +21,6 @@ from repro.core.scenario import NegativeScenario
 from repro.errors import QueryError
 from repro.olap.missing import is_missing
 from repro.storage.array_cube import ChunkedCube
-from repro.workload.running_example import MONTHS
 
 
 def make_spec(example, chunk_shape=(2, 2, 3, 2)) -> VaryingAxisSpec:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.operators import ChangeTuple, split
 from repro.core.perspective import Semantics

@@ -21,7 +21,6 @@ from repro.core.operators import ChangeTuple
 from repro.core.perspective import Mode, PerspectiveSet, Semantics
 from repro.core.scenario import NegativeScenario, PositiveScenario
 from repro.olap.missing import is_missing
-from repro.workload.running_example import MONTHS
 
 
 class TestS1TomReclassified:

@@ -289,3 +289,48 @@ class TestErrors:
                 "WITH CHANGES {([Lisa], FTE, PTE, Apr)} FOR Location "
                 "SELECT {Time.[Jan]} ON COLUMNS FROM Warehouse"
             )
+
+
+class TestRegressions:
+    """Pinned behavior for bugs surfaced by the static-analysis pass."""
+
+    def test_tail_larger_than_set_returns_whole_set(self, warehouse):
+        # Tail(s, n) with n > |s| used to wrap around via a negative
+        # index and return a truncated set.
+        result = warehouse.query(
+            "SELECT Tail({[Jan], [Feb], [Mar]}, 5) ON COLUMNS FROM Warehouse"
+        )
+        assert result.column_labels() == ["Jan", "Feb", "Mar"]
+
+    def test_duplicate_axis_is_rejected_at_runtime(self, warehouse):
+        # Previously the later binding silently won; now the evaluator
+        # refuses (and the analyzer flags it as WIF004 first).
+        with pytest.raises(MdxEvaluationError, match="bound more than once"):
+            warehouse.query(
+                "SELECT {Time.[Jan]} ON COLUMNS, {Time.[Feb]} ON COLUMNS "
+                "FROM Warehouse",
+                analyze=False,
+            )
+
+    def test_changes_and_perspective_compose(self, warehouse):
+        # WITH CHANGES used to be silently dropped when a PERSPECTIVE
+        # clause was also present.  Relocating Joe FTE -> PTE at Jan must
+        # be visible under the Jan perspective.
+        combined = warehouse.query(
+            """
+            WITH CHANGES {([Joe], [FTE], [PTE], [Jan])} FOR Organization
+                 PERSPECTIVE {(Jan)} FOR Organization
+            SELECT {Time.[Jan]} ON COLUMNS, {[Joe]} ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert combined.row_labels() == ["PTE/Joe"]
+        assert combined.cell(0, 0) == 10.0
+        baseline = warehouse.query(
+            """
+            WITH PERSPECTIVE {(Jan)} FOR Organization
+            SELECT {Time.[Jan]} ON COLUMNS, {[Joe]} ON ROWS
+            FROM Warehouse WHERE ([NY], [Salary])
+            """
+        )
+        assert baseline.row_labels() == ["FTE/Joe"]

@@ -1,0 +1,78 @@
+"""Source spans: parse errors and AST nodes carry line/column positions in
+one shared format (``line L, column C``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MdxSyntaxError
+from repro.mdx.parser import parse_query
+from repro.mdx.span import SourceSpan
+
+
+class TestParseErrorSpans:
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(MdxSyntaxError) as excinfo:
+            parse_query(
+                "SELECT {Time.[Jan]} ON COLUMNS\nFROM Warehouse WHERE !"
+            )
+        exc = excinfo.value
+        assert exc.line == 2
+        assert exc.column == 22
+        assert "(line 2, column 22)" in str(exc)
+
+    def test_span_property_matches_message_format(self):
+        with pytest.raises(MdxSyntaxError) as excinfo:
+            parse_query("SELECT {")
+        span = excinfo.value.span
+        assert span is not None
+        assert str(span) in str(excinfo.value)
+
+    def test_raw_message_strips_position(self):
+        with pytest.raises(MdxSyntaxError) as excinfo:
+            parse_query("SELECT {")
+        exc = excinfo.value
+        assert "line" not in exc.raw_message
+        assert exc.raw_message in str(exc)
+
+    def test_span_is_none_without_position(self):
+        exc = MdxSyntaxError("positionless")
+        assert exc.span is None
+        assert str(exc) == "positionless"
+
+
+class TestAstSpans:
+    QUERY = (
+        "WITH PERSPECTIVE {(Feb)} FOR Organization\n"
+        "SELECT {Time.[Jan]} ON COLUMNS,\n"
+        "       {[Joe]} ON ROWS\n"
+        "FROM Warehouse"
+    )
+
+    def test_member_path_span(self):
+        query = parse_query(self.QUERY)
+        rows = query.axes[1]
+        member = rows.expr.elements[0]
+        assert member.span == SourceSpan(3, 9)
+
+    def test_axis_and_clause_spans(self):
+        query = parse_query(self.QUERY)
+        assert query.perspective.span is not None
+        assert query.perspective.span.line == 1
+        assert query.axes[0].span.line == 2
+        assert query.cube_span.line == 4
+
+    def test_spans_do_not_affect_equality(self):
+        from repro.mdx.ast_nodes import MemberPath
+
+        with_span = MemberPath(("Joe",), span=SourceSpan(3, 9))
+        without = MemberPath(("Joe",))
+        assert with_span == without
+        assert hash(with_span) == hash(without)
+
+    def test_from_token_classmethod(self):
+        class FakeToken:
+            line = 7
+            column = 3
+
+        assert SourceSpan.from_token(FakeToken()) == SourceSpan(7, 3)

@@ -26,3 +26,66 @@ def test_version_flag():
     completed = run_module("--version")
     assert completed.returncode == 0
     assert completed.stdout.strip()
+
+
+CLEAN_QUERY = "SELECT {Time.[Jan]} ON COLUMNS FROM Warehouse\n"
+WARN_QUERY = (
+    "SELECT {[NY]} ON COLUMNS FROM Warehouse WHERE ([MA], [Salary])\n"
+)
+ERROR_QUERY = "SELECT {[Nobody]} ON COLUMNS FROM Warehouse\n"
+
+
+class TestAnalyzeCommand:
+    """Exit-code contract: 0 = clean, 1 = warnings under --strict,
+    2 = errors."""
+
+    def test_clean_query_exits_zero(self, tmp_path):
+        path = tmp_path / "clean.mdx"
+        path.write_text(CLEAN_QUERY)
+        completed = run_module("analyze", str(path))
+        assert completed.returncode == 0, completed.stderr
+        assert "no diagnostics" in completed.stdout
+
+    def test_error_query_exits_two(self, tmp_path):
+        path = tmp_path / "bad.mdx"
+        path.write_text(ERROR_QUERY)
+        completed = run_module("analyze", str(path))
+        assert completed.returncode == 2
+        assert "WIF002" in completed.stdout
+
+    def test_warning_query_exit_depends_on_strict(self, tmp_path):
+        path = tmp_path / "warn.mdx"
+        path.write_text(WARN_QUERY)
+        relaxed = run_module("analyze", str(path))
+        assert relaxed.returncode == 0
+        assert "WIF302" in relaxed.stdout
+        strict = run_module("analyze", str(path), "--strict")
+        assert strict.returncode == 1
+
+    def test_json_output(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.mdx"
+        path.write_text(ERROR_QUERY)
+        completed = run_module("analyze", str(path), "--json")
+        assert completed.returncode == 2
+        payload = json.loads(completed.stdout)
+        assert payload["errors"] >= 1
+        assert payload["diagnostics"][0]["code"] == "WIF002"
+        assert "line" in payload["diagnostics"][0]
+
+    def test_stdin_input(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", "-"],
+            input="SELECT {oops",
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 2
+        assert "WIF000" in completed.stdout
+
+    def test_missing_file_exits_two(self, tmp_path):
+        completed = run_module("analyze", str(tmp_path / "absent.mdx"))
+        assert completed.returncode == 2
+        assert "repro analyze" in completed.stderr
