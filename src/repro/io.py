@@ -16,6 +16,7 @@ scopes, named sets, and both leaf and stored derived cells.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from repro.errors import SchemaError
@@ -29,6 +30,30 @@ from repro.warehouse import Warehouse
 __all__ = ["save_warehouse", "load_warehouse"]
 
 FORMAT_VERSION = 1
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via write-temp → fsync → rename.
+
+    A crash at any point leaves either the old file or the new file —
+    never a truncated hybrid.  The temp file lives in the same directory
+    so the final rename stays within one filesystem (and is atomic).
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    # Persist the rename itself (directory entry) where the OS allows it.
+    try:
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def _member_tree(member: Member) -> dict:
@@ -84,8 +109,8 @@ def save_warehouse(warehouse: Warehouse, path: "str | Path") -> Path:
             for named in warehouse.named_sets()
         },
     }
-    (root / "schema.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True)
+    _atomic_write_text(
+        root / "schema.json", json.dumps(payload, indent=2, sort_keys=True)
     )
 
     cells = {
@@ -99,7 +124,7 @@ def save_warehouse(warehouse: Warehouse, path: "str | Path") -> Path:
             ]
         ),
     }
-    (root / "cells.json").write_text(json.dumps(cells, indent=0))
+    _atomic_write_text(root / "cells.json", json.dumps(cells, indent=0))
     return root
 
 
