@@ -36,8 +36,14 @@ from repro.core import (
     WhatIfCube,
     apply_scenarios,
 )
-from repro.errors import ReproError
-from repro.io import load_warehouse, save_warehouse
+from repro.errors import (
+    QueryBudgetExceededError,
+    ReproError,
+    WarehouseCorruptionError,
+    WarehouseFormatError,
+)
+from repro.io import load_warehouse, load_warehouse_recovered, save_warehouse
+from repro.mdx.budget import Degradation, QueryBudget
 from repro.olap import (
     MISSING,
     Cube,
@@ -63,8 +69,14 @@ __all__ = [
     "ValiditySet",
     "WhatIfCube",
     "apply_scenarios",
+    "Degradation",
+    "QueryBudget",
+    "QueryBudgetExceededError",
     "ReproError",
+    "WarehouseCorruptionError",
+    "WarehouseFormatError",
     "load_warehouse",
+    "load_warehouse_recovered",
     "save_warehouse",
     "MISSING",
     "Cube",

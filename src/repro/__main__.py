@@ -4,8 +4,19 @@ Without arguments, prints the library version and runs the paper's headline
 what-if query on the running example, so a fresh install can verify itself
 in one command.  ``python -m repro analyze <query-file>`` runs the static
 analyzer (:mod:`repro.analysis`) over an extended-MDX query without
-executing it.  Use ``python -m repro.bench all`` for the experiment harness
-and the scripts under ``examples/`` for full walkthroughs.
+executing it; ``python -m repro query <query-file>`` executes one, with an
+optional ``--deadline-ms``/``--max-cells`` budget.  Use ``python -m
+repro.bench all`` for the experiment harness and the scripts under
+``examples/`` for full walkthroughs.
+
+Exit-code contract (shared with ``analyze``): **0** = clean, **1** =
+warnings under ``--strict`` or a *partial* (budget-degraded) query result,
+**2** = errors — including IO, corruption, and format failures, which are
+reported as a one-line message on stderr rather than a traceback.
+
+Fault injection: ``--faults '<failpoint>:<mode>;...'`` (or the
+``REPRO_FAULTS`` environment variable) arms the failpoint registry
+(:mod:`repro.faults`) before the command runs.
 """
 
 from __future__ import annotations
@@ -14,7 +25,9 @@ import argparse
 import sys
 
 import repro
-from repro import Warehouse
+from repro import QueryBudget, Warehouse
+from repro.errors import ReproError
+from repro.faults import FAULTS
 from repro.workload import build_running_example
 
 
@@ -29,21 +42,28 @@ def _build_warehouse(workload: str) -> Warehouse:
     raise ValueError(f"unknown workload {workload!r}")
 
 
+def _read_query_text(query_file: str) -> "str | None":
+    """Read query text from a file or stdin ('-'); None (and a one-line
+    stderr message) when the source is unreadable."""
+    if query_file == "-":
+        return sys.stdin.read()
+    try:
+        with open(query_file, "r", encoding="utf-8") as handle:
+            return handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return None
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     """The ``analyze`` subcommand.
 
     Exit-code contract: 0 = clean (or warnings without ``--strict``),
     1 = warnings under ``--strict``, 2 = error-level findings.
     """
-    if args.query_file == "-":
-        text = sys.stdin.read()
-    else:
-        try:
-            with open(args.query_file, "r", encoding="utf-8") as handle:
-                text = handle.read()
-        except (OSError, UnicodeDecodeError) as exc:
-            print(f"repro analyze: {exc}", file=sys.stderr)
-            return 2
+    text = _read_query_text(args.query_file)
+    if text is None:
+        return 2
     warehouse = _build_warehouse(args.workload)
     report = warehouse.analyze(text)
     if args.json:
@@ -62,7 +82,39 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
-def _demo() -> int:
+def _budget_from_args(args: argparse.Namespace) -> "QueryBudget | None":
+    deadline_ms = getattr(args, "deadline_ms", None)
+    max_cells = getattr(args, "max_cells", None)
+    if deadline_ms is None and max_cells is None:
+        return None
+    return QueryBudget(deadline_ms=deadline_ms, max_cells=max_cells)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """The ``query`` subcommand: execute an extended-MDX query.
+
+    Exit-code contract: 0 = complete result, 1 = partial (budget-degraded)
+    result, 2 = any error.
+    """
+    text = _read_query_text(args.query_file)
+    if text is None:
+        return 2
+    warehouse = _build_warehouse(args.workload)
+    result = warehouse.query(
+        text, analyze=not args.no_analyze, budget=_budget_from_args(args)
+    )
+    if args.csv:
+        print(result.to_csv())
+    else:
+        print(result.to_text())
+    if result.is_partial:
+        for degradation in result.degradations:
+            print(f"repro: partial result: {degradation.detail}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _demo(budget: "QueryBudget | None" = None) -> int:
     print(f"repro {repro.__version__} — What-if OLAP queries "
           "with changing dimensions (ICDE 2008 reproduction)\n")
     example = build_running_example()
@@ -79,18 +131,45 @@ def _demo() -> int:
         SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS,
                {[Joe]} ON ROWS
         FROM Warehouse WHERE ([NY], [Salary])
-        """
+        """,
+        budget=budget,
     )
     print(result.to_text())
     print("\nNext steps: python -m repro analyze <query-file> | "
-          "python -m repro.bench all | python examples/quickstart.py")
-    return 0
+          "python -m repro query <query-file> | python -m repro.bench all")
+    return 1 if result.is_partial else 0
+
+
+def _arm_faults(args: argparse.Namespace) -> "int | None":
+    """Arm failpoints from --faults and REPRO_FAULTS; 2 on a bad spec."""
+    try:
+        FAULTS.arm_from_env()
+        if getattr(args, "faults", None):
+            FAULTS.arm_from_spec(args.faults)
+    except ValueError as exc:
+        print(f"repro: bad --faults spec: {exc}", file=sys.stderr)
+        return 2
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument(
         "--version", action="store_true", help="print the version and exit"
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="arm fault-injection failpoints, e.g. "
+        "'io.save.cells:after=2;chunk.read:prob=0.1@seed=7' "
+        "(also honours the REPRO_FAULTS environment variable)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        metavar="MS",
+        help="wall-clock query budget in milliseconds; on breach the query "
+        "returns a partial (⊥-padded) result and the process exits 1",
     )
     subparsers = parser.add_subparsers(dest="command")
     analyze = subparsers.add_parser(
@@ -120,13 +199,65 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 when the report contains warnings",
     )
+    query = subparsers.add_parser(
+        "query",
+        help="execute an extended-MDX query (optionally under a budget)",
+        description=(
+            "Execute a query file (or stdin with '-') and print the result "
+            "grid.  Exit codes: 0 = complete result, 1 = partial result "
+            "(query budget breached; unevaluated cells print as ⊥/-), "
+            "2 = errors."
+        ),
+    )
+    query.add_argument(
+        "query_file", help="path to an extended-MDX query file, or - for stdin"
+    )
+    query.add_argument(
+        "--workload",
+        choices=("running", "workforce"),
+        default="running",
+        help="warehouse to query (default: the paper's running example)",
+    )
+    query.add_argument(
+        "--deadline-ms",
+        type=float,
+        metavar="MS",
+        default=argparse.SUPPRESS,
+        help="wall-clock query budget in milliseconds",
+    )
+    query.add_argument(
+        "--max-cells",
+        type=int,
+        metavar="N",
+        help="cell-evaluation budget; on breach the result is partial",
+    )
+    query.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a text grid"
+    )
+    query.add_argument(
+        "--no-analyze",
+        action="store_true",
+        help="skip the static analyzer before execution",
+    )
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
         return 0
-    if args.command == "analyze":
-        return _cmd_analyze(args)
-    return _demo()
+    failed = _arm_faults(args)
+    if failed is not None:
+        return failed
+    try:
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        return _demo(budget=_budget_from_args(args))
+    except (ReproError, OSError) as exc:
+        # IO, corruption, format, and query errors share one contract:
+        # a single-line message on stderr and exit code 2 — never a
+        # traceback for a failure mode the tool itself defines.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,412 @@
+"""Crash-safe persistence primitives: atomic writes, manifests, recovery.
+
+The warehouse store (:mod:`repro.io`) commits a save in three stages so a
+crash at *any* instruction boundary leaves a loadable store:
+
+1. every data file is written as ``<name>.tmp`` (write → flush → fsync),
+2. the current generation's files are demoted to ``<name>.prev`` (atomic
+   renames, preserving the last-good generation in full),
+3. the temp files are renamed into place, **manifest last** — the rename
+   of ``MANIFEST.json`` is the commit point.
+
+``MANIFEST.json`` carries a monotonically increasing ``generation`` and a
+SHA-256 + byte-length per data file.  :func:`verify_generation` checks a
+manifest against the files on disk; :func:`recover_store` implements the
+load-time policy: verify the current generation, quarantine anything torn
+or corrupt as ``<name>.corrupt``, fall back to the ``.prev`` generation,
+and raise :class:`~repro.errors.WarehouseCorruptionError` naming exactly
+what was lost when no generation survives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import WarehouseCorruptionError, WarehouseFormatError
+from repro.faults import inject_io_fault, register_failpoint, with_retries
+
+__all__ = [
+    "MANIFEST_NAME",
+    "Manifest",
+    "RecoveredStore",
+    "atomic_write_text",
+    "commit_generation",
+    "file_digest",
+    "read_manifest",
+    "recover_store",
+    "verify_generation",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+_PREV_SUFFIX = ".prev"
+_TMP_SUFFIX = ".tmp"
+_CORRUPT_SUFFIX = ".corrupt"
+
+#: Failpoints owned by this module (see :mod:`repro.faults`).
+FP_WRITE = register_failpoint("durability.write")
+FP_FSYNC = register_failpoint("durability.fsync")
+FP_RENAME = register_failpoint("durability.rename")
+FP_COMMIT = register_failpoint("durability.commit")
+
+
+def file_digest(path: Path) -> tuple[str, int]:
+    """SHA-256 hex digest and byte length of ``path``."""
+    hasher = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 16), b""):
+            hasher.update(block)
+            size += len(block)
+    return hasher.hexdigest(), size
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The parsed content of a ``MANIFEST.json``."""
+
+    format_version: int
+    generation: int
+    #: file name -> (sha256 hex, byte length)
+    files: dict[str, tuple[str, int]]
+
+    def to_json(self) -> str:
+        payload = {
+            "format_version": self.format_version,
+            "generation": self.generation,
+            "files": {
+                name: {"sha256": digest, "bytes": size}
+                for name, (digest, size) in sorted(self.files.items())
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str, *, path: "str | None" = None) -> "Manifest":
+        try:
+            payload = json.loads(text)
+            files = {
+                str(name): (str(entry["sha256"]), int(entry["bytes"]))
+                for name, entry in payload["files"].items()
+            }
+            return cls(
+                format_version=int(payload["format_version"]),
+                generation=int(payload["generation"]),
+                files=files,
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise WarehouseFormatError(
+                f"manifest is not parseable: {exc}", path=path
+            ) from exc
+
+
+def read_manifest(path: Path) -> Manifest:
+    """Read and parse a manifest file; typed errors on missing/garbled."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError as exc:
+        raise WarehouseFormatError("manifest missing", path=str(path)) from exc
+    except OSError as exc:
+        raise WarehouseFormatError(
+            f"manifest unreadable: {exc}", path=str(path)
+        ) from exc
+    return Manifest.from_json(text, path=str(path))
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via write-temp → fsync → rename.
+
+    A crash at any point leaves either the old file or the new file —
+    never a truncated hybrid.  The temp file lives in the same directory
+    so the final rename stays within one filesystem (and is atomic).
+    Transient write faults are retried with exponential backoff.
+    """
+    tmp = path.with_name(path.name + _TMP_SUFFIX)
+
+    def write() -> None:
+        inject_io_fault(FP_WRITE)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            inject_io_fault(FP_FSYNC)
+            os.fsync(handle.fileno())
+
+    with_retries(write)
+    inject_io_fault(FP_RENAME)
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _stage_temp(path: Path, text: str) -> None:
+    """Stage ``text`` at ``<path>.tmp`` (fsynced) without renaming yet."""
+    tmp = path.with_name(path.name + _TMP_SUFFIX)
+
+    def write() -> None:
+        inject_io_fault(FP_WRITE)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            inject_io_fault(FP_FSYNC)
+            os.fsync(handle.fileno())
+
+    with_retries(write)
+
+
+def commit_generation(
+    root: Path, files: dict[str, str], *, format_version: int
+) -> Manifest:
+    """Atomically publish a new generation of ``files`` under ``root``.
+
+    ``files`` maps file name → full text content.  The previous
+    generation (data files *and* manifest) survives as ``*.prev`` until
+    the next save, so load-time recovery always has a fallback.  The
+    rename of the manifest is the commit point: a crash before it leaves
+    the old generation authoritative; a crash after it leaves the new one.
+    """
+    root.mkdir(parents=True, exist_ok=True)
+    manifest_path = root / MANIFEST_NAME
+
+    previous_generation = 0
+    if manifest_path.exists():
+        try:
+            previous_generation = read_manifest(manifest_path).generation
+        except WarehouseFormatError:
+            previous_generation = 0
+
+    # Stage 1: every data file lands fully fsynced as *.tmp.
+    digests: dict[str, tuple[str, int]] = {}
+    for name, text in sorted(files.items()):
+        path = root / name
+        _stage_temp(path, text)
+        digests[name] = file_digest(path.with_name(name + _TMP_SUFFIX))
+    manifest = Manifest(
+        format_version=format_version,
+        generation=previous_generation + 1,
+        files=digests,
+    )
+    _stage_temp(manifest_path, manifest.to_json())
+
+    # Stage 2: demote the current generation to *.prev (manifest first, so
+    # a half-demoted store still has a verifiable prev manifest).
+    if manifest_path.exists():
+        inject_io_fault(FP_RENAME)
+        os.replace(manifest_path, root / (MANIFEST_NAME + _PREV_SUFFIX))
+    for name in sorted(files):
+        path = root / name
+        if path.exists():
+            inject_io_fault(FP_RENAME)
+            os.replace(path, root / (name + _PREV_SUFFIX))
+
+    # Stage 3: promote the staged files; manifest rename commits.
+    for name in sorted(files):
+        path = root / name
+        inject_io_fault(FP_RENAME)
+        os.replace(path.with_name(name + _TMP_SUFFIX), path)
+    inject_io_fault(FP_COMMIT)
+    os.replace(manifest_path.with_name(MANIFEST_NAME + _TMP_SUFFIX), manifest_path)
+    _fsync_dir(root)
+    return manifest
+
+
+@dataclass
+class RecoveredStore:
+    """The outcome of :func:`recover_store`: which files to load and what
+    (if anything) had to be done to get there."""
+
+    root: Path
+    manifest: "Manifest | None"
+    #: file name -> path actually verified (current or restored from .prev)
+    files: dict[str, Path] = field(default_factory=dict)
+    #: True when the store predates manifests (legacy layout)
+    legacy: bool = False
+    #: True when the current generation failed and .prev was promoted
+    restored_from_previous: bool = False
+    #: damaged files moved aside as *.corrupt
+    quarantined: list[str] = field(default_factory=list)
+    #: human-readable notes describing every recovery action taken
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        return self.restored_from_previous or bool(self.quarantined)
+
+
+def verify_generation(
+    root: Path, manifest: Manifest, *, suffix: str = ""
+) -> dict[str, "str | None"]:
+    """Check every manifest file (with ``suffix`` appended) against its
+    recorded digest.  Returns file name → problem description
+    (``None`` = verified)."""
+    problems: dict[str, str | None] = {}
+    for name, (digest, size) in sorted(manifest.files.items()):
+        path = root / (name + suffix)
+        if not path.exists():
+            problems[name] = "missing"
+            continue
+        actual_digest, actual_size = file_digest(path)
+        if actual_size != size:
+            problems[name] = (
+                f"torn: {actual_size} bytes on disk, manifest says {size}"
+            )
+        elif actual_digest != digest:
+            problems[name] = "checksum mismatch"
+        else:
+            problems[name] = None
+    return problems
+
+
+def _quarantine(root: Path, name: str, result: RecoveredStore) -> None:
+    """Move a damaged file aside as ``<name>.corrupt`` (best effort)."""
+    path = root / name
+    if not path.exists():
+        return
+    target = root / (name + _CORRUPT_SUFFIX)
+    os.replace(path, target)
+    result.quarantined.append(target.name)
+    result.notes.append(f"quarantined {name} -> {target.name}")
+
+
+def recover_store(
+    root: Path, *, expected_files: tuple[str, ...]
+) -> RecoveredStore:
+    """Decide which on-disk generation of a warehouse store to load.
+
+    Policy, in order:
+
+    1. No manifest anywhere and the expected data files exist → legacy
+       (pre-manifest) store; load it as-is.
+    2. Current manifest parses and every file verifies → load current.
+    3. Otherwise quarantine the damaged current files and try the
+       ``.prev`` generation; if it verifies in full, promote it back into
+       place and load it.
+    4. Nothing verifies → :class:`~repro.errors.WarehouseCorruptionError`
+       naming exactly which files were lost.
+    """
+    result = RecoveredStore(root=root, manifest=None)
+    manifest_path = root / MANIFEST_NAME
+    prev_manifest_path = root / (MANIFEST_NAME + _PREV_SUFFIX)
+
+    if not root.exists():
+        raise WarehouseFormatError(
+            "warehouse directory does not exist", path=str(root)
+        )
+
+    if not manifest_path.exists() and not prev_manifest_path.exists():
+        # Legacy store: no manifest was ever written.
+        missing = [
+            name for name in expected_files if not (root / name).exists()
+        ]
+        if missing:
+            raise WarehouseFormatError(
+                f"not a warehouse store: missing {', '.join(missing)}",
+                path=str(root),
+            )
+        result.legacy = True
+        result.files = {name: root / name for name in expected_files}
+        result.notes.append("legacy store (no manifest); checksums unavailable")
+        return result
+
+    # -- try the current generation -------------------------------------------
+    current_manifest: Manifest | None = None
+    current_problems: dict[str, str | None] = {}
+    if manifest_path.exists():
+        try:
+            current_manifest = read_manifest(manifest_path)
+        except WarehouseFormatError as exc:
+            result.notes.append(f"current manifest unusable: {exc}")
+        else:
+            current_problems = verify_generation(root, current_manifest)
+            if not any(current_problems.values()):
+                result.manifest = current_manifest
+                result.files = {
+                    name: root / name for name in current_manifest.files
+                }
+                return result
+            for name, problem in sorted(current_problems.items()):
+                if problem is not None:
+                    result.notes.append(f"current {name}: {problem}")
+
+    # -- current generation failed: quarantine and fall back -------------------
+    damaged = [
+        name for name, problem in sorted(current_problems.items()) if problem
+    ]
+    for name in damaged:
+        _quarantine(root, name, result)
+    if current_manifest is None and manifest_path.exists():
+        _quarantine(root, MANIFEST_NAME, result)
+
+    if not prev_manifest_path.exists():
+        lost = tuple(damaged) if damaged else tuple(expected_files)
+        raise WarehouseCorruptionError(
+            f"warehouse store at {root} failed integrity checks and has no "
+            "previous generation to fall back to",
+            lost=lost,
+            quarantined=tuple(result.quarantined),
+        )
+
+    try:
+        prev_manifest = read_manifest(prev_manifest_path)
+    except WarehouseFormatError as exc:
+        raise WarehouseCorruptionError(
+            f"warehouse store at {root} failed integrity checks and its "
+            f"previous-generation manifest is unusable ({exc})",
+            lost=tuple(damaged) if damaged else tuple(expected_files),
+            quarantined=tuple(result.quarantined),
+        ) from exc
+    prev_problems = verify_generation(root, prev_manifest, suffix=_PREV_SUFFIX)
+    # Files whose demote-rename never happened may still verify in place.
+    salvage: dict[str, Path] = {}
+    still_lost: list[str] = []
+    for name, problem in sorted(prev_problems.items()):
+        if problem is None:
+            salvage[name] = root / (name + _PREV_SUFFIX)
+            continue
+        in_place = verify_generation(
+            root, Manifest(prev_manifest.format_version, 0, {name: prev_manifest.files[name]})
+        )
+        if in_place.get(name) is None:
+            salvage[name] = root / name
+        else:
+            still_lost.append(name)
+
+    if still_lost:
+        raise WarehouseCorruptionError(
+            f"warehouse store at {root} is corrupt in both the current and "
+            "previous generations",
+            lost=tuple(still_lost),
+            quarantined=tuple(result.quarantined),
+        )
+
+    # Promote the previous generation back into place.
+    for name, source in sorted(salvage.items()):
+        target = root / name
+        if source != target:
+            os.replace(source, target)
+            result.notes.append(f"restored {name} from previous generation")
+    atomic_write_text(manifest_path, prev_manifest.to_json())
+    if prev_manifest_path.exists():
+        os.unlink(prev_manifest_path)
+    _fsync_dir(root)
+
+    result.manifest = prev_manifest
+    result.files = {name: root / name for name in prev_manifest.files}
+    result.restored_from_previous = True
+    result.notes.append(
+        f"restored generation {prev_manifest.generation} after the newer "
+        "generation failed verification"
+    )
+    return result

@@ -100,6 +100,88 @@ class StorageError(ReproError):
     """A chunk-store or array-storage operation failed."""
 
 
+class WarehouseFormatError(SchemaError):
+    """A persisted warehouse file is missing, truncated, or malformed.
+
+    Carries the offending ``path`` and, when known, the store's declared
+    ``format_version`` so callers can distinguish "this is not a warehouse"
+    from "this warehouse is newer than this build".
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: "str | None" = None,
+        format_version: "object | None" = None,
+    ) -> None:
+        detail = message
+        if path is not None:
+            detail = f"{detail} (path: {path}"
+            if format_version is not None:
+                detail = f"{detail}, format_version: {format_version!r}"
+            detail = f"{detail})"
+        elif format_version is not None:
+            detail = f"{detail} (format_version: {format_version!r})"
+        super().__init__(detail)
+        self.path = path
+        self.format_version = format_version
+
+
+class WarehouseCorruptionError(StorageError):
+    """A persisted warehouse failed integrity checks and could not be
+    recovered from any earlier generation.
+
+    ``lost`` names exactly which files were torn/corrupt/missing;
+    ``quarantined`` lists where the damaged originals were moved
+    (``*.corrupt`` siblings) for post-mortem inspection.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lost: "tuple[str, ...]" = (),
+        quarantined: "tuple[str, ...]" = (),
+    ) -> None:
+        if lost:
+            message = f"{message}; lost: {', '.join(lost)}"
+        if quarantined:
+            message = f"{message}; quarantined: {', '.join(quarantined)}"
+        super().__init__(message)
+        self.lost = lost
+        self.quarantined = quarantined
+
+
+class FaultInjectedError(ReproError):
+    """An armed failpoint fired (see :mod:`repro.faults`).
+
+    Deliberately *outside* the Storage/Mdx subtrees so production error
+    handling cannot accidentally swallow an injected crash as a routine
+    failure — tests that arm a failpoint see exactly this type.
+    """
+
+    def __init__(self, failpoint: str, message: "str | None" = None) -> None:
+        super().__init__(message or f"injected fault at failpoint {failpoint!r}")
+        self.failpoint = failpoint
+
+
+class TransientFaultError(FaultInjectedError):
+    """An injected fault that models a *transient* failure (e.g. EINTR,
+    a momentary I/O hiccup).  Retry wrappers treat this as retryable;
+    a plain :class:`FaultInjectedError` is terminal."""
+
+
+class QueryBudgetExceededError(ReproError):
+    """A query exhausted its :class:`~repro.mdx.budget.QueryBudget` in a
+    phase that cannot produce a partial result (axis resolution).  Cell
+    evaluation never raises this — it degrades to ⊥ cells instead."""
+
+    def __init__(self, message: str, *, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class QueryError(ReproError):
     """A what-if query is inconsistent (e.g. perspectives outside the
     parameter dimension, or a scenario over a non-varying dimension)."""

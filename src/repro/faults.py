@@ -1,0 +1,290 @@
+"""Failpoint registry: deterministic fault injection for durability tests.
+
+The durability layer is only trustworthy if its recovery paths are
+*exercised*, not just written.  This module provides named **failpoints**
+threaded through the hot I/O sites (``ChunkStore.read``/``write``,
+``save_warehouse``/``load_warehouse``, the MDX cell evaluator).  Production
+code calls :func:`inject_io_fault` at each site; the call is a no-op unless
+a test (or the ``REPRO_FAULTS`` environment variable / ``--faults`` CLI
+flag) has *armed* that failpoint.
+
+Arming modes
+------------
+
+``fail_with(name, exc)``
+    Every hit raises (a fresh copy of) ``exc``.
+``fail_after(name, n)``
+    The *n*-th hit raises; earlier hits pass.  ``n=1`` fires immediately.
+``fail_transient(name, times)``
+    The first ``times`` hits raise :class:`~repro.errors.TransientFaultError`
+    (retryable); later hits pass — this is what proves the
+    retry-with-backoff wrappers actually recover.
+``fail_probabilistic(name, p, seed)``
+    Each hit raises with probability ``p`` from a seeded (deterministic)
+    generator; the same seed replays the same crash schedule.
+
+Spec strings
+------------
+
+``REPRO_FAULTS`` / ``--faults`` accept a ``;``-separated list of
+``<failpoint>:<mode>`` entries::
+
+    io.save.cells:after=2;chunk.read:prob=0.25@seed=7;io.load.schema:always
+    mdx.cell:transient=3
+
+The special spec ``ci-matrix`` arms nothing by itself — it is a marker the
+test suite recognises to widen the fault matrix (see
+``tests/test_fault_matrix.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.errors import FaultInjectedError, TransientFaultError
+
+__all__ = [
+    "FAULTS",
+    "FaultRegistry",
+    "failpoint_names",
+    "inject_io_fault",
+    "register_failpoint",
+    "with_retries",
+]
+
+T = TypeVar("T")
+
+#: Failpoints registered by the instrumented modules.  Arming an unknown
+#: name is an error: it catches typos that would otherwise make a fault
+#: test silently vacuous.
+_KNOWN_FAILPOINTS: set[str] = set()
+
+
+def register_failpoint(name: str) -> str:
+    """Declare a failpoint name (called at import time by instrumented
+    modules); returns the name so it can double as a constant."""
+    _KNOWN_FAILPOINTS.add(name)
+    return name
+
+
+def failpoint_names() -> tuple[str, ...]:
+    """All registered failpoint names, sorted (the fault-matrix domain)."""
+    return tuple(sorted(_KNOWN_FAILPOINTS))
+
+
+@dataclass
+class _Arming:
+    """One armed failpoint: decides, per hit, whether to raise."""
+
+    failpoint: str
+    mode: str  # "always" | "after" | "transient" | "prob"
+    count: int = 0  # for after= / transient=
+    probability: float = 0.0
+    rng: random.Random | None = None
+    exc_factory: Callable[[str], BaseException] | None = None
+    hits: int = 0
+    fired: int = 0
+
+    def should_fire(self) -> bool:
+        self.hits += 1
+        if self.mode == "always":
+            return True
+        if self.mode == "after":
+            return self.hits == self.count
+        if self.mode == "transient":
+            return self.hits <= self.count
+        if self.mode == "prob":
+            assert self.rng is not None
+            return self.rng.random() < self.probability
+        raise AssertionError(f"unknown fault mode {self.mode!r}")
+
+    def make_exception(self) -> BaseException:
+        if self.exc_factory is not None:
+            return self.exc_factory(self.failpoint)
+        if self.mode == "transient":
+            return TransientFaultError(self.failpoint)
+        return FaultInjectedError(self.failpoint)
+
+
+@dataclass
+class FaultRegistry:
+    """Holds the armed failpoints; the module-level :data:`FAULTS` is the
+    process-wide instance."""
+
+    _armed: dict[str, _Arming] = field(default_factory=dict)
+
+    # -- arming -----------------------------------------------------------------
+
+    def _check_known(self, failpoint: str) -> None:
+        if failpoint not in _KNOWN_FAILPOINTS:
+            known = ", ".join(failpoint_names()) or "<none registered>"
+            raise ValueError(
+                f"unknown failpoint {failpoint!r}; registered: {known}"
+            )
+
+    def fail_with(
+        self,
+        failpoint: str,
+        exc_factory: Callable[[str], BaseException] | None = None,
+    ) -> None:
+        """Arm ``failpoint`` to raise on every hit."""
+        self._check_known(failpoint)
+        self._armed[failpoint] = _Arming(
+            failpoint, "always", exc_factory=exc_factory
+        )
+
+    def fail_after(
+        self,
+        failpoint: str,
+        n: int,
+        exc_factory: Callable[[str], BaseException] | None = None,
+    ) -> None:
+        """Arm ``failpoint`` to raise on exactly the *n*-th hit (1-based)."""
+        if n < 1:
+            raise ValueError("fail_after requires n >= 1")
+        self._check_known(failpoint)
+        self._armed[failpoint] = _Arming(
+            failpoint, "after", count=n, exc_factory=exc_factory
+        )
+
+    def fail_transient(self, failpoint: str, times: int = 1) -> None:
+        """Arm ``failpoint`` to raise a retryable
+        :class:`~repro.errors.TransientFaultError` for the first ``times``
+        hits, then succeed."""
+        if times < 1:
+            raise ValueError("fail_transient requires times >= 1")
+        self._check_known(failpoint)
+        self._armed[failpoint] = _Arming(failpoint, "transient", count=times)
+
+    def fail_probabilistic(
+        self, failpoint: str, probability: float, seed: int = 0
+    ) -> None:
+        """Arm ``failpoint`` to raise with ``probability`` per hit, from a
+        seeded deterministic generator."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        self._check_known(failpoint)
+        self._armed[failpoint] = _Arming(
+            failpoint,
+            "prob",
+            probability=probability,
+            rng=random.Random(seed),
+        )
+
+    def disarm(self, failpoint: str) -> None:
+        self._armed.pop(failpoint, None)
+
+    def clear(self) -> None:
+        """Disarm everything (test teardown)."""
+        self._armed.clear()
+
+    # -- introspection ----------------------------------------------------------
+
+    def armed(self) -> tuple[str, ...]:
+        return tuple(sorted(self._armed))
+
+    def fired_count(self, failpoint: str) -> int:
+        arming = self._armed.get(failpoint)
+        return 0 if arming is None else arming.fired
+
+    # -- the hot-path hook --------------------------------------------------------
+
+    def hit(self, failpoint: str) -> None:
+        """Raise if ``failpoint`` is armed and due; no-op otherwise.
+
+        The fast path (nothing armed) is one dict lookup, so leaving the
+        hooks in production code costs nothing measurable.
+        """
+        arming = self._armed.get(failpoint)
+        if arming is None:
+            return
+        if arming.should_fire():
+            arming.fired += 1
+            raise arming.make_exception()
+
+    # -- spec parsing ------------------------------------------------------------
+
+    def arm_from_spec(self, spec: str) -> tuple[str, ...]:
+        """Arm failpoints from a ``REPRO_FAULTS``-style spec string;
+        returns the names armed.  ``ci-matrix`` (and empty) arm nothing."""
+        armed: list[str] = []
+        for entry in spec.split(";"):
+            entry = entry.strip()
+            if not entry or entry == "ci-matrix":
+                continue
+            if ":" not in entry:
+                raise ValueError(
+                    f"bad fault spec entry {entry!r}; expected "
+                    "'<failpoint>:<always|after=N|transient=N|prob=P[@seed=S]>'"
+                )
+            name, mode = entry.split(":", 1)
+            name, mode = name.strip(), mode.strip()
+            if mode == "always":
+                self.fail_with(name)
+            elif mode.startswith("after="):
+                self.fail_after(name, int(mode[len("after="):]))
+            elif mode.startswith("transient="):
+                self.fail_transient(name, int(mode[len("transient="):]))
+            elif mode.startswith("prob="):
+                prob_part = mode[len("prob="):]
+                seed = 0
+                if "@seed=" in prob_part:
+                    prob_part, seed_part = prob_part.split("@seed=", 1)
+                    seed = int(seed_part)
+                self.fail_probabilistic(name, float(prob_part), seed=seed)
+            else:
+                raise ValueError(f"bad fault mode {mode!r} in entry {entry!r}")
+            armed.append(name)
+        return tuple(armed)
+
+    def arm_from_env(self, env: str = "REPRO_FAULTS") -> tuple[str, ...]:
+        spec = os.environ.get(env, "")
+        return self.arm_from_spec(spec) if spec else ()
+
+
+#: The process-wide registry; instrumented modules call
+#: ``FAULTS.hit(<name>)`` via :func:`inject_io_fault`.
+FAULTS = FaultRegistry()
+
+
+def inject_io_fault(failpoint: str) -> None:
+    """The instrumentation hook: raise if ``failpoint`` is armed and due.
+
+    This is the single call production code places at each fault site.
+    """
+    FAULTS.hit(failpoint)
+
+
+def with_retries(
+    operation: Callable[[], T],
+    *,
+    attempts: int = 4,
+    base_delay: float = 0.005,
+    max_delay: float = 0.25,
+    retry_on: tuple[type[BaseException], ...] = (TransientFaultError, OSError),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``operation``, retrying transient failures with exponential
+    backoff (``base_delay * 2**attempt``, capped at ``max_delay``).
+
+    Terminal faults (anything outside ``retry_on`` — notably a plain
+    :class:`~repro.errors.FaultInjectedError`) propagate immediately: a
+    simulated crash must not be retried into oblivion.  The last transient
+    error re-raises once ``attempts`` is exhausted.
+    """
+    if attempts < 1:
+        raise ValueError("with_retries requires attempts >= 1")
+    delay = base_delay
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except retry_on:
+            if attempt == attempts - 1:
+                raise
+            sleep(min(delay, max_delay))
+            delay *= 2
+    raise AssertionError("unreachable")  # pragma: no cover

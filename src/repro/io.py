@@ -3,23 +3,36 @@
 Layout::
 
     <path>/
-      schema.json   dimensions, varying registry, rules, named sets, names
-      cells.json    leaf cells and stored (materialised) aggregates
+      MANIFEST.json   generation number + SHA-256/byte-length per data file
+      schema.json     dimensions, varying registry, rules, named sets, names
+      cells.json      leaf cells and stored (materialised) aggregates
+      *.prev          the previous good generation (kept until the next save)
+      *.corrupt       quarantined files that failed integrity checks
 
 Everything is plain JSON with deterministic ordering, so a saved warehouse
 diffs cleanly under version control.  The round trip is lossless for the
 data model this library exposes: hierarchies, ordered/measures flags,
 varying assignments (including invalid moments), formula rules with
 scopes, named sets, and both leaf and stored derived cells.
+
+Saves are crash-safe (see :mod:`repro.durability`): every file is staged,
+fsynced, and renamed, with the manifest rename as the commit point, and
+the previous generation retained as ``*.prev``.  :func:`load_warehouse`
+verifies checksums, quarantines torn or corrupt files as ``*.corrupt``,
+restores the last-good generation when the newest one is damaged, and
+raises :class:`~repro.errors.WarehouseCorruptionError` naming exactly what
+was lost when no generation survives.  Stores written before manifests
+existed (plain ``schema.json`` + ``cells.json``) still load.
 """
 
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
-from repro.errors import SchemaError
+from repro.durability import RecoveredStore, commit_generation, recover_store
+from repro.errors import WarehouseFormatError
+from repro.faults import inject_io_fault, register_failpoint
 from repro.olap.cube import Cube
 from repro.olap.dimension import Dimension, Member
 from repro.olap.formula import format_expr
@@ -27,33 +40,18 @@ from repro.olap.rules import RuleEngine
 from repro.olap.schema import CubeSchema
 from repro.warehouse import Warehouse
 
-__all__ = ["save_warehouse", "load_warehouse"]
+__all__ = ["save_warehouse", "load_warehouse", "load_warehouse_recovered"]
 
 FORMAT_VERSION = 1
 
+SCHEMA_FILE = "schema.json"
+CELLS_FILE = "cells.json"
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` via write-temp → fsync → rename.
-
-    A crash at any point leaves either the old file or the new file —
-    never a truncated hybrid.  The temp file lives in the same directory
-    so the final rename stays within one filesystem (and is atomic).
-    """
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
-    # Persist the rename itself (directory entry) where the OS allows it.
-    try:
-        dir_fd = os.open(path.parent, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform without dir fsync
-        return
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
+FP_SAVE_SCHEMA = register_failpoint("io.save.schema")
+FP_SAVE_CELLS = register_failpoint("io.save.cells")
+FP_SAVE_COMMIT = register_failpoint("io.save.commit")
+FP_LOAD_SCHEMA = register_failpoint("io.load.schema")
+FP_LOAD_CELLS = register_failpoint("io.load.cells")
 
 
 def _member_tree(member: Member) -> dict:
@@ -87,9 +85,14 @@ def _rules_payload(rules: RuleEngine | None) -> list[dict]:
 
 
 def save_warehouse(warehouse: Warehouse, path: "str | Path") -> Path:
-    """Write the warehouse to ``path`` (created if needed); returns it."""
+    """Write the warehouse to ``path`` (created if needed); returns it.
+
+    The save is atomic at generation granularity: a crash at any point
+    leaves either the previous store or the new one loadable, never a
+    half-written mix (see :mod:`repro.durability`).
+    """
     root = Path(path)
-    root.mkdir(parents=True, exist_ok=True)
+    inject_io_fault(FP_SAVE_SCHEMA)
     schema = warehouse.schema
     payload = {
         "format_version": FORMAT_VERSION,
@@ -109,10 +112,9 @@ def save_warehouse(warehouse: Warehouse, path: "str | Path") -> Path:
             for named in warehouse.named_sets()
         },
     }
-    _atomic_write_text(
-        root / "schema.json", json.dumps(payload, indent=2, sort_keys=True)
-    )
+    schema_text = json.dumps(payload, indent=2, sort_keys=True)
 
+    inject_io_fault(FP_SAVE_CELLS)
     cells = {
         "leaf": sorted(
             [list(addr) + [value] for addr, value in warehouse.cube.leaf_cells()]
@@ -124,7 +126,14 @@ def save_warehouse(warehouse: Warehouse, path: "str | Path") -> Path:
             ]
         ),
     }
-    _atomic_write_text(root / "cells.json", json.dumps(cells, indent=0))
+    cells_text = json.dumps(cells, indent=0)
+
+    inject_io_fault(FP_SAVE_COMMIT)
+    commit_generation(
+        root,
+        {SCHEMA_FILE: schema_text, CELLS_FILE: cells_text},
+        format_version=FORMAT_VERSION,
+    )
     return root
 
 
@@ -134,49 +143,148 @@ def _load_members(dimension: Dimension, nodes: list[dict], parent: str | None) -
         _load_members(dimension, node["children"], node["name"])
 
 
-def load_warehouse(path: "str | Path") -> Warehouse:
-    """Rebuild a warehouse saved by :func:`save_warehouse`."""
-    root = Path(path)
-    payload = json.loads((root / "schema.json").read_text())
+def _read_json(path: Path, *, what: str) -> dict:
+    """Read one store file as JSON, mapping every failure to a typed
+    :class:`~repro.errors.WarehouseFormatError`."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError as exc:
+        raise WarehouseFormatError(f"{what} missing", path=str(path)) from exc
+    except OSError as exc:
+        raise WarehouseFormatError(
+            f"{what} unreadable: {exc}", path=str(path)
+        ) from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WarehouseFormatError(
+            f"{what} is not valid JSON (truncated or garbled): {exc}",
+            path=str(path),
+        ) from exc
+    if not isinstance(payload, dict):
+        raise WarehouseFormatError(
+            f"{what} must be a JSON object, found {type(payload).__name__}",
+            path=str(path),
+        )
+    return payload
+
+
+def _check_version(payload: dict, path: Path) -> None:
     version = payload.get("format_version")
-    if version != FORMAT_VERSION:
-        raise SchemaError(
-            f"unsupported warehouse format version {version!r} "
-            f"(this build reads {FORMAT_VERSION})"
+    if version == FORMAT_VERSION:
+        return
+    if isinstance(version, int) and version > FORMAT_VERSION:
+        raise WarehouseFormatError(
+            f"warehouse format version {version} is newer than this build "
+            f"reads ({FORMAT_VERSION}); upgrade the library to load it",
+            path=str(path),
+            format_version=version,
         )
+    raise WarehouseFormatError(
+        f"unsupported warehouse format version {version!r} "
+        f"(this build reads {FORMAT_VERSION})",
+        path=str(path),
+        format_version=version,
+    )
 
-    dimensions = []
-    for spec in payload["dimensions"]:
-        dimension = Dimension(
-            spec["name"], ordered=spec["ordered"], is_measures=spec["is_measures"]
-        )
-        _load_members(dimension, spec["members"], None)
-        dimensions.append(dimension)
-    schema = CubeSchema(dimensions)
 
-    for name, varying_spec in payload["varying"].items():
-        varying = schema.make_varying(name, varying_spec["parameter"])
-        varying.load_assignments(varying_spec["assignments"])
+def _build_warehouse(schema_path: Path, cells_path: Path) -> Warehouse:
+    inject_io_fault(FP_LOAD_SCHEMA)
+    payload = _read_json(schema_path, what="schema.json")
+    _check_version(payload, schema_path)
 
-    rules = RuleEngine(schema)
-    for rule_spec in payload["rules"]:
-        rules.define(
-            rule_spec["target"],
-            rule_spec["formula"],
-            dimension=rule_spec["dimension"],
-            scope=rule_spec["scope"],
-        )
+    try:
+        dimensions = []
+        for spec in payload["dimensions"]:
+            dimension = Dimension(
+                spec["name"], ordered=spec["ordered"], is_measures=spec["is_measures"]
+            )
+            _load_members(dimension, spec["members"], None)
+            dimensions.append(dimension)
+        schema = CubeSchema(dimensions)
+
+        for name, varying_spec in payload["varying"].items():
+            varying = schema.make_varying(name, varying_spec["parameter"])
+            varying.load_assignments(varying_spec["assignments"])
+
+        rules = RuleEngine(schema)
+        for rule_spec in payload["rules"]:
+            rules.define(
+                rule_spec["target"],
+                rule_spec["formula"],
+                dimension=rule_spec["dimension"],
+                scope=rule_spec["scope"],
+            )
+    except (KeyError, TypeError) as exc:
+        raise WarehouseFormatError(
+            f"schema.json is structurally invalid: missing or mistyped "
+            f"field ({exc})",
+            path=str(schema_path),
+            format_version=payload.get("format_version"),
+        ) from exc
 
     cube = Cube(schema, rules)
-    cells = json.loads((root / "cells.json").read_text())
-    for row in cells["leaf"]:
-        cube.set_value(tuple(row[:-1]), row[-1])
-    for row in cells["derived"]:
-        cube.set_value(tuple(row[:-1]), row[-1])
+    inject_io_fault(FP_LOAD_CELLS)
+    cells = _read_json(cells_path, what="cells.json")
+    try:
+        for row in cells["leaf"]:
+            cube.set_value(tuple(row[:-1]), row[-1])
+        for row in cells["derived"]:
+            cube.set_value(tuple(row[:-1]), row[-1])
+    except (KeyError, TypeError) as exc:
+        raise WarehouseFormatError(
+            f"cells.json is structurally invalid: {exc}",
+            path=str(cells_path),
+            format_version=payload.get("format_version"),
+        ) from exc
 
-    warehouse = Warehouse(
-        schema, cube, name=payload["name"], aliases=payload["aliases"]
+    try:
+        warehouse = Warehouse(
+            schema, cube, name=payload["name"], aliases=payload["aliases"]
+        )
+        for name, members in payload["named_sets"].items():
+            warehouse.define_named_set(name, members)
+    except (KeyError, TypeError) as exc:
+        raise WarehouseFormatError(
+            f"schema.json is structurally invalid: missing or mistyped "
+            f"field ({exc})",
+            path=str(schema_path),
+            format_version=payload.get("format_version"),
+        ) from exc
+    return warehouse
+
+
+def load_warehouse_recovered(
+    path: "str | Path",
+) -> tuple[Warehouse, RecoveredStore]:
+    """Like :func:`load_warehouse`, but also return the
+    :class:`~repro.durability.RecoveredStore` describing any integrity
+    repairs (quarantines, generation restores) performed on the way in."""
+    root = Path(path)
+    recovered = recover_store(
+        root, expected_files=(SCHEMA_FILE, CELLS_FILE)
     )
-    for name, members in payload["named_sets"].items():
-        warehouse.define_named_set(name, members)
+    for name in (SCHEMA_FILE, CELLS_FILE):
+        if name not in recovered.files:
+            raise WarehouseFormatError(
+                f"store manifest does not list {name}",
+                path=str(root / "MANIFEST.json"),
+            )
+    warehouse = _build_warehouse(
+        recovered.files[SCHEMA_FILE], recovered.files[CELLS_FILE]
+    )
+    return warehouse, recovered
+
+
+def load_warehouse(path: "str | Path") -> Warehouse:
+    """Rebuild a warehouse saved by :func:`save_warehouse`.
+
+    Integrity policy: checksums are verified against ``MANIFEST.json``;
+    damaged files are quarantined as ``*.corrupt`` and the previous
+    generation is restored when it verifies in full.  A store beyond
+    repair raises :class:`~repro.errors.WarehouseCorruptionError`;
+    a file that is missing/garbled in a pre-manifest (legacy) store
+    raises :class:`~repro.errors.WarehouseFormatError`.
+    """
+    warehouse, _ = load_warehouse_recovered(path)
     return warehouse

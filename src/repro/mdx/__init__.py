@@ -7,6 +7,7 @@ paper's ``WITH PERSPECTIVE`` and ``WITH CHANGES`` clauses.
 """
 
 from repro.mdx.ast_nodes import MdxQuery, PerspectiveClause, ChangesClause
+from repro.mdx.budget import BudgetTracker, Degradation, QueryBudget
 from repro.mdx.evaluator import evaluate_query, execute
 from repro.mdx.lexer import tokenize
 from repro.mdx.parser import parse_query
@@ -16,6 +17,9 @@ __all__ = [
     "MdxQuery",
     "PerspectiveClause",
     "ChangesClause",
+    "BudgetTracker",
+    "Degradation",
+    "QueryBudget",
     "evaluate_query",
     "execute",
     "tokenize",

@@ -22,6 +22,8 @@ from repro.core.operators import ChangeTuple
 from repro.core.perspective import Mode, Semantics
 from repro.core.scenario import NegativeScenario, PositiveScenario, WhatIfCube
 from repro.errors import MdxEvaluationError
+from repro.faults import inject_io_fault, register_failpoint
+from repro.mdx.budget import BudgetTracker, QueryBudget
 from repro.mdx.ast_nodes import (
     AxisSpec,
     ChangesClause,
@@ -50,14 +52,26 @@ __all__ = ["evaluate_query", "execute"]
 # A coordinate binding: (dimension name, coordinate, display label)
 Binding = tuple[str, str, str]
 
+FP_MDX_CELL = register_failpoint("mdx.cell")
+
 
 class _Context:
     """Evaluation context: warehouse bindings plus the applied scenario."""
 
-    def __init__(self, warehouse, query: MdxQuery) -> None:
+    def __init__(
+        self,
+        warehouse,
+        query: MdxQuery,
+        budget: "QueryBudget | None" = None,
+    ) -> None:
         self.warehouse = warehouse
         self.schema = warehouse.schema
         self.query = query
+        self.tracker = (
+            None
+            if budget is None or budget.unlimited
+            else BudgetTracker(budget)
+        )
         #: query-scoped named sets (WITH SET ... AS ...), by name
         self.query_sets = dict(query.named_sets)
         self._expanding_sets: set[str] = set()
@@ -267,7 +281,15 @@ def _condition_value(
     condition_bindings: list[Binding],
     context: _Context,
 ):
-    """Cell value for a Filter/Order condition at a candidate position."""
+    """Cell value for a Filter/Order condition at a candidate position.
+
+    Condition probes count against the query budget; a breach here raises
+    (axis resolution has no meaningful partial result — see
+    :mod:`repro.mdx.budget`).
+    """
+    if context.tracker is not None:
+        context.tracker.charge_cell_or_raise("axis resolution")
+    inject_io_fault(FP_MDX_CELL)
     defaults = {d.name: d.root.name for d in context.schema.dimensions}
     coords = dict(defaults)
     coords.update({dim: coord for dim, coord, _ in condition_bindings})
@@ -412,13 +434,23 @@ def _axis_tuples(
     return result
 
 
-def evaluate_query(warehouse, query: MdxQuery, analyze: bool = True) -> MdxResult:
+def evaluate_query(
+    warehouse,
+    query: MdxQuery,
+    analyze: bool = True,
+    budget: "QueryBudget | None" = None,
+) -> MdxResult:
     """Evaluate a parsed query against a warehouse.
 
     With ``analyze=True`` (the default) the static analyzer runs first and
     error-level findings abort evaluation with
     :class:`~repro.errors.MdxAnalysisError` before any cube data is read;
     ``analyze=False`` is the escape hatch that goes straight to execution.
+
+    A ``budget`` (:class:`~repro.mdx.budget.QueryBudget`) bounds the work:
+    on breach during cell evaluation the result is *partial* — remaining
+    cells are ⊥ and ``result.degradations`` is non-empty.  Degraded
+    results skip NON EMPTY pruning so the ⊥-marked positions stay visible.
     """
     if analyze:
         from repro.analysis.query_analyzer import analyze_query
@@ -441,7 +473,7 @@ def evaluate_query(warehouse, query: MdxQuery, analyze: bool = True) -> MdxResul
             )
         seen_axes.add(axis.axis)
     warehouse.check_cube_name(query.cube)
-    context = _Context(warehouse, query)
+    context = _Context(warehouse, query, budget)
 
     by_axis = {axis.axis: axis for axis in query.axes}
     if "columns" not in by_axis:
@@ -459,11 +491,22 @@ def evaluate_query(warehouse, query: MdxQuery, analyze: bool = True) -> MdxResul
             for dim, coord, _ in binding_tuple:
                 slicer[dim] = coord
 
+    from repro.olap.missing import MISSING, is_missing
+
     defaults = {d.name: d.root.name for d in context.schema.dimensions}
+    tracker = context.tracker
     cells: list[list[object]] = []
+    cells_skipped = 0
     for row in rows:
         row_cells: list[object] = []
         for column in columns:
+            # Graceful degradation: once the budget is breached, every
+            # remaining cell is ⊥ — cheap, so the grid shape survives.
+            if tracker is not None and not tracker.charge_cell():
+                row_cells.append(MISSING)
+                cells_skipped += 1
+                continue
+            inject_io_fault(FP_MDX_CELL)
             coords = dict(defaults)
             coords.update(slicer)
             coords.update(dict(row.coordinates))
@@ -472,7 +515,14 @@ def evaluate_query(warehouse, query: MdxQuery, analyze: bool = True) -> MdxResul
             row_cells.append(context.view.effective_value(address))
         cells.append(row_cells)
 
-    from repro.olap.missing import is_missing
+    degradations = []
+    if tracker is not None and tracker.breached is not None:
+        degradations.append(tracker.degradation(cells_skipped))
+        # Skip NON EMPTY pruning: an all-⊥ row produced by the budget cut
+        # must stay visible as partial, not vanish as empty.
+        return MdxResult(
+            columns=columns, rows=rows, cells=cells, degradations=degradations
+        )
 
     if "rows" in by_axis and by_axis["rows"].non_empty:
         keep = [
@@ -493,6 +543,13 @@ def evaluate_query(warehouse, query: MdxQuery, analyze: bool = True) -> MdxResul
     return MdxResult(columns=columns, rows=rows, cells=cells)
 
 
-def execute(warehouse, text: str, analyze: bool = True) -> MdxResult:
+def execute(
+    warehouse,
+    text: str,
+    analyze: bool = True,
+    budget: "QueryBudget | None" = None,
+) -> MdxResult:
     """Parse and evaluate extended-MDX text."""
-    return evaluate_query(warehouse, parse_query(text), analyze=analyze)
+    return evaluate_query(
+        warehouse, parse_query(text), analyze=analyze, budget=budget
+    )

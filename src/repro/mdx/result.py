@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence, TypeAlias
 
+from repro.mdx.budget import Degradation
 from repro.olap.missing import Missing, is_missing
 
 __all__ = ["AxisTuple", "MdxResult"]
@@ -45,10 +46,18 @@ class MdxResult:
     columns: list[AxisTuple]
     rows: list[AxisTuple]
     cells: list[list[CellValue]] = field(default_factory=list)
+    #: structured records of work the evaluator gave up on (query-budget
+    #: breaches); empty for a complete result
+    degradations: list[Degradation] = field(default_factory=list)
 
     @property
     def shape(self) -> tuple[int, int]:
         return (len(self.rows), len(self.columns))
+
+    @property
+    def is_partial(self) -> bool:
+        """True when some cells were skipped (⊥) under a query budget."""
+        return bool(self.degradations)
 
     def cell(self, row: int, column: int) -> CellValue:
         return self.cells[row][column]
@@ -133,6 +142,11 @@ class MdxResult:
         for axis_tuple, row_cells in zip(self.rows, self.cells):
             rendered = " | ".join(fmt(v).rjust(width) for v in row_cells)
             lines.append(f"{axis_tuple.label().ljust(row_header_width)} | {rendered}")
+        for degradation in self.degradations:
+            lines.append(
+                f"[partial: {degradation.detail}; "
+                f"{degradation.cells_skipped} cell(s) returned as {missing}]"
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

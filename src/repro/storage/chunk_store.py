@@ -19,10 +19,14 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.errors import StorageError
+from repro.faults import inject_io_fault, register_failpoint, with_retries
 from repro.storage.chunks import Chunk, ChunkCoord, ChunkGrid
 from repro.storage.io_stats import IoCostModel, IoStats
 
 __all__ = ["ChunkStore", "ResidencyTracker"]
+
+FP_CHUNK_READ = register_failpoint("chunk.read")
+FP_CHUNK_WRITE = register_failpoint("chunk.write")
 
 
 class ResidencyTracker:
@@ -122,6 +126,9 @@ class ChunkStore:
         data = self._chunks.get(coord)
         if data is None:
             return self.grid.empty_chunk(coord).data
+        # Transient device hiccups retry with backoff; terminal injected
+        # faults (simulated crashes) propagate to the caller.
+        with_retries(lambda: inject_io_fault(FP_CHUNK_READ))
         self.stats.record_read(self._positions[coord], self.cost_model)
         return data
 
@@ -130,6 +137,7 @@ class ChunkStore:
 
     def write(self, coord: ChunkCoord, data: np.ndarray) -> None:
         """Query-time write (counts toward I/O stats)."""
+        with_retries(lambda: inject_io_fault(FP_CHUNK_WRITE))
         self.load(coord, data)
         self.stats.record_write(self._positions[coord], self.cost_model)
 

@@ -143,17 +143,23 @@ class Warehouse:
                 f"{self.name!r}"
             )
 
-    def query(self, text: str, analyze: bool = True):
+    def query(self, text: str, analyze: bool = True, budget=None):
         """Run an extended-MDX query; returns an
         :class:`~repro.mdx.result.MdxResult`.
 
         The static analyzer (:mod:`repro.analysis`) runs first unless
         ``analyze=False``; error-level findings raise
         :class:`~repro.errors.MdxAnalysisError` before any data is read.
+
+        ``budget`` (:class:`~repro.mdx.budget.QueryBudget`) bounds the
+        evaluation: a wall-clock deadline and/or cell-evaluation cap.  On
+        breach the query *degrades* instead of failing — the result is
+        partial, unevaluated cells are ⊥, and ``result.degradations``
+        carries a structured report of what was cut.
         """
         from repro.mdx.evaluator import execute
 
-        return execute(self, text, analyze=analyze)
+        return execute(self, text, analyze=analyze, budget=budget)
 
     def analyze(self, text: str):
         """Statically analyze a query without executing it; returns a

@@ -4,10 +4,19 @@ from __future__ import annotations
 
 import pytest
 
+from repro.faults import FAULTS
 from repro.olap.cube import Cube
 from repro.olap.dimension import Dimension
 from repro.olap.schema import CubeSchema
 from repro.workload.running_example import RunningExample, build_running_example
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """No armed failpoint may leak from one test into the next."""
+    FAULTS.clear()
+    yield
+    FAULTS.clear()
 
 
 @pytest.fixture

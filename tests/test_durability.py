@@ -1,0 +1,241 @@
+"""Tests for the crash-safe persistence layer (repro.durability).
+
+Covers the manifest format, atomic writes, the quarantine + last-good
+generation recovery policy, legacy (pre-manifest) stores, and the typed
+errors for missing/truncated/garbled store files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.durability import (
+    MANIFEST_NAME,
+    Manifest,
+    atomic_write_text,
+    commit_generation,
+    file_digest,
+    read_manifest,
+)
+from repro.errors import (
+    WarehouseCorruptionError,
+    WarehouseFormatError,
+)
+from repro.io import load_warehouse, load_warehouse_recovered, save_warehouse
+from repro.warehouse import Warehouse
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+@pytest.fixture
+def store(warehouse, tmp_path):
+    """A freshly saved store with two generations (so .prev exists)."""
+    root = save_warehouse(warehouse, tmp_path / "wh")
+    save_warehouse(warehouse, root)
+    return root
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "x.json"
+        atomic_write_text(target, '{"a": 1}')
+        assert target.read_text() == '{"a": 1}'
+
+    def test_overwrites_atomically(self, tmp_path):
+        target = tmp_path / "x.json"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+        assert not target.with_name("x.json.tmp").exists()
+
+
+class TestManifest:
+    def test_round_trip(self):
+        manifest = Manifest(1, 7, {"schema.json": ("ab" * 32, 120)})
+        again = Manifest.from_json(manifest.to_json())
+        assert again == manifest
+
+    def test_garbled_manifest_is_typed(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text("{not json")
+        with pytest.raises(WarehouseFormatError, match="parseable"):
+            read_manifest(path)
+
+    def test_missing_manifest_is_typed(self, tmp_path):
+        with pytest.raises(WarehouseFormatError, match="missing"):
+            read_manifest(tmp_path / MANIFEST_NAME)
+
+    def test_manifest_with_missing_fields_is_typed(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text('{"format_version": 1}')
+        with pytest.raises(WarehouseFormatError):
+            read_manifest(path)
+
+
+class TestCommitGeneration:
+    def test_first_generation(self, tmp_path):
+        manifest = commit_generation(
+            tmp_path / "s", {"a.json": "[1]"}, format_version=1
+        )
+        assert manifest.generation == 1
+        on_disk = read_manifest(tmp_path / "s" / MANIFEST_NAME)
+        assert on_disk == manifest
+        assert file_digest(tmp_path / "s" / "a.json") == manifest.files["a.json"]
+
+    def test_previous_generation_retained(self, tmp_path):
+        root = tmp_path / "s"
+        commit_generation(root, {"a.json": "[1]"}, format_version=1)
+        commit_generation(root, {"a.json": "[2]"}, format_version=1)
+        assert (root / "a.json").read_text() == "[2]"
+        assert (root / "a.json.prev").read_text() == "[1]"
+        prev = read_manifest(root / (MANIFEST_NAME + ".prev"))
+        assert prev.generation == 1
+
+    def test_no_temp_files_left(self, store):
+        leftovers = [n for n in os.listdir(store) if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestRecoveryPolicy:
+    def test_intact_store_loads_clean(self, warehouse, store):
+        loaded, recovered = load_warehouse_recovered(store)
+        assert loaded.cube.leaf_equal(warehouse.cube)
+        assert not recovered.recovered
+        assert recovered.quarantined == []
+
+    def test_truncated_cells_restores_previous_generation(
+        self, warehouse, store
+    ):
+        # Tear the newest cells.json in half — a classic torn write.
+        cells = (store / "cells.json").read_text()
+        (store / "cells.json").write_text(cells[: len(cells) // 2])
+        loaded, recovered = load_warehouse_recovered(store)
+        assert loaded.cube.leaf_equal(warehouse.cube)
+        assert recovered.restored_from_previous
+        assert "cells.json.corrupt" in recovered.quarantined
+
+    def test_garbled_schema_restores_previous_generation(
+        self, warehouse, store
+    ):
+        (store / "schema.json").write_text('{"oops": ')
+        loaded, recovered = load_warehouse_recovered(store)
+        assert loaded.cube.leaf_equal(warehouse.cube)
+        assert recovered.restored_from_previous
+        assert "schema.json.corrupt" in recovered.quarantined
+
+    def test_recovered_store_loads_clean_afterwards(self, warehouse, store):
+        (store / "cells.json").write_text("junk")
+        load_warehouse(store)  # performs the repair
+        loaded, recovered = load_warehouse_recovered(store)
+        assert loaded.cube.leaf_equal(warehouse.cube)
+        assert not recovered.restored_from_previous
+
+    def test_both_generations_damaged_raises_corruption(
+        self, warehouse, store
+    ):
+        (store / "cells.json").write_text("junk")
+        (store / "cells.json.prev").write_text("junk too")
+        with pytest.raises(WarehouseCorruptionError) as info:
+            load_warehouse(store)
+        assert "cells.json" in info.value.lost
+        assert any("corrupt" in q for q in info.value.quarantined)
+
+    def test_single_generation_damage_raises_corruption(
+        self, warehouse, tmp_path
+    ):
+        # Only one generation exists: nothing to fall back to.
+        root = save_warehouse(warehouse, tmp_path / "wh")
+        (root / "schema.json").write_text("garbage")
+        with pytest.raises(WarehouseCorruptionError) as info:
+            load_warehouse(root)
+        assert info.value.lost == ("schema.json",)
+        assert (root / "schema.json.corrupt").exists()
+
+    def test_missing_data_file_with_manifest_raises_or_recovers(
+        self, warehouse, store
+    ):
+        (store / "cells.json").unlink()
+        loaded, recovered = load_warehouse_recovered(store)  # .prev saves us
+        assert loaded.cube.leaf_equal(warehouse.cube)
+        assert recovered.restored_from_previous
+
+    def test_garbled_manifest_falls_back(self, warehouse, store):
+        (store / MANIFEST_NAME).write_text("{")
+        loaded, recovered = load_warehouse_recovered(store)
+        assert loaded.cube.leaf_equal(warehouse.cube)
+        assert recovered.restored_from_previous
+
+    def test_quarantine_preserves_damaged_bytes(self, warehouse, store):
+        (store / "cells.json").write_text("damaged-payload")
+        load_warehouse(store)
+        assert (store / "cells.json.corrupt").read_text() == "damaged-payload"
+
+    def test_missing_directory_is_typed(self, tmp_path):
+        with pytest.raises(WarehouseFormatError, match="does not exist"):
+            load_warehouse(tmp_path / "never-saved")
+
+    def test_empty_directory_is_typed(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(WarehouseFormatError, match="not a warehouse"):
+            load_warehouse(tmp_path / "empty")
+
+
+class TestLegacyStores:
+    """Stores written before manifests existed must still load."""
+
+    @pytest.fixture
+    def legacy(self, warehouse, tmp_path):
+        root = save_warehouse(warehouse, tmp_path / "wh")
+        (root / MANIFEST_NAME).unlink()
+        for name in os.listdir(root):
+            if name.endswith(".prev"):
+                (root / name).unlink()
+        return root
+
+    def test_legacy_store_loads(self, warehouse, legacy):
+        loaded, recovered = load_warehouse_recovered(legacy)
+        assert loaded.cube.leaf_equal(warehouse.cube)
+        assert recovered.legacy
+
+    def test_legacy_truncated_cells_is_typed(self, legacy):
+        cells = (legacy / "cells.json").read_text()
+        (legacy / "cells.json").write_text(cells[: len(cells) // 2])
+        with pytest.raises(WarehouseFormatError, match="cells.json") as info:
+            load_warehouse(legacy)
+        assert info.value.path is not None
+
+    def test_legacy_garbled_schema_is_typed(self, legacy):
+        (legacy / "schema.json").write_text("definitely { not json")
+        with pytest.raises(WarehouseFormatError, match="not valid JSON"):
+            load_warehouse(legacy)
+
+    def test_legacy_missing_schema_is_typed(self, legacy):
+        (legacy / "schema.json").unlink()
+        with pytest.raises(WarehouseFormatError, match="schema.json"):
+            load_warehouse(legacy)
+
+    def test_legacy_structurally_invalid_schema_is_typed(self, legacy):
+        payload = json.loads((legacy / "schema.json").read_text())
+        del payload["dimensions"]
+        (legacy / "schema.json").write_text(json.dumps(payload))
+        with pytest.raises(WarehouseFormatError, match="structurally invalid"):
+            load_warehouse(legacy)
+
+    def test_legacy_wrong_json_shape_is_typed(self, legacy):
+        (legacy / "cells.json").write_text("[1, 2, 3]")
+        with pytest.raises(WarehouseFormatError, match="JSON object"):
+            load_warehouse(legacy)
+
+    def test_resave_upgrades_legacy_to_manifest(self, warehouse, legacy):
+        save_warehouse(warehouse, legacy)
+        manifest = read_manifest(legacy / MANIFEST_NAME)
+        assert manifest.generation == 1
+        loaded, recovered = load_warehouse_recovered(legacy)
+        assert not recovered.legacy
+        assert loaded.cube.leaf_equal(warehouse.cube)

@@ -1,0 +1,243 @@
+"""Tests for the failpoint registry and retry wrappers (repro.faults)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FaultInjectedError, TransientFaultError
+from repro.faults import (
+    FAULTS,
+    failpoint_names,
+    inject_io_fault,
+    with_retries,
+)
+from repro.storage.chunks import ChunkGrid
+from repro.storage.chunk_store import ChunkStore
+
+
+class TestRegistry:
+    def test_unarmed_failpoint_is_noop(self):
+        inject_io_fault("chunk.read")  # nothing armed: must not raise
+
+    def test_fail_with_fires_every_hit(self):
+        FAULTS.fail_with("chunk.read")
+        for _ in range(3):
+            with pytest.raises(FaultInjectedError) as info:
+                inject_io_fault("chunk.read")
+            assert info.value.failpoint == "chunk.read"
+
+    def test_fail_after_fires_on_nth_hit_only(self):
+        FAULTS.fail_after("chunk.read", 3)
+        inject_io_fault("chunk.read")
+        inject_io_fault("chunk.read")
+        with pytest.raises(FaultInjectedError):
+            inject_io_fault("chunk.read")
+        inject_io_fault("chunk.read")  # after the nth hit: clean again
+
+    def test_fail_transient_recovers(self):
+        FAULTS.fail_transient("chunk.read", times=2)
+        for _ in range(2):
+            with pytest.raises(TransientFaultError):
+                inject_io_fault("chunk.read")
+        inject_io_fault("chunk.read")
+
+    def test_probabilistic_is_deterministic_per_seed(self):
+        def schedule(seed: int) -> list[bool]:
+            FAULTS.fail_probabilistic("chunk.read", 0.5, seed=seed)
+            fired = []
+            for _ in range(20):
+                try:
+                    inject_io_fault("chunk.read")
+                    fired.append(False)
+                except FaultInjectedError:
+                    fired.append(True)
+            FAULTS.clear()
+            return fired
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+        assert any(schedule(7))
+
+    def test_unknown_failpoint_rejected(self):
+        with pytest.raises(ValueError, match="unknown failpoint"):
+            FAULTS.fail_with("no.such.failpoint")
+
+    def test_custom_exception_factory(self):
+        FAULTS.fail_with("chunk.write", lambda fp: OSError(f"boom at {fp}"))
+        with pytest.raises(OSError, match="boom at chunk.write"):
+            inject_io_fault("chunk.write")
+
+    def test_clear_disarms(self):
+        FAULTS.fail_with("chunk.read")
+        FAULTS.clear()
+        inject_io_fault("chunk.read")
+
+    def test_fired_count(self):
+        FAULTS.fail_after("chunk.read", 1)
+        with pytest.raises(FaultInjectedError):
+            inject_io_fault("chunk.read")
+        assert FAULTS.fired_count("chunk.read") == 1
+
+    def test_all_expected_failpoints_registered(self):
+        names = set(failpoint_names())
+        assert {
+            "chunk.read",
+            "chunk.write",
+            "durability.commit",
+            "durability.fsync",
+            "durability.rename",
+            "durability.write",
+            "io.load.cells",
+            "io.load.schema",
+            "io.save.cells",
+            "io.save.commit",
+            "io.save.schema",
+            "mdx.cell",
+        } <= names
+
+
+class TestSpecParsing:
+    def test_always(self):
+        assert FAULTS.arm_from_spec("chunk.read:always") == ("chunk.read",)
+        with pytest.raises(FaultInjectedError):
+            inject_io_fault("chunk.read")
+
+    def test_after(self):
+        FAULTS.arm_from_spec("chunk.read:after=2")
+        inject_io_fault("chunk.read")
+        with pytest.raises(FaultInjectedError):
+            inject_io_fault("chunk.read")
+
+    def test_transient(self):
+        FAULTS.arm_from_spec("chunk.read:transient=1")
+        with pytest.raises(TransientFaultError):
+            inject_io_fault("chunk.read")
+        inject_io_fault("chunk.read")
+
+    def test_probabilistic_with_seed(self):
+        FAULTS.arm_from_spec("chunk.read:prob=1.0@seed=3")
+        with pytest.raises(FaultInjectedError):
+            inject_io_fault("chunk.read")
+
+    def test_multiple_entries(self):
+        armed = FAULTS.arm_from_spec("chunk.read:always; chunk.write:after=5")
+        assert armed == ("chunk.read", "chunk.write")
+
+    def test_ci_matrix_marker_arms_nothing(self):
+        assert FAULTS.arm_from_spec("ci-matrix") == ()
+        assert FAULTS.armed() == ()
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError, match="bad fault spec"):
+            FAULTS.arm_from_spec("chunk.read")
+        with pytest.raises(ValueError, match="bad fault mode"):
+            FAULTS.arm_from_spec("chunk.read:sometimes")
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "chunk.read:always")
+        assert FAULTS.arm_from_env() == ("chunk.read",)
+        with pytest.raises(FaultInjectedError):
+            inject_io_fault("chunk.read")
+
+    def test_env_empty_is_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FAULTS.arm_from_env() == ()
+
+
+class TestRetries:
+    def test_returns_value_on_success(self):
+        assert with_retries(lambda: 42) == 42
+
+    def test_transient_errors_retried_with_backoff(self):
+        attempts = []
+        delays = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientFaultError("x.y", "transient hiccup")
+            return "ok"
+
+        FAULTS.fail_transient("chunk.read", times=2)  # irrelevant, direct raise
+        result = with_retries(
+            flaky, base_delay=0.001, sleep=delays.append
+        )
+        assert result == "ok"
+        assert len(attempts) == 3
+        assert delays == [0.001, 0.002]  # exponential
+
+    def test_terminal_fault_not_retried(self):
+        attempts = []
+
+        def crash():
+            attempts.append(1)
+            raise FaultInjectedError("x.y")
+
+        with pytest.raises(FaultInjectedError):
+            with_retries(crash, sleep=lambda _: None)
+        assert len(attempts) == 1
+
+    def test_exhausted_retries_reraise(self):
+        def always_transient():
+            raise TransientFaultError("x.y")
+
+        with pytest.raises(TransientFaultError):
+            with_retries(always_transient, attempts=3, sleep=lambda _: None)
+
+    def test_backoff_is_capped(self):
+        delays = []
+
+        def always_transient():
+            raise TransientFaultError("x.y")
+
+        with pytest.raises(TransientFaultError):
+            with_retries(
+                always_transient,
+                attempts=6,
+                base_delay=0.1,
+                max_delay=0.2,
+                sleep=delays.append,
+            )
+        assert max(delays) == 0.2
+
+
+def _store() -> ChunkStore:
+    grid = ChunkGrid(dim_sizes=(4, 4), chunk_shape=(2, 2))
+    store = ChunkStore(grid)
+    store.load((0, 0), np.ones((2, 2)))
+    return store
+
+
+class TestChunkStoreFaults:
+    def test_terminal_read_fault_propagates(self):
+        store = _store()
+        FAULTS.fail_with("chunk.read")
+        with pytest.raises(FaultInjectedError):
+            store.read((0, 0))
+
+    def test_transient_read_fault_recovers(self):
+        store = _store()
+        FAULTS.fail_transient("chunk.read", times=2)
+        data = store.read((0, 0))
+        assert data.shape == (2, 2)
+        assert store.stats.chunk_reads == 1  # the successful attempt counts once
+
+    def test_missing_chunk_reads_empty_without_touching_faults(self):
+        store = _store()
+        FAULTS.fail_with("chunk.read")
+        data = store.read((1, 1))  # not stored: no physical read happens
+        assert np.isnan(data).all()
+
+    def test_terminal_write_fault_propagates(self):
+        store = _store()
+        FAULTS.fail_with("chunk.write")
+        with pytest.raises(FaultInjectedError):
+            store.write((1, 0), np.zeros((2, 2)))
+        assert not store.has_chunk((1, 0))  # failed write stores nothing
+
+    def test_transient_write_fault_recovers(self):
+        store = _store()
+        FAULTS.fail_transient("chunk.write", times=1)
+        store.write((1, 0), np.zeros((2, 2)))
+        assert store.has_chunk((1, 0))

@@ -6,11 +6,23 @@ import json
 
 import pytest
 
-from repro.errors import SchemaError
+from repro.errors import SchemaError, WarehouseFormatError
+from repro.durability import MANIFEST_NAME, Manifest, file_digest, read_manifest
 from repro.io import load_warehouse, save_warehouse
 from repro.olap.missing import is_missing
 from repro.warehouse import Warehouse
 from repro.workload.workforce import WorkforceConfig, build_workforce
+
+
+def rewrite_store_file(root, name: str, text: str) -> None:
+    """Rewrite one store file *and* its manifest entry, so the edit tests
+    format handling rather than tripping the corruption detector."""
+    (root / name).write_text(text)
+    manifest = read_manifest(root / MANIFEST_NAME)
+    files = dict(manifest.files)
+    files[name] = file_digest(root / name)
+    updated = Manifest(manifest.format_version, manifest.generation, files)
+    (root / MANIFEST_NAME).write_text(updated.to_json())
 
 
 @pytest.fixture
@@ -129,6 +141,31 @@ class TestFormat:
         root = save_warehouse(warehouse, tmp_path / "wh")
         payload = json.loads((root / "schema.json").read_text())
         payload["format_version"] = 99
-        (root / "schema.json").write_text(json.dumps(payload))
+        rewrite_store_file(root, "schema.json", json.dumps(payload))
         with pytest.raises(SchemaError, match="version"):
             load_warehouse(root)
+
+    def test_future_version_is_rejected_explicitly(self, warehouse, tmp_path):
+        root = save_warehouse(warehouse, tmp_path / "wh")
+        payload = json.loads((root / "schema.json").read_text())
+        payload["format_version"] = 99
+        rewrite_store_file(root, "schema.json", json.dumps(payload))
+        with pytest.raises(WarehouseFormatError, match="newer than") as info:
+            load_warehouse(root)
+        assert info.value.format_version == 99
+        assert info.value.path is not None
+
+    def test_manifest_lists_all_files_with_checksums(self, warehouse, tmp_path):
+        root = save_warehouse(warehouse, tmp_path / "wh")
+        manifest = read_manifest(root / MANIFEST_NAME)
+        assert set(manifest.files) == {"schema.json", "cells.json"}
+        for name, (digest, size) in manifest.files.items():
+            assert file_digest(root / name) == (digest, size)
+
+    def test_generation_increments_per_save(self, warehouse, tmp_path):
+        root = save_warehouse(warehouse, tmp_path / "wh")
+        assert read_manifest(root / MANIFEST_NAME).generation == 1
+        save_warehouse(warehouse, root)
+        assert read_manifest(root / MANIFEST_NAME).generation == 2
+        # The previous generation sticks around as the recovery fallback.
+        assert (root / (MANIFEST_NAME + ".prev")).exists()

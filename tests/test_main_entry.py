@@ -88,4 +88,109 @@ class TestAnalyzeCommand:
     def test_missing_file_exits_two(self, tmp_path):
         completed = run_module("analyze", str(tmp_path / "absent.mdx"))
         assert completed.returncode == 2
-        assert "repro analyze" in completed.stderr
+        assert completed.stderr.startswith("repro:")
+        # One-line contract: a message, never a traceback.
+        assert "Traceback" not in completed.stderr
+
+
+RESULT_QUERY = (
+    "SELECT {Time.[Jan], Time.[Feb]} ON COLUMNS, {[Joe]} ON ROWS "
+    "FROM Warehouse WHERE ([NY], [Salary])\n"
+)
+
+
+class TestQueryCommand:
+    """Exit-code contract: 0 = complete result, 1 = partial (budget
+    breached), 2 = errors — one-line stderr messages, never tracebacks."""
+
+    def test_query_runs_and_exits_zero(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("query", str(path))
+        assert completed.returncode == 0, completed.stderr
+        assert "FTE/Joe" in completed.stdout
+
+    def test_csv_output(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("query", str(path), "--csv")
+        assert completed.returncode == 0
+        assert completed.stdout.splitlines()[0].startswith(",")
+
+    def test_budget_breach_exits_one_with_partial_grid(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("query", str(path), "--max-cells", "1")
+        assert completed.returncode == 1
+        assert "[partial:" in completed.stdout
+        assert "partial result" in completed.stderr
+        assert "Traceback" not in completed.stderr
+
+    def test_deadline_flag_on_subcommand(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("query", str(path), "--deadline-ms", "0")
+        assert completed.returncode == 1
+        assert "partial result" in completed.stderr
+
+    def test_deadline_flag_top_level(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("--deadline-ms", "0", "query", str(path))
+        assert completed.returncode == 1
+
+    def test_query_error_exits_two_one_line(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text("SELECT {[Nobody]} ON COLUMNS FROM Warehouse\n")
+        completed = run_module("query", str(path), "--no-analyze")
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("repro:")
+        assert "Traceback" not in completed.stderr
+
+    def test_missing_file_exits_two(self, tmp_path):
+        completed = run_module("query", str(tmp_path / "absent.mdx"))
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("repro:")
+
+
+class TestFaultFlags:
+    def test_faults_flag_injects(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module(
+            "--faults", "mdx.cell:after=1", "query", str(path)
+        )
+        assert completed.returncode == 2
+        assert "injected fault" in completed.stderr
+        assert "Traceback" not in completed.stderr
+
+    def test_bad_faults_spec_exits_two(self):
+        completed = run_module("--faults", "nonsense")
+        assert completed.returncode == 2
+        assert "bad --faults spec" in completed.stderr
+
+    def test_env_activation(self, tmp_path):
+        import os
+
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        env = dict(os.environ, REPRO_FAULTS="mdx.cell:after=1")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "query", str(path)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert completed.returncode == 2
+        assert "injected fault" in completed.stderr
+
+    def test_transient_faults_are_absorbed_by_retries(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module(
+            "--faults", "durability.write:transient=2", "query", str(path)
+        )
+        # The query path never touches durability.write; the spec must
+        # still parse and the command succeed.
+        assert completed.returncode == 0

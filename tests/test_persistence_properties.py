@@ -1,0 +1,123 @@
+"""Property-style persistence tests: save → load → save is a fixed point.
+
+Because :func:`repro.io.save_warehouse` is deterministic (sorted keys,
+sorted cells), the strongest cheap invariant is byte-level: saving a
+*reloaded* warehouse must reproduce the original ``schema.json`` and
+``cells.json`` exactly — for any warehouse shape the generators produce,
+including ⊥ cells, varying-dimension assignments with invalid moments,
+named sets, and formula rules.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.io import load_warehouse, save_warehouse
+from repro.olap.missing import MISSING, is_missing
+from repro.warehouse import Warehouse
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+DATA_FILES = ("schema.json", "cells.json")
+
+
+def assert_save_load_save_fixed_point(warehouse, tmp_path) -> None:
+    first = save_warehouse(warehouse, tmp_path / "first")
+    reloaded = load_warehouse(first)
+    second = save_warehouse(reloaded, tmp_path / "second")
+    for name in DATA_FILES:
+        assert (first / name).read_bytes() == (second / name).read_bytes(), (
+            f"{name} changed across a save/load/save round trip"
+        )
+
+
+workforce_configs = st.builds(
+    WorkforceConfig,
+    n_employees=st.integers(min_value=4, max_value=24),
+    n_departments=st.integers(min_value=2, max_value=5),
+    n_changing=st.integers(min_value=1, max_value=4),
+    max_moves=st.integers(min_value=1, max_value=5),
+    n_accounts=st.integers(min_value=1, max_value=4),
+    n_scenarios=st.integers(min_value=1, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+    density=st.sampled_from([0.25, 0.5, 1.0]),
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(config=workforce_configs)
+def test_workforce_round_trip_is_fixed_point(config, tmp_path_factory):
+    """Random warehouses (varying assignments, named sets, sparse cells)
+    survive save→load→save byte-identically."""
+    tmp_path = tmp_path_factory.mktemp("prop")
+    workforce = build_workforce(config)
+    assert_save_load_save_fixed_point(workforce.warehouse, tmp_path)
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    values=st.lists(
+        st.one_of(
+            st.none(),  # explicit ⊥ writes (deletions)
+            st.floats(
+                min_value=-1e9, max_value=1e9, allow_nan=False, width=32
+            ),
+        ),
+        min_size=6,
+        max_size=6,
+    )
+)
+def test_bottom_cells_round_trip(values, tmp_path_factory):
+    """⊥ cells (absent and explicitly deleted) survive the round trip."""
+    from repro.workload import build_running_example
+
+    tmp_path = tmp_path_factory.mktemp("prop")
+    example = build_running_example()
+    warehouse = Warehouse(example.schema, example.cube, name="Warehouse")
+    months = ["Jan", "Feb", "Mar", "Apr", "May", "Jun"]
+    for month, value in zip(months, values):
+        warehouse.cube.set(
+            value if value is not None else MISSING,
+            Organization="Contractor/Jane",
+            Location="TX",
+            Time=month,
+            Measures="Benefits",
+        )
+    assert_save_load_save_fixed_point(warehouse, tmp_path)
+    loaded = load_warehouse(tmp_path / "first")
+    for month, value in zip(months, values):
+        stored = loaded.cube.at(
+            Organization="Contractor/Jane",
+            Location="TX",
+            Time=month,
+            Measures="Benefits",
+        )
+        if value is None:
+            assert is_missing(stored)
+        else:
+            assert stored == float(value)
+
+
+def test_rules_and_named_sets_round_trip(example, tmp_path):
+    example.measures.add_member("CompPerHead", "Compensation")
+    example.rules.define("CompPerHead", "Salary / 1")
+    warehouse = Warehouse(example.schema, example.cube, name="Warehouse")
+    warehouse.define_named_set("Changers", ["Joe", "Lisa"])
+    assert_save_load_save_fixed_point(warehouse, tmp_path)
+
+
+def test_materialized_aggregates_round_trip(example, tmp_path):
+    warehouse = Warehouse(example.schema, example.cube, name="Warehouse")
+    q1 = example.schema.address(
+        Organization="FTE", Location="NY", Time="Qtr1", Measures="Salary"
+    )
+    warehouse.cube.materialize_derived([q1])
+    assert_save_load_save_fixed_point(warehouse, tmp_path)
