@@ -1,0 +1,87 @@
+"""Query-throughput benchmark: perf engine vs naive evaluator.
+
+Standalone usage (also the CI smoke job)::
+
+    python benchmarks/bench_query_throughput.py --smoke
+    python benchmarks/bench_query_throughput.py --json BENCH_query_engine.json
+
+The full run asserts the engine is at least 5x faster than the naive
+path on a >= 10k-leaf-cell cube with >= 100 derived result cells per
+query; the smoke run only guards against a regression (the engine must
+not be more than 1.25x *slower* than naive).  Both assert bit-identical
+cell grids — that check lives inside the runner and aborts the benchmark
+on any disagreement.
+
+The module is also collectable by pytest (``pytest benchmarks/``), where
+the same smoke-sized run backs a plain assertion-based test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.query_engine import (
+    full_config,
+    render_report,
+    run_query_engine,
+    smoke_config,
+    write_baseline,
+)
+
+#: full runs must beat the naive path by this factor (ISSUE acceptance)
+FULL_SPEEDUP_FLOOR = 5.0
+#: smoke runs merely must not regress past this slowdown
+SMOKE_SLOWDOWN_CEILING = 1.25
+
+
+def check_report(report: dict, smoke: bool) -> None:
+    assert report["identical"], "engine and naive grids disagree"
+    if smoke:
+        slowdown = (
+            report["engine_ms_per_query"] / report["naive_ms_per_query"]
+        )
+        assert slowdown <= SMOKE_SLOWDOWN_CEILING, (
+            f"batched evaluation is {slowdown:.2f}x slower than naive "
+            f"(ceiling {SMOKE_SLOWDOWN_CEILING}x)"
+        )
+    else:
+        assert report["leaf_cells"] >= 10_000, "full run needs >= 10k leaves"
+        assert report["derived_result_cells_per_query"] >= 100
+        assert report["speedup"] >= FULL_SPEEDUP_FLOOR, (
+            f"speedup {report['speedup']}x is below the "
+            f"{FULL_SPEEDUP_FLOOR}x floor"
+        )
+
+
+def test_query_throughput_smoke() -> None:
+    """Pytest entry point: smoke-sized equivalence + regression guard."""
+    report = run_query_engine(smoke_config())
+    check_report(report, smoke=True)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload; only guard against a regression vs naive",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the report as JSON (the committed baseline)",
+    )
+    args = parser.parse_args(argv)
+    config = smoke_config() if args.smoke else full_config()
+    report = run_query_engine(config)
+    print(render_report(report))
+    if args.json:
+        write_baseline(report, args.json)
+        print(f"baseline written to {args.json}")
+    check_report(report, smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

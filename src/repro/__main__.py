@@ -105,6 +105,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     if args.csv:
         print(result.to_csv())
+        # Engine counters as trailing comment lines, so the grid part of
+        # the stream stays parseable as plain CSV (see docs/performance.md).
+        for key in sorted(result.stats):
+            print(f"# {key},{result.stats[key]}")
     else:
         print(result.to_text())
     if result.is_partial:

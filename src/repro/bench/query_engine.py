@@ -1,0 +1,196 @@
+"""Query-throughput benchmark: the perf engine vs the naive evaluator.
+
+The workload is the Fig. 11/12 *shape* — many MDX queries against one
+what-if scenario — at semantic-cube scale: a workforce warehouse with
+>= 10k leaf cells and result grids of >= 100 derived (department-level)
+cells.  Every query carries the same ``WITH PERSPECTIVE`` clause, so the
+scenario-cube cache should pay off from the second query on, and every
+derived cell exercises the rollup index.
+
+Two passes over the identical query list are timed:
+
+* **naive** — ``repro.perf.naive_mode()``: per-query ``scenario.apply``
+  plus one full leaf scan per derived cell (the pre-engine code path);
+* **engine** — rollup index + scenario cache + batched grid evaluation.
+
+Both passes must produce bit-identical cell grids (checked before any
+timing); the speedup is the ratio of mean per-query wall times.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from repro.bench.harness import format_table
+from repro.perf.config import naive_mode
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+__all__ = [
+    "QueryEngineConfig",
+    "full_config",
+    "smoke_config",
+    "run_query_engine",
+    "render_report",
+]
+
+
+@dataclass(frozen=True)
+class QueryEngineConfig:
+    """Scale and repetition knobs for the throughput benchmark."""
+
+    n_employees: int = 120
+    n_departments: int = 8
+    n_accounts: int = 6
+    density: float = 1.0
+    seed: int = 42
+    #: timed repetitions of the full query list per mode (one untimed
+    #: warmup pass precedes each, so both modes are measured warm)
+    naive_repeats: int = 2
+    engine_repeats: int = 10
+
+
+def full_config() -> QueryEngineConfig:
+    """Acceptance-scale run: >= 10k leaf cells."""
+    return QueryEngineConfig()
+
+
+def smoke_config() -> QueryEngineConfig:
+    """CI-sized run: small cube, enough to catch a regression."""
+    return QueryEngineConfig(
+        n_employees=24,
+        n_departments=4,
+        n_accounts=3,
+        naive_repeats=3,
+        engine_repeats=3,
+    )
+
+
+def _build_queries(cube_name: str) -> list[str]:
+    """Same scenario, three grids — the repeated-scenario workload."""
+    scenario = "WITH PERSPECTIVE {(Jan), (Jul)} FOR Department STATIC"
+    return [
+        f"""
+        {scenario}
+        SELECT {{Period.Members}} ON COLUMNS,
+               {{CrossJoin({{Department.Children}}, {{Scenario.Children}})}} ON ROWS
+        FROM {cube_name}
+        """,
+        f"""
+        {scenario}
+        SELECT {{Period.Members}} ON COLUMNS,
+               {{CrossJoin({{Department.Children}}, {{Account.Members}})}} ON ROWS
+        FROM {cube_name}
+        """,
+        f"""
+        {scenario}
+        SELECT {{Account.Members}} ON COLUMNS,
+               {{CrossJoin({{Department.Children}}, {{Period.Children}})}} ON ROWS
+        FROM {cube_name}
+        """,
+    ]
+
+
+def _run_all(warehouse, queries: list[str]) -> list:
+    return [warehouse.query(text) for text in queries]
+
+
+def _time_pass(warehouse, queries: list[str], repeats: int) -> float:
+    """Mean wall milliseconds per query over ``repeats`` timed passes.
+
+    No separate warmup: the correctness gate has already run the full
+    query list once in each mode, so both measurements start warm."""
+    start = time.perf_counter()
+    for _ in range(repeats):
+        _run_all(warehouse, queries)
+    elapsed = time.perf_counter() - start
+    return elapsed * 1000.0 / (repeats * len(queries))
+
+
+def run_query_engine(config: QueryEngineConfig | None = None) -> dict:
+    """Run the benchmark; returns the JSON-ready report dict."""
+    config = config or full_config()
+    workforce = build_workforce(
+        WorkforceConfig(
+            n_employees=config.n_employees,
+            n_departments=config.n_departments,
+            n_accounts=config.n_accounts,
+            density=config.density,
+            seed=config.seed,
+        )
+    )
+    warehouse = workforce.warehouse
+    queries = _build_queries(warehouse.name)
+
+    # -- correctness gate: engine and naive grids must be bit-identical ----
+    engine_results = _run_all(warehouse, queries)
+    with naive_mode():
+        naive_results = _run_all(warehouse, queries)
+    identical = all(
+        e.cells == n.cells and e.row_labels() == n.row_labels()
+        for e, n in zip(engine_results, naive_results)
+    )
+    if not identical:
+        raise AssertionError(
+            "engine and naive evaluation disagree — benchmark aborted"
+        )
+    # Every result cell sits at a department (non-leaf) coordinate, so the
+    # whole grid is derived cells.
+    derived_cells = sum(
+        len(r.rows) * len(r.columns) for r in engine_results
+    ) // len(engine_results)
+
+    with naive_mode():
+        naive_ms = _time_pass(warehouse, queries, config.naive_repeats)
+    engine_ms = _time_pass(warehouse, queries, config.engine_repeats)
+
+    cache_stats = warehouse.scenario_cache.stats.snapshot()
+    index_stats = (
+        warehouse.cube._rollup_index.stats.snapshot()
+        if warehouse.cube.has_rollup_index
+        else {}
+    )
+    return {
+        "benchmark": "query_engine",
+        "config": {
+            "n_employees": config.n_employees,
+            "n_departments": config.n_departments,
+            "n_accounts": config.n_accounts,
+            "density": config.density,
+            "naive_repeats": config.naive_repeats,
+            "engine_repeats": config.engine_repeats,
+        },
+        "leaf_cells": warehouse.cube.n_leaf_cells,
+        "queries": len(queries),
+        "derived_result_cells_per_query": derived_cells,
+        "naive_ms_per_query": round(naive_ms, 3),
+        "engine_ms_per_query": round(engine_ms, 3),
+        "speedup": round(naive_ms / engine_ms, 2) if engine_ms else float("inf"),
+        "identical": identical,
+        "scenario_cache": cache_stats,
+        "rollup_index": index_stats,
+    }
+
+
+def render_report(report: dict) -> str:
+    rows = [
+        ("leaf cells", report["leaf_cells"]),
+        ("derived cells/query", report["derived_result_cells_per_query"]),
+        ("naive ms/query", report["naive_ms_per_query"]),
+        ("engine ms/query", report["engine_ms_per_query"]),
+        ("speedup", f'{report["speedup"]}x'),
+        ("bit-identical", report["identical"]),
+    ]
+    return format_table(
+        "Query-throughput engine vs naive evaluator",
+        ["metric", "value"],
+        rows,
+        width=22,
+    )
+
+
+def write_baseline(report: dict, path: str = "BENCH_query_engine.json") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -110,6 +110,19 @@ class NegativeScenario:
     semantics: Semantics = Semantics.STATIC
     mode: Mode = Mode.NON_VISUAL
 
+    def fingerprint(self) -> tuple:
+        """Canonical cache key: Theorem 4.1 makes :meth:`apply` a pure
+        function of the base cube and this normalised clause, so two
+        clauses with equal fingerprints yield the same perspective cube.
+        Perspective order is irrelevant to Φ, hence the sort."""
+        return (
+            "negative",
+            self.dimension,
+            self.semantics.value,
+            self.mode.value,
+            tuple(sorted(self.perspectives)),
+        )
+
     def apply(self, cube: Cube, varying: VaryingDimension | None = None) -> WhatIfCube:
         schema = cube.schema
         varying = varying or schema.varying_dimension(self.dimension)
@@ -148,6 +161,21 @@ class PositiveScenario:
     dimension: str
     changes: Sequence[ChangeTuple] = field(default_factory=list)
     mode: Mode = Mode.NON_VISUAL
+
+    def fingerprint(self) -> tuple:
+        """Canonical cache key over the normalised change relation R:
+        a set of (m, o, n, t) tuples, so listing order is irrelevant."""
+        return (
+            "positive",
+            self.dimension,
+            self.mode.value,
+            tuple(
+                sorted(
+                    (c.member, c.old_parent, c.new_parent, c.moment)
+                    for c in self.changes
+                )
+            ),
+        )
 
     def apply(self, cube: Cube, varying: VaryingDimension | None = None) -> WhatIfCube:
         schema = cube.schema

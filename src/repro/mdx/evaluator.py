@@ -46,6 +46,7 @@ from repro.mdx.ast_nodes import (
 from repro.mdx.parser import parse_query
 from repro.mdx.result import AxisTuple, MdxResult
 from repro.olap.dimension import Dimension, Member
+from repro.perf import config as perf_config
 
 __all__ = ["evaluate_query", "execute"]
 
@@ -77,24 +78,71 @@ class _Context:
         self._expanding_sets: set[str] = set()
         self.scenarios = self._build_scenarios(query)
         self.varying_view = dict(self.schema.varying)
+        #: scenario-cache hits/misses/builds for this one query
+        self.scenario_stats: dict[str, int] = {}
         if not self.scenarios:
             self.view = warehouse.cube
             self.surviving: dict[str, set[str]] | None = None
         else:
-            # Apply left to right (changes first, then perspectives view
-            # the hypothetical history), threading the hypothetical varying
-            # structure exactly like apply_scenarios().
-            current = warehouse.cube
-            applied: WhatIfCube | None = None
-            for scenario in self.scenarios:
-                varying = self.varying_view.get(scenario.dimension)
-                applied = scenario.apply(current, varying)
-                if applied.varying_out is not None:
-                    self.varying_view[scenario.dimension] = applied.varying_out
-                current = applied.leaf_cube
-            assert applied is not None
-            self.view = applied
-            self.surviving = self._surviving_instances(applied)
+            self._apply_scenario_chain(warehouse)
+
+    def _apply_scenario_chain(self, warehouse) -> None:
+        """Materialise the scenario view, consulting the warehouse's
+        scenario cache (Theorem 4.1 purity: same fingerprints + same base
+        cube version ⇒ same perspective cube)."""
+        cache = getattr(warehouse, "scenario_cache", None)
+        key = version = None
+        if cache is not None and perf_config.engine_enabled():
+            try:
+                key = tuple(s.fingerprint() for s in self.scenarios)
+            except AttributeError:
+                key = None  # ad-hoc scenario without a canonical form
+        if key is not None:
+            version = warehouse.cube.version
+            hit = cache.get(key, version)
+            if hit is not None:
+                base, view, varying_view, surviving = hit
+                if base is warehouse.cube:
+                    # Defensive copies: the entry must not observe later
+                    # per-query mutation of these maps.
+                    self.view = view
+                    self.varying_view = dict(varying_view)
+                    self.surviving = {
+                        dim: set(paths) for dim, paths in surviving.items()
+                    }
+                    self.scenario_stats["scenario_cache_hits"] = 1
+                    return
+                # Same fingerprints + version but a different cube object:
+                # the warehouse swapped cubes.  Drop and rebuild.
+                cache.discard(key)
+        # Apply left to right (changes first, then perspectives view
+        # the hypothetical history), threading the hypothetical varying
+        # structure exactly like apply_scenarios().
+        current = warehouse.cube
+        applied: WhatIfCube | None = None
+        for scenario in self.scenarios:
+            varying = self.varying_view.get(scenario.dimension)
+            applied = scenario.apply(current, varying)
+            if applied.varying_out is not None:
+                self.varying_view[scenario.dimension] = applied.varying_out
+            current = applied.leaf_cube
+        assert applied is not None
+        self.view = applied
+        self.surviving = self._surviving_instances(applied)
+        if key is not None:
+            assert version is not None
+            cache.put(
+                key,
+                version,
+                (
+                    warehouse.cube,
+                    applied,
+                    dict(self.varying_view),
+                    {dim: set(paths) for dim, paths in self.surviving.items()},
+                ),
+            )
+            cache.stats.builds += 1
+            self.scenario_stats["scenario_cache_misses"] = 1
 
     # -- scenario construction ---------------------------------------------------
 
@@ -495,25 +543,42 @@ def evaluate_query(
 
     defaults = {d.name: d.root.name for d in context.schema.dimensions}
     tracker = context.tracker
-    cells: list[list[object]] = []
-    cells_skipped = 0
-    for row in rows:
-        row_cells: list[object] = []
-        for column in columns:
-            # Graceful degradation: once the budget is breached, every
-            # remaining cell is ⊥ — cheap, so the grid shape survives.
-            if tracker is not None and not tracker.charge_cell():
-                row_cells.append(MISSING)
-                cells_skipped += 1
-                continue
-            inject_io_fault(FP_MDX_CELL)
-            coords = dict(defaults)
-            coords.update(slicer)
-            coords.update(dict(row.coordinates))
-            coords.update(dict(column.coordinates))
-            address = context.schema.address(**coords)
-            row_cells.append(context.view.effective_value(address))
-        cells.append(row_cells)
+    stats = dict(context.scenario_stats)
+    if perf_config.engine_enabled():
+        from repro.perf.batch import evaluate_grid
+
+        base_coords = dict(defaults)
+        base_coords.update(slicer)
+        cells, cells_skipped, grid_stats = evaluate_grid(
+            context.view,
+            context.schema,
+            base_coords,
+            rows,
+            columns,
+            tracker,
+            FP_MDX_CELL,
+        )
+        stats.update(grid_stats)
+    else:
+        cells = []
+        cells_skipped = 0
+        for row in rows:
+            row_cells: list[object] = []
+            for column in columns:
+                # Graceful degradation: once the budget is breached, every
+                # remaining cell is ⊥ — cheap, so the grid shape survives.
+                if tracker is not None and not tracker.charge_cell():
+                    row_cells.append(MISSING)
+                    cells_skipped += 1
+                    continue
+                inject_io_fault(FP_MDX_CELL)
+                coords = dict(defaults)
+                coords.update(slicer)
+                coords.update(dict(row.coordinates))
+                coords.update(dict(column.coordinates))
+                address = context.schema.address(**coords)
+                row_cells.append(context.view.effective_value(address))
+            cells.append(row_cells)
 
     degradations = []
     if tracker is not None and tracker.breached is not None:
@@ -521,7 +586,11 @@ def evaluate_query(
         # Skip NON EMPTY pruning: an all-⊥ row produced by the budget cut
         # must stay visible as partial, not vanish as empty.
         return MdxResult(
-            columns=columns, rows=rows, cells=cells, degradations=degradations
+            columns=columns,
+            rows=rows,
+            cells=cells,
+            degradations=degradations,
+            stats=stats,
         )
 
     if "rows" in by_axis and by_axis["rows"].non_empty:
@@ -540,7 +609,7 @@ def evaluate_query(
         ]
         columns = [columns[j] for j in keep]
         cells = [[row_cells[j] for j in keep] for row_cells in cells]
-    return MdxResult(columns=columns, rows=rows, cells=cells)
+    return MdxResult(columns=columns, rows=rows, cells=cells, stats=stats)
 
 
 def execute(

@@ -49,6 +49,9 @@ class MdxResult:
     #: structured records of work the evaluator gave up on (query-budget
     #: breaches); empty for a complete result
     degradations: list[Degradation] = field(default_factory=list)
+    #: per-query engine counters (scenario-cache hits/misses/invalidations,
+    #: rollup-index activity, cell counts); see docs/performance.md
+    stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def shape(self) -> tuple[int, int]:

@@ -6,6 +6,10 @@ inputs; if every input is MISSING the result is MISSING.  ``count`` counts
 non-missing inputs and returns 0 (a real number) when given some inputs but
 none non-missing — except that an entirely empty scope is MISSING, matching
 the convention that a cell with no descendant data does not exist.
+
+Every aggregator is *streaming*: one pass over the input iterable with O(1)
+state, so callers (notably the rollup index, which feeds generator scopes)
+never pay for an intermediate list.
 """
 
 from __future__ import annotations
@@ -21,43 +25,69 @@ Number = float
 CellValue: TypeAlias = "Number | Missing"
 
 
-def _present(values: Iterable[object]) -> list[float]:
-    return [float(v) for v in values if not is_missing(v)]  # type: ignore[arg-type]
-
-
 def agg_sum(values: Iterable[object]) -> CellValue:
-    present = _present(values)
-    if not present:
+    total = 0.0
+    count = 0
+    for v in values:
+        if is_missing(v):
+            continue
+        total += float(v)  # type: ignore[arg-type]
+        count += 1
+    if count == 0:
         return MISSING
-    return sum(present)
+    return total
 
 
 def agg_avg(values: Iterable[object]) -> CellValue:
-    present = _present(values)
-    if not present:
+    total = 0.0
+    count = 0
+    for v in values:
+        if is_missing(v):
+            continue
+        total += float(v)  # type: ignore[arg-type]
+        count += 1
+    if count == 0:
         return MISSING
-    return sum(present) / len(present)
+    return total / count
 
 
 def agg_min(values: Iterable[object]) -> CellValue:
-    present = _present(values)
-    if not present:
+    best: float | None = None
+    for v in values:
+        if is_missing(v):
+            continue
+        value = float(v)  # type: ignore[arg-type]
+        if best is None or value < best:
+            best = value
+    if best is None:
         return MISSING
-    return min(present)
+    return best
 
 
 def agg_max(values: Iterable[object]) -> CellValue:
-    present = _present(values)
-    if not present:
+    best: float | None = None
+    for v in values:
+        if is_missing(v):
+            continue
+        value = float(v)  # type: ignore[arg-type]
+        if best is None or value > best:
+            best = value
+    if best is None:
         return MISSING
-    return max(present)
+    return best
 
 
 def agg_count(values: Iterable[object]) -> CellValue:
-    values = list(values)
-    if not values:
+    # Single pass: an empty input is ⊥, an input of only-⊥ cells counts 0.
+    seen = 0
+    present = 0
+    for v in values:
+        seen += 1
+        if not is_missing(v):
+            present += 1
+    if seen == 0:
         return MISSING
-    return float(len(_present(values)))
+    return float(present)
 
 
 AGGREGATORS: dict[str, Callable[[Iterable[object]], CellValue]] = {

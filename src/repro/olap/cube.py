@@ -9,6 +9,16 @@ aggregates): the paper's non-visual mode keeps such stored values even when
 leaf data hypothetically moves, while visual mode re-evaluates rules.
 
 Coordinate conventions are defined in :mod:`repro.olap.schema`.
+
+Rollup serving
+--------------
+Derived-cell scopes are served by a lazily built
+:class:`~repro.perf.rollup_index.RollupIndex` (one pass over the leaf
+cells, then O(|scope|) per query), maintained incrementally by
+:meth:`set_value`.  ``repro.perf.config.naive_mode()`` restores the
+pre-index full-scan path; both paths produce bit-identical values.  Every
+mutation bumps :attr:`version`, which the warehouse's scenario cache uses
+for invalidation.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from typing import Callable, Iterable, Iterator, Sequence, TypeAlias
 from repro.errors import RuleError
 from repro.olap.missing import MISSING, Missing, is_missing
 from repro.olap.schema import Address, CubeSchema
+from repro.perf import config as perf_config
 
 __all__ = ["Cube"]
 
@@ -41,23 +52,56 @@ class Cube:
         self.rules = rules
         self._leaf_cells: dict[Address, float] = {}
         self._stored_derived: dict[Address, float] = {}
-        # memoised (dim_index, leaf_coord, coord) -> bool rollup tests
-        self._under_cache: dict[tuple[int, str, str], bool] = {}
+        #: mutation counter; bumped by every write so caches keyed on it
+        #: (scenario cache, rollup memo) can invalidate
+        self._version = 0
+        self._rollup_index = None  # lazily built RollupIndex
+
+    # -- versioning / index ------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (any leaf or stored-derived write)."""
+        return self._version
+
+    def rollup_index(self):
+        """The cube's rollup index, built on first use."""
+        if self._rollup_index is None:
+            from repro.perf.rollup_index import RollupIndex
+
+            self._rollup_index = RollupIndex.build(self)
+        return self._rollup_index
+
+    @property
+    def has_rollup_index(self) -> bool:
+        return self._rollup_index is not None
+
+    def _use_index(self) -> bool:
+        return perf_config.engine_enabled()
 
     # -- write path ------------------------------------------------------------
 
     def set_value(self, address: Sequence[str], value: object) -> None:
         """Store a cell value; MISSING/None deletes the cell."""
         addr = self.schema.validate_address(address)
-        store = (
-            self._leaf_cells
-            if self.schema.is_leaf_address(addr)
-            else self._stored_derived
-        )
+        is_leaf = self.schema.is_leaf_address(addr)
+        store = self._leaf_cells if is_leaf else self._stored_derived
+        index = self._rollup_index
         if is_missing(value):
-            store.pop(addr, None)
+            if store.pop(addr, None) is None:
+                return  # deleting an absent cell: not a mutation
+            self._version += 1
+            if is_leaf and index is not None:
+                index.remove_leaf(addr)
         else:
+            existed = addr in store
             store[addr] = float(value)  # type: ignore[arg-type]
+            self._version += 1
+            if is_leaf and index is not None:
+                if existed:
+                    index.touch()
+                else:
+                    index.add_leaf(addr)
 
     def set(self, value: object, **coords: str) -> None:
         """Keyword-style :meth:`set_value` (``cube.set(10, Time="Jan", ...)``)."""
@@ -69,6 +113,8 @@ class Cube:
 
     def clear_stored_derived(self) -> None:
         """Drop all materialised aggregate cells."""
+        if self._stored_derived:
+            self._version += 1
         self._stored_derived.clear()
 
     # -- read path ---------------------------------------------------------------
@@ -117,11 +163,22 @@ class Cube:
         from repro.olap.aggregation import aggregate
 
         addr = self.schema.validate_address(address)
-        return aggregate(aggregator, self.scope_values(addr))
+        if self._use_index():
+            return self.rollup_index().rollup(self._leaf_cells, addr, aggregator)
+        return aggregate(aggregator, self._scan_scope_values(addr))
 
     def scope_values(self, address: Sequence[str]) -> Iterator[float]:
         """Values of the leaf cells in a cell's scope."""
         addr = self.schema.validate_address(address)
+        if self._use_index():
+            leaf = self._leaf_cells
+            for leaf_addr in self.rollup_index().scope_addresses(addr):
+                yield leaf[leaf_addr]
+            return
+        yield from self._scan_scope_values(addr)
+
+    def _scan_scope_values(self, addr: Address) -> Iterator[float]:
+        """The naive path: one full pass over all leaf cells."""
         for leaf_addr, value in self._leaf_cells.items():
             if self._address_under(leaf_addr, addr):
                 yield value
@@ -129,25 +186,21 @@ class Cube:
     def scope_cells(self, address: Sequence[str]) -> Iterator[tuple[Address, float]]:
         """(address, value) of leaf cells in a cell's scope."""
         addr = self.schema.validate_address(address)
+        if self._use_index():
+            yield from self.rollup_index().iter_scope_cells(self._leaf_cells, addr)
+            return
         for leaf_addr, value in self._leaf_cells.items():
             if self._address_under(leaf_addr, addr):
                 yield leaf_addr, value
 
     def coord_rolls_up(self, dim_index: int, leaf_coord: str, coord: str) -> bool:
         """Memoised :meth:`CubeSchema.is_under` (public query helper)."""
-        return self._coord_under(dim_index, leaf_coord, coord)
-
-    def _coord_under(self, dim_index: int, leaf_coord: str, coord: str) -> bool:
-        key = (dim_index, leaf_coord, coord)
-        hit = self._under_cache.get(key)
-        if hit is None:
-            hit = self.schema.is_under(dim_index, leaf_coord, coord)
-            self._under_cache[key] = hit
-        return hit
+        return self.schema.is_under_cached(dim_index, leaf_coord, coord)
 
     def _address_under(self, leaf_addr: Address, addr: Address) -> bool:
+        is_under = self.schema.is_under_cached
         return all(
-            self._coord_under(i, leaf_addr[i], addr[i])
+            is_under(i, leaf_addr[i], addr[i])
             for i in range(self.schema.n_dims)
         )
 
@@ -179,16 +232,16 @@ class Cube:
     # -- structure-preserving transforms -----------------------------------------
 
     def copy(self) -> "Cube":
+        # The rollup index is deliberately not carried over: the clone
+        # rebuilds it lazily, so the two cubes never share mutable state
+        # (ancestor verdicts are shared safely via the schema's cache).
         clone = Cube(self.schema, self.rules)
         clone._leaf_cells = dict(self._leaf_cells)
         clone._stored_derived = dict(self._stored_derived)
-        clone._under_cache = self._under_cache  # share: schema-derived, read-mostly
         return clone
 
     def empty_like(self) -> "Cube":
-        clone = Cube(self.schema, self.rules)
-        clone._under_cache = self._under_cache
-        return clone
+        return Cube(self.schema, self.rules)
 
     def filter_dimension(
         self, dim_name: str, keep: Callable[[str], bool]
@@ -236,6 +289,7 @@ class Cube:
                     f"cannot materialise a leaf address as derived: {addr!r}"
                 )
             value = self.derive(addr)
+            self._version += 1
             if is_missing(value):
                 self._stored_derived.pop(addr, None)
             else:

@@ -46,6 +46,13 @@ class CubeSchema:
         self.dimensions: tuple[Dimension, ...] = tuple(dimensions)
         self._index = {d.name: i for i, d in enumerate(self.dimensions)}
         self._varying: dict[str, VaryingDimension] = {}
+        # Memoised rollup tests and ancestor chains.  These live on the
+        # schema (not on individual cubes) so that copied cubes share them
+        # safely: the verdicts depend only on the hierarchy and on which
+        # dimensions are varying, and registering a new varying dimension
+        # clears them (see :meth:`register_varying`).
+        self._under_cache: dict[tuple[int, str, str], bool] = {}
+        self._ancestor_cache: dict[tuple[int, str], tuple[str, ...]] = {}
 
     # -- registry ------------------------------------------------------------
 
@@ -65,6 +72,11 @@ class CubeSchema:
                 "schema's dimension instance"
             )
         self._varying[name] = varying
+        # Registering flips the dimension's coordinate semantics from
+        # member-based to instance-path-based; cached verdicts computed
+        # under the old semantics would be stale.
+        self._under_cache.clear()
+        self._ancestor_cache.clear()
         return varying
 
     def make_varying(self, dim_name: str, parameter_name: str) -> VaryingDimension:
@@ -173,6 +185,38 @@ class CubeSchema:
         leaf_member = dimension.member(leaf_coord)
         ancestor = dimension.member(coord)
         return leaf_member.is_descendant_of(ancestor)
+
+    def is_under_cached(self, dim_index: int, leaf_coord: str, coord: str) -> bool:
+        """Memoised :meth:`is_under`; safe to share across cubes because the
+        cache is cleared whenever the varying registry changes."""
+        key = (dim_index, leaf_coord, coord)
+        hit = self._under_cache.get(key)
+        if hit is None:
+            hit = self.is_under(dim_index, leaf_coord, coord)
+            self._under_cache[key] = hit
+        return hit
+
+    def ancestor_chain(self, dim_index: int, leaf_coord: str) -> tuple[str, ...]:
+        """All coordinates ``c`` with ``is_under(dim_index, leaf_coord, c)``:
+        the leaf coordinate itself plus every ancestor up to the root.
+
+        Memoised per (dimension, coordinate); this is the single-pass
+        bucketing step of the rollup index.
+        """
+        key = (dim_index, leaf_coord)
+        chain = self._ancestor_cache.get(key)
+        if chain is None:
+            dimension = self.dimensions[dim_index]
+            if dimension.name in self._varying and "/" in leaf_coord:
+                # Instance path: ancestors are its proper path prefixes'
+                # member names (see :meth:`is_under`).
+                parts = leaf_coord.split("/")
+                chain = (leaf_coord, *parts[:-1])
+            else:
+                member = dimension.member(leaf_coord)
+                chain = (leaf_coord, *(a.name for a in member.ancestors()))
+            self._ancestor_cache[key] = chain
+        return chain
 
     def leaf_coordinates_under(self, dim_index: int, coord: str) -> list[str]:
         """All leaf coordinates rolling up into ``coord`` on this dimension.

@@ -1,0 +1,44 @@
+"""Query-throughput engine: rollup indexes, scenario-cube caching, batching.
+
+This package holds the performance layer added on top of the semantic
+engine:
+
+* :mod:`repro.perf.rollup_index` — a per-cube single-pass index that
+  serves ``rollup``/``scope_values`` in O(|scope|) instead of a full leaf
+  scan per derived cell, with incremental maintenance under mutation;
+* :mod:`repro.perf.scenario_cache` — an LRU cache of applied what-if
+  scenarios keyed by their canonical fingerprints, so repeated
+  ``WITH PERSPECTIVE``/``WITH CHANGES`` queries skip ``scenario.apply``;
+* :mod:`repro.perf.batch` — batched MDX grid evaluation that resolves
+  axis planes against the rollup index;
+* :mod:`repro.perf.config` — the global engine toggle (``naive_mode`` is
+  the pre-index baseline used by benchmarks and equivalence tests).
+
+Everything here is behaviour-preserving: with the engine on or off, query
+results are bit-identical (enforced by the equivalence property tests).
+"""
+
+from repro.perf.config import engine_enabled, naive_mode, set_engine_enabled
+
+__all__ = [
+    "RollupIndex",
+    "ScenarioCache",
+    "engine_enabled",
+    "naive_mode",
+    "set_engine_enabled",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-exports: importing them eagerly would pull repro.storage into
+    # repro.olap.cube's import chain and create a cycle (cube -> perf ->
+    # storage -> array_cube -> cube).
+    if name == "RollupIndex":
+        from repro.perf.rollup_index import RollupIndex
+
+        return RollupIndex
+    if name == "ScenarioCache":
+        from repro.perf.scenario_cache import ScenarioCache
+
+        return ScenarioCache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,42 @@
+"""Global toggle for the query-throughput engine.
+
+The engine (rollup index + scenario cache + batched evaluation) is on by
+default.  :func:`naive_mode` restores the pre-index behaviour — a full
+leaf scan per derived cell and a fresh ``scenario.apply`` per query — and
+exists for two consumers:
+
+* the throughput benchmark, which measures the engine against the naive
+  baseline in one process, and
+* the equivalence property tests, which assert that both paths produce
+  bit-identical results.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["engine_enabled", "naive_mode", "set_engine_enabled"]
+
+_ENGINE_ENABLED = True
+
+
+def engine_enabled() -> bool:
+    """Whether the rollup index / scenario cache / batched paths are on."""
+    return _ENGINE_ENABLED
+
+
+def set_engine_enabled(enabled: bool) -> None:
+    global _ENGINE_ENABLED
+    _ENGINE_ENABLED = bool(enabled)
+
+
+@contextmanager
+def naive_mode() -> Iterator[None]:
+    """Temporarily run with the pre-index naive evaluation paths."""
+    previous = _ENGINE_ENABLED
+    set_engine_enabled(False)
+    try:
+        yield
+    finally:
+        set_engine_enabled(previous)

@@ -1,0 +1,274 @@
+"""Single-pass rollup index for the semantic cube.
+
+The naive cost of a derived cell is one full scan of every leaf cell
+(``Cube.scope_values``): for a result grid of N derived cells that is
+O(N x leaves).  The :class:`RollupIndex` makes **one** pass over the leaf
+cells, bucketing each leaf id under every coordinate of its per-dimension
+ancestor chain (``CubeSchema.ancestor_chain``).  A scope query then
+intersects the buckets of the queried coordinates — O(|smallest bucket|)
+set work — and aggregation streams over exactly the |scope| matching
+leaves.
+
+Determinism
+-----------
+Leaf ids are assigned in cube insertion order and scopes are served in
+ascending id order, which is exactly the iteration order of the naive
+``dict``-scan.  Floating-point aggregation order is therefore identical on
+both paths, making indexed results bit-identical to naive results (the
+equivalence property tests assert this).
+
+Maintenance
+-----------
+The index is maintained *incrementally*: ``Cube.set_value`` notifies it of
+leaf insertions/deletions (bucket updates) and in-place value changes
+(rollup-memo flush only — buckets store addresses, not values, so a value
+change never restructures the index).  Bulk transforms
+(``copy``/``filter_dimension``/``map_leaf_cells``) produce cubes without
+an index; it is rebuilt lazily on their first derived read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence, TypeAlias
+
+from repro.olap.aggregation import aggregate
+from repro.olap.missing import Missing
+from repro.storage.io_stats import CacheStats
+
+__all__ = ["RollupIndex"]
+
+Address = tuple[str, ...]
+CellValue: TypeAlias = "float | Missing"
+
+#: soft cap on the per-index rollup memo, to bound worst-case memory on
+#: long-lived cubes queried at ever-changing addresses
+_MEMO_CAP = 65536
+
+
+class RollupIndex:
+    """Per-dimension inverted index from coordinates to leaf-cell ids."""
+
+    def __init__(self, schema) -> None:
+        self.schema = schema
+        self.stats = CacheStats()
+        self._id_of: dict[Address, int] = {}
+        self._addr_of: dict[int, Address] = {}
+        self._next_id = 0
+        self._by_dim: list[dict[str, set[int]]] = [
+            {} for _ in range(schema.n_dims)
+        ]
+        # (address, aggregator) -> value; flushed on any leaf mutation
+        self._memo: dict[tuple[Address, str], CellValue] = {}
+
+    @classmethod
+    def build(cls, cube) -> "RollupIndex":
+        """One pass over a cube's leaf cells."""
+        index = cls(cube.schema)
+        for addr in cube._leaf_cells:
+            index._insert(addr)
+        index.stats.builds += 1
+        return index
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _insert(self, addr: Address) -> None:
+        ident = self._next_id
+        self._next_id += 1
+        self._id_of[addr] = ident
+        self._addr_of[ident] = addr
+        chain = self.schema.ancestor_chain
+        for i, coord in enumerate(addr):
+            buckets = self._by_dim[i]
+            for ancestor in chain(i, coord):
+                bucket = buckets.get(ancestor)
+                if bucket is None:
+                    buckets[ancestor] = {ident}
+                else:
+                    bucket.add(ident)
+
+    def add_leaf(self, addr: Address) -> None:
+        """A leaf cell was inserted (or re-valued) at ``addr``."""
+        if addr not in self._id_of:
+            self._insert(addr)
+        self._memo.clear()
+
+    def remove_leaf(self, addr: Address) -> None:
+        """The leaf cell at ``addr`` was deleted."""
+        ident = self._id_of.pop(addr, None)
+        if ident is None:
+            return
+        del self._addr_of[ident]
+        chain = self.schema.ancestor_chain
+        for i, coord in enumerate(addr):
+            buckets = self._by_dim[i]
+            for ancestor in chain(i, coord):
+                bucket = buckets.get(ancestor)
+                if bucket is not None:
+                    bucket.discard(ident)
+                    if not bucket:
+                        del buckets[ancestor]
+        self._memo.clear()
+
+    def touch(self) -> None:
+        """A leaf value changed in place: memoised rollups are stale, the
+        bucket structure is not."""
+        self._memo.clear()
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self._id_of)
+
+    def candidates(self, dim_index: int, coord: str) -> "set[int] | None":
+        """Leaf ids under ``coord`` on one dimension; None when empty.
+
+        An unknown member of a non-varying dimension raises
+        :class:`~repro.errors.MemberNotFoundError`, matching the contract
+        of the hierarchy lookup the naive scan performs.
+        """
+        bucket = self._by_dim[dim_index].get(coord)
+        if bucket is not None:
+            return bucket
+        dimension = self.schema.dimensions[dim_index]
+        if not self.schema.is_varying(dimension.name):
+            dimension.member(coord)  # raises MemberNotFoundError if unknown
+        return None
+
+    def scope_ids(self, address: Sequence[str]) -> list[int]:
+        """Ids of the leaf cells in a cell's scope, in insertion order."""
+        if not self._id_of:
+            return []
+        n = len(self._id_of)
+        constraining: list[set[int]] = []
+        for i, coord in enumerate(address):
+            bucket = self.candidates(i, coord)
+            if bucket is None:
+                return []
+            if len(bucket) == n:
+                continue  # the coordinate covers every leaf — no constraint
+            constraining.append(bucket)
+        if not constraining:
+            return sorted(self._addr_of)
+        constraining.sort(key=len)
+        scope = constraining[0]
+        for bucket in constraining[1:]:
+            scope = scope & bucket
+            if not scope:
+                return []
+        return sorted(scope)
+
+    def partial_scope(
+        self, pairs: Sequence[tuple[int, str]]
+    ) -> "tuple[bool, set[int] | None]":
+        """Intersect candidate buckets for some (dim_index, coord) pairs.
+
+        This is the axis-plane half of a scope query: the batched MDX
+        evaluator intersects the row plane once, then combines it with each
+        column's buckets via :meth:`combine_scope`.  Returns ``(empty,
+        ids)``: ``empty=True`` means provably no leaf matches; ``ids=None``
+        means the pairs impose no constraint (every leaf matches).  The
+        returned set may alias an internal bucket — do not mutate it.
+        """
+        if not self._id_of:
+            return True, None
+        n = len(self._id_of)
+        constraining: list[set[int]] = []
+        for dim_index, coord in pairs:
+            bucket = self.candidates(dim_index, coord)
+            if bucket is None:
+                return True, None
+            if len(bucket) == n:
+                continue
+            constraining.append(bucket)
+        if not constraining:
+            return False, None
+        constraining.sort(key=len)
+        scope = constraining[0]
+        for bucket in constraining[1:]:
+            scope = scope & bucket
+            if not scope:
+                return True, None
+        return False, scope
+
+    @staticmethod
+    def combine_scope(
+        first: "tuple[bool, set[int] | None]",
+        second: "tuple[bool, set[int] | None]",
+    ) -> "tuple[bool, set[int] | None]":
+        """Intersect two :meth:`partial_scope` results."""
+        if first[0] or second[0]:
+            return True, None
+        if first[1] is None:
+            return second
+        if second[1] is None:
+            return first
+        scope = first[1] & second[1]
+        return (not scope), scope
+
+    def rollup_scope(
+        self,
+        leaf_cells: Mapping[Address, float],
+        address: Address,
+        scope: "tuple[bool, set[int] | None]",
+        aggregator: str = "sum",
+    ) -> CellValue:
+        """Aggregate a precomputed scope (:meth:`partial_scope` /
+        :meth:`combine_scope`), memoised like :meth:`rollup`.  Ids are
+        served in ascending order, so the float-summation order matches
+        the naive scan exactly."""
+        key = (address, aggregator)
+        if key in self._memo:
+            self.stats.hits += 1
+            return self._memo[key]
+        self.stats.misses += 1
+        addr_of = self._addr_of
+        empty, ids = scope
+        if empty:
+            values: "Iterator[float] | tuple[()]" = ()
+        elif ids is None:
+            values = (leaf_cells[addr_of[i]] for i in sorted(addr_of))
+        else:
+            values = (leaf_cells[addr_of[i]] for i in sorted(ids))
+        value = aggregate(aggregator, values)
+        if len(self._memo) >= _MEMO_CAP:
+            self._memo.clear()
+        self._memo[key] = value
+        return value
+
+    def scope_addresses(self, address: Sequence[str]) -> list[Address]:
+        return [self._addr_of[i] for i in self.scope_ids(address)]
+
+    def iter_scope_cells(
+        self, leaf_cells: Mapping[Address, float], address: Sequence[str]
+    ) -> Iterator[tuple[Address, float]]:
+        for ident in self.scope_ids(address):
+            addr = self._addr_of[ident]
+            yield addr, leaf_cells[addr]
+
+    def rollup(
+        self,
+        leaf_cells: Mapping[Address, float],
+        address: Address,
+        aggregator: str = "sum",
+    ) -> CellValue:
+        """Aggregate a cell's scope through the index, memoised per
+        (address, aggregator) until the next leaf mutation."""
+        key = (address, aggregator)
+        if key in self._memo:
+            self.stats.hits += 1
+            return self._memo[key]
+        self.stats.misses += 1
+        addr_of = self._addr_of
+        value = aggregate(
+            aggregator,
+            (leaf_cells[addr_of[i]] for i in self.scope_ids(address)),
+        )
+        if len(self._memo) >= _MEMO_CAP:
+            self._memo.clear()
+        self._memo[key] = value
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = [len(buckets) for buckets in self._by_dim]
+        return f"RollupIndex({len(self._id_of)} leaves, buckets/dim={sizes})"

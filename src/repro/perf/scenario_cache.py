@@ -1,0 +1,80 @@
+"""LRU cache of applied what-if scenarios.
+
+Theorem 4.1 makes every scenario a *pure* function of the base cube and
+the normalised clause: negative scenarios are ``E ∘ ρ(·, Φ_sem(VS, P)) ∘ σ``
+and positive scenarios ``E ∘ S(·, R)``.  Two queries whose WITH clauses
+normalise to the same fingerprints therefore produce the *same*
+perspective cube — so the warehouse may cache the applied
+:class:`~repro.core.scenario.WhatIfCube` chain and skip
+``scenario.apply`` entirely on repeats (the Fig. 11/12 workload shape:
+many queries against one scenario).
+
+Keys are the tuple of scenario fingerprints
+(:meth:`NegativeScenario.fingerprint` /
+:meth:`PositiveScenario.fingerprint`); each entry records the base cube's
+mutation version at apply time, and a lookup against a newer version drops
+the entry (counted as an invalidation).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+from repro.storage.io_stats import CacheStats
+
+__all__ = ["ScenarioCache"]
+
+V = TypeVar("V")
+
+
+class ScenarioCache(Generic[V]):
+    """A small LRU keyed by (fingerprint chain), version-checked."""
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise ValueError("ScenarioCache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, tuple[int, V]]" = OrderedDict()
+
+    def get(self, key: Hashable, version: int) -> "V | None":
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        cached_version, value = entry
+        if cached_version != version:
+            # The base cube mutated since this scenario was applied.
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, version: int, value: V) -> None:
+        self._entries[key] = (version, value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def discard(self, key: Hashable) -> None:
+        """Drop one entry (counted as an invalidation if present) — for
+        callers whose own validity checks fail, e.g. the warehouse cube
+        object itself was swapped out."""
+        if self._entries.pop(key, None) is not None:
+            self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScenarioCache({len(self._entries)}/{self.maxsize} entries, "
+            f"{self.stats.hits} hits, {self.stats.misses} misses)"
+        )

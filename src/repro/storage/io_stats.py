@@ -20,7 +20,37 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["IoCostModel", "IoStats"]
+__all__ = ["CacheStats", "IoCostModel", "IoStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters shared by the query-engine caches
+    (scenario-cube cache, rollup index).
+
+    ``builds`` counts full (re)constructions — index builds or scenario
+    applications on a cache miss; ``invalidations`` counts entries dropped
+    because the underlying cube mutated.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    builds: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.builds = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "builds": self.builds,
+        }
 
 
 @dataclass(frozen=True)

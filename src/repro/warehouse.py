@@ -21,6 +21,7 @@ from repro.olap.cube import Cube
 from repro.olap.dimension import Dimension, Member
 from repro.olap.instances import VaryingDimension
 from repro.olap.schema import CubeSchema
+from repro.perf.scenario_cache import ScenarioCache
 
 __all__ = ["NamedSet", "Warehouse"]
 
@@ -63,6 +64,10 @@ class Warehouse:
         self.name = name
         self.aliases = set(aliases)
         self._named_sets: dict[str, NamedSet] = {}
+        #: LRU of applied what-if scenarios keyed by fingerprint chain;
+        #: entries are invalidated by the cube's mutation version (see
+        #: :mod:`repro.perf.scenario_cache`)
+        self.scenario_cache = ScenarioCache()
 
     # -- named sets ---------------------------------------------------------------
 

@@ -1,0 +1,241 @@
+"""Equivalence properties: the perf engine must be invisible.
+
+Every test here runs the same computation twice — once with the engine
+(rollup index + scenario cache + batched grids) and once under
+``repro.perf.naive_mode()`` (the pre-engine full-scan/per-cell path) —
+and requires *bit-identical* results: same cells, same ⊥ pattern, same
+failpoint hits, same budget degradations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FaultInjectedError
+from repro.faults import FAULTS
+from repro.mdx.budget import QueryBudget
+from repro.olap.aggregation import AGGREGATORS
+from repro.olap.cube import Cube
+from repro.olap.dimension import Dimension
+from repro.olap.missing import MISSING, is_missing
+from repro.olap.schema import CubeSchema
+from repro.perf.config import naive_mode
+from repro.warehouse import Warehouse
+
+# -- a small static cube for the mutation property ---------------------------
+
+MONTHS = ("Jan", "Feb", "Mar", "Apr", "May", "Jun")
+MEASURES = ("Sales", "COGS")
+
+
+def _tiny_cube() -> Cube:
+    time = Dimension("Time", ordered=True)
+    time.add_member("H1")
+    time.add_children("H1", ["Jan", "Feb", "Mar"])
+    time.add_member("H2")
+    time.add_children("H2", ["Apr", "May", "Jun"])
+    measures = Dimension("Measures", is_measures=True)
+    measures.add_children(None, ["Sales", "COGS"])
+    return Cube(CubeSchema([time, measures]))
+
+
+LEAF_ADDRESSES = [(m, s) for m in MONTHS for s in MEASURES]
+
+
+def _all_addresses(schema) -> list[tuple[str, str]]:
+    time_members = [
+        m.name
+        for m in schema.dimension("Time").root.descendants(include_self=True)
+    ]
+    measure_members = [
+        m.name
+        for m in schema.dimension("Measures").root.descendants(include_self=True)
+    ]
+    return [(t, s) for t in time_members for s in measure_members]
+
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(LEAF_ADDRESSES) - 1),
+        st.one_of(
+            st.none(),  # delete
+            st.floats(
+                min_value=-1e6, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+        ),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestIndexedRollupProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_matches_naive_under_interleaved_mutations(self, ops):
+        """After every mutation, every (address, aggregator) pair agrees
+        bit-for-bit between the indexed and the naive scan path."""
+        cube = _tiny_cube()
+        addresses = _all_addresses(cube.schema)
+        cube.rollup_index()  # force incremental maintenance from op one
+        for leaf_index, value in ops:
+            addr = LEAF_ADDRESSES[leaf_index]
+            cube.set_value(addr, MISSING if value is None else value)
+            for address in addresses:
+                for aggregator in AGGREGATORS:
+                    indexed = cube.rollup(address, aggregator)
+                    with naive_mode():
+                        naive = cube.rollup(address, aggregator)
+                    if is_missing(indexed) or is_missing(naive):
+                        assert is_missing(indexed) and is_missing(naive), (
+                            address, aggregator
+                        )
+                    else:
+                        assert indexed == naive, (address, aggregator)
+
+
+# -- full-query equivalence on the running example ---------------------------
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+QUERIES = [
+    # plain derived grid (index + batch, no scenario)
+    """
+    SELECT {Time.Members} ON COLUMNS, {Location.Members} ON ROWS
+    FROM Warehouse WHERE (Measures.[Compensation])
+    """,
+    # negative scenario, visual (scenario cache + relocated cube)
+    """
+    WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+    SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS,
+           {[Joe]} ON ROWS
+    FROM Warehouse WHERE ([NY], [Salary])
+    """,
+    # negative scenario, non-visual (aggregates from the original cube)
+    """
+    WITH PERSPECTIVE {(Feb)} FOR Organization STATIC
+    SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS,
+           {Organization.Children} ON ROWS
+    FROM Warehouse WHERE ([Salary])
+    """,
+    # positive scenario
+    """
+    WITH CHANGES {([Lisa], FTE, PTE, Apr)} FOR Organization VISUAL
+    SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS,
+           {Organization.Children} ON ROWS
+    FROM Warehouse WHERE ([Salary])
+    """,
+    # Filter condition probes (budgeted axis resolution) + slicer
+    """
+    SELECT {Time.[Qtr1]} ON COLUMNS,
+           {Filter(Location.[East].Children, (Measures.[Salary]) > 10)} ON ROWS
+    FROM Warehouse
+    WHERE (Organization.[Contractor].[Joe], Measures.[Salary])
+    """,
+]
+
+
+def _fresh(example_builder):
+    from repro.workload.running_example import build_running_example
+
+    ex = build_running_example()
+    return Warehouse(ex.schema, ex.cube, name="Warehouse")
+
+
+class TestQueryEquivalence:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_engine_matches_naive(self, warehouse, query):
+        engine = warehouse.query(query)
+        with naive_mode():
+            naive = warehouse.query(query)
+        assert engine.cells == naive.cells
+        assert engine.row_labels() == naive.row_labels()
+        assert engine.column_labels() == naive.column_labels()
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_repeat_under_cache_still_matches(self, warehouse, query):
+        warehouse.query(query)  # warm scenario cache + index + memo
+        repeat = warehouse.query(query)
+        with naive_mode():
+            naive = warehouse.query(query)
+        assert repeat.cells == naive.cells
+
+
+class TestFaultEquivalence:
+    """The mdx.cell failpoint must fire at the same evaluation step."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(nth=st.integers(min_value=1, max_value=30))
+    def test_fail_after_nth_hit_is_path_independent(self, nth):
+        query = QUERIES[0]
+
+        def outcome(use_naive: bool):
+            warehouse = _fresh(None)
+            FAULTS.clear()
+            FAULTS.fail_after("mdx.cell", nth)
+            try:
+                if use_naive:
+                    with naive_mode():
+                        result = warehouse.query(query)
+                else:
+                    result = warehouse.query(query)
+                return ("ok", result.cells)
+            except FaultInjectedError as err:
+                return ("fault", err.failpoint)
+            finally:
+                FAULTS.clear()
+
+        assert outcome(False) == outcome(True)
+
+    def test_scenario_query_fault_parity(self, warehouse):
+        FAULTS.fail_after("mdx.cell", 3)
+        with pytest.raises(FaultInjectedError):
+            warehouse.query(QUERIES[1])
+        FAULTS.clear()
+        FAULTS.fail_after("mdx.cell", 3)
+        with naive_mode(), pytest.raises(FaultInjectedError):
+            warehouse.query(QUERIES[1])
+
+
+class TestBudgetEquivalence:
+    @pytest.mark.parametrize("max_cells", [0, 1, 2, 3, 5, 8, 13, 1000])
+    def test_cell_cap_cuts_identically(self, warehouse, max_cells):
+        query = QUERIES[0]
+        budget = QueryBudget(max_cells=max_cells)
+        engine = warehouse.query(query, budget=budget)
+        with naive_mode():
+            naive = warehouse.query(query, budget=budget)
+        assert engine.cells == naive.cells
+        assert [d.to_dict() for d in engine.degradations] == [
+            d.to_dict() for d in naive.degradations
+        ]
+
+    def test_zero_deadline_evaluates_nothing(self, warehouse):
+        budget = QueryBudget(deadline_ms=0)
+        engine = warehouse.query(QUERIES[0], budget=budget)
+        with naive_mode():
+            naive = warehouse.query(QUERIES[0], budget=budget)
+        assert all(is_missing(v) for row in engine.cells for v in row)
+        assert engine.cells == naive.cells
+        assert engine.degradations[0].cells_evaluated == 0
+        assert engine.degradations[0].reason == "deadline"
+        assert naive.degradations[0].reason == "deadline"
+
+
+class TestInterleavedMutationQueries:
+    def test_mutate_between_queries_stays_equivalent(self, warehouse):
+        query = QUERIES[2]
+        for step in range(4):
+            engine = warehouse.query(query)
+            with naive_mode():
+                naive = warehouse.query(query)
+            assert engine.cells == naive.cells, f"step {step}"
+            addr, value = next(iter(warehouse.cube.leaf_cells()))
+            warehouse.cube.set_value(addr, value + float(step + 1))

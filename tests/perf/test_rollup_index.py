@@ -1,0 +1,224 @@
+"""Unit tests for the per-cube rollup index (repro.perf.rollup_index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemberNotFoundError
+from repro.olap.aggregation import AGGREGATORS, aggregate
+from repro.olap.cube import Cube
+from repro.olap.missing import MISSING, is_missing
+from repro.perf.config import naive_mode
+from repro.perf.rollup_index import RollupIndex
+
+
+def _all_addresses(schema):
+    """Every addressable cell of a (small) schema, leaf and derived."""
+    per_dim = []
+    for i, dimension in enumerate(schema.dimensions):
+        coords = [
+            m.name for m in dimension.root.descendants(include_self=True)
+        ]
+        if schema.is_varying(dimension.name):
+            varying = schema.varying_dimension(dimension.name)
+            leaf_paths = [
+                instance.full_path
+                for member in dimension.root.leaves()
+                for instance in varying.instances_of(member.name)
+            ]
+            coords = [
+                c for c in coords if not schema.coordinate_is_leaf(i, c)
+            ] + leaf_paths
+        per_dim.append(coords)
+    addresses = [()]
+    for coords in per_dim:
+        addresses = [a + (c,) for a in addresses for c in coords]
+    return addresses
+
+
+def _naive_rollup(cube, addr, aggregator):
+    with naive_mode():
+        return cube.rollup(addr, aggregator)
+
+
+class TestAgreementWithNaive:
+    def test_every_address_every_aggregator(self, example):
+        cube = example.cube
+        for addr in _all_addresses(cube.schema):
+            for aggregator in AGGREGATORS:
+                indexed = cube.rollup_index().rollup(
+                    cube._leaf_cells, addr, aggregator
+                )
+                naive = _naive_rollup(cube, addr, aggregator)
+                assert indexed == naive or (
+                    is_missing(indexed) and is_missing(naive)
+                ), (addr, aggregator)
+
+    def test_sum_is_bit_identical(self, example):
+        """Same leaf visit order => same float summation order."""
+        cube = example.cube
+        for addr in _all_addresses(cube.schema):
+            indexed = cube.rollup(addr)
+            naive = _naive_rollup(cube, addr, "sum")
+            if is_missing(indexed):
+                assert is_missing(naive)
+            else:
+                assert indexed == naive
+                assert repr(indexed) == repr(naive)
+
+    def test_scope_cells_match_naive_order(self, example):
+        cube = example.cube
+        for addr in _all_addresses(cube.schema):
+            indexed = list(cube.scope_cells(addr))
+            with naive_mode():
+                naive = list(cube.scope_cells(addr))
+            assert indexed == naive
+
+
+class TestIncrementalMaintenance:
+    def _assert_consistent(self, cube):
+        rebuilt = RollupIndex.build(cube)
+        live = cube.rollup_index()
+        for addr in _all_addresses(cube.schema):
+            assert live.scope_ids(addr) == rebuilt.scope_ids(addr), addr
+
+    def test_add_then_remove_leaf(self, example):
+        cube = example.cube
+        cube.rollup_index()  # build before mutating
+        addr = cube.schema.address(
+            Organization="Organization/FTE/Lisa",
+            Location="MA",
+            Time="Feb",
+            Measures="Benefits",
+        )
+        cube.set_value(addr, 123.0)
+        self._assert_consistent(cube)
+        cube.set_value(addr, MISSING)
+        self._assert_consistent(cube)
+
+    def test_revalue_in_place_updates_rollups(self, example):
+        cube = example.cube
+        addr, old = next(iter(cube.leaf_cells()))
+        parent = tuple(
+            cube.schema.dimensions[i].root.name for i in range(cube.schema.n_dims)
+        )
+        before = cube.rollup(parent)
+        cube.set_value(addr, old + 5.0)
+        after = cube.rollup(parent)
+        assert after == _naive_rollup(cube, parent, "sum")
+        assert after != before
+
+    def test_delete_missing_cell_is_noop(self, example):
+        cube = example.cube
+        version = cube.version
+        cube.set_value(
+            cube.schema.address(
+                Organization="Organization/FTE/Lisa",
+                Location="MA",
+                Time="Feb",
+                Measures="Benefits",
+            ),
+            MISSING,
+        )
+        assert cube.version == version
+
+    def test_copy_is_isolated(self, example):
+        cube = example.cube
+        clone = cube.copy()
+        addr, old = next(iter(clone.leaf_cells()))
+        clone.set_value(addr, old + 100.0)
+        parent = tuple(
+            d.root.name for d in cube.schema.dimensions
+        )
+        assert cube.rollup(parent) == _naive_rollup(cube, parent, "sum")
+        assert clone.rollup(parent) == _naive_rollup(clone, parent, "sum")
+        assert clone.rollup(parent) != cube.rollup(parent)
+
+
+class TestContracts:
+    def test_unknown_member_raises_like_naive(self, example):
+        cube = example.cube
+        bad = cube.schema.address(
+            Organization="FTE", Location="Nowhere", Time="Jan",
+            Measures="Salary",
+        )
+        with pytest.raises(MemberNotFoundError):
+            cube.rollup(bad)
+        with naive_mode(), pytest.raises(MemberNotFoundError):
+            cube.rollup(bad)
+
+    def test_empty_cube_rollup_is_missing(self, tiny_schema):
+        cube = Cube(tiny_schema)
+        root = tuple(d.root.name for d in tiny_schema.dimensions)
+        assert is_missing(cube.rollup(root))
+
+    def test_memo_counts_hits(self, example):
+        cube = example.cube
+        index = cube.rollup_index()
+        root = tuple(d.root.name for d in cube.schema.dimensions)
+        index.rollup(cube._leaf_cells, root)
+        misses = index.stats.misses
+        hits = index.stats.hits
+        index.rollup(cube._leaf_cells, root)
+        assert index.stats.hits == hits + 1
+        assert index.stats.misses == misses
+
+    def test_mutation_flushes_memo(self, example):
+        cube = example.cube
+        root = tuple(d.root.name for d in cube.schema.dimensions)
+        before = cube.rollup(root)
+        addr, old = next(iter(cube.leaf_cells()))
+        cube.set_value(addr, old + 1.0)
+        assert cube.rollup(root) == float(before) + 1.0
+
+
+class TestPlaneScopes:
+    """partial_scope/combine_scope/rollup_scope — the batched-grid API."""
+
+    def test_partial_plus_combine_equals_full_scope(self, example):
+        cube = example.cube
+        index = cube.rollup_index()
+        for addr in _all_addresses(cube.schema):
+            pairs = list(enumerate(addr))
+            for split in range(len(pairs) + 1):
+                scope = index.combine_scope(
+                    index.partial_scope(pairs[:split]),
+                    index.partial_scope(pairs[split:]),
+                )
+                empty, ids = scope
+                expected = index.scope_ids(addr)
+                if empty:
+                    assert expected == []
+                elif ids is None:
+                    assert expected == sorted(index._addr_of)
+                else:
+                    assert sorted(ids) == expected
+
+    def test_rollup_scope_matches_rollup(self, example):
+        cube = example.cube
+        index = cube.rollup_index()
+        for addr in _all_addresses(cube.schema):
+            scope = index.partial_scope(list(enumerate(addr)))
+            via_scope = index.rollup_scope(cube._leaf_cells, addr, scope)
+            index.touch()  # drop the memo so rollup() recomputes
+            direct = index.rollup(cube._leaf_cells, addr)
+            assert via_scope == direct or (
+                is_missing(via_scope) and is_missing(direct)
+            )
+
+
+class TestStreamingAggregators:
+    def test_agg_count_single_pass(self):
+        values = iter([1.0, MISSING, 2.0, MISSING, 3.0])
+        assert aggregate("count", values) == 3.0
+
+    def test_all_missing(self):
+        # count distinguishes "no cells seen" (⊥) from "cells seen, none
+        # present" (0.0); the value aggregators are ⊥ either way.
+        assert aggregate("count", iter([MISSING, MISSING])) == 0.0
+        for name in ("sum", "avg", "min", "max"):
+            assert is_missing(aggregate(name, iter([MISSING, MISSING])))
+
+    def test_empty_is_missing(self):
+        for name in AGGREGATORS:
+            assert is_missing(aggregate(name, iter([])))

@@ -1,0 +1,125 @@
+"""Tests for the scenario-cube cache (repro.perf.scenario_cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.operators import ChangeTuple
+from repro.core.perspective import Mode, Semantics
+from repro.core.scenario import NegativeScenario, PositiveScenario
+from repro.perf.scenario_cache import ScenarioCache
+from repro.warehouse import Warehouse
+
+PERSPECTIVE_QUERY = """
+    WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+    SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS,
+           {[Joe]} ON ROWS
+    FROM Warehouse WHERE ([NY], [Salary])
+"""
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+class TestFingerprints:
+    def test_negative_normalises_perspective_order(self):
+        a = NegativeScenario("Org", ["Feb", "Apr"], Semantics.STATIC, Mode.VISUAL)
+        b = NegativeScenario("Org", ["Apr", "Feb"], Semantics.STATIC, Mode.VISUAL)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_negative_distinguishes_semantics_and_mode(self):
+        base = NegativeScenario("Org", ["Feb"], Semantics.STATIC, Mode.VISUAL)
+        other_sem = NegativeScenario(
+            "Org", ["Feb"], Semantics.FORWARD, Mode.VISUAL
+        )
+        other_mode = NegativeScenario(
+            "Org", ["Feb"], Semantics.STATIC, Mode.NON_VISUAL
+        )
+        assert base.fingerprint() != other_sem.fingerprint()
+        assert base.fingerprint() != other_mode.fingerprint()
+
+    def test_positive_normalises_change_order(self):
+        c1 = ChangeTuple("Joe", "FTE", "PTE", "Feb")
+        c2 = ChangeTuple("Lisa", "FTE", "PTE", "Apr")
+        a = PositiveScenario("Org", [c1, c2])
+        b = PositiveScenario("Org", [c2, c1])
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != PositiveScenario("Org", [c1]).fingerprint()
+
+    def test_fingerprints_are_hashable(self):
+        scenario = NegativeScenario("Org", ["Feb"])
+        assert hash(scenario.fingerprint()) == hash(scenario.fingerprint())
+
+
+class TestScenarioCacheUnit:
+    def test_hit_and_miss_counting(self):
+        cache = ScenarioCache()
+        assert cache.get("k", 0) is None
+        cache.put("k", 0, "value")
+        assert cache.get("k", 0) == "value"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_version_mismatch_invalidates(self):
+        cache = ScenarioCache()
+        cache.put("k", 0, "old")
+        assert cache.get("k", 1) is None
+        assert cache.stats.invalidations == 1
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = ScenarioCache(maxsize=2)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)
+        assert cache.get("a", 0) == 1  # refresh a; b is now LRU
+        cache.put("c", 0, 3)
+        assert len(cache) == 2
+        assert cache.get("b", 0) is None
+        assert cache.get("a", 0) == 1
+        assert cache.get("c", 0) == 3
+
+    def test_discard_counts_invalidation(self):
+        cache = ScenarioCache()
+        cache.put("k", 0, "v")
+        cache.discard("k")
+        cache.discard("k")  # absent: no double count
+        assert cache.stats.invalidations == 1
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            ScenarioCache(maxsize=0)
+
+
+class TestWarehouseIntegration:
+    def test_repeat_query_hits_cache(self, warehouse):
+        first = warehouse.query(PERSPECTIVE_QUERY)
+        second = warehouse.query(PERSPECTIVE_QUERY)
+        assert first.cells == second.cells
+        assert first.stats.get("scenario_cache_misses") == 1
+        assert second.stats.get("scenario_cache_hits") == 1
+        assert warehouse.scenario_cache.stats.builds == 1
+
+    def test_mutation_invalidates(self, warehouse):
+        warehouse.query(PERSPECTIVE_QUERY)
+        addr, value = next(iter(warehouse.cube.leaf_cells()))
+        warehouse.cube.set_value(addr, value + 1.0)
+        result = warehouse.query(PERSPECTIVE_QUERY)
+        assert result.stats.get("scenario_cache_misses") == 1
+        assert warehouse.scenario_cache.stats.invalidations == 1
+
+    def test_equivalent_with_clauses_share_one_entry(self, warehouse):
+        reordered = PERSPECTIVE_QUERY.replace("(Feb), (Apr)", "(Apr), (Feb)")
+        first = warehouse.query(PERSPECTIVE_QUERY)
+        second = warehouse.query(reordered)
+        assert first.cells == second.cells
+        assert second.stats.get("scenario_cache_hits") == 1
+        assert len(warehouse.scenario_cache) == 1
+
+    def test_unscenarioed_query_bypasses_cache(self, warehouse):
+        result = warehouse.query(
+            "SELECT {Time.[Qtr1]} ON COLUMNS FROM Warehouse"
+        )
+        assert "scenario_cache_misses" not in result.stats
+        assert len(warehouse.scenario_cache) == 0
