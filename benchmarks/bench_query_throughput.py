@@ -23,6 +23,7 @@ import sys
 
 from repro.bench.query_engine import (
     full_config,
+    measure_tracing_overhead,
     render_report,
     run_query_engine,
     smoke_config,
@@ -33,6 +34,11 @@ from repro.bench.query_engine import (
 FULL_SPEEDUP_FLOOR = 5.0
 #: smoke runs merely must not regress past this slowdown
 SMOKE_SLOWDOWN_CEILING = 1.25
+#: tracing-enabled queries may cost at most 5% over tracing-disabled...
+TRACE_OVERHEAD_CEILING = 1.05
+#: ...plus this absolute slack (ms/query) so sub-millisecond smoke
+#: queries are not failed by scheduler jitter alone
+TRACE_OVERHEAD_SLACK_MS = 0.1
 
 
 def check_report(report: dict, smoke: bool) -> None:
@@ -54,10 +60,31 @@ def check_report(report: dict, smoke: bool) -> None:
         )
 
 
+def check_overhead_report(report: dict) -> None:
+    assert report["identical"], "tracing changed query results"
+    assert report["profiled"], "traced queries did not carry profiles"
+    ceiling = (
+        report["disabled_ms_per_query"] * TRACE_OVERHEAD_CEILING
+        + TRACE_OVERHEAD_SLACK_MS
+    )
+    assert report["enabled_ms_per_query"] <= ceiling, (
+        f"tracing overhead too high: {report['enabled_ms_per_query']}ms "
+        f"enabled vs {report['disabled_ms_per_query']}ms disabled "
+        f"(ceiling {ceiling:.4f}ms)"
+    )
+
+
 def test_query_throughput_smoke() -> None:
     """Pytest entry point: smoke-sized equivalence + regression guard."""
     report = run_query_engine(smoke_config())
     check_report(report, smoke=True)
+
+
+def test_tracing_overhead_smoke() -> None:
+    """Pytest entry point: tracing must cost <= 5% (+jitter slack) and
+    must not perturb results."""
+    report = measure_tracing_overhead(smoke_config())
+    check_overhead_report(report)
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -72,6 +99,12 @@ def main(argv: "list[str] | None" = None) -> int:
         metavar="PATH",
         help="also write the report as JSON (the committed baseline)",
     )
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="also measure tracing-enabled vs tracing-disabled query cost "
+        "and assert the overhead stays within 5%% (+jitter slack)",
+    )
     args = parser.parse_args(argv)
     config = smoke_config() if args.smoke else full_config()
     report = run_query_engine(config)
@@ -80,6 +113,15 @@ def main(argv: "list[str] | None" = None) -> int:
         write_baseline(report, args.json)
         print(f"baseline written to {args.json}")
     check_report(report, smoke=args.smoke)
+    if args.trace_overhead:
+        overhead = measure_tracing_overhead(config)
+        print(
+            f"tracing overhead: {overhead['disabled_ms_per_query']}ms/query "
+            f"disabled, {overhead['enabled_ms_per_query']}ms/query enabled "
+            f"({overhead['overhead_ratio']}x), "
+            f"bit-identical={overhead['identical']}"
+        )
+        check_overhead_report(overhead)
     return 0
 
 

@@ -5,8 +5,12 @@ what-if query on the running example, so a fresh install can verify itself
 in one command.  ``python -m repro analyze <query-file>`` runs the static
 analyzer (:mod:`repro.analysis`) over an extended-MDX query without
 executing it; ``python -m repro query <query-file>`` executes one, with an
-optional ``--deadline-ms``/``--max-cells`` budget.  Use ``python -m
-repro.bench all`` for the experiment harness and the scripts under
+optional ``--deadline-ms``/``--max-cells`` budget and observability flags
+(``--profile`` for phase timings, ``--stats`` for engine counters,
+``--slow-ms`` for the slow-query log — all on stderr, keeping stdout pure
+grid/CSV); ``python -m repro explain <query-file>`` prints the analyzed
+plan with rollup-index scope estimates without executing.  Use ``python
+-m repro.bench all`` for the experiment harness and the scripts under
 ``examples/`` for full walkthroughs.
 
 Exit-code contract (shared with ``analyze``): **0** = clean, **1** =
@@ -94,27 +98,73 @@ def _cmd_query(args: argparse.Namespace) -> int:
     """The ``query`` subcommand: execute an extended-MDX query.
 
     Exit-code contract: 0 = complete result, 1 = partial (budget-degraded)
-    result, 2 = any error.
+    result, 2 = any error.  Stdout carries only the result grid (text,
+    CSV, or — under ``--profile --json`` — the profile document); engine
+    counters (``--stats``), the profile table (``--profile``), and the
+    slow-query log (``--slow-ms``) go to stderr.
     """
     text = _read_query_text(args.query_file)
     if text is None:
         return 2
     warehouse = _build_warehouse(args.workload)
-    result = warehouse.query(
-        text, analyze=not args.no_analyze, budget=_budget_from_args(args)
-    )
-    if args.csv:
+    if args.slow_ms is not None:
+        warehouse.slow_log.threshold_ms = args.slow_ms
+    budget = _budget_from_args(args)
+    if args.profile:
+        from repro.obs.trace import tracing
+
+        with tracing():
+            result = warehouse.query(
+                text, analyze=not args.no_analyze, budget=budget
+            )
+    else:
+        result = warehouse.query(
+            text, analyze=not args.no_analyze, budget=budget
+        )
+    if args.profile and args.json:
+        import json
+
+        print(json.dumps(result.profile.to_dict(), indent=2))
+    elif args.csv:
+        # Pure CSV on stdout: counters moved behind --stats (stderr) so the
+        # stream pipes straight into a CSV parser.
         print(result.to_csv())
-        # Engine counters as trailing comment lines, so the grid part of
-        # the stream stays parseable as plain CSV (see docs/performance.md).
-        for key in sorted(result.stats):
-            print(f"# {key},{result.stats[key]}")
     else:
         print(result.to_text())
+    if args.stats:
+        for key in sorted(result.stats):
+            print(f"# {key},{result.stats[key]}", file=sys.stderr)
+    if args.profile and not args.json:
+        print(result.profile.render(), file=sys.stderr)
+    if args.slow_ms is not None:
+        print(warehouse.slow_log.dump(), file=sys.stderr)
     if result.is_partial:
         for degradation in result.degradations:
             print(f"repro: partial result: {degradation.detail}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """The ``explain`` subcommand: print the analyzed plan of a query —
+    scenario pipeline, diagnostics, axis shapes, and rollup-index scope
+    estimates — without filling the grid.
+
+    Exit-code contract: 0 = explained (even when the analyzer flags the
+    query as unexecutable; the report says so), 2 = any error.
+    """
+    text = _read_query_text(args.query_file)
+    if text is None:
+        return 2
+    warehouse = _build_warehouse(args.workload)
+    if args.json:
+        import json
+
+        from repro.obs.explain import explain_report
+
+        print(json.dumps(explain_report(warehouse, text), indent=2))
+    else:
+        print(warehouse.explain(text))
     return 0
 
 
@@ -243,6 +293,55 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the static analyzer before execution",
     )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-query engine counters to stderr as '# key,value' lines",
+    )
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the query and print a phase-timing profile to stderr",
+    )
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="with --profile, emit the profile as a JSON document on stdout "
+        "instead of the result grid",
+    )
+    query.add_argument(
+        "--slow-ms",
+        type=float,
+        metavar="MS",
+        help="set the slow-query log threshold and dump the log to stderr "
+        "after the query (0 records everything)",
+    )
+    explain = subparsers.add_parser(
+        "explain",
+        help="print a query's analyzed plan and scope estimates without "
+        "executing it",
+        description=(
+            "EXPLAIN a query file (or stdin with '-'): the scenario "
+            "pipeline (algebra operators), analyzer diagnostics, axis "
+            "shapes, and rollup-index scope-size estimates — the grid is "
+            "never filled.  Exit codes: 0 = explained, 2 = errors."
+        ),
+    )
+    explain.add_argument(
+        "query_file", help="path to an extended-MDX query file, or - for stdin"
+    )
+    explain.add_argument(
+        "--workload",
+        choices=("running", "workforce"),
+        default="running",
+        help="warehouse to explain against (default: the paper's running "
+        "example)",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the structured EXPLAIN report as JSON",
+    )
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
@@ -255,6 +354,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_analyze(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "explain":
+            return _cmd_explain(args)
         return _demo(budget=_budget_from_args(args))
     except (ReproError, OSError) as exc:
         # IO, corruption, format, and query errors share one contract:

@@ -31,6 +31,7 @@ __all__ = [
     "QueryEngineConfig",
     "full_config",
     "smoke_config",
+    "measure_tracing_overhead",
     "run_query_engine",
     "render_report",
 ]
@@ -170,6 +171,71 @@ def run_query_engine(config: QueryEngineConfig | None = None) -> dict:
         "identical": identical,
         "scenario_cache": cache_stats,
         "rollup_index": index_stats,
+    }
+
+
+def _best_pass_ms(warehouse, queries: list[str], repeats: int) -> float:
+    """Best (minimum) wall milliseconds per query over ``repeats`` timed
+    passes — min is robust to scheduler noise, which matters when the
+    quantity under test is a few percent of overhead."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        _run_all(warehouse, queries)
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0 / len(queries)
+
+
+def measure_tracing_overhead(config: QueryEngineConfig | None = None) -> dict:
+    """Time the engine query pass with tracing disabled vs enabled.
+
+    The observability layer's contract is that *disabled* tracing is free
+    (one attribute read + a shared no-op context manager per site) and
+    *enabled* tracing costs a few percent at most.  Returns a JSON-ready
+    report with both figures, the overhead ratio, and a bit-identity flag
+    (tracing must never change results).
+    """
+    from repro.obs.trace import tracing
+
+    config = config or smoke_config()
+    workforce = build_workforce(
+        WorkforceConfig(
+            n_employees=config.n_employees,
+            n_departments=config.n_departments,
+            n_accounts=config.n_accounts,
+            density=config.density,
+            seed=config.seed,
+        )
+    )
+    warehouse = workforce.warehouse
+    queries = _build_queries(warehouse.name)
+
+    # Warm both paths (index build, scenario cache, lazy imports), then
+    # check tracing changes nothing about the cells.
+    disabled_results = _run_all(warehouse, queries)
+    with tracing():
+        enabled_results = _run_all(warehouse, queries)
+    identical = all(
+        d.cells == e.cells and d.row_labels() == e.row_labels()
+        for d, e in zip(disabled_results, enabled_results)
+    )
+    profiled = all(r.profile is not None for r in enabled_results)
+
+    disabled_ms = _best_pass_ms(warehouse, queries, config.engine_repeats)
+    with tracing():
+        enabled_ms = _best_pass_ms(warehouse, queries, config.engine_repeats)
+
+    return {
+        "benchmark": "tracing_overhead",
+        "queries": len(queries),
+        "repeats": config.engine_repeats,
+        "disabled_ms_per_query": round(disabled_ms, 4),
+        "enabled_ms_per_query": round(enabled_ms, 4),
+        "overhead_ratio": (
+            round(enabled_ms / disabled_ms, 4) if disabled_ms else 1.0
+        ),
+        "identical": identical,
+        "profiled": profiled,
     }
 
 

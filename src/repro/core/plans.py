@@ -307,14 +307,20 @@ def execute_plan(
     :class:`~repro.errors.PlanAnalysisError`; ``analyze=False`` skips the
     check.
     """
-    if analyze:
-        from repro.analysis.plan_analyzer import analyze_plan
-        from repro.errors import PlanAnalysisError
+    from repro.obs.trace import trace_span
 
-        report = analyze_plan(plan, base.schema, varying)
-        if report.has_errors:
-            raise PlanAnalysisError(report)
-    return _execute(plan, base, dict(varying or {}))
+    with trace_span("plan.execute") as span:
+        if analyze:
+            from repro.analysis.plan_analyzer import analyze_plan
+            from repro.errors import PlanAnalysisError
+
+            with trace_span("plan.analyze"):
+                report = analyze_plan(plan, base.schema, varying)
+            if report.has_errors:
+                raise PlanAnalysisError(report)
+        if span is not None:
+            span.set(plan=plan.label())
+        return _execute(plan, base, dict(varying or {}))
 
 
 def explain(plan: PlanNode, indent: int = 0) -> str:

@@ -28,6 +28,8 @@ from pathlib import Path
 
 from repro.errors import WarehouseCorruptionError, WarehouseFormatError
 from repro.faults import inject_io_fault, register_failpoint, with_retries
+from repro.obs.metrics import METRICS
+from repro.obs.trace import trace_span
 
 __all__ = [
     "MANIFEST_NAME",
@@ -177,6 +179,15 @@ def commit_generation(
     rename of the manifest is the commit point: a crash before it leaves
     the old generation authoritative; a crash after it leaves the new one.
     """
+    with trace_span("durability.commit", files=len(files)):
+        manifest = _commit_generation(root, files, format_version=format_version)
+    METRICS.counter("durability_commits_total").inc()
+    return manifest
+
+
+def _commit_generation(
+    root: Path, files: dict[str, str], *, format_version: int
+) -> Manifest:
     root.mkdir(parents=True, exist_ok=True)
     manifest_path = root / MANIFEST_NAME
 
@@ -296,6 +307,22 @@ def recover_store(
     4. Nothing verifies → :class:`~repro.errors.WarehouseCorruptionError`
        naming exactly which files were lost.
     """
+    with trace_span("durability.recover") as span:
+        result = _recover_store(root, expected_files=expected_files)
+        outcome = (
+            "legacy" if result.legacy
+            else "restored" if result.restored_from_previous
+            else "clean"
+        )
+        METRICS.counter("durability_recoveries_total", outcome=outcome).inc()
+        if span is not None:
+            span.set(outcome=outcome, quarantined=len(result.quarantined))
+    return result
+
+
+def _recover_store(
+    root: Path, *, expected_files: tuple[str, ...]
+) -> RecoveredStore:
     result = RecoveredStore(root=root, manifest=None)
     manifest_path = root / MANIFEST_NAME
     prev_manifest_path = root / (MANIFEST_NAME + _PREV_SUFFIX)

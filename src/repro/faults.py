@@ -191,6 +191,12 @@ class FaultRegistry:
         arming = self._armed.get(failpoint)
         return 0 if arming is None else arming.fired
 
+    def fired_counts(self) -> dict[str, int]:
+        """Fired counts of every armed failpoint (including zero) — the
+        warehouse snapshots this around a query to attribute fault events
+        to one evaluation."""
+        return {name: arming.fired for name, arming in self._armed.items()}
+
     # -- the hot-path hook --------------------------------------------------------
 
     def hit(self, failpoint: str) -> None:
@@ -204,6 +210,9 @@ class FaultRegistry:
             return
         if arming.should_fire():
             arming.fired += 1
+            from repro.obs.metrics import METRICS
+
+            METRICS.counter("faults_fired_total", failpoint=failpoint).inc()
             raise arming.make_exception()
 
     # -- spec parsing ------------------------------------------------------------

@@ -33,6 +33,7 @@ from pathlib import Path
 from repro.durability import RecoveredStore, commit_generation, recover_store
 from repro.errors import WarehouseFormatError
 from repro.faults import inject_io_fault, register_failpoint
+from repro.obs.trace import trace_span
 from repro.olap.cube import Cube
 from repro.olap.dimension import Dimension, Member
 from repro.olap.formula import format_expr
@@ -91,7 +92,14 @@ def save_warehouse(warehouse: Warehouse, path: "str | Path") -> Path:
     leaves either the previous store or the new one loadable, never a
     half-written mix (see :mod:`repro.durability`).
     """
-    root = Path(path)
+    with trace_span("io.save") as span:
+        root = _save_warehouse(warehouse, Path(path))
+        if span is not None:
+            span.set(path=str(root))
+    return root
+
+
+def _save_warehouse(warehouse: Warehouse, root: Path) -> Path:
     inject_io_fault(FP_SAVE_SCHEMA)
     schema = warehouse.schema
     payload = {
@@ -261,18 +269,19 @@ def load_warehouse_recovered(
     :class:`~repro.durability.RecoveredStore` describing any integrity
     repairs (quarantines, generation restores) performed on the way in."""
     root = Path(path)
-    recovered = recover_store(
-        root, expected_files=(SCHEMA_FILE, CELLS_FILE)
-    )
-    for name in (SCHEMA_FILE, CELLS_FILE):
-        if name not in recovered.files:
-            raise WarehouseFormatError(
-                f"store manifest does not list {name}",
-                path=str(root / "MANIFEST.json"),
-            )
-    warehouse = _build_warehouse(
-        recovered.files[SCHEMA_FILE], recovered.files[CELLS_FILE]
-    )
+    with trace_span("io.load", path=str(root)):
+        recovered = recover_store(
+            root, expected_files=(SCHEMA_FILE, CELLS_FILE)
+        )
+        for name in (SCHEMA_FILE, CELLS_FILE):
+            if name not in recovered.files:
+                raise WarehouseFormatError(
+                    f"store manifest does not list {name}",
+                    path=str(root / "MANIFEST.json"),
+                )
+        warehouse = _build_warehouse(
+            recovered.files[SCHEMA_FILE], recovered.files[CELLS_FILE]
+        )
     return warehouse, recovered
 
 

@@ -11,7 +11,7 @@ partial answer — raises :class:`~repro.errors.QueryBudgetExceededError`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import QueryBudgetExceededError
@@ -31,10 +31,18 @@ class QueryBudget:
     max_cells:
         Maximum number of cell evaluations (result cells plus
         Filter/Order condition probes).  ``None`` = unlimited.
+    clock:
+        Monotonic clock used for the deadline; ``None`` = the real
+        ``time.monotonic``.  Injectable so degradation behaviour (e.g.
+        a deadline tripping mid-row) is testable deterministically on
+        both the per-cell and the batched evaluation paths.
     """
 
     deadline_ms: "float | None" = None
     max_cells: "int | None" = None
+    clock: "Callable[[], float] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.deadline_ms is not None and self.deadline_ms < 0:
@@ -72,11 +80,11 @@ class BudgetTracker:
         self,
         budget: QueryBudget,
         *,
-        clock: Callable[[], float] = time.monotonic,
+        clock: "Callable[[], float] | None" = None,
     ) -> None:
         self.budget = budget
-        self._clock = clock
-        self._started = clock()
+        self._clock = clock or budget.clock or time.monotonic
+        self._started = self._clock()
         self.cells_evaluated = 0
         #: breach reason ("deadline" | "cell-cap") once tripped, else None
         self.breached: "str | None" = None
@@ -115,9 +123,11 @@ class BudgetTracker:
         Returns how many of them may proceed (0..``count``).  Cell caps are
         exact: the grant never exceeds the remaining cap, and exhausting it
         mid-batch records the breach.  The wall-clock deadline is checked
-        once per batch (the batched evaluator charges one result-grid row
-        at a time), so a batch granted before the deadline completes even
-        if the deadline passes while it is being filled.
+        once per batch — which is why the batched evaluator only uses this
+        method for cap-only budgets and falls back to per-cell
+        :meth:`charge_cell` whenever a deadline is set, so a deadline
+        tripping mid-row degrades at exactly the same cell (identical
+        ``cells_evaluated``/``cells_skipped``) as the per-cell loop.
         """
         if count <= 0 or self.breached is not None:
             return 0

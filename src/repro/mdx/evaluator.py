@@ -45,6 +45,7 @@ from repro.mdx.ast_nodes import (
 )
 from repro.mdx.parser import parse_query
 from repro.mdx.result import AxisTuple, MdxResult
+from repro.obs.trace import trace_span
 from repro.olap.dimension import Dimension, Member
 from repro.perf import config as perf_config
 
@@ -122,7 +123,12 @@ class _Context:
         applied: WhatIfCube | None = None
         for scenario in self.scenarios:
             varying = self.varying_view.get(scenario.dimension)
-            applied = scenario.apply(current, varying)
+            with trace_span(
+                "scenario.apply",
+                kind=type(scenario).__name__,
+                dimension=scenario.dimension,
+            ):
+                applied = scenario.apply(current, varying)
             if applied.varying_out is not None:
                 self.varying_view[scenario.dimension] = applied.varying_out
             current = applied.leaf_cube
@@ -131,6 +137,7 @@ class _Context:
         self.surviving = self._surviving_instances(applied)
         if key is not None:
             assert version is not None
+            evictions_before = cache.stats.evictions
             cache.put(
                 key,
                 version,
@@ -143,6 +150,9 @@ class _Context:
             )
             cache.stats.builds += 1
             self.scenario_stats["scenario_cache_misses"] = 1
+            evicted = cache.stats.evictions - evictions_before
+            if evicted:
+                self.scenario_stats["scenario_cache_evictions"] = evicted
 
     # -- scenario construction ---------------------------------------------------
 
@@ -501,10 +511,11 @@ def evaluate_query(
     results skip NON EMPTY pruning so the ⊥-marked positions stay visible.
     """
     if analyze:
-        from repro.analysis.query_analyzer import analyze_query
-        from repro.errors import MdxAnalysisError
+        with trace_span("mdx.analyze"):
+            from repro.analysis.query_analyzer import analyze_query
+            from repro.errors import MdxAnalysisError
 
-        report = analyze_query(warehouse, query)
+            report = analyze_query(warehouse, query)
         if report.has_errors:
             raise MdxAnalysisError(report)
     if not query.axes:
@@ -521,95 +532,113 @@ def evaluate_query(
             )
         seen_axes.add(axis.axis)
     warehouse.check_cube_name(query.cube)
-    context = _Context(warehouse, query, budget)
+    with trace_span("mdx.scenario") as scenario_span:
+        context = _Context(warehouse, query, budget)
+        if scenario_span is not None and context.scenarios:
+            scenario_span.set(scenarios=len(context.scenarios))
 
-    by_axis = {axis.axis: axis for axis in query.axes}
-    if "columns" not in by_axis:
-        raise MdxEvaluationError("a query must place a set ON COLUMNS")
-    columns = _axis_tuples(by_axis["columns"], context)
-    rows = (
-        _axis_tuples(by_axis["rows"], context)
-        if "rows" in by_axis
-        else [AxisTuple((), ())]
-    )
+    with trace_span("mdx.axes") as axes_span:
+        by_axis = {axis.axis: axis for axis in query.axes}
+        if "columns" not in by_axis:
+            raise MdxEvaluationError("a query must place a set ON COLUMNS")
+        columns = _axis_tuples(by_axis["columns"], context)
+        rows = (
+            _axis_tuples(by_axis["rows"], context)
+            if "rows" in by_axis
+            else [AxisTuple((), ())]
+        )
 
-    slicer: dict[str, str] = {}
-    if query.slicer is not None:
-        for binding_tuple in _as_set(query.slicer, context):
-            for dim, coord, _ in binding_tuple:
-                slicer[dim] = coord
+        slicer: dict[str, str] = {}
+        if query.slicer is not None:
+            for binding_tuple in _as_set(query.slicer, context):
+                for dim, coord, _ in binding_tuple:
+                    slicer[dim] = coord
+        if axes_span is not None:
+            axes_span.set(columns=len(columns), rows=len(rows))
 
     from repro.olap.missing import MISSING, is_missing
 
     defaults = {d.name: d.root.name for d in context.schema.dimensions}
     tracker = context.tracker
     stats = dict(context.scenario_stats)
-    if perf_config.engine_enabled():
-        from repro.perf.batch import evaluate_grid
+    with trace_span("mdx.cells") as cells_span:
+        if perf_config.engine_enabled():
+            from repro.perf.batch import evaluate_grid
 
-        base_coords = dict(defaults)
-        base_coords.update(slicer)
-        cells, cells_skipped, grid_stats = evaluate_grid(
-            context.view,
-            context.schema,
-            base_coords,
-            rows,
-            columns,
-            tracker,
-            FP_MDX_CELL,
-        )
-        stats.update(grid_stats)
-    else:
-        cells = []
-        cells_skipped = 0
-        for row in rows:
-            row_cells: list[object] = []
-            for column in columns:
-                # Graceful degradation: once the budget is breached, every
-                # remaining cell is ⊥ — cheap, so the grid shape survives.
-                if tracker is not None and not tracker.charge_cell():
-                    row_cells.append(MISSING)
-                    cells_skipped += 1
-                    continue
-                inject_io_fault(FP_MDX_CELL)
-                coords = dict(defaults)
-                coords.update(slicer)
-                coords.update(dict(row.coordinates))
-                coords.update(dict(column.coordinates))
-                address = context.schema.address(**coords)
-                row_cells.append(context.view.effective_value(address))
-            cells.append(row_cells)
+            base_coords = dict(defaults)
+            base_coords.update(slicer)
+            cells, cells_skipped, grid_stats = evaluate_grid(
+                context.view,
+                context.schema,
+                base_coords,
+                rows,
+                columns,
+                tracker,
+                FP_MDX_CELL,
+            )
+            stats.update(grid_stats)
+        else:
+            cells = []
+            cells_skipped = 0
+            cells_evaluated = 0
+            for row in rows:
+                row_cells: list[object] = []
+                for column in columns:
+                    # Graceful degradation: once the budget is breached,
+                    # every remaining cell is ⊥ — cheap, so the grid shape
+                    # survives.
+                    if tracker is not None and not tracker.charge_cell():
+                        row_cells.append(MISSING)
+                        cells_skipped += 1
+                        continue
+                    inject_io_fault(FP_MDX_CELL)
+                    cells_evaluated += 1
+                    coords = dict(defaults)
+                    coords.update(slicer)
+                    coords.update(dict(row.coordinates))
+                    coords.update(dict(column.coordinates))
+                    address = context.schema.address(**coords)
+                    row_cells.append(context.view.effective_value(address))
+                cells.append(row_cells)
+            stats["cells_evaluated"] = cells_evaluated
+            stats["cells_skipped"] = cells_skipped
+        if cells_span is not None:
+            cells_span.set(
+                evaluated=stats.get("cells_evaluated", 0),
+                skipped=cells_skipped,
+            )
 
-    degradations = []
-    if tracker is not None and tracker.breached is not None:
-        degradations.append(tracker.degradation(cells_skipped))
-        # Skip NON EMPTY pruning: an all-⊥ row produced by the budget cut
-        # must stay visible as partial, not vanish as empty.
-        return MdxResult(
-            columns=columns,
-            rows=rows,
-            cells=cells,
-            degradations=degradations,
-            stats=stats,
-        )
+    with trace_span("mdx.finalize"):
+        degradations = []
+        if tracker is not None and tracker.breached is not None:
+            degradations.append(tracker.degradation(cells_skipped))
+            # Skip NON EMPTY pruning: an all-⊥ row produced by the budget
+            # cut must stay visible as partial, not vanish as empty.
+            return MdxResult(
+                columns=columns,
+                rows=rows,
+                cells=cells,
+                degradations=degradations,
+                stats=stats,
+            )
 
-    if "rows" in by_axis and by_axis["rows"].non_empty:
-        keep = [
-            i
-            for i, row_cells in enumerate(cells)
-            if any(not is_missing(v) for v in row_cells)
-        ]
-        rows = [rows[i] for i in keep]
-        cells = [cells[i] for i in keep]
-    if by_axis["columns"].non_empty:
-        keep = [
-            j
-            for j in range(len(columns))
-            if any(not is_missing(row_cells[j]) for row_cells in cells)
-        ]
-        columns = [columns[j] for j in keep]
-        cells = [[row_cells[j] for j in keep] for row_cells in cells]
-    return MdxResult(columns=columns, rows=rows, cells=cells, stats=stats)
+        if "rows" in by_axis and by_axis["rows"].non_empty:
+            keep = [
+                i
+                for i, row_cells in enumerate(cells)
+                if any(not is_missing(v) for v in row_cells)
+            ]
+            rows = [rows[i] for i in keep]
+            cells = [cells[i] for i in keep]
+        if by_axis["columns"].non_empty:
+            keep = [
+                j
+                for j in range(len(columns))
+                if any(not is_missing(row_cells[j]) for row_cells in cells)
+            ]
+            columns = [columns[j] for j in keep]
+            cells = [[row_cells[j] for j in keep] for row_cells in cells]
+        return MdxResult(columns=columns, rows=rows, cells=cells, stats=stats)
 
 
 def execute(
@@ -619,6 +648,6 @@ def execute(
     budget: "QueryBudget | None" = None,
 ) -> MdxResult:
     """Parse and evaluate extended-MDX text."""
-    return evaluate_query(
-        warehouse, parse_query(text), analyze=analyze, budget=budget
-    )
+    with trace_span("mdx.parse"):
+        query = parse_query(text)
+    return evaluate_query(warehouse, query, analyze=analyze, budget=budget)

@@ -52,6 +52,10 @@ class MdxResult:
     #: per-query engine counters (scenario-cache hits/misses/invalidations,
     #: rollup-index activity, cell counts); see docs/performance.md
     stats: dict[str, int] = field(default_factory=dict)
+    #: :class:`~repro.obs.profile.QueryProfile` when the query ran under
+    #: tracing (``repro query --profile``); ``None`` otherwise.  Typed
+    #: loosely to keep this module free of engine imports.
+    profile: "object | None" = field(default=None, repr=False, compare=False)
 
     @property
     def shape(self) -> tuple[int, int]:

@@ -1,0 +1,254 @@
+"""EXPLAIN for extended-MDX queries: plan, sizes, scope estimates.
+
+``explain_query`` answers "what would this query *do*" without filling
+the result grid: it parses, runs the static analyzer, renders the
+scenario pipeline in the paper's algebra (σ/Φ/ρ/S/E, Sec. 4), resolves
+the axis sets (instances surviving the scenario, exactly as execution
+would), and estimates every grid cell's **scope size** from the rollup
+index — the per-coordinate leaf buckets give ``min |bucket|`` as a cheap
+upper bound on the number of leaf cells a derived cell must aggregate,
+the same quantity that dominates Figs. 11–13.
+
+Axis resolution applies the WITH-clause scenario (through the scenario
+cache), because instance expansion depends on output validity; cell
+evaluation — the dominant cost — is never performed.
+
+Surfaced as ``python -m repro explain <query-file>`` (``--json`` for the
+structured report).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.mdx.parser import parse_query
+from repro.obs.trace import trace_span
+
+__all__ = ["explain_query", "explain_report"]
+
+#: grid cells beyond this are not individually estimated (summary only)
+_ESTIMATE_CAP = 4096
+
+
+def _scenario_steps(query) -> list[dict[str, Any]]:
+    """The WITH-clause pipeline as algebra steps, application order."""
+    steps: list[dict[str, Any]] = []
+    if query.changes is not None:
+        clause = query.changes
+        steps.append(
+            {
+                "operator": "Split",
+                "algebra": "E ∘ S(·, R)",
+                "dimension": clause.dimension or "<inferred>",
+                "changes": len(clause.changes),
+                "mode": clause.mode,
+                "label": (
+                    f"Split[{clause.dimension or '<inferred>'}: "
+                    f"{len(clause.changes)} change(s), {clause.mode}]"
+                ),
+            }
+        )
+    if query.perspective is not None:
+        clause = query.perspective
+        steps.append(
+            {
+                "operator": "Perspective",
+                "algebra": "E ∘ ρ(·, Φ_sem(VS, P)) ∘ σ",
+                "dimension": clause.dimension,
+                "perspectives": list(clause.perspectives),
+                "semantics": clause.semantics,
+                "mode": clause.mode,
+                "label": (
+                    f"Perspective[{clause.dimension}: "
+                    f"P={list(clause.perspectives)}, {clause.semantics}, "
+                    f"{clause.mode}]"
+                ),
+            }
+        )
+    return steps
+
+
+def _scope_estimates(
+    warehouse, schema, base_coords: dict[str, str], rows, columns
+) -> dict[str, Any]:
+    """Estimated scope sizes for the result grid, from the rollup index.
+
+    For each cell address the estimate is the size of the smallest
+    constraining per-coordinate bucket — an upper bound on |scope| that
+    costs one dict probe per coordinate instead of a set intersection.
+    """
+    index = warehouse.cube.rollup_index()
+    n_leaves = index.n_leaves
+    dims = schema.dimensions
+    base = [base_coords[d.name] for d in dims]
+    dim_index = {d.name: i for i, d in enumerate(dims)}
+
+    n_cells = len(rows) * len(columns)
+    estimated = min(n_cells, _ESTIMATE_CAP)
+    sizes: list[int] = []
+    derived_cells = 0
+    for row in rows[: max(1, _ESTIMATE_CAP // max(1, len(columns)))]:
+        row_addr = list(base)
+        for dim, coord in row.coordinates:
+            row_addr[dim_index[dim]] = coord
+        for column in columns:
+            if len(sizes) >= estimated:
+                break
+            addr = list(row_addr)
+            for dim, coord in column.coordinates:
+                addr[dim_index[dim]] = coord
+            is_leaf = all(
+                schema.coordinate_is_leaf(i, coord)
+                for i, coord in enumerate(addr)
+            )
+            if not is_leaf:
+                derived_cells += 1
+            estimate = n_leaves
+            for i, coord in enumerate(addr):
+                bucket = index.candidates(i, coord)
+                if bucket is None:
+                    estimate = 0
+                    break
+                if len(bucket) < estimate:
+                    estimate = len(bucket)
+            sizes.append(estimate)
+
+    summary: dict[str, Any] = {
+        "grid_cells": n_cells,
+        "cells_estimated": len(sizes),
+        "derived_cells_estimated": derived_cells,
+        "index_leaves": n_leaves,
+    }
+    if sizes:
+        summary.update(
+            {
+                "min": min(sizes),
+                "max": max(sizes),
+                "mean": round(sum(sizes) / len(sizes), 2),
+                "total": sum(sizes),
+            }
+        )
+    return summary
+
+
+def explain_report(warehouse, text: str) -> dict[str, Any]:
+    """Structured EXPLAIN: plan, diagnostics, axis sizes, scope estimates.
+
+    Raises :class:`~repro.errors.MdxSyntaxError` on unparseable input.
+    When the analyzer reports error-level findings the report carries the
+    plan and the diagnostics but skips axis resolution (execution would
+    refuse the query the same way) and sets ``"executable": False``.
+    """
+    with trace_span("obs.explain"):
+        query = parse_query(text)
+        analysis = warehouse.analyze(query)
+
+        report: dict[str, Any] = {
+            "cube": ".".join(query.cube),
+            "warehouse": warehouse.name,
+            "leaf_cells": warehouse.cube.n_leaf_cells,
+            "scenario": _scenario_steps(query),
+            "named_sets": [name for name, _ in query.named_sets],
+            "diagnostics": [d.to_text() for d in analysis],
+            "executable": not analysis.has_errors,
+        }
+        if analysis.has_errors:
+            return report
+
+        # Axis resolution mirrors execution (scenario applied through the
+        # cache; budget-free).  Imported lazily to keep obs dependency-light.
+        from repro.mdx.evaluator import _as_set, _axis_tuples, _Context
+        from repro.mdx.result import AxisTuple
+
+        context = _Context(warehouse, query)
+        by_axis = {axis.axis: axis for axis in query.axes}
+        columns = _axis_tuples(by_axis["columns"], context)
+        rows = (
+            _axis_tuples(by_axis["rows"], context)
+            if "rows" in by_axis
+            else [AxisTuple((), ())]
+        )
+        slicer: dict[str, str] = {}
+        if query.slicer is not None:
+            for binding_tuple in _as_set(query.slicer, context):
+                for dim, coord, _label in binding_tuple:
+                    slicer[dim] = coord
+
+        axes: list[dict[str, Any]] = []
+        for axis in query.axes:
+            tuples = columns if axis.axis == "columns" else rows
+            axes.append(
+                {
+                    "axis": axis.axis,
+                    "tuples": len(tuples),
+                    "non_empty": axis.non_empty,
+                    "properties": [p.display() for p in axis.properties],
+                }
+            )
+        report["axes"] = axes
+        report["slicer"] = dict(sorted(slicer.items()))
+        report["scenario_cache"] = dict(context.scenario_stats)
+
+        schema = warehouse.schema
+        base_coords = {d.name: d.root.name for d in schema.dimensions}
+        base_coords.update(slicer)
+        report["scope_estimates"] = _scope_estimates(
+            warehouse, schema, base_coords, rows, columns
+        )
+        return report
+
+
+def explain_query(warehouse, text: str) -> str:
+    """Human-readable EXPLAIN rendering (see :func:`explain_report`)."""
+    report = explain_report(warehouse, text)
+    lines = [
+        f"EXPLAIN  cube={report['cube']}  warehouse={report['warehouse']}  "
+        f"leaf_cells={report['leaf_cells']}"
+    ]
+    if report["scenario"]:
+        lines.append("scenario pipeline (applied in order):")
+        for i, step in enumerate(report["scenario"], 1):
+            lines.append(f"  {i}. {step['label']}    — {step['algebra']}")
+    else:
+        lines.append("scenario pipeline: none (base cube)")
+    if report["named_sets"]:
+        lines.append(f"query named sets: {', '.join(report['named_sets'])}")
+    for diagnostic in report["diagnostics"]:
+        lines.append(f"analyzer: {diagnostic}")
+    if not report["executable"]:
+        lines.append("plan is NOT executable (error-level findings above)")
+        return "\n".join(lines)
+    if not report["diagnostics"]:
+        lines.append("analyzer: clean")
+    for axis in report["axes"]:
+        flags = " NON EMPTY" if axis["non_empty"] else ""
+        props = (
+            f"  properties={','.join(axis['properties'])}"
+            if axis["properties"]
+            else ""
+        )
+        lines.append(
+            f"axis {axis['axis'].upper()}: {axis['tuples']} tuple(s){flags}{props}"
+        )
+    if report["slicer"]:
+        slicer = ", ".join(f"{k}={v}" for k, v in report["slicer"].items())
+        lines.append(f"slicer: {slicer}")
+    if report["scenario_cache"]:
+        cache = ", ".join(
+            f"{k.rsplit('_', 1)[-1]}={v}"
+            for k, v in sorted(report["scenario_cache"].items())
+        )
+        lines.append(f"scenario cache: {cache}")
+    est = report["scope_estimates"]
+    lines.append(
+        f"cells: {est['grid_cells']} grid cell(s); "
+        f"{est['derived_cells_estimated']} derived of "
+        f"{est['cells_estimated']} estimated"
+    )
+    if "min" in est:
+        lines.append(
+            "estimated scope sizes (rollup-index upper bound): "
+            f"min={est['min']} max={est['max']} mean={est['mean']} "
+            f"total={est['total']}  over {est['index_leaves']} indexed leaves"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""Unified metrics registry: counters, gauges, log-scale histograms.
+
+One :class:`MetricsRegistry` replaces the ad-hoc counter objects the
+engine grew (``CacheStats`` on the scenario cache and rollup index,
+``IoStats`` on chunk stores) as the *export* surface: the stats objects
+stay where they are — they are hot-path mutable structs — and register
+themselves as pull-based **collectors**, so one ``snapshot()`` call sees
+every counter in the process next to the registry's own instruments.
+
+Instruments are identified by name plus sorted labels, Prometheus-style::
+
+    METRICS.counter("mdx_queries_total", workload="workforce").inc()
+    METRICS.histogram("mdx_query_ms").observe(wall_ms)
+
+Exports:
+
+* :meth:`MetricsRegistry.snapshot` — nested plain dict (tests, JSON)
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+* :meth:`MetricsRegistry.to_json_lines` — one JSON object per metric line
+
+Histograms are **log-scale**: bucket upper bounds are powers of two from
+2^-10 ms (~1 µs) to 2^14 ms (~16 s), which spans cache-hit cell reads to
+pathological full-scan queries in 25 buckets.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricsRegistry",
+]
+
+Labels = tuple[tuple[str, str], ...]
+
+#: log2 upper bounds: 2^-10 ms .. 2^14 ms, then +Inf
+_BUCKET_EXPONENTS = range(-10, 15)
+_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    float(2.0**e) for e in _BUCKET_EXPONENTS
+)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def sample(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def sample(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Log-scale (powers-of-two) latency histogram in milliseconds."""
+
+    __slots__ = ("counts", "total", "count", "minimum", "maximum")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        # one slot per bound plus the +Inf overflow slot
+        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """Index of the first bucket whose upper bound holds ``value``."""
+        if value <= _BUCKET_BOUNDS[0]:
+            return 0
+        if value > _BUCKET_BOUNDS[-1]:
+            return len(_BUCKET_BOUNDS)
+        # ceil(log2(value)) maps straight onto the exponent grid
+        exponent = math.ceil(math.log2(value))
+        return exponent - _BUCKET_EXPONENTS.start
+
+    def observe(self, value: float) -> None:
+        self.counts[self.bucket_index(value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def sample(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "count": self.count,
+            "sum": round(self.total, 6),
+        }
+        if self.count:
+            payload["min"] = round(self.minimum, 6)
+            payload["max"] = round(self.maximum, 6)
+            payload["mean"] = round(self.total / self.count, 6)
+        payload["buckets"] = {
+            _bound_label(i): n for i, n in enumerate(self.counts) if n
+        }
+        return payload
+
+    def cumulative_buckets(self) -> Iterable[tuple[str, int]]:
+        """(le-label, cumulative count) pairs, Prometheus semantics."""
+        running = 0
+        for i, n in enumerate(self.counts):
+            running += n
+            yield _bound_label(i), running
+
+
+def _bound_label(index: int) -> str:
+    if index >= len(_BUCKET_BOUNDS):
+        return "+Inf"
+    return format(_BUCKET_BOUNDS[index], "g")
+
+
+def _label_key(labels: dict[str, str]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """Named, labeled instruments plus pull-based external collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: name -> {labels -> instrument}; all series of one name share a kind
+        self._metrics: dict[str, dict[Labels, Any]] = {}
+        #: collector name -> zero-arg callable returning {key: number}
+        self._collectors: dict[str, Callable[[], dict[str, Any]]] = {}
+
+    # -- instruments -----------------------------------------------------------------
+
+    def _instrument(self, factory: type, name: str, labels: dict[str, str]) -> Any:
+        key = _label_key(labels)
+        series = self._metrics.get(name)
+        if series is None:
+            with self._lock:
+                series = self._metrics.setdefault(name, {})
+        instrument = series.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = series.get(key)
+                if instrument is None:
+                    instrument = factory()
+                    series[key] = instrument
+        if not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"requested as {factory.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._instrument(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._instrument(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        return self._instrument(Histogram, name, labels)
+
+    # -- collectors ------------------------------------------------------------------
+
+    def register_collector(
+        self, name: str, collect: Callable[[], dict[str, Any]]
+    ) -> None:
+        """Register an external stats source (e.g. a ``CacheStats``
+        ``snapshot`` bound method).  Its keys appear in exports as
+        ``<name>.<key>`` gauges, read at snapshot time — so hot-path code
+        keeps mutating its own struct with zero indirection."""
+        self._collectors[name] = collect
+
+    def unregister_collector(self, name: str) -> None:
+        self._collectors.pop(name, None)
+
+    # -- exports ---------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every metric and collector value as one nested plain dict."""
+        out: dict[str, Any] = {}
+        for name, series in sorted(self._metrics.items()):
+            for labels, instrument in sorted(series.items()):
+                key = name if not labels else (
+                    name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+                )
+                out[key] = instrument.sample()
+        for name, collect in sorted(self._collectors.items()):
+            for key, value in sorted(collect().items()):
+                out[f"{name}.{key}"] = value
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for name, series in sorted(self._metrics.items()):
+            prom = _prom_name(name)
+            kind = next(iter(series.values())).kind
+            lines.append(f"# TYPE {prom} {kind}")
+            for labels, instrument in sorted(series.items()):
+                if isinstance(instrument, Histogram):
+                    for le, cumulative in instrument.cumulative_buckets():
+                        bucket_labels = labels + (("le", le),)
+                        lines.append(
+                            f"{prom}_bucket{_prom_labels(bucket_labels)} "
+                            f"{cumulative}"
+                        )
+                    lines.append(
+                        f"{prom}_sum{_prom_labels(labels)} {instrument.total}"
+                    )
+                    lines.append(
+                        f"{prom}_count{_prom_labels(labels)} {instrument.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{prom}{_prom_labels(labels)} {instrument.sample()}"
+                    )
+        for name, collect in sorted(self._collectors.items()):
+            for key, value in sorted(collect().items()):
+                prom = _prom_name(f"{name}.{key}")
+                lines.append(f"# TYPE {prom} gauge")
+                lines.append(f"{prom} {value}")
+        return "\n".join(lines) + "\n"
+
+    def to_json_lines(self) -> str:
+        """One compact JSON object per metric, newline-delimited."""
+        lines = [
+            json.dumps({"metric": key, "value": value}, sort_keys=True)
+            for key, value in self.snapshot().items()
+        ]
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every instrument and collector (tests)."""
+        with self._lock:
+            self._metrics.clear()
+            self._collectors.clear()
+
+
+#: The process-wide registry used by instrumented modules (durability,
+#: faults, chunk IO).  Warehouses additionally keep their own registry
+#: for per-warehouse cache collectors — see ``Warehouse.metrics``.
+METRICS = MetricsRegistry()

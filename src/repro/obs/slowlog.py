@@ -1,0 +1,146 @@
+"""Warehouse-level slow-query log: a threshold-gated ring buffer.
+
+Every ``Warehouse.query`` call is wall-timed (two ``perf_counter`` reads
+— always on, unlike tracing); calls at or above ``threshold_ms`` land in
+a bounded ring buffer together with a normalised query snippet, the
+per-query engine counters, and any budget/error outcome.  The newest
+entries win: a production warehouse under heavy traffic keeps the last
+``capacity`` offenders, not the first.
+
+Dump it from code (``warehouse.slow_log.dump()``) or from the CLI
+(``repro query --slow-ms 0 <file>`` prints the log to stderr after the
+query; threshold 0 records everything, handy for demos and tests).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SlowQueryEntry", "SlowQueryLog"]
+
+_SNIPPET_LIMIT = 200
+
+
+def _snippet(text: str) -> str:
+    """Whitespace-normalised, length-capped query text for log lines."""
+    collapsed = " ".join(text.split())
+    if len(collapsed) > _SNIPPET_LIMIT:
+        return collapsed[: _SNIPPET_LIMIT - 1] + "…"
+    return collapsed
+
+
+@dataclass(frozen=True)
+class SlowQueryEntry:
+    """One logged query."""
+
+    #: unix timestamp at record time
+    timestamp: float
+    wall_ms: float
+    query: str
+    #: True when the result was budget-degraded (⊥-padded)
+    partial: bool = False
+    #: repr of the exception when the query failed instead of returning
+    error: "str | None" = None
+    #: per-query engine counters (MdxResult.stats)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "timestamp": self.timestamp,
+            "wall_ms": round(self.wall_ms, 3),
+            "query": self.query,
+            "partial": self.partial,
+            "stats": dict(self.stats),
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    def format(self) -> str:
+        marks = ""
+        if self.partial:
+            marks += " [partial]"
+        if self.error is not None:
+            marks += f" [error: {self.error}]"
+        return f"{self.wall_ms:9.3f}ms{marks}  {self.query}"
+
+
+class SlowQueryLog:
+    """Threshold-gated ring buffer of :class:`SlowQueryEntry`."""
+
+    def __init__(self, threshold_ms: float = 100.0, capacity: int = 128) -> None:
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.threshold_ms = threshold_ms
+        self._entries: "deque[SlowQueryEntry]" = deque(maxlen=capacity)
+        #: queries timed (recorded or not) since construction/clear
+        self.observed = 0
+        #: queries that crossed the threshold (>= capacity may be evicted)
+        self.recorded = 0
+
+    @property
+    def capacity(self) -> int:
+        maxlen = self._entries.maxlen
+        assert maxlen is not None
+        return maxlen
+
+    def record(
+        self,
+        query: str,
+        wall_ms: float,
+        *,
+        partial: bool = False,
+        error: "str | None" = None,
+        stats: "dict[str, int] | None" = None,
+    ) -> "SlowQueryEntry | None":
+        """Time one query; returns the entry when it crossed the
+        threshold, ``None`` when it was fast enough to ignore."""
+        self.observed += 1
+        if wall_ms < self.threshold_ms:
+            return None
+        entry = SlowQueryEntry(
+            timestamp=time.time(),
+            wall_ms=wall_ms,
+            query=_snippet(query),
+            partial=partial,
+            error=error,
+            stats=dict(stats or {}),
+        )
+        self._entries.append(entry)
+        self.recorded += 1
+        return entry
+
+    def entries(self) -> list[SlowQueryEntry]:
+        """Oldest-first list of the retained entries."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.observed = 0
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def dump(self) -> str:
+        """Human-readable rendering, slowest-offender statistics first."""
+        header = (
+            f"slow-query log: threshold={self.threshold_ms}ms, "
+            f"{len(self._entries)}/{self.capacity} retained, "
+            f"{self.recorded}/{self.observed} queries crossed the threshold"
+        )
+        lines = [header]
+        for entry in self._entries:
+            lines.append("  " + entry.format())
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlowQueryLog(threshold={self.threshold_ms}ms, "
+            f"{len(self._entries)}/{self.capacity})"
+        )

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Iterator, Mapping, Sequence, TypeAlias
 
+from repro.obs.trace import trace_span
 from repro.olap.aggregation import aggregate
 from repro.olap.missing import Missing
 from repro.storage.io_stats import CacheStats
@@ -63,10 +64,13 @@ class RollupIndex:
     @classmethod
     def build(cls, cube) -> "RollupIndex":
         """One pass over a cube's leaf cells."""
-        index = cls(cube.schema)
-        for addr in cube._leaf_cells:
-            index._insert(addr)
-        index.stats.builds += 1
+        with trace_span("rollup_index.build") as span:
+            index = cls(cube.schema)
+            for addr in cube._leaf_cells:
+                index._insert(addr)
+            index.stats.builds += 1
+            if span is not None:
+                span.set(leaves=index.n_leaves)
         return index
 
     # -- maintenance ------------------------------------------------------------
@@ -232,6 +236,7 @@ class RollupIndex:
             values = (leaf_cells[addr_of[i]] for i in sorted(ids))
         value = aggregate(aggregator, values)
         if len(self._memo) >= _MEMO_CAP:
+            self.stats.evictions += len(self._memo)
             self._memo.clear()
         self._memo[key] = value
         return value
@@ -265,6 +270,7 @@ class RollupIndex:
             (leaf_cells[addr_of[i]] for i in self.scope_ids(address)),
         )
         if len(self._memo) >= _MEMO_CAP:
+            self.stats.evictions += len(self._memo)
             self._memo.clear()
         self._memo[key] = value
         return value

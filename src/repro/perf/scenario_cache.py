@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Generic, Hashable, TypeVar
 
+from repro.obs.trace import trace_event, trace_span
 from repro.storage.io_stats import CacheStats
 
 __all__ = ["ScenarioCache"]
@@ -39,26 +40,35 @@ class ScenarioCache(Generic[V]):
         self._entries: "OrderedDict[Hashable, tuple[int, V]]" = OrderedDict()
 
     def get(self, key: Hashable, version: int) -> "V | None":
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        cached_version, value = entry
-        if cached_version != version:
-            # The base cube mutated since this scenario was applied.
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with trace_span("scenario_cache.get"):
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                trace_event("scenario_cache.miss")
+                return None
+            cached_version, value = entry
+            if cached_version != version:
+                # The base cube mutated since this scenario was applied.
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                trace_event("scenario_cache.invalidated")
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            trace_event("scenario_cache.hit")
+            return value
 
     def put(self, key: Hashable, version: int, value: V) -> None:
-        self._entries[key] = (version, value)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with trace_span("scenario_cache.put"):
+            self._entries[key] = (version, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                # Capacity pressure: the LRU entry leaves.  Counted —
+                # uncounted eviction churn reads as a healthy cache.
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                trace_event("scenario_cache.evicted")
 
     def discard(self, key: Hashable) -> None:
         """Drop one entry (counted as an invalidation if present) — for

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import StorageError
 from repro.faults import inject_io_fault, register_failpoint, with_retries
+from repro.obs.trace import trace_event
 from repro.storage.chunks import Chunk, ChunkCoord, ChunkGrid
 from repro.storage.io_stats import IoCostModel, IoStats
 
@@ -130,6 +131,7 @@ class ChunkStore:
         # faults (simulated crashes) propagate to the caller.
         with_retries(lambda: inject_io_fault(FP_CHUNK_READ))
         self.stats.record_read(self._positions[coord], self.cost_model)
+        trace_event("chunk.read", position=self._positions[coord])
         return data
 
     def read_chunk(self, coord: ChunkCoord) -> Chunk:
@@ -140,6 +142,7 @@ class ChunkStore:
         with_retries(lambda: inject_io_fault(FP_CHUNK_WRITE))
         self.load(coord, data)
         self.stats.record_write(self._positions[coord], self.cost_model)
+        trace_event("chunk.write", position=self._positions[coord])
 
     def peek(self, coord: ChunkCoord) -> np.ndarray:
         """Read a chunk *without* I/O accounting (tests, assembly, ETL)."""

@@ -25,24 +25,29 @@ __all__ = ["CacheStats", "IoCostModel", "IoStats"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation counters shared by the query-engine caches
-    (scenario-cube cache, rollup index).
+    """Hit/miss/invalidation/eviction counters shared by the query-engine
+    caches (scenario-cube cache, rollup index).
 
     ``builds`` counts full (re)constructions — index builds or scenario
     applications on a cache miss; ``invalidations`` counts entries dropped
-    because the underlying cube mutated.
+    because the underlying cube mutated; ``evictions`` counts entries
+    pushed out by capacity pressure (LRU popitem, memo-cap flushes) —
+    churn that hit/miss ratios alone cannot distinguish from a healthy
+    cache.
     """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
     builds: int = 0
+    evictions: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.builds = 0
+        self.evictions = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -50,6 +55,7 @@ class CacheStats:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "builds": self.builds,
+            "evictions": self.evictions,
         }
 
 

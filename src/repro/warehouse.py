@@ -8,6 +8,7 @@ A :class:`Warehouse` bundles everything a client needs: the cube schema
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -17,6 +18,10 @@ from repro.errors import (
     SchemaError,
     UnknownMemberError,
 )
+from repro.faults import FAULTS
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import TRACER
 from repro.olap.cube import Cube
 from repro.olap.dimension import Dimension, Member
 from repro.olap.instances import VaryingDimension
@@ -68,6 +73,23 @@ class Warehouse:
         #: entries are invalidated by the cube's mutation version (see
         #: :mod:`repro.perf.scenario_cache`)
         self.scenario_cache = ScenarioCache()
+        #: per-warehouse metrics: query counters/latency histogram plus
+        #: pull-based collectors over the engine cache stats
+        self.metrics = MetricsRegistry()
+        self.metrics.register_collector(
+            "scenario_cache", self.scenario_cache.stats.snapshot
+        )
+        self.metrics.register_collector(
+            "rollup_index", self._rollup_index_stats
+        )
+        #: threshold-gated ring buffer of the slowest queries (always on)
+        self.slow_log = SlowQueryLog()
+
+    def _rollup_index_stats(self) -> dict[str, int]:
+        """Rollup-index cache counters — empty until the index is built
+        (the collector must not force a build)."""
+        index = self.cube._rollup_index
+        return index.stats.snapshot() if index is not None else {}
 
     # -- named sets ---------------------------------------------------------------
 
@@ -161,10 +183,64 @@ class Warehouse:
         breach the query *degrades* instead of failing — the result is
         partial, unevaluated cells are ⊥, and ``result.degradations``
         carries a structured report of what was cut.
+
+        Observability: the call is always wall-timed (metrics histogram +
+        slow-query log); when the global tracer is enabled the evaluation
+        runs under an ``mdx.query`` root span and the result carries a
+        :class:`~repro.obs.profile.QueryProfile` (``result.profile``).
         """
         from repro.mdx.evaluator import execute
 
-        return execute(self, text, analyze=analyze, budget=budget)
+        span = TRACER.start("mdx.query") if TRACER.enabled else None
+        fired_before = FAULTS.fired_counts()
+        t0 = time.perf_counter()
+        result = None
+        error: "str | None" = None
+        try:
+            result = execute(self, text, analyze=analyze, budget=budget)
+            return result
+        except BaseException as exc:
+            error = repr(exc)
+            raise
+        finally:
+            wall_ms = (time.perf_counter() - t0) * 1000.0
+            if span is not None:
+                span.error = error
+                TRACER.end(span)
+            self._observe_query(text, wall_ms, result, error, fired_before, span)
+
+    def _observe_query(
+        self, text, wall_ms, result, error, fired_before, span
+    ) -> None:
+        """Post-query bookkeeping: metrics, slow log, profile attach."""
+        fault_events = {
+            name: fired - fired_before.get(name, 0)
+            for name, fired in FAULTS.fired_counts().items()
+            if fired - fired_before.get(name, 0)
+        }
+        partial = result is not None and bool(result.degradations)
+        status = "error" if error is not None else (
+            "partial" if partial else "ok"
+        )
+        self.metrics.counter("mdx_queries_total", status=status).inc()
+        self.metrics.histogram("mdx_query_ms").observe(wall_ms)
+        stats = dict(result.stats) if result is not None else {}
+        self.slow_log.record(
+            text,
+            wall_ms,
+            partial=partial,
+            error=error,
+            stats=stats,
+        )
+        if span is not None and result is not None:
+            from repro.obs.profile import QueryProfile
+
+            result.profile = QueryProfile.from_span(
+                span,
+                stats=stats,
+                degradations=[d.to_dict() for d in result.degradations],
+                fault_events=fault_events,
+            )
 
     def analyze(self, text: str):
         """Statically analyze a query without executing it; returns a
@@ -172,6 +248,14 @@ class Warehouse:
         from repro.analysis.query_analyzer import analyze_query
 
         return analyze_query(self, text)
+
+    def explain(self, text: str) -> str:
+        """EXPLAIN a query without filling its grid: the scenario
+        pipeline, analyzer diagnostics, axis shapes, and rollup-index
+        scope estimates (see :mod:`repro.obs.explain`)."""
+        from repro.obs.explain import explain_query
+
+        return explain_query(self, text)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

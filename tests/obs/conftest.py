@@ -1,0 +1,17 @@
+"""Shared hygiene for the observability tests: the global tracer must
+never leak state (enabled flag, finished ring) across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import TRACER
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    TRACER.enabled = False
+    TRACER.clear()
+    yield
+    TRACER.enabled = False
+    TRACER.clear()

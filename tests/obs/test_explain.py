@@ -1,0 +1,157 @@
+"""Tests for EXPLAIN (repro.obs.explain) — including the acceptance
+criterion that every Fig. 10 experiment query can be explained."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MdxSyntaxError
+from repro.obs.explain import explain_query, explain_report
+from repro.warehouse import Warehouse
+from repro.workload.workforce import WorkforceConfig, build_workforce
+
+# The three experiment queries of Fig. 10, verbatim (the same texts as
+# tests/mdx/test_fig10_queries.py executes).
+FIG10A = """
+WITH perspective {(Jan), (Jul)} for Department STATIC
+select {CrossJoin(
+   {[Account].Levels(0).Members},
+   {([Current], [Local], [BU Version_1], [HSP_InputValue])}
+)} on columns,
+{CrossJoin(
+   { Union(
+       {Union(
+           {[EmployeesWithAtleastOneMove-Set1].Children},
+           {[EmployeesWithAtleastOneMove-Set2].Children}
+       )},
+       {[EmployeesWithAtleastOneMove-Set3].Children})},
+   {Descendants([Period],1,self_and_after)}
+)} DIMENSION PROPERTIES [Department] on rows
+from [App].[Db]
+"""
+
+FIG10B = """
+WITH perspective {(Jan), (Apr), (Jul), (Oct)} for Department DYNAMIC FORWARD
+select {CrossJoin(
+   {[Account].Levels(0).Members},
+   {([Current], [Local], [BU Version_1], [HSP_InputValue])}
+)} on columns,
+{CrossJoin( {EmployeeS3}, {Descendants([Period],1,self_and_after)} )}
+DIMENSION PROPERTIES [Department] on rows
+from [App].[Db]
+"""
+
+FIG10C = """
+WITH perspective {(Jan), (Apr), (Jul), (Oct)} for Department DYNAMIC FORWARD
+select {CrossJoin(
+   {[Account].Levels(0).Members},
+   {([Current], [Local], [BU Version_1], [HSP_InputValue])}
+)} on columns,
+{CrossJoin(
+   {Head({[EmployeesWithAtleastOneMove-Set1].Children}, 50)},
+   {Descendants([Period],1,self_and_after)}
+)} DIMENSION PROPERTIES [Department] on rows
+from [App].[Db]
+"""
+
+HEADLINE = """
+    WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+    SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS,
+           {[Joe]} ON ROWS
+    FROM Warehouse WHERE ([NY], [Salary])
+"""
+
+
+@pytest.fixture(scope="module")
+def workforce_warehouse():
+    return build_workforce(
+        WorkforceConfig(
+            n_employees=60,
+            n_departments=5,
+            n_changing=9,
+            n_accounts=4,
+            n_scenarios=2,
+            seed=7,
+        )
+    ).warehouse
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+class TestFig10Acceptance:
+    @pytest.mark.parametrize(
+        "text", [FIG10A, FIG10B, FIG10C], ids=["fig10a", "fig10b", "fig10c"]
+    )
+    def test_every_fig10_query_explains(self, workforce_warehouse, text):
+        report = explain_report(workforce_warehouse, text)
+        assert report["executable"] is True
+        assert report["cube"] == "App.Db"
+        step = report["scenario"][0]
+        assert step["operator"] == "Perspective"
+        assert step["dimension"] == "Department"
+        assert {axis["axis"] for axis in report["axes"]} == {"columns", "rows"}
+        assert all(axis["tuples"] > 0 for axis in report["axes"])
+        estimates = report["scope_estimates"]
+        assert estimates["grid_cells"] > 0
+        assert estimates["cells_estimated"] > 0
+        assert estimates["index_leaves"] > 0
+        assert 0 <= estimates["min"] <= estimates["max"] <= estimates["index_leaves"]
+
+    @pytest.mark.parametrize(
+        "text", [FIG10A, FIG10B, FIG10C], ids=["fig10a", "fig10b", "fig10c"]
+    )
+    def test_fig10_renderings_are_complete(self, workforce_warehouse, text):
+        rendered = explain_query(workforce_warehouse, text)
+        assert rendered.startswith("EXPLAIN")
+        assert "scenario pipeline (applied in order):" in rendered
+        assert "Perspective[Department:" in rendered
+        assert "estimated scope sizes (rollup-index upper bound):" in rendered
+
+
+class TestRunningExample:
+    def test_headline_query_report(self, warehouse):
+        report = explain_report(warehouse, HEADLINE)
+        assert report["executable"] is True
+        step = report["scenario"][0]
+        assert step["algebra"] == "E ∘ ρ(·, Φ_sem(VS, P)) ∘ σ"
+        assert step["perspectives"] == ["Feb", "Apr"]
+        assert report["slicer"] == {"Location": "NY", "Measures": "Salary"}
+
+    def test_explain_never_fills_the_grid(self, warehouse):
+        explain_report(warehouse, HEADLINE)
+        # Axis resolution runs (scenario applied, cache touched) but no
+        # cell is ever evaluated.
+        assert warehouse.scenario_cache.stats.misses == 1
+
+    def test_unscenarioed_query_reports_base_cube(self, warehouse):
+        rendered = explain_query(
+            warehouse, "SELECT {Time.[Qtr1]} ON COLUMNS FROM Warehouse"
+        )
+        assert "scenario pipeline: none (base cube)" in rendered
+
+    def test_unexecutable_query_carries_diagnostics(self, warehouse):
+        report = explain_report(
+            warehouse,
+            "SELECT {Time.[NoSuchMember]} ON COLUMNS FROM Warehouse",
+        )
+        assert report["executable"] is False
+        assert report["diagnostics"]
+        assert "axes" not in report  # axis resolution skipped
+        rendered = explain_query(
+            warehouse,
+            "SELECT {Time.[NoSuchMember]} ON COLUMNS FROM Warehouse",
+        )
+        assert "NOT executable" in rendered
+
+    def test_syntax_errors_raise(self, warehouse):
+        with pytest.raises(MdxSyntaxError):
+            explain_report(warehouse, "SELECT FROM nowhere !!!")
+
+    def test_warehouse_explain_delegates(self, warehouse):
+        # An unscenarioed query so the rendering carries no per-call
+        # scenario-cache counters (which would differ between two calls).
+        text = "SELECT {Time.[Qtr1]} ON COLUMNS FROM Warehouse"
+        assert warehouse.explain(text) == explain_query(warehouse, text)

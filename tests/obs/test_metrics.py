@@ -1,0 +1,138 @@
+"""Tests for the unified metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2)
+        assert counter.sample() == 3
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.sample() == 12
+
+    def test_histogram_sample_statistics(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        sample = histogram.sample()
+        assert sample["count"] == 3
+        assert sample["sum"] == 6.0
+        assert sample["min"] == 1.0
+        assert sample["max"] == 3.0
+        assert sample["mean"] == 2.0
+
+    @pytest.mark.parametrize(
+        "value, index",
+        [
+            (2.0**-12, 0),  # below the smallest bound
+            (2.0**-10, 0),  # exactly the smallest bound
+            (0.002, 2),  # ceil(log2(0.002)) = -8 -> third bucket
+            (1.0, 10),  # 2^0
+            (1.5, 11),  # rounds up to the 2^1 bucket
+            (2.0**14, 24),  # exactly the largest bound
+            (2.0**14 + 1, 25),  # overflow -> +Inf slot
+        ],
+    )
+    def test_bucket_index_edges(self, value, index):
+        assert Histogram.bucket_index(value) == index
+
+    def test_bucket_labels_in_sample(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        histogram.observe(10.0**9)
+        buckets = histogram.sample()["buckets"]
+        assert buckets == {"1": 1, "+Inf": 1}
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_an_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("queries", status="ok").inc()
+        registry.counter("queries", status="ok").inc()
+        registry.counter("queries", status="error").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["queries{status=ok}"] == 2
+        assert snapshot["queries{status=error}"] == 1
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="1", b="2").inc()
+        registry.counter("c", b="2", a="1").inc()
+        assert registry.snapshot() == {"c{a=1,b=2}": 2}
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="requested as Gauge"):
+            registry.gauge("x")
+
+    def test_collectors_appear_namespaced(self):
+        registry = MetricsRegistry()
+        state = {"hits": 0}
+        registry.register_collector("scenario_cache", lambda: dict(state))
+        state["hits"] = 7
+        assert registry.snapshot()["scenario_cache.hits"] == 7  # live read
+        registry.unregister_collector("scenario_cache")
+        assert registry.snapshot() == {}
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.register_collector("src", lambda: {"k": 1})
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestExports:
+    def test_prometheus_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("mdx_queries_total", status="ok").inc(2)
+        registry.gauge("open_files").set(3)
+        text = registry.to_prometheus()
+        assert "# TYPE mdx_queries_total counter" in text
+        assert 'mdx_queries_total{status="ok"} 2' in text
+        assert "# TYPE open_files gauge" in text
+        assert "open_files 3" in text
+
+    def test_prometheus_histogram_is_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("mdx_query_ms")
+        histogram.observe(0.5)  # le="0.5" bucket
+        histogram.observe(3.0)  # le="4" bucket
+        text = registry.to_prometheus()
+        assert 'mdx_query_ms_bucket{le="0.5"} 1' in text
+        assert 'mdx_query_ms_bucket{le="4"} 2' in text
+        assert 'mdx_query_ms_bucket{le="+Inf"} 2' in text
+        assert "mdx_query_ms_sum 3.5" in text
+        assert "mdx_query_ms_count 2" in text
+
+    def test_prometheus_collector_values_are_gauges(self):
+        registry = MetricsRegistry()
+        registry.register_collector("scenario_cache", lambda: {"hits": 4})
+        text = registry.to_prometheus()
+        assert "# TYPE scenario_cache_hits gauge" in text
+        assert "scenario_cache_hits 4" in text
+
+    def test_json_lines_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.register_collector("src", lambda: {"k": 2})
+        lines = registry.to_json_lines().strip().splitlines()
+        parsed = {
+            entry["metric"]: entry["value"]
+            for entry in (json.loads(line) for line in lines)
+        }
+        assert parsed == {"a": 1, "src.k": 2}

@@ -1,0 +1,92 @@
+"""Tests for the slow-query log (repro.obs.slowlog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slowlog import SlowQueryLog
+
+
+class TestThreshold:
+    def test_fast_queries_are_observed_but_not_recorded(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert log.record("SELECT fast", 9.99) is None
+        assert log.observed == 1
+        assert log.recorded == 0
+        assert len(log) == 0
+
+    def test_threshold_is_inclusive(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        entry = log.record("SELECT slow", 10.0)
+        assert entry is not None
+        assert log.recorded == 1
+
+    def test_zero_threshold_records_everything(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        assert log.record("SELECT anything", 0.0) is not None
+
+    def test_threshold_is_mutable(self):
+        log = SlowQueryLog(threshold_ms=100.0)
+        log.threshold_ms = 1.0  # what `repro query --slow-ms` does
+        assert log.record("q", 2.0) is not None
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+
+class TestRing:
+    def test_newest_entries_win(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=2)
+        for i in range(3):
+            log.record(f"q{i}", float(i))
+        assert [e.query for e in log.entries()] == ["q1", "q2"]
+        assert log.recorded == 3  # counts crossings, not retained entries
+        assert log.capacity == 2
+
+    def test_clear_resets_counters(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("q", 1.0)
+        log.clear()
+        assert (len(log), log.observed, log.recorded) == (0, 0, 0)
+
+
+class TestEntries:
+    def test_query_text_is_normalised_and_capped(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        entry = log.record("SELECT\n   {X}\tON COLUMNS", 1.0)
+        assert entry.query == "SELECT {X} ON COLUMNS"
+        long = log.record("SELECT " + "x " * 200, 1.0)
+        assert len(long.query) <= 200
+        assert long.query.endswith("…")
+
+    def test_entry_payload_and_format(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        entry = log.record(
+            "SELECT {X}",
+            12.5,
+            partial=True,
+            error="ValueError('x')",
+            stats={"cells_evaluated": 3},
+        )
+        payload = entry.to_dict()
+        assert payload["wall_ms"] == 12.5
+        assert payload["partial"] is True
+        assert payload["error"] == "ValueError('x')"
+        assert payload["stats"] == {"cells_evaluated": 3}
+        rendered = entry.format()
+        assert "[partial]" in rendered
+        assert "[error: ValueError('x')]" in rendered
+        assert "SELECT {X}" in rendered
+
+    def test_dump_has_header_and_entries(self):
+        log = SlowQueryLog(threshold_ms=5.0, capacity=4)
+        log.record("fast", 1.0)
+        log.record("slow one", 7.5)
+        dump = log.dump()
+        assert "threshold=5.0ms" in dump
+        assert "1/4 retained" in dump
+        assert "1/2 queries crossed the threshold" in dump
+        assert "slow one" in dump

@@ -1,0 +1,115 @@
+"""Budget-degradation parity: batched vs naive evaluation must degrade
+at exactly the same cell, even when a wall-clock deadline trips mid-row.
+
+The deadline used to be checked once per row batch on the engine path
+(``BudgetTracker.charge_cells``), so a deadline breaching mid-row cut the
+naive grid mid-row but the batched grid only at the next row boundary.
+The evaluator now charges per cell whenever a deadline is set; these
+tests pin that contract with an injectable deterministic clock
+(``QueryBudget.clock``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mdx.budget import BudgetTracker, QueryBudget
+from repro.perf.config import naive_mode
+from repro.warehouse import Warehouse
+
+# 4 columns x employee-instance rows; no WITH clause so the scenario
+# cache cannot blur the two modes' clock-call sequences.
+GRID_QUERY = """
+    SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS,
+           {[Joe], [Lisa]} ON ROWS
+    FROM Warehouse WHERE ([NY], [Salary])
+"""
+
+
+class SteppingClock:
+    """Monotonic fake clock: every read advances time by ``step_s``."""
+
+    def __init__(self, step_s: float = 0.001) -> None:
+        self.now = 0.0
+        self.step = step_s
+        self.reads = 0
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        self.reads += 1
+        return value
+
+
+def _run(example, deadline_ms: float, naive: bool):
+    warehouse = Warehouse(example.schema, example.cube, name="Warehouse")
+    budget = QueryBudget(deadline_ms=deadline_ms, clock=SteppingClock())
+    if naive:
+        with naive_mode():
+            return warehouse.query(GRID_QUERY, budget=budget)
+    return warehouse.query(GRID_QUERY, budget=budget)
+
+
+class TestTrackerClockInjection:
+    def test_budget_clock_reaches_the_tracker(self):
+        clock = SteppingClock(step_s=0.01)  # 10ms per read
+        tracker = BudgetTracker(QueryBudget(deadline_ms=25.0, clock=clock))
+        assert tracker.charge_cell() is True  # elapsed 10ms
+        assert tracker.charge_cell() is True  # elapsed 20ms
+        assert tracker.charge_cell() is False  # elapsed 30ms >= 25ms
+        assert tracker.breached == "deadline"
+
+    def test_explicit_clock_argument_wins(self):
+        budget_clock = SteppingClock(step_s=100.0)
+        override = SteppingClock(step_s=0.0)
+        tracker = BudgetTracker(
+            QueryBudget(deadline_ms=1.0, clock=budget_clock), clock=override
+        )
+        assert tracker.charge_cell() is True  # override never advances
+        assert budget_clock.reads == 0
+
+    def test_charge_cells_checks_deadline_once_per_batch(self):
+        # The documented limitation that motivates per-cell charging on
+        # the batched path whenever a deadline is set.
+        clock = SteppingClock(step_s=0.01)
+        tracker = BudgetTracker(QueryBudget(deadline_ms=25.0, clock=clock))
+        assert tracker.charge_cells(100) == 100  # checked at 10ms: granted
+        assert tracker.charge_cells(100) == 100  # checked at 20ms: granted
+        assert tracker.charge_cells(100) == 0  # checked at 30ms: breach
+        assert tracker.breached == "deadline"
+        # 300 cells were requested but only one deadline check per batch
+        # happened — the per-cell path would have caught the breach at
+        # cell 25.  This is why evaluate_grid charges per cell whenever
+        # budget.deadline_ms is set.
+        assert tracker.cells_evaluated == 200
+
+
+class TestMidRowDeadlineParity:
+    @pytest.mark.parametrize("deadline_ms", [1.5, 2.5, 3.5, 5.5, 9.5])
+    def test_batched_and_naive_degrade_at_the_same_cell(
+        self, example, deadline_ms
+    ):
+        engine = _run(example, deadline_ms, naive=False)
+        naive = _run(example, deadline_ms, naive=True)
+        assert engine.cells == naive.cells  # identical ⊥ pattern
+        assert engine.stats.get("cells_evaluated") == naive.stats.get(
+            "cells_evaluated"
+        )
+        assert engine.stats.get("cells_skipped") == naive.stats.get(
+            "cells_skipped"
+        )
+        assert [d.to_dict() for d in engine.degradations] == [
+            d.to_dict() for d in naive.degradations
+        ]
+
+    def test_deadline_trips_mid_row(self, example):
+        """The regression case: the breach lands inside a row, not at a
+        row boundary — charge-per-row batching would round it up."""
+        engine = _run(example, 2.5, naive=False)
+        naive = _run(example, 2.5, naive=True)
+        for result in (engine, naive):
+            assert result.is_partial
+            assert result.degradations[0].reason == "deadline"
+            evaluated = result.stats["cells_evaluated"]
+            assert evaluated == 2  # 1ms per charge, breach at 2.5ms
+            assert evaluated % len(result.columns) != 0  # mid-row
+            assert result.stats["cells_skipped"] > 0

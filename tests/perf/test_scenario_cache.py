@@ -87,6 +87,54 @@ class TestScenarioCacheUnit:
         cache.discard("k")  # absent: no double count
         assert cache.stats.invalidations == 1
 
+    def test_discard_is_not_an_eviction_or_miss(self):
+        cache = ScenarioCache()
+        cache.put("k", 0, "v")
+        cache.discard("k")
+        assert cache.stats.invalidations == 1
+        assert cache.stats.evictions == 0
+        assert cache.stats.misses == 0
+
+    def test_lru_eviction_is_counted_once(self):
+        cache = ScenarioCache(maxsize=1)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)  # evicts a
+        assert cache.stats.evictions == 1
+        assert cache.stats.invalidations == 0
+        # Looking up the evicted key is a plain miss, not a second
+        # eviction or an invalidation.
+        assert cache.get("a", 0) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.evictions == 1
+        assert cache.stats.invalidations == 0
+
+    def test_version_mismatch_counts_one_invalidation_and_one_miss(self):
+        cache = ScenarioCache()
+        cache.put("k", 0, "old")
+        assert cache.get("k", 1) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.evictions == 0
+        # The entry is gone: the next stale-version lookup is a plain
+        # miss, not a second invalidation.
+        assert cache.get("k", 1) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 2
+
+    def test_overwrite_same_key_never_evicts(self):
+        cache = ScenarioCache(maxsize=1)
+        cache.put("k", 0, "v1")
+        cache.put("k", 1, "v2")
+        assert len(cache) == 1
+        assert cache.stats.evictions == 0
+        assert cache.get("k", 1) == "v2"
+
+    def test_eviction_appears_in_snapshot(self):
+        cache = ScenarioCache(maxsize=1)
+        cache.put("a", 0, 1)
+        cache.put("b", 0, 2)
+        assert cache.stats.snapshot()["evictions"] == 1
+
     def test_rejects_nonpositive_maxsize(self):
         with pytest.raises(ValueError):
             ScenarioCache(maxsize=0)
@@ -123,3 +171,12 @@ class TestWarehouseIntegration:
         )
         assert "scenario_cache_misses" not in result.stats
         assert len(warehouse.scenario_cache) == 0
+
+    def test_eviction_surfaces_in_result_stats(self, warehouse):
+        warehouse.scenario_cache = ScenarioCache(maxsize=1)
+        other = PERSPECTIVE_QUERY.replace("(Feb), (Apr)", "(Mar)")
+        first = warehouse.query(PERSPECTIVE_QUERY)
+        second = warehouse.query(other)  # displaces the first entry
+        assert "scenario_cache_evictions" not in first.stats
+        assert second.stats.get("scenario_cache_evictions") == 1
+        assert warehouse.scenario_cache.stats.evictions == 1

@@ -202,6 +202,104 @@ class TestRetries:
         assert max(delays) == 0.2
 
 
+class TestRetriesTable:
+    """Table-driven audit of the retry contract: exact sleep sequences,
+    no sleep after the final attempt, and the *last* error re-raised."""
+
+    @pytest.mark.parametrize(
+        "attempts, failures, base, cap, expect_calls, expect_sleeps",
+        [
+            # succeeds immediately: one call, no sleeps
+            (4, 0, 0.005, 0.25, 1, []),
+            # one transient failure: sleep once at base delay
+            (4, 1, 0.005, 0.25, 2, [0.005]),
+            # recovers on the last allowed attempt: sleeps between
+            # attempts only, exponential doubling
+            (4, 3, 0.005, 0.25, 4, [0.005, 0.01, 0.02]),
+            # exhausts the budget: attempts calls, but attempts-1 sleeps —
+            # never a sleep after the final failure
+            (3, 99, 0.005, 0.25, 3, [0.005, 0.01]),
+            (1, 99, 0.005, 0.25, 1, []),
+            # the cap flattens the tail of the schedule
+            (5, 99, 0.1, 0.15, 5, [0.1, 0.15, 0.15, 0.15]),
+        ],
+    )
+    def test_sleep_schedules(
+        self, attempts, failures, base, cap, expect_calls, expect_sleeps
+    ):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) <= failures:
+                raise TransientFaultError("x.y", f"failure {len(calls)}")
+            return "ok"
+
+        should_fail = failures >= attempts
+        if should_fail:
+            with pytest.raises(TransientFaultError):
+                with_retries(
+                    flaky,
+                    attempts=attempts,
+                    base_delay=base,
+                    max_delay=cap,
+                    sleep=sleeps.append,
+                )
+        else:
+            assert (
+                with_retries(
+                    flaky,
+                    attempts=attempts,
+                    base_delay=base,
+                    max_delay=cap,
+                    sleep=sleeps.append,
+                )
+                == "ok"
+            )
+        assert len(calls) == expect_calls
+        assert sleeps == pytest.approx(expect_sleeps)
+
+    def test_last_error_is_the_one_raised(self):
+        errors = [
+            TransientFaultError("x.y", "first"),
+            TransientFaultError("x.y", "second"),
+            TransientFaultError("x.y", "third"),
+        ]
+        iterator = iter(errors)
+
+        def always_fail():
+            raise next(iterator)
+
+        with pytest.raises(TransientFaultError) as info:
+            with_retries(always_fail, attempts=3, sleep=lambda _: None)
+        assert info.value is errors[-1]
+
+    def test_custom_retry_on_classes(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise KeyError("transient-ish")
+            return "ok"
+
+        # Not retried under the default classes...
+        with pytest.raises(KeyError):
+            with_retries(flaky, sleep=lambda _: None)
+        # ...but retried when listed explicitly.
+        calls.clear()
+        result = with_retries(
+            flaky, retry_on=(KeyError,), sleep=lambda _: None
+        )
+        assert result == "ok"
+        assert len(calls) == 2
+
+    def test_rejects_nonpositive_attempts(self):
+        with pytest.raises(ValueError, match="attempts >= 1"):
+            with_retries(lambda: 1, attempts=0)
+
+
 def _store() -> ChunkStore:
     grid = ChunkGrid(dim_sizes=(4, 4), chunk_shape=(2, 2))
     store = ChunkStore(grid)

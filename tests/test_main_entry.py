@@ -117,6 +117,124 @@ class TestQueryCommand:
         assert completed.returncode == 0
         assert completed.stdout.splitlines()[0].startswith(",")
 
+    def test_csv_stdout_is_pure(self, tmp_path):
+        """No '#' counter comment lines may pollute the CSV stream —
+        stdout must pipe straight into a CSV parser."""
+        import csv
+        import io
+
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("query", str(path), "--csv")
+        assert completed.returncode == 0
+        assert not any(
+            line.startswith("#") for line in completed.stdout.splitlines()
+        )
+        table = list(csv.reader(io.StringIO(completed.stdout)))
+        widths = {len(row) for row in table if row}
+        assert len(widths) == 1  # rectangular: header + data rows agree
+
+    def test_stats_go_to_stderr(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("query", str(path), "--csv", "--stats")
+        assert completed.returncode == 0
+        assert not any(
+            line.startswith("#") for line in completed.stdout.splitlines()
+        )
+        stats_lines = [
+            line
+            for line in completed.stderr.splitlines()
+            if line.startswith("# ")
+        ]
+        assert any("cells_evaluated" in line for line in stats_lines)
+
+    def test_profile_renders_to_stderr(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("query", str(path), "--profile")
+        assert completed.returncode == 0, completed.stderr
+        assert "FTE/Joe" in completed.stdout  # the grid stays on stdout
+        assert "query profile" in completed.stderr
+        assert "cells:" in completed.stderr
+
+    def test_profile_json_is_schema_valid(self, tmp_path):
+        import json
+
+        from repro.obs import validate_profile
+
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("query", str(path), "--profile", "--json")
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout)
+        validate_profile(payload)
+        assert payload["cells_evaluated"] > 0
+        assert "cells" in payload["phases"]
+
+    def test_slow_ms_dumps_the_log(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("query", str(path), "--slow-ms", "0")
+        assert completed.returncode == 0
+        assert "slow-query log:" in completed.stderr
+        assert "SELECT" in completed.stderr
+        assert "slow-query log:" not in completed.stdout
+
+
+class TestExplainCommand:
+    """Exit-code contract: 0 = explained (even when the analyzer flags
+    the query), 2 = errors."""
+
+    def test_explain_exits_zero_without_executing(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("explain", str(path))
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.startswith("EXPLAIN")
+        assert "estimated scope sizes" in completed.stdout
+        assert "FTE/Joe" not in completed.stdout  # no grid is filled
+
+    def test_explain_shows_the_scenario_pipeline(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(
+            "WITH PERSPECTIVE {(Feb)} FOR Organization STATIC\n" + RESULT_QUERY
+        )
+        completed = run_module("explain", str(path))
+        assert completed.returncode == 0
+        assert "Perspective[Organization:" in completed.stdout
+
+    def test_explain_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "q.mdx"
+        path.write_text(RESULT_QUERY)
+        completed = run_module("explain", str(path), "--json")
+        assert completed.returncode == 0
+        payload = json.loads(completed.stdout)
+        assert payload["executable"] is True
+        assert payload["scope_estimates"]["grid_cells"] > 0
+
+    def test_unexecutable_query_still_exits_zero(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text(ERROR_QUERY)
+        completed = run_module("explain", str(path))
+        assert completed.returncode == 0
+        assert "NOT executable" in completed.stdout
+
+    def test_syntax_error_exits_two(self, tmp_path):
+        path = tmp_path / "q.mdx"
+        path.write_text("SELECT {oops\n")
+        completed = run_module("explain", str(path))
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("repro:")
+        assert "Traceback" not in completed.stderr
+
+    def test_missing_file_exits_two(self, tmp_path):
+        completed = run_module("explain", str(tmp_path / "absent.mdx"))
+        assert completed.returncode == 2
+        assert completed.stderr.startswith("repro:")
+
     def test_budget_breach_exits_one_with_partial_grid(self, tmp_path):
         path = tmp_path / "q.mdx"
         path.write_text(RESULT_QUERY)
