@@ -37,8 +37,13 @@ from repro.core import (
     apply_scenarios,
 )
 from repro.errors import (
+    CircuitOpenError,
     QueryBudgetExceededError,
     ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+    SnapshotImmutableError,
     WarehouseCorruptionError,
     WarehouseFormatError,
 )
@@ -56,6 +61,7 @@ from repro.olap import (
     is_missing,
 )
 from repro.warehouse import NamedSet, Warehouse
+from repro.service import CircuitBreaker, QueryService, QueryTicket
 
 __version__ = "0.1.0"
 
@@ -72,7 +78,15 @@ __all__ = [
     "Degradation",
     "QueryBudget",
     "QueryBudgetExceededError",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "QueryService",
+    "QueryTicket",
     "ReproError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "SnapshotImmutableError",
     "WarehouseCorruptionError",
     "WarehouseFormatError",
     "load_warehouse",

@@ -168,6 +168,99 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run a batch of queries concurrently
+    through the :class:`~repro.service.QueryService`.
+
+    Reads ``;``-separated extended-MDX statements from a file or stdin,
+    submits them all up front (each pinned to a snapshot at submission
+    time), then prints every grid in submission order.  Exit-code
+    contract: 0 = all complete, 1 = any partial (budget-degraded) or
+    shed result, 2 = any query error.
+    """
+    from repro.service import QueryService
+
+    text = _read_query_text(args.query_file)
+    if text is None:
+        return 2
+    statements = [part.strip() for part in text.split(";") if part.strip()]
+    if not statements:
+        print("repro: no queries to serve", file=sys.stderr)
+        return 2
+    warehouse = _build_warehouse(args.workload)
+    budget = _budget_from_args(args)
+    worst = 0
+    with QueryService(
+        warehouse,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline_ms=getattr(args, "deadline_ms", None),
+    ) as service:
+        tickets = []
+        for statement in statements:
+            try:
+                tickets.append(
+                    service.submit(
+                        statement,
+                        analyze=not args.no_analyze,
+                        budget=budget,
+                    )
+                )
+            except ReproError as exc:
+                tickets.append(exc)  # shed at admission; report in order
+        for index, ticket in enumerate(tickets, start=1):
+            print(f"-- query {index}/{len(tickets)} --")
+            if isinstance(ticket, ReproError):
+                print(f"repro: shed: {ticket}", file=sys.stderr)
+                worst = max(worst, 1)
+                continue
+            try:
+                result = ticket.result()
+            except ReproError as exc:
+                print(f"repro: {exc}", file=sys.stderr)
+                worst = 2
+                continue
+            print(result.to_csv() if args.csv else result.to_text())
+            if result.is_partial:
+                for degradation in result.degradations:
+                    print(
+                        f"repro: partial result: {degradation.detail}",
+                        file=sys.stderr,
+                    )
+                worst = max(worst, 1)
+    return worst
+
+
+def _cmd_stress(args: argparse.Namespace) -> int:
+    """The ``stress`` subcommand: the concurrency chaos harness.
+
+    Races concurrent queries against live mutations (and, unless
+    ``--no-faults``, armed failpoints), then replays every completed
+    query serially against its pinned snapshot and compares grids
+    bit-for-bit.  Exit-code contract: 0 = all invariants held, 2 = any
+    violation (untyped error, mismatch vs serial replay, or deadlock).
+    """
+    from repro.service.stress import StressConfig, run_stress
+
+    if args.smoke:
+        config = StressConfig.smoke(seed=args.seed, fault_mix=not args.no_faults)
+    else:
+        config = StressConfig(
+            workers=args.workers,
+            duration_s=args.duration,
+            seed=args.seed,
+            fault_mix=not args.no_faults,
+        )
+    report = run_stress(config)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.passed else 2
+
+
 def _demo(budget: "QueryBudget | None" = None) -> int:
     print(f"repro {repro.__version__} — What-if OLAP queries "
           "with changing dimensions (ICDE 2008 reproduction)\n")
@@ -342,6 +435,115 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit the structured EXPLAIN report as JSON",
     )
+    serve = subparsers.add_parser(
+        "serve",
+        help="run ;-separated queries concurrently through the query service",
+        description=(
+            "Read ;-separated extended-MDX statements from a file (or "
+            "stdin with '-'), submit them all through a bounded worker "
+            "pool — each pinned to a snapshot at submission — and print "
+            "the grids in submission order.  Exit codes: 0 = all "
+            "complete, 1 = any partial or shed, 2 = any error."
+        ),
+    )
+    serve.add_argument(
+        "query_file",
+        nargs="?",
+        default="-",
+        help="path to a file of ;-separated queries, or - for stdin "
+        "(default)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker threads (default: 4)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission-queue bound; beyond it submissions are shed "
+        "(default: 16)",
+    )
+    serve.add_argument(
+        "--workload",
+        choices=("running", "workforce"),
+        default="running",
+        help="warehouse to serve (default: the paper's running example)",
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        metavar="MS",
+        default=argparse.SUPPRESS,
+        help="per-query deadline; queue wait counts against it",
+    )
+    serve.add_argument(
+        "--max-cells",
+        type=int,
+        metavar="N",
+        help="per-query cell-evaluation budget",
+    )
+    serve.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of text grids"
+    )
+    serve.add_argument(
+        "--no-analyze",
+        action="store_true",
+        help="skip the static analyzer before execution",
+    )
+    stress = subparsers.add_parser(
+        "stress",
+        help="chaos-test the query service: concurrent queries vs "
+        "mutations vs faults",
+        description=(
+            "Race client threads, cube mutators, and (by default) armed "
+            "failpoints against one warehouse, then verify snapshot "
+            "isolation by replaying every completed query serially "
+            "against its pinned snapshot — grids must match "
+            "bit-for-bit and every observed error must be typed.  "
+            "Exit codes: 0 = all invariants held, 2 = any violation."
+        ),
+    )
+    stress.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: 4 workers, ~1s (same invariants)",
+    )
+    stress.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        metavar="N",
+        help="client threads (default: 8; ignored with --smoke)",
+    )
+    stress.add_argument(
+        "--duration",
+        type=float,
+        default=3.0,
+        metavar="S",
+        help="storm duration in seconds (default: 3; ignored with --smoke)",
+    )
+    stress.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for workload/mutation choices (default: 0)",
+    )
+    stress.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="run without arming failpoints during the storm",
+    )
+    stress.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stress report as JSON",
+    )
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
@@ -356,6 +558,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_query(args)
         if args.command == "explain":
             return _cmd_explain(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "stress":
+            return _cmd_stress(args)
         return _demo(budget=_budget_from_args(args))
     except (ReproError, OSError) as exc:
         # IO, corruption, format, and query errors share one contract:

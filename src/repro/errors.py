@@ -182,6 +182,45 @@ class QueryBudgetExceededError(ReproError):
         self.reason = reason
 
 
+class SnapshotImmutableError(ReproError):
+    """A mutation was attempted on a frozen snapshot cube.
+
+    Snapshot isolation (see :mod:`repro.service`) pins in-flight queries
+    to an immutable read view; writes must go to the live warehouse cube,
+    never to the view a concurrent reader holds.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for concurrent query-service failures
+    (:mod:`repro.service`)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service shed a query instead of running it.
+
+    Raised at submit time when the admission queue is full, or at result
+    time when the query's deadline fully expired while it waited in the
+    queue.  ``reason`` is machine-readable: ``"queue-full"`` or
+    ``"deadline-expired"``.
+    """
+
+    def __init__(self, message: str, *, reason: str = "queue-full") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class CircuitOpenError(ServiceError):
+    """The service's circuit breaker is open: repeated failpoint or
+    corruption errors tripped it, and submissions fail fast until the
+    backoff elapses and a half-open probe succeeds."""
+
+
+class ServiceStoppedError(ServiceError):
+    """A query was submitted to (or was still queued in) a service that
+    has been closed."""
+
+
 class QueryError(ReproError):
     """A what-if query is inconsistent (e.g. perspectives outside the
     parameter dimension, or a scenario over a non-varying dimension)."""

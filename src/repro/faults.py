@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
@@ -113,9 +114,19 @@ class _Arming:
 @dataclass
 class FaultRegistry:
     """Holds the armed failpoints; the module-level :data:`FAULTS` is the
-    process-wide instance."""
+    process-wide instance.
+
+    Thread-safety: arming, disarming, and hit/fired counting are atomic
+    under one registry lock, so a ``transient=N`` failpoint hammered from
+    many threads fires *exactly* N times — per-hit decisions
+    (:meth:`_Arming.should_fire`) and the fired increment happen in one
+    critical section.  The disarmed fast path stays a single lock-free
+    dict read (safe under the GIL)."""
 
     _armed: dict[str, _Arming] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     # -- arming -----------------------------------------------------------------
 
@@ -133,9 +144,10 @@ class FaultRegistry:
     ) -> None:
         """Arm ``failpoint`` to raise on every hit."""
         self._check_known(failpoint)
-        self._armed[failpoint] = _Arming(
-            failpoint, "always", exc_factory=exc_factory
-        )
+        with self._lock:
+            self._armed[failpoint] = _Arming(
+                failpoint, "always", exc_factory=exc_factory
+            )
 
     def fail_after(
         self,
@@ -147,9 +159,10 @@ class FaultRegistry:
         if n < 1:
             raise ValueError("fail_after requires n >= 1")
         self._check_known(failpoint)
-        self._armed[failpoint] = _Arming(
-            failpoint, "after", count=n, exc_factory=exc_factory
-        )
+        with self._lock:
+            self._armed[failpoint] = _Arming(
+                failpoint, "after", count=n, exc_factory=exc_factory
+            )
 
     def fail_transient(self, failpoint: str, times: int = 1) -> None:
         """Arm ``failpoint`` to raise a retryable
@@ -158,7 +171,10 @@ class FaultRegistry:
         if times < 1:
             raise ValueError("fail_transient requires times >= 1")
         self._check_known(failpoint)
-        self._armed[failpoint] = _Arming(failpoint, "transient", count=times)
+        with self._lock:
+            self._armed[failpoint] = _Arming(
+                failpoint, "transient", count=times
+            )
 
     def fail_probabilistic(
         self, failpoint: str, probability: float, seed: int = 0
@@ -168,34 +184,42 @@ class FaultRegistry:
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         self._check_known(failpoint)
-        self._armed[failpoint] = _Arming(
-            failpoint,
-            "prob",
-            probability=probability,
-            rng=random.Random(seed),
-        )
+        with self._lock:
+            self._armed[failpoint] = _Arming(
+                failpoint,
+                "prob",
+                probability=probability,
+                rng=random.Random(seed),
+            )
 
     def disarm(self, failpoint: str) -> None:
-        self._armed.pop(failpoint, None)
+        with self._lock:
+            self._armed.pop(failpoint, None)
 
     def clear(self) -> None:
         """Disarm everything (test teardown)."""
-        self._armed.clear()
+        with self._lock:
+            self._armed.clear()
 
     # -- introspection ----------------------------------------------------------
 
     def armed(self) -> tuple[str, ...]:
-        return tuple(sorted(self._armed))
+        with self._lock:
+            return tuple(sorted(self._armed))
 
     def fired_count(self, failpoint: str) -> int:
-        arming = self._armed.get(failpoint)
-        return 0 if arming is None else arming.fired
+        with self._lock:
+            arming = self._armed.get(failpoint)
+            return 0 if arming is None else arming.fired
 
     def fired_counts(self) -> dict[str, int]:
         """Fired counts of every armed failpoint (including zero) — the
         warehouse snapshots this around a query to attribute fault events
         to one evaluation."""
-        return {name: arming.fired for name, arming in self._armed.items()}
+        with self._lock:
+            return {
+                name: arming.fired for name, arming in self._armed.items()
+            }
 
     # -- the hot-path hook --------------------------------------------------------
 
@@ -205,15 +229,20 @@ class FaultRegistry:
         The fast path (nothing armed) is one dict lookup, so leaving the
         hooks in production code costs nothing measurable.
         """
-        arming = self._armed.get(failpoint)
-        if arming is None:
+        if self._armed.get(failpoint) is None:
             return
-        if arming.should_fire():
+        with self._lock:
+            arming = self._armed.get(failpoint)
+            if arming is None:
+                return  # disarmed between the unlocked check and here
+            if not arming.should_fire():
+                return
             arming.fired += 1
-            from repro.obs.metrics import METRICS
+            exc = arming.make_exception()
+        from repro.obs.metrics import METRICS
 
-            METRICS.counter("faults_fired_total", failpoint=failpoint).inc()
-            raise arming.make_exception()
+        METRICS.counter("faults_fired_total", failpoint=failpoint).inc()
+        raise exc
 
     # -- spec parsing ------------------------------------------------------------
 

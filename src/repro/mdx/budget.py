@@ -54,6 +54,26 @@ class QueryBudget:
     def unlimited(self) -> bool:
         return self.deadline_ms is None and self.max_cells is None
 
+    def narrowed(self, deadline_ms: "float | None") -> "QueryBudget":
+        """This budget with its deadline capped at ``deadline_ms``.
+
+        The query service propagates admission deadlines this way: a
+        query that waited W ms in the queue of a service with deadline D
+        executes under ``budget.narrowed(D - W)`` — queue time counts
+        against the caller's deadline, it is not a free extension.  A
+        negative cap clamps to 0 (the budget degrades everything
+        immediately rather than pretending time is left).  ``None`` means
+        no cap and returns ``self`` unchanged.
+        """
+        if deadline_ms is None:
+            return self
+        capped = max(deadline_ms, 0.0)
+        if self.deadline_ms is not None and self.deadline_ms <= capped:
+            return self
+        return QueryBudget(
+            deadline_ms=capped, max_cells=self.max_cells, clock=self.clock
+        )
+
 
 @dataclass(frozen=True)
 class Degradation:

@@ -48,47 +48,62 @@ _BUCKET_BOUNDS: tuple[float, ...] = tuple(
 
 
 class Counter:
-    """A monotonically increasing value."""
+    """A monotonically increasing value.
 
-    __slots__ = ("value",)
+    Updates are atomic: ``+=`` on an attribute is a read-modify-write the
+    GIL may interleave, so concurrent service workers would lose
+    increments without the per-instrument lock.
+    """
+
+    __slots__ = ("value", "_lock")
     kind = "counter"
 
     def __init__(self) -> None:
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def sample(self) -> float:
         return self.value
 
 
 class Gauge:
-    """A value that can go up and down."""
+    """A value that can go up and down (updates atomic, like Counter)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "gauge"
 
     def __init__(self) -> None:
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def sample(self) -> float:
         return self.value
 
 
 class Histogram:
-    """Log-scale (powers-of-two) latency histogram in milliseconds."""
+    """Log-scale (powers-of-two) latency histogram in milliseconds.
 
-    __slots__ = ("counts", "total", "count", "minimum", "maximum")
+    ``observe`` updates five fields that must stay mutually consistent
+    (bucket counts vs ``count`` vs ``sum``), so it runs under one
+    per-instrument lock.
+    """
+
+    __slots__ = ("counts", "total", "count", "minimum", "maximum", "_lock")
     kind = "histogram"
 
     def __init__(self) -> None:
@@ -98,6 +113,7 @@ class Histogram:
         self.count = 0
         self.minimum = math.inf
         self.maximum = -math.inf
+        self._lock = threading.Lock()
 
     @staticmethod
     def bucket_index(value: float) -> int:
@@ -111,13 +127,14 @@ class Histogram:
         return exponent - _BUCKET_EXPONENTS.start
 
     def observe(self, value: float) -> None:
-        self.counts[self.bucket_index(value)] += 1
-        self.total += value
-        self.count += 1
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            self.counts[self.bucket_index(value)] += 1
+            self.total += value
+            self.count += 1
+            if value < self.minimum:
+                self.minimum = value
+            if value > self.maximum:
+                self.maximum = value
 
     def sample(self) -> dict[str, Any]:
         payload: dict[str, Any] = {

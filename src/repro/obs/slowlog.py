@@ -14,6 +14,7 @@ query; threshold 0 records everything, handy for demos and tests).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -78,6 +79,9 @@ class SlowQueryLog:
             raise ValueError("capacity must be >= 1")
         self.threshold_ms = threshold_ms
         self._entries: "deque[SlowQueryEntry]" = deque(maxlen=capacity)
+        # counters + ring mutate together; service workers record
+        # concurrently, so the update is one critical section
+        self._lock = threading.Lock()
         #: queries timed (recorded or not) since construction/clear
         self.observed = 0
         #: queries that crossed the threshold (>= capacity may be evicted)
@@ -100,29 +104,32 @@ class SlowQueryLog:
     ) -> "SlowQueryEntry | None":
         """Time one query; returns the entry when it crossed the
         threshold, ``None`` when it was fast enough to ignore."""
-        self.observed += 1
-        if wall_ms < self.threshold_ms:
-            return None
-        entry = SlowQueryEntry(
-            timestamp=time.time(),
-            wall_ms=wall_ms,
-            query=_snippet(query),
-            partial=partial,
-            error=error,
-            stats=dict(stats or {}),
-        )
-        self._entries.append(entry)
-        self.recorded += 1
-        return entry
+        with self._lock:
+            self.observed += 1
+            if wall_ms < self.threshold_ms:
+                return None
+            entry = SlowQueryEntry(
+                timestamp=time.time(),
+                wall_ms=wall_ms,
+                query=_snippet(query),
+                partial=partial,
+                error=error,
+                stats=dict(stats or {}),
+            )
+            self._entries.append(entry)
+            self.recorded += 1
+            return entry
 
     def entries(self) -> list[SlowQueryEntry]:
         """Oldest-first list of the retained entries."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.observed = 0
-        self.recorded = 0
+        with self._lock:
+            self._entries.clear()
+            self.observed = 0
+            self.recorded = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -135,7 +142,7 @@ class SlowQueryLog:
             f"{self.recorded}/{self.observed} queries crossed the threshold"
         )
         lines = [header]
-        for entry in self._entries:
+        for entry in self.entries():
             lines.append("  " + entry.format())
         return "\n".join(lines)
 

@@ -214,6 +214,39 @@ class Tracer:
         if current is not None:
             current.event(name, **attrs)
 
+    @contextmanager
+    def child_scope(self, parent: "Span | None") -> "Iterator[Span | None]":
+        """Adopt ``parent`` — a span opened on *another* thread — as this
+        thread's current span for the duration of the block.
+
+        The current-span stack is thread-local, so without this a service
+        worker that evaluates a submitted query starts an orphan root span:
+        the submitting query's trace silently loses the whole evaluation.
+        A worker instead runs ``with TRACER.child_scope(job.parent_span):``
+        and every span it opens attaches under the submitter's root.
+
+        ``parent`` is *not* finished on exit — it still belongs to the
+        thread that started it; only spans leaked above it on this thread's
+        stack are closed.  ``parent=None`` is a no-op scope, so call sites
+        need no branch for the untraced case.  Attaching children from
+        several workers concurrently is safe (list append under the GIL),
+        as long as the parent is finished only after its workers complete —
+        exactly the :class:`~repro.service.QueryService` join contract.
+        """
+        if parent is None:
+            yield None
+            return
+        stack = self._stack()
+        stack.append(parent)
+        try:
+            yield parent
+        finally:
+            while stack:
+                top = stack.pop()
+                if top is parent:
+                    break
+                top.finish()  # leaked child of this scope: close it
+
     def take_last(self) -> "Span | None":
         """Pop and return the most recently finished root span."""
         if not self.finished:

@@ -23,9 +23,10 @@ for invalidation.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Iterator, Sequence, TypeAlias
 
-from repro.errors import RuleError
+from repro.errors import RuleError, SnapshotImmutableError
 from repro.olap.missing import MISSING, Missing, is_missing
 from repro.olap.schema import Address, CubeSchema
 from repro.perf import config as perf_config
@@ -56,6 +57,12 @@ class Cube:
         #: (scenario cache, rollup memo) can invalidate
         self._version = 0
         self._rollup_index = None  # lazily built RollupIndex
+        #: serialises writers against each other (and against snapshot
+        #: copies); readers stay lock-free — concurrent readers of a
+        #: *mutating* cube use ``Warehouse.snapshot()`` views instead
+        self._lock = threading.RLock()
+        #: frozen cubes are immutable snapshot views; writes raise
+        self._frozen = False
 
     # -- versioning / index ------------------------------------------------------
 
@@ -64,12 +71,55 @@ class Cube:
         """Monotonic mutation counter (any leaf or stored-derived write)."""
         return self._version
 
+    @property
+    def frozen(self) -> bool:
+        """True for immutable snapshot views (see :meth:`frozen_copy`)."""
+        return self._frozen
+
+    def freeze(self) -> "Cube":
+        """Make this cube immutable: every later mutation raises
+        :class:`~repro.errors.SnapshotImmutableError`.  Irreversible —
+        take a :meth:`copy` to get a writable cube back."""
+        self._frozen = True
+        return self
+
+    def _check_writable(self) -> None:
+        if self._frozen:
+            raise SnapshotImmutableError(
+                "cube is a frozen snapshot view (pinned at version "
+                f"{self._version}); write to the live warehouse cube instead"
+            )
+
+    def frozen_copy(self) -> "Cube":
+        """An immutable copy pinned at the current version.
+
+        Taken under the write lock, so the copy can never observe a torn
+        mutation: concurrent ``set_value`` calls either happen-before the
+        copy entirely or not at all.  Unlike :meth:`copy`, the clone keeps
+        the source's ``version`` — it *is* that version, and the scenario
+        cache keys on it.
+        """
+        with self._lock:
+            clone = Cube(self.schema, self.rules)
+            clone._leaf_cells = dict(self._leaf_cells)
+            clone._stored_derived = dict(self._stored_derived)
+            clone._version = self._version
+            clone._frozen = True
+            return clone
+
     def rollup_index(self):
-        """The cube's rollup index, built on first use."""
+        """The cube's rollup index, built on first use.
+
+        The build is guarded by the cube lock: two queries sharing one
+        snapshot cube must not race to build two indexes (the loser's
+        memo/stats would be silently discarded mid-use).
+        """
         if self._rollup_index is None:
             from repro.perf.rollup_index import RollupIndex
 
-            self._rollup_index = RollupIndex.build(self)
+            with self._lock:
+                if self._rollup_index is None:
+                    self._rollup_index = RollupIndex.build(self)
         return self._rollup_index
 
     @property
@@ -82,26 +132,33 @@ class Cube:
     # -- write path ------------------------------------------------------------
 
     def set_value(self, address: Sequence[str], value: object) -> None:
-        """Store a cell value; MISSING/None deletes the cell."""
+        """Store a cell value; MISSING/None deletes the cell.
+
+        Writers serialise on the cube lock, so the version bump, the cell
+        write, and the incremental index maintenance commit as one unit —
+        a snapshot copy taken concurrently sees all of it or none.
+        """
+        self._check_writable()
         addr = self.schema.validate_address(address)
         is_leaf = self.schema.is_leaf_address(addr)
-        store = self._leaf_cells if is_leaf else self._stored_derived
-        index = self._rollup_index
-        if is_missing(value):
-            if store.pop(addr, None) is None:
-                return  # deleting an absent cell: not a mutation
-            self._version += 1
-            if is_leaf and index is not None:
-                index.remove_leaf(addr)
-        else:
-            existed = addr in store
-            store[addr] = float(value)  # type: ignore[arg-type]
-            self._version += 1
-            if is_leaf and index is not None:
-                if existed:
-                    index.touch()
-                else:
-                    index.add_leaf(addr)
+        with self._lock:
+            store = self._leaf_cells if is_leaf else self._stored_derived
+            index = self._rollup_index
+            if is_missing(value):
+                if store.pop(addr, None) is None:
+                    return  # deleting an absent cell: not a mutation
+                self._version += 1
+                if is_leaf and index is not None:
+                    index.remove_leaf(addr)
+            else:
+                existed = addr in store
+                store[addr] = float(value)  # type: ignore[arg-type]
+                self._version += 1
+                if is_leaf and index is not None:
+                    if existed:
+                        index.touch()
+                    else:
+                        index.add_leaf(addr)
 
     def set(self, value: object, **coords: str) -> None:
         """Keyword-style :meth:`set_value` (``cube.set(10, Time="Jan", ...)``)."""
@@ -113,9 +170,11 @@ class Cube:
 
     def clear_stored_derived(self) -> None:
         """Drop all materialised aggregate cells."""
-        if self._stored_derived:
-            self._version += 1
-        self._stored_derived.clear()
+        self._check_writable()
+        with self._lock:
+            if self._stored_derived:
+                self._version += 1
+            self._stored_derived.clear()
 
     # -- read path ---------------------------------------------------------------
 
@@ -235,10 +294,13 @@ class Cube:
         # The rollup index is deliberately not carried over: the clone
         # rebuilds it lazily, so the two cubes never share mutable state
         # (ancestor verdicts are shared safely via the schema's cache).
-        clone = Cube(self.schema, self.rules)
-        clone._leaf_cells = dict(self._leaf_cells)
-        clone._stored_derived = dict(self._stored_derived)
-        return clone
+        # Copying a frozen cube yields a writable one — this is how a
+        # snapshot is thawed back into a scratch cube.
+        with self._lock:
+            clone = Cube(self.schema, self.rules)
+            clone._leaf_cells = dict(self._leaf_cells)
+            clone._stored_derived = dict(self._stored_derived)
+            return clone
 
     def empty_like(self) -> "Cube":
         return Cube(self.schema, self.rules)
@@ -282,6 +344,7 @@ class Cube:
 
     def materialize_derived(self, addresses: Iterable[Sequence[str]]) -> None:
         """Evaluate and store derived values for the given addresses."""
+        self._check_writable()
         for address in addresses:
             addr = self.schema.validate_address(address)
             if self.schema.is_leaf_address(addr):
@@ -289,11 +352,12 @@ class Cube:
                     f"cannot materialise a leaf address as derived: {addr!r}"
                 )
             value = self.derive(addr)
-            self._version += 1
-            if is_missing(value):
-                self._stored_derived.pop(addr, None)
-            else:
-                self._stored_derived[addr] = float(value)  # type: ignore[arg-type]
+            with self._lock:
+                self._version += 1
+                if is_missing(value):
+                    self._stored_derived.pop(addr, None)
+                else:
+                    self._stored_derived[addr] = float(value)  # type: ignore[arg-type]
 
     # -- comparison helpers (for tests) ----------------------------------------------
 

@@ -29,6 +29,7 @@ an index; it is rebuilt lazily on their first derived read.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Mapping, Sequence, TypeAlias
 
 from repro.obs.trace import trace_span
@@ -47,11 +48,21 @@ _MEMO_CAP = 65536
 
 
 class RollupIndex:
-    """Per-dimension inverted index from coordinates to leaf-cell ids."""
+    """Per-dimension inverted index from coordinates to leaf-cell ids.
+
+    Thread-safety: one reentrant lock guards both incremental maintenance
+    (bucket/id mutation from ``Cube.set_value``) and the query paths that
+    read buckets or the rollup memo — a reader intersecting a bucket set
+    while a writer grows it raises ``set changed size during iteration``.
+    Queries on *frozen* snapshot cubes never contend with maintenance (a
+    frozen cube cannot mutate), so the lock there is uncontended overhead
+    only; for a live cube it makes interleaved query/mutation safe.
+    """
 
     def __init__(self, schema) -> None:
         self.schema = schema
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._id_of: dict[Address, int] = {}
         self._addr_of: dict[int, Address] = {}
         self._next_id = 0
@@ -92,31 +103,34 @@ class RollupIndex:
 
     def add_leaf(self, addr: Address) -> None:
         """A leaf cell was inserted (or re-valued) at ``addr``."""
-        if addr not in self._id_of:
-            self._insert(addr)
-        self._memo.clear()
+        with self._lock:
+            if addr not in self._id_of:
+                self._insert(addr)
+            self._memo.clear()
 
     def remove_leaf(self, addr: Address) -> None:
         """The leaf cell at ``addr`` was deleted."""
-        ident = self._id_of.pop(addr, None)
-        if ident is None:
-            return
-        del self._addr_of[ident]
-        chain = self.schema.ancestor_chain
-        for i, coord in enumerate(addr):
-            buckets = self._by_dim[i]
-            for ancestor in chain(i, coord):
-                bucket = buckets.get(ancestor)
-                if bucket is not None:
-                    bucket.discard(ident)
-                    if not bucket:
-                        del buckets[ancestor]
-        self._memo.clear()
+        with self._lock:
+            ident = self._id_of.pop(addr, None)
+            if ident is None:
+                return
+            del self._addr_of[ident]
+            chain = self.schema.ancestor_chain
+            for i, coord in enumerate(addr):
+                buckets = self._by_dim[i]
+                for ancestor in chain(i, coord):
+                    bucket = buckets.get(ancestor)
+                    if bucket is not None:
+                        bucket.discard(ident)
+                        if not bucket:
+                            del buckets[ancestor]
+            self._memo.clear()
 
     def touch(self) -> None:
         """A leaf value changed in place: memoised rollups are stale, the
         bucket structure is not."""
-        self._memo.clear()
+        with self._lock:
+            self._memo.clear()
 
     # -- queries ----------------------------------------------------------------
 
@@ -141,26 +155,27 @@ class RollupIndex:
 
     def scope_ids(self, address: Sequence[str]) -> list[int]:
         """Ids of the leaf cells in a cell's scope, in insertion order."""
-        if not self._id_of:
-            return []
-        n = len(self._id_of)
-        constraining: list[set[int]] = []
-        for i, coord in enumerate(address):
-            bucket = self.candidates(i, coord)
-            if bucket is None:
+        with self._lock:
+            if not self._id_of:
                 return []
-            if len(bucket) == n:
-                continue  # the coordinate covers every leaf — no constraint
-            constraining.append(bucket)
-        if not constraining:
-            return sorted(self._addr_of)
-        constraining.sort(key=len)
-        scope = constraining[0]
-        for bucket in constraining[1:]:
-            scope = scope & bucket
-            if not scope:
-                return []
-        return sorted(scope)
+            n = len(self._id_of)
+            constraining: list[set[int]] = []
+            for i, coord in enumerate(address):
+                bucket = self.candidates(i, coord)
+                if bucket is None:
+                    return []
+                if len(bucket) == n:
+                    continue  # the coordinate covers every leaf — no constraint
+                constraining.append(bucket)
+            if not constraining:
+                return sorted(self._addr_of)
+            constraining.sort(key=len)
+            scope = constraining[0]
+            for bucket in constraining[1:]:
+                scope = scope & bucket
+                if not scope:
+                    return []
+            return sorted(scope)
 
     def partial_scope(
         self, pairs: Sequence[tuple[int, str]]
@@ -174,26 +189,27 @@ class RollupIndex:
         means the pairs impose no constraint (every leaf matches).  The
         returned set may alias an internal bucket — do not mutate it.
         """
-        if not self._id_of:
-            return True, None
-        n = len(self._id_of)
-        constraining: list[set[int]] = []
-        for dim_index, coord in pairs:
-            bucket = self.candidates(dim_index, coord)
-            if bucket is None:
+        with self._lock:
+            if not self._id_of:
                 return True, None
-            if len(bucket) == n:
-                continue
-            constraining.append(bucket)
-        if not constraining:
-            return False, None
-        constraining.sort(key=len)
-        scope = constraining[0]
-        for bucket in constraining[1:]:
-            scope = scope & bucket
-            if not scope:
-                return True, None
-        return False, scope
+            n = len(self._id_of)
+            constraining: list[set[int]] = []
+            for dim_index, coord in pairs:
+                bucket = self.candidates(dim_index, coord)
+                if bucket is None:
+                    return True, None
+                if len(bucket) == n:
+                    continue
+                constraining.append(bucket)
+            if not constraining:
+                return False, None
+            constraining.sort(key=len)
+            scope = constraining[0]
+            for bucket in constraining[1:]:
+                scope = scope & bucket
+                if not scope:
+                    return True, None
+            return False, scope
 
     @staticmethod
     def combine_scope(
@@ -221,35 +237,42 @@ class RollupIndex:
         :meth:`combine_scope`), memoised like :meth:`rollup`.  Ids are
         served in ascending order, so the float-summation order matches
         the naive scan exactly."""
-        key = (address, aggregator)
-        if key in self._memo:
-            self.stats.hits += 1
-            return self._memo[key]
-        self.stats.misses += 1
-        addr_of = self._addr_of
-        empty, ids = scope
-        if empty:
-            values: "Iterator[float] | tuple[()]" = ()
-        elif ids is None:
-            values = (leaf_cells[addr_of[i]] for i in sorted(addr_of))
-        else:
-            values = (leaf_cells[addr_of[i]] for i in sorted(ids))
-        value = aggregate(aggregator, values)
-        if len(self._memo) >= _MEMO_CAP:
-            self.stats.evictions += len(self._memo)
-            self._memo.clear()
-        self._memo[key] = value
-        return value
+        with self._lock:
+            key = (address, aggregator)
+            if key in self._memo:
+                self.stats.hits += 1
+                return self._memo[key]
+            self.stats.misses += 1
+            addr_of = self._addr_of
+            empty, ids = scope
+            if empty:
+                values: "Iterator[float] | tuple[()]" = ()
+            elif ids is None:
+                values = (leaf_cells[addr_of[i]] for i in sorted(addr_of))
+            else:
+                values = (leaf_cells[addr_of[i]] for i in sorted(ids))
+            value = aggregate(aggregator, values)
+            if len(self._memo) >= _MEMO_CAP:
+                self.stats.evictions += len(self._memo)
+                self._memo.clear()
+            self._memo[key] = value
+            return value
 
     def scope_addresses(self, address: Sequence[str]) -> list[Address]:
-        return [self._addr_of[i] for i in self.scope_ids(address)]
+        with self._lock:
+            return [self._addr_of[i] for i in self.scope_ids(address)]
 
     def iter_scope_cells(
         self, leaf_cells: Mapping[Address, float], address: Sequence[str]
     ) -> Iterator[tuple[Address, float]]:
-        for ident in self.scope_ids(address):
-            addr = self._addr_of[ident]
-            yield addr, leaf_cells[addr]
+        # Materialise under the lock: a lazy generator would read buckets
+        # and values at the caller's pace, racing concurrent maintenance.
+        with self._lock:
+            cells = [
+                (self._addr_of[ident], leaf_cells[self._addr_of[ident]])
+                for ident in self.scope_ids(address)
+            ]
+        yield from cells
 
     def rollup(
         self,
@@ -259,21 +282,22 @@ class RollupIndex:
     ) -> CellValue:
         """Aggregate a cell's scope through the index, memoised per
         (address, aggregator) until the next leaf mutation."""
-        key = (address, aggregator)
-        if key in self._memo:
-            self.stats.hits += 1
-            return self._memo[key]
-        self.stats.misses += 1
-        addr_of = self._addr_of
-        value = aggregate(
-            aggregator,
-            (leaf_cells[addr_of[i]] for i in self.scope_ids(address)),
-        )
-        if len(self._memo) >= _MEMO_CAP:
-            self.stats.evictions += len(self._memo)
-            self._memo.clear()
-        self._memo[key] = value
-        return value
+        with self._lock:
+            key = (address, aggregator)
+            if key in self._memo:
+                self.stats.hits += 1
+                return self._memo[key]
+            self.stats.misses += 1
+            addr_of = self._addr_of
+            value = aggregate(
+                aggregator,
+                (leaf_cells[addr_of[i]] for i in self.scope_ids(address)),
+            )
+            if len(self._memo) >= _MEMO_CAP:
+                self.stats.evictions += len(self._memo)
+                self._memo.clear()
+            self._memo[key] = value
+            return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = [len(buckets) for buckets in self._by_dim]

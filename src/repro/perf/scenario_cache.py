@@ -18,6 +18,7 @@ the entry (counted as an invalidation).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, TypeVar
 
@@ -30,17 +31,27 @@ V = TypeVar("V")
 
 
 class ScenarioCache(Generic[V]):
-    """A small LRU keyed by (fingerprint chain), version-checked."""
+    """A small LRU keyed by (fingerprint chain), version-checked.
+
+    Thread-safe: service workers share one warehouse cache, and an LRU is
+    exactly the structure concurrent access corrupts — ``move_to_end``
+    racing ``popitem`` can drop the wrong entry or raise mid-reorder.
+    Every operation (including its stats counters, which must stay
+    consistent with the entry map) runs under one cache lock; the values
+    themselves are immutable applied-scenario tuples, so handing them out
+    beyond the lock is safe.
+    """
 
     def __init__(self, maxsize: int = 32) -> None:
         if maxsize < 1:
             raise ValueError("ScenarioCache maxsize must be >= 1")
         self.maxsize = maxsize
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, tuple[int, V]]" = OrderedDict()
 
     def get(self, key: Hashable, version: int) -> "V | None":
-        with trace_span("scenario_cache.get"):
+        with trace_span("scenario_cache.get"), self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.stats.misses += 1
@@ -60,7 +71,7 @@ class ScenarioCache(Generic[V]):
             return value
 
     def put(self, key: Hashable, version: int, value: V) -> None:
-        with trace_span("scenario_cache.put"):
+        with trace_span("scenario_cache.put"), self._lock:
             self._entries[key] = (version, value)
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
@@ -74,11 +85,13 @@ class ScenarioCache(Generic[V]):
         """Drop one entry (counted as an invalidation if present) — for
         callers whose own validity checks fail, e.g. the warehouse cube
         object itself was swapped out."""
-        if self._entries.pop(key, None) is not None:
-            self.stats.invalidations += 1
+        with self._lock:
+            if self._entries.pop(key, None) is not None:
+                self.stats.invalidations += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,40 @@
+"""Concurrent query service: snapshot isolation, admission control,
+overload protection.
+
+The paper's what-if workload is read-mostly: many scenario queries
+against one slowly mutating base cube.  This package makes that safe and
+bounded under real concurrency:
+
+* :class:`~repro.service.snapshot.WarehouseSnapshot`
+  (``Warehouse.snapshot()``) — an immutable read view pinned to one
+  ``Cube.version``.  In-flight queries never observe a torn mutation,
+  and writers never block readers.
+* :class:`~repro.service.service.QueryService` — a bounded worker pool
+  behind ``submit()``: queue-depth admission control with typed load
+  shedding (:class:`~repro.errors.ServiceOverloadedError`), per-query
+  deadline propagation into :class:`~repro.mdx.budget.QueryBudget`, and
+  a :class:`~repro.service.breaker.CircuitBreaker` that trips on
+  repeated failpoint/corruption errors and half-opens after backoff.
+* :mod:`~repro.service.stress` — the chaos harness behind
+  ``repro stress``: races concurrent queries against mutations and armed
+  failpoints, then replays every completed query serially against its
+  pinned snapshot and asserts bit-identical grids.
+
+See ``docs/robustness.md`` for the service model and guarantees.
+"""
+
+from repro.service.breaker import BreakerState, CircuitBreaker
+from repro.service.service import QueryService, QueryTicket
+from repro.service.snapshot import WarehouseSnapshot
+from repro.service.stress import StressConfig, StressReport, run_stress
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "QueryService",
+    "QueryTicket",
+    "StressConfig",
+    "StressReport",
+    "WarehouseSnapshot",
+    "run_stress",
+]

@@ -1,0 +1,365 @@
+"""The concurrent query service: a bounded worker pool with admission
+control, deadline propagation, and overload protection.
+
+``submit()`` is the whole client API: it pins a snapshot of the
+warehouse at the current cube version, enqueues the query, and returns a
+:class:`QueryTicket` immediately.  Every robustness decision happens at
+well-defined points:
+
+* **Admission** — the circuit breaker is consulted first
+  (:class:`~repro.errors.CircuitOpenError` fails fast while the store is
+  sick), then the bounded queue: a full queue sheds the query with
+  :class:`~repro.errors.ServiceOverloadedError` *at submit time*.
+  Nothing in the submit path can block, so overload can never deadlock
+  the caller.
+* **Execution** — a worker dequeues the job, charges the queue wait
+  against the query's deadline (``QueryBudget.narrowed``), and runs it
+  against the snapshot pinned at submit.  A deadline that fully expired
+  in the queue sheds instead of executing.  If the submitter was inside
+  a traced span, the worker attaches to it via ``Tracer.child_scope`` so
+  the evaluation is not an orphan trace.
+* **Completion** — the outcome lands on the ticket (result or typed
+  error), the breaker hears about success/failure, and the service
+  counters (``service_queries_total{status}``, ``service_shed_total``,
+  ``service_queue_wait_ms``, ``circuit_state``) are updated on the
+  warehouse's metrics registry.
+
+Results are exactly what ``Warehouse.query`` returns — including partial
+(⊥-degraded) grids under budget breach, PR 2's graceful-degradation
+contract, now reachable under concurrency.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import (
+    CircuitOpenError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+)
+from repro.mdx.budget import QueryBudget
+from repro.obs.trace import TRACER, Span
+from repro.service.breaker import BreakerState, CircuitBreaker
+
+if TYPE_CHECKING:
+    from repro.mdx.result import MdxResult
+    from repro.service.snapshot import WarehouseSnapshot
+    from repro.warehouse import Warehouse
+
+__all__ = ["QueryService", "QueryTicket"]
+
+
+class QueryTicket:
+    """A handle to one submitted query.
+
+    ``result()`` blocks until the worker finishes (or ``timeout``
+    elapses, raising :class:`TimeoutError`), then returns the
+    :class:`~repro.mdx.result.MdxResult` or re-raises the query's error
+    in the caller's thread.
+    """
+
+    def __init__(self, text: str, snapshot: "WarehouseSnapshot") -> None:
+        self.text = text
+        #: the immutable view this query is pinned to
+        self.snapshot = snapshot
+        #: the base-cube version of that view
+        self.snapshot_version = snapshot.version
+        self._done = threading.Event()
+        self._result: "MdxResult | None" = None
+        self._error: "BaseException | None" = None
+
+    # -- completion (service side) ------------------------------------------------
+
+    def _complete(
+        self,
+        result: "MdxResult | None",
+        error: "BaseException | None" = None,
+    ) -> None:
+        self._result = result
+        self._error = error
+        self._done.set()
+
+    # -- inspection (client side) --------------------------------------------------
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        return self._done.wait(timeout)
+
+    def exception(self, timeout: "float | None" = None) -> "BaseException | None":
+        if not self._done.wait(timeout):
+            raise TimeoutError("query is still running")
+        return self._error
+
+    def result(self, timeout: "float | None" = None) -> "MdxResult":
+        if not self._done.wait(timeout):
+            raise TimeoutError("query is still running")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self._done.is_set():
+            state = "error" if self._error is not None else "done"
+        return f"QueryTicket({state}, version={self.snapshot_version})"
+
+
+class _Job:
+    """One queued query (internal)."""
+
+    __slots__ = (
+        "ticket",
+        "analyze",
+        "budget",
+        "deadline_ms",
+        "submitted_at",
+        "parent_span",
+    )
+
+    def __init__(
+        self,
+        ticket: QueryTicket,
+        analyze: bool,
+        budget: "QueryBudget | None",
+        deadline_ms: "float | None",
+        submitted_at: float,
+        parent_span: "Span | None",
+    ) -> None:
+        self.ticket = ticket
+        self.analyze = analyze
+        self.budget = budget
+        self.deadline_ms = deadline_ms
+        self.submitted_at = submitted_at
+        self.parent_span = parent_span
+
+
+class QueryService:
+    """A bounded thread pool serving MDX queries over warehouse snapshots.
+
+    Parameters
+    ----------
+    warehouse:
+        The live warehouse; every submission pins ``warehouse.snapshot()``.
+    workers:
+        Worker threads (concurrent query executions).
+    queue_depth:
+        Maximum *waiting* submissions; beyond it, ``submit`` sheds with
+        :class:`~repro.errors.ServiceOverloadedError` instead of blocking.
+    default_deadline_ms:
+        Deadline applied to submissions that bring neither their own
+        ``deadline_ms`` nor a budget deadline; ``None`` = none.
+    breaker:
+        The circuit breaker; a default-tuned one is built when omitted.
+    clock:
+        Monotonic clock in seconds (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        warehouse: "Warehouse",
+        *,
+        workers: int = 4,
+        queue_depth: int = 16,
+        default_deadline_ms: "float | None" = None,
+        breaker: "CircuitBreaker | None" = None,
+        clock: "Callable[[], float] | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.warehouse = warehouse
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.default_deadline_ms = default_deadline_ms
+        self._clock = clock or time.monotonic
+        self._metrics = warehouse.metrics
+        self.breaker = breaker or CircuitBreaker()
+        self.breaker._on_state_change = self._on_breaker_state
+        self._metrics.gauge("circuit_state").set(int(self.breaker.state))
+        self._queue: "queue.Queue[_Job | None]" = queue.Queue(
+            maxsize=queue_depth
+        )
+        self._closed = False
+        self._lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-query-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- metrics helpers ----------------------------------------------------------
+
+    def _on_breaker_state(self, state: BreakerState) -> None:
+        self._metrics.gauge("circuit_state").set(int(state))
+
+    def _shed(self, reason: str, message: str) -> ServiceOverloadedError:
+        self._metrics.counter("service_shed_total", reason=reason).inc()
+        self._metrics.counter("service_queries_total", status="shed").inc()
+        return ServiceOverloadedError(message, reason=reason)
+
+    # -- client API ---------------------------------------------------------------
+
+    def submit(
+        self,
+        text: str,
+        *,
+        analyze: bool = True,
+        budget: "QueryBudget | None" = None,
+        deadline_ms: "float | None" = None,
+    ) -> QueryTicket:
+        """Admit one query; returns immediately with a ticket.
+
+        Raises :class:`~repro.errors.CircuitOpenError` while the breaker
+        is open, :class:`~repro.errors.ServiceOverloadedError` when the
+        admission queue is full, and
+        :class:`~repro.errors.ServiceStoppedError` after :meth:`close` —
+        all *before* any work is queued, so the caller can shed load
+        upstream.  Never blocks.
+        """
+        if self._closed:
+            raise ServiceStoppedError("query service is closed")
+        if not self.breaker.allow():
+            self._metrics.counter(
+                "service_shed_total", reason="circuit-open"
+            ).inc()
+            self._metrics.counter(
+                "service_queries_total", status="shed"
+            ).inc()
+            raise CircuitOpenError(
+                "circuit breaker is open (repeated backend failures); "
+                "retry after backoff"
+            )
+        if deadline_ms is None:
+            deadline_ms = (
+                budget.deadline_ms
+                if budget is not None and budget.deadline_ms is not None
+                else self.default_deadline_ms
+            )
+        snapshot = self.warehouse.snapshot()
+        ticket = QueryTicket(text, snapshot)
+        parent = TRACER.current() if TRACER.enabled else None
+        job = _Job(ticket, analyze, budget, deadline_ms, self._clock(), parent)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise self._shed(
+                "queue-full",
+                f"admission queue is full ({self.queue_depth} waiting); "
+                "query shed",
+            ) from None
+        self._metrics.gauge("service_queue_depth").set(self._queue.qsize())
+        return ticket
+
+    # -- worker side --------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # close() sentinel
+                self._queue.task_done()
+                return
+            try:
+                self._run_job(job)
+            except BaseException as exc:  # defensive: keep the worker alive
+                if not job.ticket.done():
+                    job.ticket._complete(None, exc)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: _Job) -> None:
+        ticket = job.ticket
+        wait_ms = (self._clock() - job.submitted_at) * 1000.0
+        self._metrics.histogram("service_queue_wait_ms").observe(wait_ms)
+        self._metrics.gauge("service_queue_depth").set(self._queue.qsize())
+        if job.deadline_ms is not None and wait_ms >= job.deadline_ms:
+            # The deadline died in the queue: shed, don't start work the
+            # caller has already given up on.
+            ticket._complete(
+                None,
+                self._shed(
+                    "deadline-expired",
+                    f"deadline of {job.deadline_ms}ms expired after "
+                    f"{wait_ms:.1f}ms in the admission queue",
+                ),
+            )
+            return
+        budget = job.budget or QueryBudget()
+        if job.deadline_ms is not None:
+            budget = budget.narrowed(job.deadline_ms - wait_ms)
+        try:
+            with TRACER.child_scope(job.parent_span):
+                result = ticket.snapshot.query(
+                    ticket.text,
+                    analyze=job.analyze,
+                    budget=None if budget.unlimited else budget,
+                )
+        except BaseException as exc:
+            self.breaker.record_failure(exc)
+            self._metrics.counter(
+                "service_queries_total", status="error"
+            ).inc()
+            ticket._complete(None, exc)
+            return
+        self.breaker.record_success()
+        status = "partial" if result.degradations else "ok"
+        self._metrics.counter("service_queries_total", status=status).inc()
+        ticket._complete(result)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self, *, drain: bool = True, timeout: "float | None" = None) -> None:
+        """Stop the service.
+
+        ``drain=True`` lets queued work finish; ``drain=False`` fails
+        every still-queued ticket with
+        :class:`~repro.errors.ServiceStoppedError`.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if not drain:
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is not None:
+                    job.ticket._complete(
+                        None,
+                        ServiceStoppedError(
+                            "service closed before this query ran"
+                        ),
+                    )
+                self._queue.task_done()
+        for _ in self._threads:
+            # blocking put: sentinels queue behind any draining work
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close(drain=exc_type is None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryService({self.workers} workers, "
+            f"queue {self._queue.qsize()}/{self.queue_depth}, "
+            f"breaker {self.breaker.state.name})"
+        )

@@ -1,0 +1,76 @@
+"""Immutable warehouse read views pinned to a cube version.
+
+``Warehouse.snapshot()`` returns a :class:`WarehouseSnapshot`: a
+queryable facade over a **frozen** copy of the base cube, pinned to the
+``Cube.version`` current at snapshot time.  The copy is taken under the
+cube's write lock, so it commutes with every ``set_value`` — a snapshot
+can never observe half of a mutation (the MVCC read-view half of the
+standard snapshot-isolation pattern; writers keep writing to the live
+cube and never block readers).
+
+Cost model: the copy is O(leaf cells) *pointer* copies (the address
+tuples and floats are shared), not a data copy, and the warehouse caches
+the snapshot per version — in the read-mostly what-if workload,
+thousands of queries between two mutations share one view, one rollup
+index, and one scenario-cache generation.  The chunked storage layer has
+the finer-grained equivalent: ``ChunkStore.fork()`` shares chunk arrays
+copy-on-write.
+
+A snapshot deliberately *is a* :class:`~repro.warehouse.Warehouse`: the
+evaluator, analyzer, EXPLAIN, and profile machinery all run against it
+unchanged, while its observability surfaces (metrics, slow-query log,
+scenario cache) are shared with the origin so service traffic lands in
+one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.warehouse import Warehouse
+
+if TYPE_CHECKING:
+    from repro.olap.cube import Cube
+
+__all__ = ["WarehouseSnapshot"]
+
+
+class WarehouseSnapshot(Warehouse):
+    """A read-only warehouse view pinned to one base-cube version.
+
+    Built by ``Warehouse.snapshot()`` — do not construct directly: the
+    warehouse caches one snapshot per version so concurrent queries at
+    the same version share the frozen cube (and its lazily built rollup
+    index) instead of copying it once each.
+    """
+
+    def __init__(self, origin: Warehouse, cube: "Cube") -> None:
+        if not cube.frozen:
+            raise ValueError("snapshot cube must be frozen")
+        super().__init__(
+            origin.schema, cube, name=origin.name, aliases=origin.aliases
+        )
+        #: the warehouse this view was pinned from
+        self.origin = origin
+        #: the base-cube mutation version this view is pinned to
+        self.version = cube.version
+        # Named sets are copied: later definitions on the origin must not
+        # leak into a pinned view.
+        self._named_sets = dict(origin._named_sets)
+        # Share the origin's hot structures.  The scenario cache is
+        # version-keyed (entries from other versions read as misses), and
+        # metrics/slow-log aggregation belongs to the live warehouse —
+        # a service query must not vanish into a per-snapshot registry.
+        self.scenario_cache = origin.scenario_cache
+        self.metrics = origin.metrics
+        self.slow_log = origin.slow_log
+
+    def snapshot(self) -> "WarehouseSnapshot":
+        """A snapshot of a snapshot is itself (already immutable)."""
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WarehouseSnapshot({self.name!r}, version={self.version}, "
+            f"{self.cube.n_leaf_cells} leaf cells)"
+        )

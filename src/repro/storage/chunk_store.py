@@ -14,6 +14,7 @@ minimises.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator, Sequence
 
 import numpy as np
@@ -76,6 +77,29 @@ class ChunkStore:
         self._chunks: dict[ChunkCoord, np.ndarray] = {}
         self._positions: dict[ChunkCoord, int] = {}
         self._next_position = 0
+        # guards layout mutation (load/padding/fork); reads are lock-free
+        self._lock = threading.RLock()
+
+    def fork(self) -> "ChunkStore":
+        """A chunk-level **copy-on-write** snapshot of this store.
+
+        The fork shares the parent's chunk arrays — forking is O(#chunks)
+        pointer copies, never a data copy.  A later :meth:`write` (or
+        :meth:`load`) on either store rebinds only that store's dict entry
+        to the new array, so the other side keeps reading the pinned
+        bytes.  The fork starts with fresh I/O stats: it models an
+        independent reader session over the same physical layout.
+
+        The arrays themselves are the COW unit: callers must treat a
+        :meth:`read` result as immutable (replace via :meth:`write`, never
+        mutate in place) — the same contract NumPy's own views rely on.
+        """
+        with self._lock:
+            clone = ChunkStore(self.grid, self.cost_model)
+            clone._chunks = dict(self._chunks)
+            clone._positions = dict(self._positions)
+            clone._next_position = self._next_position
+            return clone
 
     # -- loading (no I/O accounting: this is ETL, not query time) -------------
 
@@ -86,20 +110,22 @@ class ChunkStore:
             raise StorageError(
                 f"chunk {coord!r} has shape {data.shape}, expected {expected}"
             )
-        self._chunks[coord] = data
-        if position is None:
-            position = self._next_position
-        self._positions[coord] = position
-        self._next_position = max(self._next_position, position + 1)
+        with self._lock:
+            self._chunks[coord] = data
+            if position is None:
+                position = self._next_position
+            self._positions[coord] = position
+            self._next_position = max(self._next_position, position + 1)
 
     def assign_layout(self, order: Sequence[int]) -> None:
         """Re-lay chunks contiguously in a dimension-order scan sequence."""
-        position = 0
-        for coord in self.grid.iter_chunks(order):
-            if coord in self._chunks:
-                self._positions[coord] = position
-                position += 1
-        self._next_position = position
+        with self._lock:
+            position = 0
+            for coord in self.grid.iter_chunks(order):
+                if coord in self._chunks:
+                    self._positions[coord] = position
+                    position += 1
+            self._next_position = position
 
     def insert_padding(self, after_position: int, count: int) -> None:
         """Grow the file by ``count`` chunk slots after a position.
@@ -110,10 +136,11 @@ class ChunkStore:
         """
         if count < 0:
             raise StorageError("padding count must be non-negative")
-        for coord, position in self._positions.items():
-            if position > after_position:
-                self._positions[coord] = position + count
-        self._next_position += count
+        with self._lock:
+            for coord, position in self._positions.items():
+                if position > after_position:
+                    self._positions[coord] = position + count
+            self._next_position += count
 
     # -- query-time access ------------------------------------------------------
 

@@ -8,6 +8,7 @@ A :class:`Warehouse` bundles everything a client needs: the cube schema
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -84,6 +85,37 @@ class Warehouse:
         )
         #: threshold-gated ring buffer of the slowest queries (always on)
         self.slow_log = SlowQueryLog()
+        # one cached snapshot per version (see snapshot()); guarded so two
+        # concurrent first-snapshots of a version don't copy the cube twice
+        self._snapshot_lock = threading.Lock()
+        self._snapshot_cache: "object | None" = None
+
+    def snapshot(self):
+        """An immutable read view pinned to the current cube version.
+
+        Returns a :class:`~repro.service.snapshot.WarehouseSnapshot` — a
+        queryable warehouse whose cube is a *frozen* copy taken under the
+        cube's write lock, so it can never contain a torn mutation.
+        Queries against the snapshot are repeatable: the same query always
+        produces the same grid, no matter what writers do to the live cube
+        meanwhile.  Snapshots are cached per version, so in a read-mostly
+        workload every query between two mutations shares one copy (and
+        its rollup index).  Mutating a snapshot's cube raises
+        :class:`~repro.errors.SnapshotImmutableError`.
+        """
+        from repro.service.snapshot import WarehouseSnapshot
+
+        with self._snapshot_lock:
+            cached = self._snapshot_cache
+            if (
+                isinstance(cached, WarehouseSnapshot)
+                and cached.version == self.cube.version
+                and cached.origin is self
+            ):
+                return cached
+            snapshot = WarehouseSnapshot(self, self.cube.frozen_copy())
+            self._snapshot_cache = snapshot
+            return snapshot
 
     def _rollup_index_stats(self) -> dict[str, int]:
         """Rollup-index cache counters — empty until the index is built

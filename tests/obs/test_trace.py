@@ -183,3 +183,69 @@ class TestTracingContextManager:
         with Span("free") as span:
             pass
         assert span.finished
+
+
+class TestChildScope:
+    """Satellite regression: worker threads adopting the submitter's span.
+
+    The tracer's span stack is thread-local, so a query executed on a
+    service worker used to start a *root* span of its own — orphaned from
+    the submitting query's trace.  ``child_scope`` pushes the parent onto
+    the worker's stack for the duration of the work.
+    """
+
+    def test_spans_attach_under_the_adopted_parent(self):
+        import threading
+
+        with tracing():
+            root = TRACER.start("root")
+
+            def worker() -> None:
+                with TRACER.child_scope(root):
+                    child = TRACER.start("child")
+                    TRACER.end(child)
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            TRACER.end(root)
+        assert [span.name for span in root.children] == ["child"]
+
+    def test_parent_is_not_finished_by_the_scope(self):
+        with tracing():
+            root = TRACER.start("root")
+            with TRACER.child_scope(root):
+                pass
+            assert not root.finished
+            TRACER.end(root)
+
+    def test_none_parent_is_a_noop(self):
+        with tracing():
+            with TRACER.child_scope(None) as adopted:
+                assert adopted is None
+                orphan = TRACER.start("standalone")
+                TRACER.end(orphan)
+        assert orphan.finished
+
+    def test_leaked_children_are_closed_on_exit(self):
+        with tracing():
+            root = TRACER.start("root")
+            with TRACER.child_scope(root):
+                leaked = TRACER.start("leaked")  # never ended by the worker
+            assert leaked.finished
+            TRACER.end(root)
+
+    def test_service_worker_joins_the_submitters_trace(self, example):
+        from repro.service import QueryService
+        from repro.warehouse import Warehouse
+
+        warehouse = Warehouse(example.schema, example.cube, name="Warehouse")
+        query = (
+            "SELECT {Time.[Jan]} ON COLUMNS, {[Joe]} ON ROWS "
+            "FROM Warehouse WHERE ([NY], [Salary])"
+        )
+        with tracing():
+            with trace_span("submitter") as root:
+                with QueryService(warehouse, workers=1) as service:
+                    service.submit(query).result(timeout=30.0)
+        assert root.find("mdx.query") is not None

@@ -113,3 +113,42 @@ class TestMidRowDeadlineParity:
             assert evaluated == 2  # 1ms per charge, breach at 2.5ms
             assert evaluated % len(result.columns) != 0  # mid-row
             assert result.stats["cells_skipped"] > 0
+
+
+class TestNarrowed:
+    """``QueryBudget.narrowed`` — the query service's deadline propagation."""
+
+    def test_none_cap_returns_self(self):
+        budget = QueryBudget(deadline_ms=100.0, max_cells=5)
+        assert budget.narrowed(None) is budget
+
+    def test_caps_a_looser_deadline(self):
+        budget = QueryBudget(deadline_ms=100.0, max_cells=5)
+        narrowed = budget.narrowed(60.0)
+        assert narrowed.deadline_ms == 60.0
+        assert narrowed.max_cells == 5  # non-deadline limits survive
+
+    def test_keeps_a_tighter_existing_deadline(self):
+        budget = QueryBudget(deadline_ms=30.0)
+        assert budget.narrowed(60.0) is budget
+
+    def test_adds_a_deadline_to_an_unlimited_budget(self):
+        narrowed = QueryBudget().narrowed(40.0)
+        assert narrowed.deadline_ms == 40.0
+
+    def test_negative_cap_clamps_to_zero(self):
+        narrowed = QueryBudget().narrowed(-5.0)
+        assert narrowed.deadline_ms == 0.0
+        tracker = BudgetTracker(narrowed)
+        assert not tracker.charge_cell()  # degrades immediately
+        assert tracker.breached == "deadline"
+
+    def test_preserves_the_injected_clock(self):
+        ticks = [0.0]
+        budget = QueryBudget(deadline_ms=1000.0, clock=lambda: ticks[0])
+        narrowed = budget.narrowed(500.0)
+        tracker = BudgetTracker(narrowed)
+        assert tracker.charge_cell()
+        ticks[0] = 0.6  # 600ms on the injected clock
+        assert not tracker.charge_cell()
+        assert tracker.breached == "deadline"

@@ -180,3 +180,84 @@ class TestWarehouseIntegration:
         assert "scenario_cache_evictions" not in first.stats
         assert second.stats.get("scenario_cache_evictions") == 1
         assert warehouse.scenario_cache.stats.evictions == 1
+
+
+class TestConcurrentInvalidation:
+    """Satellite regression: scenario-cache invalidation under concurrent
+    ``Cube.set_value`` — readers racing a writer must neither crash nor
+    ever serve a scenario cube computed against a stale base version."""
+
+    def test_queries_race_mutations_without_corruption(self, warehouse):
+        import threading
+
+        errors: list[BaseException] = []
+        stop = threading.Event()
+        addr, base_value = next(iter(warehouse.cube.leaf_cells()))
+
+        def reader() -> None:
+            while not stop.is_set():
+                try:
+                    warehouse.query(PERSPECTIVE_QUERY, analyze=False)
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        def writer() -> None:
+            bump = 0.0
+            while not stop.is_set():
+                bump += 1.0
+                try:
+                    warehouse.cube.set_value(addr, base_value + bump)
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # The cache settles: a fresh warehouse rebuilt from the final leaf
+        # data answers identically (nothing stale survived the storm).
+        from repro.workload.running_example import build_running_example
+
+        final = warehouse.query(PERSPECTIVE_QUERY, analyze=False)
+        rebuilt_example = build_running_example()
+        rebuilt = Warehouse(
+            rebuilt_example.schema, rebuilt_example.cube, name="Warehouse"
+        )
+        for leaf_addr, value in warehouse.cube.leaf_cells():
+            rebuilt.cube.set_value(leaf_addr, value)
+        expected = rebuilt.query(PERSPECTIVE_QUERY, analyze=False)
+        assert final.cells == expected.cells
+
+    def test_lookup_accounting_is_atomic(self, warehouse):
+        import threading
+
+        addr, value = next(iter(warehouse.cube.leaf_cells()))
+        warehouse.query(PERSPECTIVE_QUERY)  # seed one cache entry
+
+        def bump(step: int) -> None:
+            warehouse.cube.set_value(addr, value + step)
+            warehouse.query(PERSPECTIVE_QUERY)
+
+        threads = [
+            threading.Thread(target=bump, args=(step,)) for step in range(1, 5)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every scenarioed query does exactly one lookup; under a torn
+        # counter update these would not add up.
+        stats = warehouse.scenario_cache.stats
+        assert stats.hits + stats.misses == 5
+        assert stats.invalidations <= stats.misses
+        # One query text -> at most one surviving entry.
+        assert len(warehouse.scenario_cache) <= 1

@@ -1,0 +1,64 @@
+"""The chaos suite: concurrent queries vs. mutations vs. armed faults.
+
+This is the acceptance harness for the whole robustness PR: 8 client
+threads, live cube mutators, and a failpoint-arming thread race for ≥3
+seconds, and afterwards every completed query is replayed serially
+against the snapshot it was pinned to.  The run passes only if
+
+* no thread observed an untyped exception (shedding, breaker, injected
+  faults, and budget errors are the *only* legal failures), and
+* every replayed grid is bit-identical to the concurrent answer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.service.stress import StressConfig, run_stress
+
+
+def _widened() -> bool:
+    return "ci-matrix" in os.environ.get("REPRO_FAULTS", "")
+
+
+class TestChaos:
+    def test_full_storm_with_faults(self):
+        config = StressConfig(workers=8, duration_s=3.0, seed=1337)
+        report = run_stress(config)
+        assert report.passed, report.render()
+        # The storm must actually have exercised the machinery.
+        assert report.submitted > 100
+        assert report.completed_ok > 0
+        assert report.mutations > 0
+        assert report.fault_errors > 0
+        assert report.verified > 0
+
+    def test_smoke_without_faults(self):
+        config = StressConfig.smoke(seed=7, fault_mix=False)
+        report = run_stress(config)
+        assert report.passed, report.render()
+        assert report.fault_errors == 0
+        assert report.breaker_trips == 0
+
+    @pytest.mark.skipif(
+        not _widened(), reason="widened matrix only under REPRO_FAULTS=ci-matrix"
+    )
+    def test_extra_seeds_under_ci_matrix(self):
+        for seed in (11, 23):
+            report = run_stress(StressConfig.smoke(seed=seed))
+            assert report.passed, report.render()
+
+
+class TestReportShape:
+    def test_report_serialises(self):
+        report = run_stress(
+            StressConfig(
+                workers=2, duration_s=0.3, fault_mix=False, verify_limit=20
+            )
+        )
+        doc = report.to_dict()
+        assert doc["passed"] == report.passed
+        assert doc["workers"] == 2
+        assert isinstance(report.render(), str)

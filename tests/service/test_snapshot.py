@@ -1,0 +1,134 @@
+"""Snapshot isolation: frozen cubes, pinned warehouse views, COW forks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SnapshotImmutableError
+from repro.service.snapshot import WarehouseSnapshot
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.chunks import ChunkGrid
+from repro.warehouse import Warehouse
+
+QUERY = """
+    SELECT {Time.[Jan], Time.[Feb], Time.[Mar]} ON COLUMNS,
+           {[Joe], [Lisa]} ON ROWS
+    FROM Warehouse WHERE ([NY], [Salary])
+"""
+
+
+@pytest.fixture
+def warehouse(example) -> Warehouse:
+    return Warehouse(example.schema, example.cube, name="Warehouse")
+
+
+def first_leaf(cube):
+    return next(iter(cube.leaf_cells()))[0]
+
+
+class TestFrozenCube:
+    def test_frozen_copy_rejects_writes(self, warehouse):
+        frozen = warehouse.cube.frozen_copy()
+        assert frozen.frozen
+        addr = first_leaf(frozen)
+        with pytest.raises(SnapshotImmutableError):
+            frozen.set_value(addr, 99.0)
+        with pytest.raises(SnapshotImmutableError):
+            frozen.clear_stored_derived()
+
+    def test_frozen_copy_pins_version_and_data(self, warehouse):
+        cube = warehouse.cube
+        frozen = cube.frozen_copy()
+        addr = first_leaf(cube)
+        before = frozen.value(addr)
+        cube.set_value(addr, 1234.5)
+        assert frozen.version != cube.version
+        assert frozen.value(addr) == before
+        assert cube.value(addr) == 1234.5
+
+    def test_copy_of_frozen_thaws(self, warehouse):
+        frozen = warehouse.cube.frozen_copy()
+        thawed = frozen.copy()
+        assert not thawed.frozen
+        addr = first_leaf(thawed)
+        thawed.set_value(addr, 7.0)  # must not raise
+        assert frozen.value(addr) != 7.0 or thawed.value(addr) == 7.0
+
+
+class TestWarehouseSnapshot:
+    def test_snapshot_is_cached_per_version(self, warehouse):
+        snap1 = warehouse.snapshot()
+        snap2 = warehouse.snapshot()
+        assert snap1 is snap2
+        warehouse.cube.set_value(first_leaf(warehouse.cube), 55.0)
+        snap3 = warehouse.snapshot()
+        assert snap3 is not snap1
+        assert snap3.version == warehouse.cube.version
+
+    def test_snapshot_of_snapshot_is_itself(self, warehouse):
+        snap = warehouse.snapshot()
+        assert snap.snapshot() is snap
+
+    def test_requires_frozen_cube(self, warehouse):
+        with pytest.raises(ValueError):
+            WarehouseSnapshot(warehouse, warehouse.cube.copy())
+
+    def test_snapshot_queries_are_repeatable_across_mutations(self, warehouse):
+        snap = warehouse.snapshot()
+        before = snap.query(QUERY, analyze=False)
+        # Trash the live cube thoroughly.
+        for addr, _ in list(warehouse.cube.leaf_cells()):
+            warehouse.cube.set_value(addr, 0.25)
+        after = snap.query(QUERY, analyze=False)
+        assert before.cells == after.cells
+        # ... while the live warehouse sees the new data.
+        live = warehouse.query(QUERY, analyze=False)
+        assert live.cells != before.cells
+
+    def test_snapshot_carries_named_sets(self, warehouse):
+        warehouse.define_named_set("Pair-Set1", ["Joe", "Lisa"])
+        snap = warehouse.snapshot()
+        named = snap.named_set("Pair-Set1")
+        assert named is not None and named.members == ("Joe", "Lisa")
+
+    def test_snapshot_shares_observability_surfaces(self, warehouse):
+        snap = warehouse.snapshot()
+        assert snap.metrics is warehouse.metrics
+        assert snap.slow_log is warehouse.slow_log
+        assert snap.scenario_cache is warehouse.scenario_cache
+
+
+class TestChunkStoreFork:
+    def make_store(self) -> ChunkStore:
+        grid = ChunkGrid([4], [2])
+        store = ChunkStore(grid)
+        store.load((0,), np.array([1.0, 2.0]))
+        store.load((1,), np.array([3.0, 4.0]))
+        return store
+
+    def test_fork_shares_arrays_without_copying(self):
+        store = self.make_store()
+        fork = store.fork()
+        assert fork.peek((0,)) is store.peek((0,))
+
+    def test_write_after_fork_leaves_fork_pinned(self):
+        store = self.make_store()
+        fork = store.fork()
+        store.write((0,), np.array([9.0, 9.0]))
+        assert store.peek((0,))[0] == 9.0
+        assert fork.peek((0,))[0] == 1.0
+
+    def test_fork_write_leaves_parent_pinned(self):
+        store = self.make_store()
+        fork = store.fork()
+        fork.write((1,), np.array([8.0, 8.0]))
+        assert store.peek((1,))[0] == 3.0
+        assert fork.peek((1,))[0] == 8.0
+
+    def test_fork_has_fresh_io_stats(self):
+        store = self.make_store()
+        store.read((0,))
+        fork = store.fork()
+        assert fork.stats.chunk_reads == 0
+        assert store.stats.chunk_reads == 1

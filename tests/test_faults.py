@@ -339,3 +339,66 @@ class TestChunkStoreFaults:
         FAULTS.fail_transient("chunk.write", times=1)
         store.write((1, 0), np.zeros((2, 2)))
         assert store.has_chunk((1, 0))
+
+
+class TestConcurrentArming:
+    """Satellite regression: the registry's arm/disarm/hit bookkeeping is
+    atomic — a ``transient=N`` failpoint hammered from many threads fires
+    *exactly* N times, never N±k from a torn read-modify-write."""
+
+    def test_transient_budget_is_exact_across_threads(self):
+        import threading
+
+        times = 50
+        FAULTS.fail_transient("mdx.cell", times=times)
+        raised = []
+        lock = threading.Lock()
+
+        def hammer() -> None:
+            for _ in range(200):
+                try:
+                    FAULTS.hit("mdx.cell")
+                except TransientFaultError:
+                    with lock:
+                        raised.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(raised) == times
+        assert FAULTS.fired_count("mdx.cell") == times
+
+    def test_disarm_races_cleanly_with_hits(self):
+        import threading
+
+        stop = threading.Event()
+        errors = []
+
+        def toggler() -> None:
+            while not stop.is_set():
+                FAULTS.fail_transient("mdx.cell", times=2)
+                FAULTS.disarm("mdx.cell")
+
+        def hitter() -> None:
+            while not stop.is_set():
+                try:
+                    FAULTS.hit("mdx.cell")
+                except TransientFaultError:
+                    pass
+                except BaseException as exc:  # pragma: no cover
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=toggler)]
+        threads += [threading.Thread(target=hitter) for _ in range(7)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
