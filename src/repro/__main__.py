@@ -261,6 +261,23 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     return 0 if report.passed else 2
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """The ``lint`` subcommand: reprolint over source trees.
+
+    Exit-code contract mirrors ``analyze``: 0 = clean, 1 = warnings
+    under ``--strict``, 2 = any error-severity finding (or a bad
+    baseline/missing path).
+    """
+    from repro.lint.cli import lint_main
+
+    return lint_main(
+        args.paths,
+        baseline_path=args.baseline,
+        json_output=args.json,
+        strict=args.strict,
+    )
+
+
 def _demo(budget: "QueryBudget | None" = None) -> int:
     print(f"repro {repro.__version__} — What-if OLAP queries "
           "with changing dimensions (ICDE 2008 reproduction)\n")
@@ -544,6 +561,38 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit the stress report as JSON",
     )
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint: concurrency + hygiene checks over source trees",
+        description=(
+            "Run the self-hosted static analyzer (lock-order, shared-state "
+            "guards, failpoint hygiene, metrics/span hygiene, error "
+            "taxonomy) over one or more files/directories.  Exit codes: "
+            "0 = clean, 1 = warnings with --strict, 2 = errors."
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings (each entry needs a "
+        "justification); stale entries are reported as RPL002",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON document",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings (errors always exit 2)",
+    )
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
@@ -562,6 +611,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "stress":
             return _cmd_stress(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         return _demo(budget=_budget_from_args(args))
     except (ReproError, OSError) as exc:
         # IO, corruption, format, and query errors share one contract:

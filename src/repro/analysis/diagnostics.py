@@ -12,7 +12,9 @@ Code ranges
 * ``WIF1xx`` — perspective (negative scenario) preconditions,
 * ``WIF2xx`` — change-relation (positive scenario) preconditions,
 * ``WIF3xx`` — cell-level findings (guaranteed-⊥ accesses, shadowing),
-* ``WIF4xx`` — algebra-plan findings (errors and optimizer lints).
+* ``WIF4xx`` — algebra-plan findings (errors and optimizer lints),
+* ``WIF5xx`` — cross-operator scenario-chain findings (contradictions,
+  dead perspectives).
 
 ``CODE_CATALOG`` is the single source of truth; ``docs/static_analysis.md``
 documents each entry with a minimal triggering example.
@@ -88,6 +90,9 @@ CODE_CATALOG: dict[str, tuple[Severity, str]] = {
     "WIF405": (Severity.INFO, "selection above Perspective/Split is pushable (optimizer rewrite applies)"),
     "WIF406": (Severity.INFO, "consecutive Evaluate nodes collapse to one"),
     "WIF407": (Severity.ERROR, "split change relation fails its preconditions"),
+    # -- WIF5xx: cross-operator scenario-chain findings -----------------------
+    "WIF501": (Severity.WARNING, "contradictory scenario chain: the same member is relocated by more than one Split in one chain"),
+    "WIF502": (Severity.WARNING, "dead perspective: its moments are disjoint from the chain's validity-time scope"),
 }
 
 

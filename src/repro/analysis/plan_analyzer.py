@@ -75,7 +75,9 @@ class PlanAnalyzer:
 
     def run(self, plan: PlanNode) -> DiagnosticReport:
         node: PlanNode | None = plan
+        chain: list[PlanNode] = []
         while node is not None and not isinstance(node, BaseCube):
+            chain.append(node)
             if isinstance(node, SelectNode):
                 self._check_select(node)
             elif isinstance(node, PerspectiveNode):
@@ -91,6 +93,7 @@ class PlanAnalyzer:
                     subject=node.label(),
                 )
             node = node.child
+        self._check_chain(chain)
         return self.report.sorted()
 
     # -- per-node checks ----------------------------------------------------
@@ -251,6 +254,80 @@ class PlanAnalyzer:
                 "(optimizer rule collapse-evaluate)",
                 subject=node.label(),
             )
+
+    # -- chain-level checks --------------------------------------------------
+
+    def _check_chain(self, chain: "list[PlanNode]") -> None:
+        """Cross-operator findings over the whole scenario chain (WIF5xx).
+
+        Per-node checks cannot see these: each Split/Perspective is
+        locally valid, but their *composition* is contradictory or dead.
+        """
+        # WIF501: the same member relocated at the same moment by more
+        # than one Split — the later application silently overrides the
+        # earlier scenario's intent.
+        seen: dict[tuple[str, str, str], PlanNode] = {}
+        for node in chain:
+            if not isinstance(node, SplitNode):
+                continue
+            for member, _old_parent, _new_parent, moment in node.changes:
+                key = (node.dimension, member, moment)
+                first = seen.get(key)
+                if first is None:
+                    seen[key] = node
+                elif first is not node:
+                    self.report.add(
+                        "WIF501",
+                        f"member {member!r} of {node.dimension!r} is "
+                        f"relocated at moment {moment!r} by more than one "
+                        "Split in this chain; the outer relocation "
+                        "overrides the inner scenario's placement",
+                        subject=node.label(),
+                    )
+        # WIF502: a perspective whose moments never intersect the
+        # validity-time scope the chain's selections restrict to — the
+        # Φ survivors are then filtered out wholesale.
+        validity_scope: dict[str, set[int]] = {}
+        for node in chain:
+            if isinstance(node, SelectNode):
+                moments = self._validity_moments(node.predicate)
+                if moments:
+                    validity_scope.setdefault(node.dimension, set()).update(
+                        moments
+                    )
+        for node in chain:
+            if not isinstance(node, PerspectiveNode):
+                continue
+            scope = validity_scope.get(node.dimension)
+            if (
+                scope
+                and node.perspectives
+                and not set(node.perspectives) & scope
+            ):
+                self.report.add(
+                    "WIF502",
+                    f"perspective moments {sorted(set(node.perspectives))} "
+                    "are disjoint from the chain's validity-time scope "
+                    f"{sorted(scope)} on {node.dimension!r}; every survivor "
+                    "of Φ is dropped by the selection",
+                    subject=node.label(),
+                )
+
+    def _validity_moments(self, pred: Pred) -> set[int]:
+        """Moments a predicate's ValidityIntersects atoms mention.
+
+        ``Not`` subtrees are excluded: a negated validity atom widens
+        rather than restricts the time scope, so nothing below it may
+        count toward the WIF502 disjointness proof.
+        """
+        if isinstance(pred, ValidityIntersects):
+            return set(pred.moments)
+        if isinstance(pred, (And, Or)):
+            moments: set[int] = set()
+            for part in pred.parts:
+                moments |= self._validity_moments(part)
+            return moments
+        return set()
 
     # -- predicate reasoning -------------------------------------------------
 

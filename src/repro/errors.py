@@ -221,6 +221,22 @@ class ServiceStoppedError(ServiceError):
     has been closed."""
 
 
+class LockOrderError(ReproError):
+    """The lockdep witness observed a lock acquisition that inverts the
+    declared hierarchy (see :mod:`repro.lint.lock_hierarchy`) or an edge
+    already recorded in the opposite direction.
+
+    Raised *before* the offending lock is acquired, so the thread that
+    would have completed the deadlock cycle fails fast instead of
+    blocking forever.  Only ever raised under ``REPRO_LOCKDEP=1``.
+    """
+
+    def __init__(self, message: str, *, holding: str = "", acquiring: str = "") -> None:
+        super().__init__(message)
+        self.holding = holding
+        self.acquiring = acquiring
+
+
 class QueryError(ReproError):
     """A what-if query is inconsistent (e.g. perspectives outside the
     parameter dimension, or a scenario over a non-varying dimension)."""

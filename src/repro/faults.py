@@ -41,12 +41,12 @@ from __future__ import annotations
 
 import os
 import random
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, TypeVar
 
 from repro.errors import FaultInjectedError, TransientFaultError
+from repro.lint.lockdep import LockProtocol, make_lock
 
 __all__ = [
     "FAULTS",
@@ -124,8 +124,10 @@ class FaultRegistry:
     dict read (safe under the GIL)."""
 
     _armed: dict[str, _Arming] = field(default_factory=dict)
-    _lock: threading.RLock = field(
-        default_factory=threading.RLock, repr=False, compare=False
+    _lock: LockProtocol = field(
+        default_factory=lambda: make_lock("FaultRegistry._lock"),
+        repr=False,
+        compare=False,
     )
 
     # -- arming -----------------------------------------------------------------

@@ -1,0 +1,31 @@
+"""reprolint: the project's self-hosted concurrency/hygiene linter.
+
+Static side (``repro lint``): five AST checkers over ``src/`` —
+lock-order (RPL1xx, against the hierarchy declared in
+:mod:`repro.lint.lock_hierarchy`), unguarded shared-state writes
+(RPL2xx), failpoint hygiene (RPL3xx), metrics/span hygiene (RPL4xx),
+and error-taxonomy enforcement at public entry points (RPL5xx).
+
+Dynamic side: the lockdep witness (:mod:`repro.lint.lockdep`), enabled
+with ``REPRO_LOCKDEP=1``, which fails fast on lock-order inversions the
+static pass cannot see.
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.findings import (
+    RULE_CATALOG,
+    LintFinding,
+    LintReport,
+    LintSeverity,
+)
+from repro.lint.runner import run_lint
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "LintFinding",
+    "LintReport",
+    "LintSeverity",
+    "RULE_CATALOG",
+    "run_lint",
+]

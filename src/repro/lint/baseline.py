@@ -1,0 +1,78 @@
+"""The committed reprolint baseline: grandfathered findings.
+
+The baseline is a JSON file of entries, each **requiring** a written
+justification — reprolint refuses a baseline whose entries have none, so
+"baseline it" can never silently become "ignore it".  Matching is by
+``(rule, path-suffix, symbol)`` — deliberately line-number-free, so
+findings survive edits above them.  Entries that match nothing produce
+an RPL002 warning: stale grandfathering must be deleted, not hoarded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.findings import LintFinding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+
+    def matches(self, finding: LintFinding) -> bool:
+        if self.rule != finding.rule or self.symbol != finding.symbol:
+            return False
+        # suffix matching keeps entries valid whether the run used
+        # ``repro lint src`` or an absolute path
+        return finding.path.endswith(self.path) or self.path.endswith(finding.path)
+
+
+class Baseline:
+    def __init__(self, entries: "list[BaselineEntry]", path: "str | None" = None) -> None:
+        self.entries = entries
+        self.path = path
+        self._matched: set[BaselineEntry] = set()
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        raw_entries = payload.get("entries", [])
+        entries: list[BaselineEntry] = []
+        for index, raw in enumerate(raw_entries):
+            justification = str(raw.get("justification", "")).strip()
+            if not justification:
+                raise ValueError(
+                    f"baseline entry #{index} ({raw.get('rule')}, "
+                    f"{raw.get('symbol')!r}) has no justification; every "
+                    "grandfathered finding must say why"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    symbol=str(raw.get("symbol", "")),
+                    justification=justification,
+                )
+            )
+        return cls(entries, path=str(path))
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls([])
+
+    def suppresses(self, finding: LintFinding) -> bool:
+        for entry in self.entries:
+            if entry.matches(finding):
+                self._matched.add(entry)
+                return True
+        return False
+
+    def stale_entries(self) -> "list[BaselineEntry]":
+        return [entry for entry in self.entries if entry not in self._matched]

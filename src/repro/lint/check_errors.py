@@ -1,0 +1,114 @@
+"""RPL501: only typed ReproError subclasses escape public entry points.
+
+For each entry point in
+:data:`~repro.lint.lock_hierarchy.ENTRY_POINTS`, every ``raise`` of a
+*newly constructed* exception in its body must name a class in the
+:class:`~repro.errors.ReproError` closure.  Re-raises (bare ``raise``,
+``raise exc``) and lowercase factory helpers (``raise self._shed(...)``)
+are out of scope — they propagate what was already vetted elsewhere.
+
+The closure is computed two ways and unioned: at runtime by walking
+``ReproError.__subclasses__`` (covers the real package), and statically
+from class definitions in the linted files whose base-name chain reaches
+a closure member (covers self-contained test fixtures).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import LintFinding
+from repro.lint.lock_hierarchy import ENTRY_POINTS
+from repro.lint.model import ProjectModel
+
+__all__ = ["run"]
+
+
+def _runtime_closure() -> set[str]:
+    from repro.errors import ReproError
+
+    names: set[str] = set()
+    pending = [ReproError]
+    while pending:
+        cls = pending.pop()
+        if cls.__name__ in names:
+            continue
+        names.add(cls.__name__)
+        pending.extend(cls.__subclasses__())
+    return names
+
+
+def _static_closure(model: ProjectModel, closure: set[str]) -> None:
+    """Grow ``closure`` with classes in the model deriving (by base-name
+    chains) from any closure member."""
+    bases: dict[str, set[str]] = {}
+    for source in model.files:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                names = set()
+                for base in node.bases:
+                    if isinstance(base, ast.Name):
+                        names.add(base.id)
+                    elif isinstance(base, ast.Attribute):
+                        names.add(base.attr)
+                bases.setdefault(node.name, set()).update(names)
+    changed = True
+    while changed:
+        changed = False
+        for name, base_names in bases.items():
+            if name not in closure and base_names & closure:
+                closure.add(name)
+                changed = True
+
+
+def _raised_class_name(node: ast.Raise) -> "str | None":
+    """Name of a newly constructed exception class, else None."""
+    exc = node.exc
+    if exc is None or isinstance(exc, ast.Name):
+        return None  # bare raise / re-raise of a variable
+    if isinstance(exc, ast.Call):
+        func = exc.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return None
+        # lowercase callees are factory helpers, not class constructions
+        return name if name[:1].isupper() else None
+    return None
+
+
+def run(model: ProjectModel) -> "list[LintFinding]":
+    closure = _runtime_closure()
+    _static_closure(model, closure)
+
+    findings: list[LintFinding] = []
+    for source in model.files:
+        for class_node in ast.walk(source.tree):
+            if not isinstance(class_node, ast.ClassDef):
+                continue
+            for method in class_node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                qualname = f"{class_node.name}.{method.name}"
+                if qualname not in ENTRY_POINTS:
+                    continue
+                for sub in ast.walk(method):
+                    if not isinstance(sub, ast.Raise):
+                        continue
+                    name = _raised_class_name(sub)
+                    if name is not None and name not in closure:
+                        findings.append(
+                            LintFinding.make(
+                                "RPL501",
+                                f"{qualname} raises {name}, which is not a "
+                                "typed ReproError subclass; callers of this "
+                                "entry point catch ReproError",
+                                path=source.path,
+                                line=sub.lineno,
+                                column=sub.col_offset,
+                                symbol=qualname,
+                            )
+                        )
+    return findings

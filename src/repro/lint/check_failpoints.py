@@ -1,0 +1,241 @@
+"""RPL3xx: failpoint hygiene.
+
+* **RPL301** — a failpoint registered but never hit (orphan), or a hit
+  naming a failpoint nothing registers.
+* **RPL302** — the same failpoint name registered more than once.
+* **RPL303** — a declared I/O boundary
+  (:data:`~repro.lint.lock_hierarchy.IO_BOUNDARIES`) whose body neither
+  hits a failpoint nor forwards one.
+
+A "hit" is ``inject_io_fault(FP_X)`` / ``FAULTS.hit(FP_X)`` (directly or
+inside a retry lambda); passing a resolvable failpoint constant as *any*
+call argument also counts as a use, because modules like
+:mod:`repro.perf.batch` take the failpoint as a parameter and hit it on
+behalf of the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lint.findings import LintFinding
+from repro.lint.lock_hierarchy import IO_BOUNDARIES
+from repro.lint.model import ProjectModel, SourceFile
+
+__all__ = ["run"]
+
+_HIT_FUNCS = frozenset({"inject_io_fault", "hit"})
+
+
+@dataclass
+class _Site:
+    name: str
+    path: str
+    line: int
+    column: int
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _literal_str(node: ast.expr) -> "str | None":
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _collect_constants(source: SourceFile) -> dict[str, str]:
+    """Module-level ``FP_X = register_failpoint("name")`` bindings."""
+    constants: dict[str, str] = {}
+    for statement in source.tree.body:
+        if (
+            isinstance(statement, ast.Assign)
+            and isinstance(statement.value, ast.Call)
+            and _call_name(statement.value.func) == "register_failpoint"
+            and statement.value.args
+        ):
+            name = _literal_str(statement.value.args[0])
+            if name is None:
+                continue
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = name
+    return constants
+
+
+def _resolve(node: ast.expr, constants: dict[str, str]) -> "str | None":
+    literal = _literal_str(node)
+    if literal is not None:
+        return literal
+    if isinstance(node, ast.Name):
+        return constants.get(node.id)
+    if isinstance(node, ast.Attribute):  # module.FP_X
+        return constants.get(node.attr)
+    return None
+
+
+def run(model: ProjectModel) -> "list[LintFinding]":
+    findings: list[LintFinding] = []
+    registrations: list[_Site] = []
+    used: set[str] = set()
+    hits: list[_Site] = []
+    #: constant name -> failpoint name, across all linted modules (names
+    #: are unique per RPL302, so a flat namespace is safe)
+    all_constants: dict[str, str] = {}
+    per_file_constants: dict[str, dict[str, str]] = {}
+
+    for source in model.files:
+        constants = _collect_constants(source)
+        per_file_constants[source.path] = constants
+        all_constants.update(constants)
+
+    for source in model.files:
+        constants = dict(all_constants)
+        constants.update(per_file_constants[source.path])
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name == "register_failpoint" and node.args:
+                fp = _literal_str(node.args[0])
+                if fp is not None:
+                    registrations.append(
+                        _Site(fp, source.path, node.lineno, node.col_offset)
+                    )
+            elif name in _HIT_FUNCS and node.args:
+                fp = _resolve(node.args[0], constants)
+                if fp is not None:
+                    used.add(fp)
+                    hits.append(
+                        _Site(fp, source.path, node.lineno, node.col_offset)
+                    )
+                elif isinstance(node.args[0], ast.Constant):
+                    hits.append(
+                        _Site(
+                            repr(node.args[0].value),
+                            source.path,
+                            node.lineno,
+                            node.col_offset,
+                        )
+                    )
+            else:
+                # a failpoint constant forwarded as any argument is a use
+                for arg in list(node.args) + [
+                    kw.value for kw in node.keywords if kw.value is not None
+                ]:
+                    if isinstance(arg, (ast.Name, ast.Attribute)):
+                        fp = _resolve(arg, constants)
+                        if fp is not None:
+                            used.add(fp)
+
+    registered_names: dict[str, _Site] = {}
+    for site in registrations:
+        if site.name in registered_names:
+            first = registered_names[site.name]
+            findings.append(
+                LintFinding.make(
+                    "RPL302",
+                    f"failpoint {site.name!r} registered more than once "
+                    f"(first at {first.path}:{first.line})",
+                    path=site.path,
+                    line=site.line,
+                    column=site.column,
+                    symbol=site.name,
+                )
+            )
+        else:
+            registered_names[site.name] = site
+
+    for name, site in sorted(registered_names.items()):
+        if name not in used:
+            findings.append(
+                LintFinding.make(
+                    "RPL301",
+                    f"failpoint {name!r} is registered but never hit or "
+                    "forwarded",
+                    path=site.path,
+                    line=site.line,
+                    column=site.column,
+                    symbol=name,
+                )
+            )
+    for site in hits:
+        if site.name not in registered_names:
+            findings.append(
+                LintFinding.make(
+                    "RPL301",
+                    f"failpoint {site.name!r} is hit but never registered",
+                    path=site.path,
+                    line=site.line,
+                    column=site.column,
+                    symbol=site.name,
+                )
+            )
+
+    # -- RPL303: every declared I/O boundary touches a failpoint ------------
+    for source in model.files:
+        constants = dict(all_constants)
+        constants.update(per_file_constants[source.path])
+        boundaries = {
+            qualname
+            for module, qualname in IO_BOUNDARIES
+            if module == source.module
+        }
+        if not boundaries:
+            continue
+        for qualname, node in _iter_functions(source.tree):
+            if qualname not in boundaries:
+                continue
+            if not _touches_failpoint(node, constants):
+                findings.append(
+                    LintFinding.make(
+                        "RPL303",
+                        f"I/O boundary {source.module}.{qualname} neither "
+                        "hits nor forwards a registered failpoint",
+                        path=source.path,
+                        line=node.lineno,
+                        column=node.col_offset,
+                        symbol=qualname,
+                    )
+                )
+    return findings
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> "Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]":
+    """Yield (qualname, node) for module functions and class methods."""
+    for statement in tree.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield statement.name, statement
+        elif isinstance(statement, ast.ClassDef):
+            for sub in statement.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{statement.name}.{sub.name}", sub
+
+
+def _touches_failpoint(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+    constants: dict[str, str],
+) -> bool:
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        name = _call_name(sub.func)
+        if name in _HIT_FUNCS and sub.args:
+            if _resolve(sub.args[0], constants) is not None:
+                return True
+        for arg in list(sub.args) + [
+            kw.value for kw in sub.keywords if kw.value is not None
+        ]:
+            if isinstance(arg, (ast.Name, ast.Attribute)):
+                if _resolve(arg, constants) is not None:
+                    return True
+    return False

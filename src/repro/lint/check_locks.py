@@ -1,0 +1,375 @@
+"""RPL1xx: the static lock-order checker.
+
+Builds a lock-acquisition graph from lexical ``with self._lock:`` scopes:
+
+* **nodes** are qualified lock names (``Cube._lock``);
+* an **edge** ``A -> B`` means a scope holding ``A`` (lexically, or via a
+  ``# reprolint: locked`` method) contains a call that acquires ``B`` —
+  either a nested ``with`` on the class's own lock or a method call that
+  resolves to a lock-acquiring method of exactly one other lock-owning
+  class.
+
+Rules:
+
+* **RPL101** — an edge contradicts :data:`~repro.lint.lock_hierarchy.LOCK_ORDER`
+  (the inner lock ranks *above* the held one).
+* **RPL102** — the edge graph has a cycle (even among undeclared locks).
+* **RPL103** (warning) — a lock attribute assigned in a class is not
+  declared in the hierarchy.
+
+Method-name resolution is deliberately conservative: names that collide
+with builtin collection methods never create edges, and a name matching
+acquiring methods of two different classes is skipped as ambiguous.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.lint.findings import LintFinding
+from repro.lint.lock_hierarchy import LOCK_ORDER, lock_rank
+from repro.lint.model import ProjectModel, SourceFile
+
+__all__ = ["run"]
+
+#: method names that collide with builtin container/stdlib methods —
+#: never treated as calls into another class's lock-acquiring method
+_AMBIENT_METHOD_NAMES = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "copy", "count", "dec",
+        "discard", "extend", "get", "inc", "index", "insert", "items",
+        "keys", "move_to_end", "pop", "popitem", "remove", "reverse",
+        "set", "setdefault", "snapshot", "sort", "update", "values",
+    }
+)
+
+_LOCK_CTOR_NAMES = frozenset({"Lock", "RLock", "make_lock"})
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_lock_ctor(value: ast.expr) -> bool:
+    """Does this expression construct a lock?  Covers direct calls
+    (``threading.Lock()``, ``make_lock(...)``), dataclass fields with a
+    lock ``default_factory`` (including ``lambda: make_lock(...)``)."""
+    if isinstance(value, ast.Call):
+        name = _call_name(value.func)
+        if name in _LOCK_CTOR_NAMES:
+            return True
+        if name == "field":
+            for keyword in value.keywords:
+                if keyword.arg == "default_factory" and keyword.value is not None:
+                    factory = keyword.value
+                    if isinstance(factory, ast.Lambda):
+                        return _is_lock_ctor(factory.body)
+                    return _call_name(factory) in _LOCK_CTOR_NAMES
+    return False
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    node: ast.ClassDef
+    source: SourceFile
+    #: lock attr -> qualified name (``Cube._lock``)
+    lock_attrs: dict[str, str]
+    #: method name -> FunctionDef
+    methods: dict[str, "ast.FunctionDef | ast.AsyncFunctionDef"]
+    #: method name -> set of qualified lock names it (transitively) acquires
+    acquires: "dict[str, set[str]]"
+    #: (attr, lineno, col) for locks assigned but not declared
+    undeclared: "list[tuple[str, int, int]]"
+
+
+@dataclass(frozen=True)
+class _Edge:
+    outer: str
+    inner: str
+    path: str
+    line: int
+    column: int
+    symbol: str
+
+
+def _declared_lock_attrs(class_name: str) -> dict[str, str]:
+    attrs: dict[str, str] = {}
+    for qualified in LOCK_ORDER:
+        owner, _, attr = qualified.partition(".")
+        if owner == class_name:
+            attrs[attr] = qualified
+    return attrs
+
+
+def _self_attr(node: ast.expr) -> "str | None":
+    """``self.<attr>`` -> attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _collect_class(node: ast.ClassDef, source: SourceFile) -> _ClassInfo:
+    lock_attrs = _declared_lock_attrs(node.name)
+    undeclared: list[tuple[str, int, int]] = []
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    for statement in node.body:
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods[statement.name] = statement
+        # dataclass-style class-level lock field
+        if isinstance(statement, ast.AnnAssign) and statement.value is not None:
+            if isinstance(statement.target, ast.Name) and _is_lock_ctor(statement.value):
+                attr = statement.target.id
+                if attr not in lock_attrs:
+                    undeclared.append((attr, statement.lineno, statement.col_offset))
+                    lock_attrs[attr] = f"{node.name}.{attr}"
+    # instance-attribute locks assigned in any method (usually __init__)
+    for method in methods.values():
+        for sub in ast.walk(method):
+            if isinstance(sub, ast.Assign) and _is_lock_ctor(sub.value):
+                for target in sub.targets:
+                    attr = _self_attr(target)
+                    if attr is not None and attr not in lock_attrs:
+                        undeclared.append((attr, sub.lineno, sub.col_offset))
+                        lock_attrs[attr] = f"{node.name}.{attr}"
+    return _ClassInfo(
+        name=node.name,
+        node=node,
+        source=source,
+        lock_attrs=lock_attrs,
+        methods=methods,
+        acquires={},
+        undeclared=undeclared,
+    )
+
+
+def _direct_acquisitions(info: _ClassInfo) -> None:
+    """Seed ``info.acquires`` with lexical with-scopes and locked pragmas."""
+    for name, method in info.methods.items():
+        acquired: set[str] = set()
+        if info.source.is_locked_def(method) and info.lock_attrs:
+            # callers hold the class lock; any lock attr counts
+            acquired.update(info.lock_attrs.values())
+        for sub in ast.walk(method):
+            if isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    attr = _self_attr(item.context_expr)
+                    if attr is not None and attr in info.lock_attrs:
+                        acquired.add(info.lock_attrs[attr])
+        info.acquires[name] = acquired
+
+
+def _propagate_self_calls(info: _ClassInfo) -> None:
+    """Fixpoint: a method that calls ``self.m()`` acquires whatever m does."""
+    changed = True
+    while changed:
+        changed = False
+        for name, method in info.methods.items():
+            acquired = info.acquires[name]
+            for sub in ast.walk(method):
+                if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                    callee = _self_attr(sub.func)
+                    if callee is not None and callee in info.acquires:
+                        extra = info.acquires[callee] - acquired
+                        if extra:
+                            acquired.update(extra)
+                            changed = True
+
+
+class _EdgeCollector(ast.NodeVisitor):
+    """Walks one method tracking the lexically held lock stack."""
+
+    def __init__(
+        self,
+        info: _ClassInfo,
+        method_name: str,
+        resolver: "dict[str, set[str] | None]",
+    ) -> None:
+        self.info = info
+        self.method_name = method_name
+        self.resolver = resolver
+        self.held: list[str] = []
+        self.edges: list[_Edge] = []
+
+    def _record(self, inner_locks: "set[str]", node: ast.AST) -> None:
+        if not self.held:
+            return
+        outer = self.held[-1]
+        for inner in sorted(inner_locks):
+            if inner == outer:
+                continue  # reentrant same-lock
+            self.edges.append(
+                _Edge(
+                    outer=outer,
+                    inner=inner,
+                    path=self.info.source.path,
+                    line=getattr(node, "lineno", 0),
+                    column=getattr(node, "col_offset", 0),
+                    symbol=f"{self.info.name}.{self.method_name}",
+                )
+            )
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: "ast.With | ast.AsyncWith") -> None:
+        pushed = 0
+        for item in node.items:
+            attr = _self_attr(item.context_expr)
+            if attr is not None and attr in self.info.lock_attrs:
+                qualified = self.info.lock_attrs[attr]
+                self._record({qualified}, item.context_expr)
+                self.held.append(qualified)
+                pushed += 1
+            else:
+                self.visit(item.context_expr)
+        for statement in node.body:
+            self.visit(statement)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.held and isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+            if _self_attr(node.func) is not None:
+                # self.m(): same-class call; its transitive acquisitions
+                # are edges from the held lock
+                acquired = self.info.acquires.get(name)
+                if acquired:
+                    self._record(acquired, node)
+            elif name not in _AMBIENT_METHOD_NAMES:
+                resolved = self.resolver.get(name)
+                if resolved:  # None marks ambiguous names; skip them
+                    self._record(resolved, node)
+        self.generic_visit(node)
+
+
+def _find_cycles(edges: "list[_Edge]") -> "list[list[str]]":
+    graph: dict[str, set[str]] = {}
+    for edge in edges:
+        graph.setdefault(edge.outer, set()).add(edge.inner)
+        graph.setdefault(edge.inner, set())
+    cycles: list[list[str]] = []
+    seen_cycles: set[frozenset[str]] = set()
+    color: dict[str, int] = {}  # 0 unvisited / 1 on stack / 2 done
+    stack: list[str] = []
+
+    def visit(node: str) -> None:
+        color[node] = 1
+        stack.append(node)
+        for successor in sorted(graph[node]):
+            state = color.get(successor, 0)
+            if state == 0:
+                visit(successor)
+            elif state == 1:
+                cycle = stack[stack.index(successor):] + [successor]
+                key = frozenset(cycle)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    cycles.append(cycle)
+        stack.pop()
+        color[node] = 2
+
+    for node in sorted(graph):
+        if color.get(node, 0) == 0:
+            visit(node)
+    return cycles
+
+
+def run(model: ProjectModel) -> "list[LintFinding]":
+    findings: list[LintFinding] = []
+    classes: list[_ClassInfo] = []
+    for source in model.files:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                classes.append(_collect_class(node, source))
+
+    for info in classes:
+        _direct_acquisitions(info)
+        _propagate_self_calls(info)
+        for attr, lineno, col in info.undeclared:
+            findings.append(
+                LintFinding.make(
+                    "RPL103",
+                    f"lock {info.name}.{attr} is not declared in "
+                    "repro.lint.lock_hierarchy.LOCK_ORDER",
+                    path=info.source.path,
+                    line=lineno,
+                    column=col,
+                    symbol=f"{info.name}.{attr}",
+                )
+            )
+
+    # method name -> the locks it acquires, across all classes that lock;
+    # None marks a name claimed by more than one class (ambiguous).
+    resolver: dict[str, set[str] | None] = {}
+    for info in classes:
+        for method_name, acquired in info.acquires.items():
+            if not acquired:
+                continue
+            if method_name in resolver:
+                resolver[method_name] = None
+            else:
+                resolver[method_name] = set(acquired)
+
+    edges: list[_Edge] = []
+    for info in classes:
+        for method_name, method in info.methods.items():
+            collector = _EdgeCollector(info, method_name, resolver)
+            if info.source.is_locked_def(method) and info.lock_attrs:
+                # callers hold this class's lock for the whole body
+                collector.held.extend(sorted(set(info.lock_attrs.values())))
+            for statement in method.body:
+                collector.visit(statement)
+            edges.extend(collector.edges)
+
+    deduped: dict[tuple[str, str, str], _Edge] = {}
+    for edge in edges:
+        deduped.setdefault((edge.outer, edge.inner, edge.symbol), edge)
+    edges = list(deduped.values())
+
+    for edge in edges:
+        outer_rank = lock_rank(edge.outer)
+        inner_rank = lock_rank(edge.inner)
+        if outer_rank is not None and inner_rank is not None and inner_rank < outer_rank:
+            findings.append(
+                LintFinding.make(
+                    "RPL101",
+                    f"acquires {edge.inner} (rank {inner_rank}) while holding "
+                    f"{edge.outer} (rank {outer_rank}); LOCK_ORDER requires "
+                    "the opposite nesting",
+                    path=edge.path,
+                    line=edge.line,
+                    column=edge.column,
+                    symbol=edge.symbol,
+                )
+            )
+
+    for cycle in _find_cycles(edges):
+        first = cycle[0]
+        witness = next(
+            e for e in edges if e.outer in cycle and e.inner in cycle
+        )
+        findings.append(
+            LintFinding.make(
+                "RPL102",
+                "lock-acquisition cycle: " + " -> ".join(cycle),
+                path=witness.path,
+                line=witness.line,
+                column=witness.column,
+                symbol=first,
+            )
+        )
+    return findings

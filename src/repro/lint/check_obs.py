@@ -1,0 +1,162 @@
+"""RPL4xx: observability hygiene.
+
+* **RPL401** — metric names passed to ``.counter()`` / ``.gauge()`` /
+  ``.histogram()`` must be snake_case; counters must end ``_total`` and
+  histograms ``_ms`` (the registry convention, see
+  :mod:`repro.obs.metrics`).
+* **RPL402** — span leaks: a ``TRACER.start(...)`` result must be ended
+  via ``TRACER.end(span)`` inside a ``finally`` of the same function
+  (or used as a ``with`` context manager); a bare ``trace_span(...)``
+  call that is not a ``with`` item opens nothing or leaks its span.
+
+The tracing core itself (``obs/trace.py``) is exempt — it *implements*
+the start/end protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.findings import LintFinding
+from repro.lint.model import ProjectModel, SourceFile
+
+__all__ = ["run"]
+
+_SNAKE_RE = re.compile(r"^[a-z][a-z0-9_]*[a-z0-9]$")
+_EXEMPT_MODULES = frozenset({"trace"})
+
+
+def _metric_findings(source: SourceFile) -> "list[LintFinding]":
+    findings: list[LintFinding] = []
+    for node in ast.walk(source.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("counter", "gauge", "histogram")
+            and node.args
+        ):
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            continue
+        name = first.value
+        kind = node.func.attr
+        problem = ""
+        if not _SNAKE_RE.match(name) or "__" in name:
+            problem = "is not snake_case"
+        elif kind == "counter" and not name.endswith("_total"):
+            problem = "is a counter but does not end with '_total'"
+        elif kind == "histogram" and not name.endswith("_ms"):
+            problem = "is a histogram but does not end with '_ms'"
+        if problem:
+            findings.append(
+                LintFinding.make(
+                    "RPL401",
+                    f"metric name {name!r} {problem}",
+                    path=source.path,
+                    line=node.lineno,
+                    column=node.col_offset,
+                    symbol=name,
+                )
+            )
+    return findings
+
+
+def _is_tracer_start(node: ast.expr) -> bool:
+    """``TRACER.start(...)`` (or ``<x>.start(...)`` on a name that *is*
+    ``TRACER``); conditional expressions are unwrapped by the caller."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "start"
+        and isinstance(node.func.value, ast.Name)
+        and node.func.value.id == "TRACER"
+    )
+
+
+def _walk_own(node: ast.AST) -> "Iterator[ast.AST]":
+    """Walk a function body without descending into nested defs, which
+    get their own pass (prevents double-reporting)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield child
+        yield from _walk_own(child)
+
+
+def _span_findings(source: SourceFile) -> "list[LintFinding]":
+    findings: list[LintFinding] = []
+    for func_node in ast.walk(source.tree):
+        if not isinstance(func_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        # names TRACER.end(...) is called on inside any finally block
+        ended: set[str] = set()
+        with_items: set[int] = set()
+        for sub in _walk_own(func_node):
+            if isinstance(sub, ast.Try):
+                for statement in sub.finalbody:
+                    for inner in ast.walk(statement):
+                        if (
+                            isinstance(inner, ast.Call)
+                            and isinstance(inner.func, ast.Attribute)
+                            and inner.func.attr == "end"
+                            and inner.args
+                            and isinstance(inner.args[0], ast.Name)
+                        ):
+                            ended.add(inner.args[0].id)
+            if isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    with_items.add(id(item.context_expr))
+
+        for sub in _walk_own(func_node):
+            # x = TRACER.start(...) / x = TRACER.start(...) if ... else None
+            if isinstance(sub, ast.Assign):
+                value = sub.value
+                if isinstance(value, ast.IfExp):
+                    value = value.body
+                if _is_tracer_start(value):
+                    target = sub.targets[0]
+                    name = target.id if isinstance(target, ast.Name) else ""
+                    if name not in ended:
+                        findings.append(
+                            LintFinding.make(
+                                "RPL402",
+                                f"span from TRACER.start is not ended in a "
+                                f"'finally' of {func_node.name} "
+                                "(exceptions would leak it open)",
+                                path=source.path,
+                                line=sub.lineno,
+                                column=sub.col_offset,
+                                symbol=func_node.name,
+                            )
+                        )
+            # bare trace_span(...) not used as a with-item
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "trace_span"
+                and id(sub) not in with_items
+            ):
+                findings.append(
+                    LintFinding.make(
+                        "RPL402",
+                        "trace_span(...) must be a 'with' context manager; "
+                        "a bare call leaks the span when tracing is on",
+                        path=source.path,
+                        line=sub.lineno,
+                        column=sub.col_offset,
+                        symbol=func_node.name,
+                    )
+                )
+    return findings
+
+
+def run(model: ProjectModel) -> "list[LintFinding]":
+    findings: list[LintFinding] = []
+    for source in model.files:
+        findings.extend(_metric_findings(source))
+        if source.module not in _EXEMPT_MODULES:
+            findings.extend(_span_findings(source))
+    return findings

@@ -1,0 +1,133 @@
+"""RPL201: unguarded writes to thread-shared state.
+
+For every class registered in
+:data:`~repro.lint.lock_hierarchy.THREAD_SHARED`, each assignment to a
+guarded ``self.<attr>`` must be lexically inside ``with self.<lock>:``
+(or in a method whose ``def`` carries ``# reprolint: locked``, meaning
+every caller already holds the lock).  ``__init__``/``__post_init__``
+are exempt: construction happens-before publication.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import LintFinding
+from repro.lint.lock_hierarchy import THREAD_SHARED
+from repro.lint.model import ProjectModel
+
+__all__ = ["run"]
+
+_CONSTRUCTORS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+def _self_attr(node: ast.expr) -> "str | None":
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _WriteVisitor(ast.NodeVisitor):
+    def __init__(self, class_name: str, method_name: str, lock_attr: str,
+                 guarded: "frozenset[str]", path: str, locked: bool) -> None:
+        self.class_name = class_name
+        self.method_name = method_name
+        self.lock_attr = lock_attr
+        self.guarded = guarded
+        self.path = path
+        self.depth = 1 if locked else 0
+        self.findings: list[LintFinding] = []
+
+    def _visit_with(self, node: "ast.With | ast.AsyncWith") -> None:
+        pushed = 0
+        for item in node.items:
+            if _self_attr(item.context_expr) == self.lock_attr:
+                pushed += 1
+            else:
+                self.visit(item.context_expr)
+        self.depth += pushed
+        for statement in node.body:
+            self.visit(statement)
+        self.depth -= pushed
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _check_target(self, target: ast.expr, node: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element, node)
+            return
+        if isinstance(target, ast.Subscript):
+            # self._collectors[name] = ... mutates the guarded container
+            self._check_target(target.value, node)
+            return
+        attr = _self_attr(target)
+        if attr is not None and attr in self.guarded and self.depth == 0:
+            self.findings.append(
+                LintFinding.make(
+                    "RPL201",
+                    f"writes {self.class_name}.{attr} outside "
+                    f"'with self.{self.lock_attr}:' "
+                    f"(in {self.class_name}.{self.method_name})",
+                    path=self.path,
+                    line=getattr(node, "lineno", 0),
+                    column=getattr(node, "col_offset", 0),
+                    symbol=f"{self.class_name}.{attr}",
+                )
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target, node)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target, node)
+        self.generic_visit(node)
+
+
+def run(model: ProjectModel) -> "list[LintFinding]":
+    findings: list[LintFinding] = []
+    for source in model.files:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            spec = THREAD_SHARED.get(node.name)
+            if spec is None:
+                continue
+            guarded = frozenset(spec.guarded)
+            for statement in node.body:
+                if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if statement.name in _CONSTRUCTORS:
+                    continue
+                visitor = _WriteVisitor(
+                    node.name,
+                    statement.name,
+                    spec.lock_attr,
+                    guarded,
+                    source.path,
+                    locked=source.is_locked_def(statement),
+                )
+                for body_statement in statement.body:
+                    visitor.visit(body_statement)
+                findings.extend(visitor.findings)
+    return findings

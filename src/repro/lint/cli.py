@@ -1,0 +1,47 @@
+"""The ``repro lint`` subcommand implementation."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.runner import run_lint
+
+__all__ = ["lint_main"]
+
+
+def lint_main(
+    paths: Sequence[str],
+    *,
+    baseline_path: "str | None" = None,
+    json_output: bool = False,
+    strict: bool = False,
+) -> int:
+    """Run reprolint over ``paths``; returns the 0/1/2 exit code."""
+    roots = [Path(p) for p in (paths or ["src"])]
+    missing = [str(p) for p in roots if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    if baseline_path is not None:
+        candidate = Path(baseline_path)
+        if not candidate.exists():
+            print(
+                f"repro lint: baseline {baseline_path!r} not found",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            baseline = Baseline.load(candidate)
+        except (ValueError, KeyError) as exc:
+            print(f"repro lint: bad baseline: {exc}", file=sys.stderr)
+            return 2
+    else:
+        baseline = Baseline.empty()
+
+    report = run_lint(roots, baseline)
+    print(report.to_json() if json_output else report.to_text())
+    return report.exit_code(strict)

@@ -1,0 +1,133 @@
+"""The declared lock hierarchy and thread-shared class registry.
+
+This module is the **source of truth** the prose in ``docs/robustness.md``
+used to carry: which classes own locks, what those locks guard, and the
+one total order in which locks may nest.  Both enforcement sides read it —
+the static lock-order checker (:mod:`repro.lint.check_locks`) validates
+every ``with self._lock:`` call edge against :data:`LOCK_ORDER`, and the
+runtime witness (:mod:`repro.lint.lockdep`) ranks live acquisitions with
+:func:`lock_rank`.
+
+Adding a lock to the codebase means adding it here first; reprolint's
+RPL103 flags locks it discovers that this module does not declare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ENTRY_POINTS",
+    "GuardSpec",
+    "IO_BOUNDARIES",
+    "LOCK_ORDER",
+    "THREAD_SHARED",
+    "lock_rank",
+]
+
+
+#: Qualified lock names, **outermost first**: a thread holding lock at
+#: index ``i`` may only acquire locks at index ``> i``.  This is a total
+#: order over every lock in the engine — coarse service-level locks
+#: nest around cube/engine locks, which nest around leaf accounting
+#: locks (metrics instruments are innermost: any module may update a
+#: counter while holding anything else).
+LOCK_ORDER: tuple[str, ...] = (
+    "_Chaos.lock",
+    "QueryService._lock",
+    "Warehouse._snapshot_lock",
+    "CircuitBreaker._lock",
+    "Cube._lock",
+    "RollupIndex._lock",
+    "ScenarioCache._lock",
+    "SlowQueryLog._lock",
+    "FaultRegistry._lock",
+    "ChunkStore._lock",
+    "MetricsRegistry._lock",
+    "Counter._lock",
+    "Gauge._lock",
+    "Histogram._lock",
+)
+
+_RANKS: dict[str, int] = {name: rank for rank, name in enumerate(LOCK_ORDER)}
+
+
+def lock_rank(name: str) -> "int | None":
+    """Rank of a qualified lock name in :data:`LOCK_ORDER` (0 is the
+    outermost); ``None`` for locks outside the declared hierarchy."""
+    return _RANKS.get(name)
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """What one thread-shared class guards: the lock attribute, and the
+    instance attributes that may only be written inside its scope."""
+
+    lock_attr: str
+    guarded: tuple[str, ...]
+
+
+#: class name -> guard contract.  The RPL201 checker flags any
+#: ``self.<guarded> = ...`` (or augmented/compound equivalent) in these
+#: classes that is not lexically inside a ``with self.<lock_attr>:``
+#: scope or a method marked ``# reprolint: locked``.
+THREAD_SHARED: dict[str, GuardSpec] = {
+    "Cube": GuardSpec(
+        "_lock",
+        ("_leaf_cells", "_stored_derived", "_version", "_rollup_index", "_frozen"),
+    ),
+    "RollupIndex": GuardSpec(
+        "_lock",
+        ("_id_of", "_addr_of", "_next_id", "_by_dim", "_memo"),
+    ),
+    "ScenarioCache": GuardSpec("_lock", ("_entries",)),
+    "SlowQueryLog": GuardSpec("_lock", ("_entries", "observed", "recorded")),
+    "FaultRegistry": GuardSpec("_lock", ("_armed",)),
+    "ChunkStore": GuardSpec("_lock", ("_chunks", "_positions", "_next_position")),
+    "MetricsRegistry": GuardSpec("_lock", ("_metrics", "_collectors")),
+    "Counter": GuardSpec("_lock", ("value",)),
+    "Gauge": GuardSpec("_lock", ("value",)),
+    "Histogram": GuardSpec(
+        "_lock",
+        ("counts", "total", "count", "minimum", "maximum"),
+    ),
+    "CircuitBreaker": GuardSpec(
+        "_lock",
+        ("_state", "_consecutive_failures", "_opened_at", "_probe_in_flight", "trips"),
+    ),
+    "QueryService": GuardSpec("_lock", ("_closed",)),
+    "Warehouse": GuardSpec("_snapshot_lock", ("_snapshot_cache",)),
+}
+
+
+#: ``Class.method`` public entry points where the RPL501 checker requires
+#: every ``raise`` of a newly constructed exception to be a typed
+#: :class:`~repro.errors.ReproError` subclass.
+ENTRY_POINTS: frozenset[str] = frozenset(
+    {
+        "Warehouse.query",
+        "Warehouse.analyze",
+        "Warehouse.explain",
+        "QueryService.submit",
+        "QueryService.close",
+        "QueryTicket.result",
+        "QueryTicket.exception",
+    }
+)
+
+
+#: ``(module basename, function/method qualname)`` pairs that are I/O
+#: boundaries: the RPL303 checker requires each one to hit (or pass on)
+#: at least one registered failpoint, so fault-injection coverage cannot
+#: silently rot as storage code is refactored.
+IO_BOUNDARIES: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("chunk_store", "ChunkStore.read"),
+        ("chunk_store", "ChunkStore.write"),
+        ("io", "_save_warehouse"),
+        ("io", "_build_warehouse"),
+        ("durability", "atomic_write_text"),
+        ("durability", "_stage_temp"),
+        ("durability", "_commit_generation"),
+    }
+)

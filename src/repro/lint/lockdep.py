@@ -1,0 +1,203 @@
+"""Runtime lock-order witness (lockdep), enabled via ``REPRO_LOCKDEP=1``.
+
+The static checker sees lexical ``with self._lock:`` scopes; it cannot
+see orders that only materialise at runtime (callbacks, reentrancy
+through virtual dispatch).  This witness closes that gap: every lock in
+the engine is created through :func:`make_lock`, which returns a plain
+:mod:`threading` lock in production and a :class:`WitnessLock` when the
+``REPRO_LOCKDEP`` environment variable is ``1`` at construction time.
+
+A witness lock validates **before** acquiring the real lock:
+
+* the acquisition must not contradict :data:`~repro.lint.lock_hierarchy.LOCK_ORDER`
+  (holding a lower-ranked lock while taking a higher-ranked one), and
+* the edge ``held -> acquiring`` must not already exist in the opposite
+  direction in the process-wide edge graph.
+
+Because validation happens before blocking on the inner lock, the
+second thread of an ABBA inversion raises
+:class:`~repro.errors.LockOrderError` instead of deadlocking — the test
+fails fast with both lock names in the message.
+
+Same-*instance* re-acquisition is allowed for reentrant locks and fails
+fast for non-reentrant ones (a guaranteed self-deadlock).  Edges between
+two *instances* of the same lock name are ignored: per-instance ordering
+within one rank (e.g. two ``Counter._lock``) is the caller's business.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Protocol
+
+from repro.errors import LockOrderError
+from repro.lint.lock_hierarchy import lock_rank
+
+__all__ = [
+    "LockProtocol",
+    "WITNESS",
+    "WitnessLock",
+    "lockdep_enabled",
+    "make_lock",
+]
+
+
+class LockProtocol(Protocol):
+    """Structural type covering threading.Lock/RLock and WitnessLock."""
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> Any: ...
+
+
+def lockdep_enabled() -> bool:
+    return os.environ.get("REPRO_LOCKDEP", "") == "1"
+
+
+class _Witness:
+    """Process-wide acquisition recorder shared by all witness locks."""
+
+    def __init__(self) -> None:
+        # the witness's own bookkeeping lock sits outside the hierarchy
+        # it polices: it is only ever the innermost acquisition and is
+        # never exposed to engine code
+        self._graph_lock = threading.Lock()  # reprolint: ignore[RPL103]
+        #: directed edges outer-name -> set of inner-names actually seen
+        self._edges: dict[str, set[str]] = {}
+        self._local = threading.local()
+        #: count of inversions raised (monotonic; for test assertions)
+        self.inversions = 0
+
+    def _held(self) -> "list[tuple[str, int, bool]]":
+        """This thread's acquisition stack: (name, instance id, reentrant)."""
+        held = getattr(self._local, "held", None)
+        if held is None:
+            held = []
+            self._local.held = held
+        return held
+
+    def on_acquire(self, name: str, instance_id: int, reentrant: bool) -> None:
+        """Validate and record; raises before the caller blocks on the
+        real lock, so an inversion can never actually deadlock."""
+        held = self._held()
+        for held_name, held_id, held_reentrant in held:
+            if held_id == instance_id:
+                if reentrant:
+                    # reentrant re-acquire of the same instance: no edge
+                    held.append((name, instance_id, reentrant))
+                    return
+                with self._graph_lock:
+                    self.inversions += 1
+                raise LockOrderError(
+                    f"self-deadlock: non-reentrant lock {name!r} "
+                    "re-acquired by the thread that holds it",
+                    holding=name,
+                    acquiring=name,
+                )
+        if held:
+            outer_name = held[-1][0]
+            if outer_name != name:  # same-name sibling instances: no order
+                self._check_edge(outer_name, name)
+        held.append((name, instance_id, reentrant))
+
+    def _check_edge(self, outer: str, inner: str) -> None:
+        outer_rank = lock_rank(outer)
+        inner_rank = lock_rank(inner)
+        if (
+            outer_rank is not None
+            and inner_rank is not None
+            and inner_rank < outer_rank
+        ):
+            with self._graph_lock:
+                self.inversions += 1
+            raise LockOrderError(
+                f"lock hierarchy violation: acquiring {inner!r} "
+                f"(rank {inner_rank}) while holding {outer!r} "
+                f"(rank {outer_rank}); see repro.lint.lock_hierarchy",
+                holding=outer,
+                acquiring=inner,
+            )
+        with self._graph_lock:
+            if outer in self._edges.get(inner, ()):
+                self.inversions += 1
+                raise LockOrderError(
+                    f"lock order inversion: acquiring {inner!r} while "
+                    f"holding {outer!r}, but the opposite order "
+                    f"{inner!r} -> {outer!r} was already witnessed",
+                    holding=outer,
+                    acquiring=inner,
+                )
+            self._edges.setdefault(outer, set()).add(inner)
+
+    def on_release(self, instance_id: int) -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index][1] == instance_id:
+                del held[index]
+                return
+
+    def edges(self) -> dict[str, set[str]]:
+        with self._graph_lock:
+            return {outer: set(inner) for outer, inner in self._edges.items()}
+
+    def reset(self) -> None:
+        """Forget all witnessed edges (tests isolate scenarios with this);
+        per-thread held stacks are untouched."""
+        with self._graph_lock:
+            self._edges.clear()
+            self.inversions = 0
+
+
+#: The process-wide witness all WitnessLocks report to.
+WITNESS = _Witness()
+
+
+class WitnessLock:
+    """A named lock that reports every acquire/release to :data:`WITNESS`."""
+
+    __slots__ = ("name", "reentrant", "_inner")
+
+    def __init__(self, name: str, *, reentrant: bool = True) -> None:
+        self.name = name
+        self.reentrant = reentrant
+        self._inner: Any = threading.RLock() if reentrant else threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        WITNESS.on_acquire(self.name, id(self), self.reentrant)
+        acquired = bool(self._inner.acquire(blocking, timeout))
+        if not acquired:
+            WITNESS.on_release(id(self))
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        WITNESS.on_release(id(self))
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"WitnessLock({self.name!r}, {kind})"
+
+
+def make_lock(name: str, *, reentrant: bool = True) -> LockProtocol:
+    """Create the lock every engine class uses for its guarded state.
+
+    ``name`` must be the qualified ``Class.attr`` name declared in
+    :data:`~repro.lint.lock_hierarchy.LOCK_ORDER`.  Returns a plain
+    :class:`threading.RLock`/:class:`threading.Lock` unless
+    ``REPRO_LOCKDEP=1`` was set when the lock was constructed, in which
+    case acquisitions are checked by the lockdep witness.
+    """
+    if lockdep_enabled():
+        return WitnessLock(name, reentrant=reentrant)
+    return threading.RLock() if reentrant else threading.Lock()

@@ -1,0 +1,112 @@
+"""Source model for reprolint: parsed files plus suppression pragmas.
+
+Two pragmas are recognised, both as trailing comments:
+
+* ``# reprolint: ignore[RPL201,RPL402]`` — suppress the listed rules for
+  findings anchored to that line;
+* ``# reprolint: locked`` — on a ``def`` line: every caller of this
+  method holds the class lock, so the body is treated as a lock scope
+  (RPL201 exemption *and* lock-edge source) without a lexical ``with``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.findings import LintFinding
+
+__all__ = ["ProjectModel", "SourceFile"]
+
+_IGNORE_RE = re.compile(r"#\s*reprolint:\s*ignore\[([A-Z0-9, ]+)\]")
+_LOCKED_RE = re.compile(r"#\s*reprolint:\s*locked\b")
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file with its pragma maps."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    #: module basename without extension (``chunk_store`` for
+    #: ``src/repro/storage/chunk_store.py``)
+    module: str
+    #: line number -> set of rule codes suppressed on that line
+    ignores: dict[int, set[str]] = field(default_factory=dict)
+    #: lines carrying ``# reprolint: locked``
+    locked_lines: set[int] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: Path, text: str) -> "SourceFile":
+        tree = ast.parse(text, filename=str(path))
+        ignores: dict[int, set[str]] = {}
+        locked_lines: set[int] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _IGNORE_RE.search(line)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                ignores.setdefault(lineno, set()).update(r for r in rules if r)
+            if _LOCKED_RE.search(line):
+                locked_lines.add(lineno)
+        return cls(
+            path=str(path),
+            text=text,
+            tree=tree,
+            module=path.stem,
+            ignores=ignores,
+            locked_lines=locked_lines,
+        )
+
+    def is_suppressed(self, finding: LintFinding) -> bool:
+        rules = self.ignores.get(finding.line)
+        return rules is not None and finding.rule in rules
+
+    def is_locked_def(self, node: ast.AST) -> bool:
+        lineno = getattr(node, "lineno", None)
+        return lineno is not None and lineno in self.locked_lines
+
+
+class ProjectModel:
+    """All files one lint run analyses, parsed once and shared by every
+    checker."""
+
+    def __init__(self, files: "list[SourceFile]", parse_failures: "list[LintFinding]") -> None:
+        self.files = files
+        self.parse_failures = parse_failures
+
+    @classmethod
+    def load(cls, paths: Iterable[Path]) -> "ProjectModel":
+        files: list[SourceFile] = []
+        failures: list[LintFinding] = []
+        for path in sorted(set(paths)):
+            try:
+                text = path.read_text(encoding="utf-8")
+                files.append(SourceFile.parse(path, text))
+            except (OSError, SyntaxError, ValueError) as exc:
+                failures.append(
+                    LintFinding.make(
+                        "RPL001",
+                        f"cannot analyze {path}: {exc}",
+                        path=str(path),
+                        line=getattr(exc, "lineno", 0) or 0,
+                        symbol=path.stem,
+                    )
+                )
+        return cls(files, failures)
+
+    @staticmethod
+    def collect_paths(roots: Iterable[Path]) -> "list[Path]":
+        """Expand files/directories into the .py files to lint."""
+        paths: list[Path] = []
+        for root in roots:
+            if root.is_dir():
+                paths.extend(
+                    p for p in sorted(root.rglob("*.py")) if p.is_file()
+                )
+            elif root.suffix == ".py":
+                paths.append(root)
+        return paths

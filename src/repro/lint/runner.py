@@ -1,0 +1,70 @@
+"""The reprolint driver: load sources, run every checker, filter.
+
+Suppression order: per-line ``# reprolint: ignore[...]`` pragmas first,
+then the committed baseline (which records how many findings it
+swallowed and reports its own stale entries as RPL002).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint import (
+    check_errors,
+    check_failpoints,
+    check_locks,
+    check_obs,
+    check_shared,
+)
+from repro.lint.baseline import Baseline
+from repro.lint.findings import LintFinding, LintReport
+from repro.lint.model import ProjectModel
+
+__all__ = ["run_lint"]
+
+_CHECKERS = (
+    check_locks.run,
+    check_shared.run,
+    check_failpoints.run,
+    check_obs.run,
+    check_errors.run,
+)
+
+
+def run_lint(
+    roots: Iterable[Path],
+    baseline: "Baseline | None" = None,
+) -> LintReport:
+    paths = ProjectModel.collect_paths(Path(root) for root in roots)
+    model = ProjectModel.load(paths)
+    baseline = baseline if baseline is not None else Baseline.empty()
+
+    raw: list[LintFinding] = list(model.parse_failures)
+    for checker in _CHECKERS:
+        raw.extend(checker(model))
+
+    by_path = {source.path: source for source in model.files}
+    report = LintReport(files_checked=len(model.files))
+    baselined = 0
+    for finding in raw:
+        source = by_path.get(finding.path)
+        if source is not None and source.is_suppressed(finding):
+            continue
+        if baseline.suppresses(finding):
+            baselined += 1
+            continue
+        report.add(finding)
+    report.baselined = baselined
+
+    for entry in baseline.stale_entries():
+        report.add(
+            LintFinding.make(
+                "RPL002",
+                f"stale baseline entry: {entry.rule} {entry.symbol!r} in "
+                f"{entry.path} matches no current finding; delete it",
+                path=baseline.path or "<baseline>",
+                symbol=entry.symbol,
+            )
+        )
+    return report

@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import json
 import math
-import threading
 from typing import Any, Callable, Iterable
+
+from repro.lint.lockdep import make_lock
 
 __all__ = [
     "Counter",
@@ -60,7 +61,7 @@ class Counter:
 
     def __init__(self) -> None:
         self.value: float = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Counter._lock", reentrant=False)
 
     def inc(self, amount: float = 1) -> None:
         with self._lock:
@@ -78,10 +79,14 @@ class Gauge:
 
     def __init__(self) -> None:
         self.value: float = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("Gauge._lock", reentrant=False)
 
     def set(self, value: float) -> None:
-        self.value = value
+        # a float store is atomic under the GIL, but free-threaded
+        # builds and torn read-modify-write interleavings with inc/dec
+        # are not; same contract as Counter.inc
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
         with self._lock:
@@ -113,7 +118,7 @@ class Histogram:
         self.count = 0
         self.minimum = math.inf
         self.maximum = -math.inf
-        self._lock = threading.Lock()
+        self._lock = make_lock("Histogram._lock", reentrant=False)
 
     @staticmethod
     def bucket_index(value: float) -> int:
@@ -183,7 +188,7 @@ class MetricsRegistry:
     """Named, labeled instruments plus pull-based external collectors."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("MetricsRegistry._lock", reentrant=False)
         #: name -> {labels -> instrument}; all series of one name share a kind
         self._metrics: dict[str, dict[Labels, Any]] = {}
         #: collector name -> zero-arg callable returning {key: number}
@@ -229,10 +234,12 @@ class MetricsRegistry:
         ``snapshot`` bound method).  Its keys appear in exports as
         ``<name>.<key>`` gauges, read at snapshot time — so hot-path code
         keeps mutating its own struct with zero indirection."""
-        self._collectors[name] = collect
+        with self._lock:
+            self._collectors[name] = collect
 
     def unregister_collector(self, name: str) -> None:
-        self._collectors.pop(name, None)
+        with self._lock:
+            self._collectors.pop(name, None)
 
     # -- exports ---------------------------------------------------------------------
 

@@ -14,11 +14,12 @@ query; threshold 0 records everything, handy for demos and tests).
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.lint.lockdep import make_lock
 
 __all__ = ["SlowQueryEntry", "SlowQueryLog"]
 
@@ -81,7 +82,7 @@ class SlowQueryLog:
         self._entries: "deque[SlowQueryEntry]" = deque(maxlen=capacity)
         # counters + ring mutate together; service workers record
         # concurrently, so the update is one critical section
-        self._lock = threading.Lock()
+        self._lock = make_lock("SlowQueryLog._lock", reentrant=False)
         #: queries timed (recorded or not) since construction/clear
         self.observed = 0
         #: queries that crossed the threshold (>= capacity may be evicted)

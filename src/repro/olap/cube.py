@@ -23,10 +23,10 @@ for invalidation.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Iterable, Iterator, Sequence, TypeAlias
 
 from repro.errors import RuleError, SnapshotImmutableError
+from repro.lint.lockdep import make_lock
 from repro.olap.missing import MISSING, Missing, is_missing
 from repro.olap.schema import Address, CubeSchema
 from repro.perf import config as perf_config
@@ -60,7 +60,7 @@ class Cube:
         #: serialises writers against each other (and against snapshot
         #: copies); readers stay lock-free — concurrent readers of a
         #: *mutating* cube use ``Warehouse.snapshot()`` views instead
-        self._lock = threading.RLock()
+        self._lock = make_lock("Cube._lock")
         #: frozen cubes are immutable snapshot views; writes raise
         self._frozen = False
 
@@ -80,7 +80,11 @@ class Cube:
         """Make this cube immutable: every later mutation raises
         :class:`~repro.errors.SnapshotImmutableError`.  Irreversible —
         take a :meth:`copy` to get a writable cube back."""
-        self._frozen = True
+        # under the write lock so a freeze can never interleave with an
+        # in-flight mutation: the writer either completes before the
+        # cube is immutable or sees SnapshotImmutableError
+        with self._lock:
+            self._frozen = True
         return self
 
     def _check_writable(self) -> None:

@@ -18,6 +18,8 @@ Everything here is behaviour-preserving: with the engine on or off, query
 results are bit-identical (enforced by the equivalence property tests).
 """
 
+from typing import Any
+
 from repro.perf.config import engine_enabled, naive_mode, set_engine_enabled
 
 __all__ = [
@@ -29,7 +31,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     # Lazy re-exports: importing them eagerly would pull repro.storage into
     # repro.olap.cube's import chain and create a cycle (cube -> perf ->
     # storage -> array_cube -> cube).

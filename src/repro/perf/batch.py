@@ -32,10 +32,14 @@ that trips mid-row and report more ``cells_evaluated`` (and fewer
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence, TypeAlias
+from typing import TYPE_CHECKING, Any, Mapping, Sequence, TypeAlias
 
 from repro.faults import inject_io_fault
 from repro.olap.missing import MISSING, Missing
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mdx.budget import BudgetTracker
+    from repro.olap.schema import CubeSchema
 
 __all__ = ["evaluate_grid"]
 
@@ -43,7 +47,7 @@ Address = tuple[str, ...]
 CellValue: TypeAlias = "float | Missing"
 
 
-def _split_view(view) -> tuple[object, object]:
+def _split_view(view: Any) -> tuple[Any, Any]:
     """(leaf cube, aggregate cube) of a view — a WhatIfCube routes leaf
     reads and aggregate reads to different cubes; a plain Cube is both."""
     leaf_cube = getattr(view, "leaf_cube", view)
@@ -52,12 +56,12 @@ def _split_view(view) -> tuple[object, object]:
 
 
 def evaluate_grid(
-    view,
-    schema,
+    view: Any,
+    schema: "CubeSchema",
     base_coords: Mapping[str, str],
-    rows: Sequence,
-    columns: Sequence,
-    tracker,
+    rows: "Sequence[Any]",
+    columns: "Sequence[Any]",
+    tracker: "BudgetTracker | None",
     failpoint: str,
 ) -> tuple[list[list[CellValue]], int, dict[str, int]]:
     """Fill the result grid for ``rows`` x ``columns`` axis tuples.

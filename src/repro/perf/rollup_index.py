@@ -29,13 +29,17 @@ an index; it is rebuilt lazily on their first derived read.
 
 from __future__ import annotations
 
-import threading
-from typing import Iterator, Mapping, Sequence, TypeAlias
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence, TypeAlias
 
+from repro.lint.lockdep import make_lock
 from repro.obs.trace import trace_span
 from repro.olap.aggregation import aggregate
 from repro.olap.missing import Missing
 from repro.storage.io_stats import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.olap.cube import Cube
+    from repro.olap.schema import CubeSchema
 
 __all__ = ["RollupIndex"]
 
@@ -59,10 +63,10 @@ class RollupIndex:
     only; for a live cube it makes interleaved query/mutation safe.
     """
 
-    def __init__(self, schema) -> None:
+    def __init__(self, schema: "CubeSchema") -> None:
         self.schema = schema
         self.stats = CacheStats()
-        self._lock = threading.RLock()
+        self._lock = make_lock("RollupIndex._lock")
         self._id_of: dict[Address, int] = {}
         self._addr_of: dict[int, Address] = {}
         self._next_id = 0
@@ -73,7 +77,7 @@ class RollupIndex:
         self._memo: dict[tuple[Address, str], CellValue] = {}
 
     @classmethod
-    def build(cls, cube) -> "RollupIndex":
+    def build(cls, cube: "Cube") -> "RollupIndex":
         """One pass over a cube's leaf cells."""
         with trace_span("rollup_index.build") as span:
             index = cls(cube.schema)
@@ -86,7 +90,9 @@ class RollupIndex:
 
     # -- maintenance ------------------------------------------------------------
 
-    def _insert(self, addr: Address) -> None:
+    def _insert(self, addr: Address) -> None:  # reprolint: locked
+        # callers either hold self._lock (add_leaf) or own the only
+        # reference to a not-yet-published index (build)
         ident = self._next_id
         self._next_id += 1
         self._id_of[addr] = ident

@@ -18,10 +18,10 @@ the entry (counted as an invalidation).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, TypeVar
 
+from repro.lint.lockdep import make_lock
 from repro.obs.trace import trace_event, trace_span
 from repro.storage.io_stats import CacheStats
 
@@ -47,7 +47,7 @@ class ScenarioCache(Generic[V]):
             raise ValueError("ScenarioCache maxsize must be >= 1")
         self.maxsize = maxsize
         self.stats = CacheStats()
-        self._lock = threading.RLock()
+        self._lock = make_lock("ScenarioCache._lock")
         self._entries: "OrderedDict[Hashable, tuple[int, V]]" = OrderedDict()
 
     def get(self, key: Hashable, version: int) -> "V | None":

@@ -26,11 +26,11 @@ State is exported as the ``circuit_state`` gauge (0 = closed, 1 = open,
 from __future__ import annotations
 
 import enum
-import threading
 import time
 from typing import Callable
 
 from repro.errors import FaultInjectedError, StorageError
+from repro.lint.lockdep import make_lock
 
 __all__ = ["BreakerState", "CircuitBreaker"]
 
@@ -81,7 +81,7 @@ class CircuitBreaker:
         self.reset_after_ms = reset_after_ms
         self._clock = clock or time.monotonic
         self._on_state_change = on_state_change
-        self._lock = threading.Lock()
+        self._lock = make_lock("CircuitBreaker._lock", reentrant=False)
         self._state = BreakerState.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -100,7 +100,7 @@ class CircuitBreaker:
             self._advance()
             return self._state
 
-    def _advance(self) -> None:
+    def _advance(self) -> None:  # reprolint: locked
         """Open -> half-open once the backoff has elapsed (lock held)."""
         if self._state is BreakerState.OPEN:
             elapsed_ms = (self._clock() - self._opened_at) * 1000.0
@@ -108,7 +108,7 @@ class CircuitBreaker:
                 self._set_state(BreakerState.HALF_OPEN)
                 self._probe_in_flight = False
 
-    def _set_state(self, state: BreakerState) -> None:
+    def _set_state(self, state: BreakerState) -> None:  # reprolint: locked
         if state is self._state:
             return
         self._state = state

@@ -41,6 +41,7 @@ from repro.errors import (
     ServiceOverloadedError,
     ServiceStoppedError,
 )
+from repro.lint.lockdep import make_lock
 from repro.mdx.budget import QueryBudget
 from repro.obs.trace import TRACER, Span
 from repro.service.breaker import BreakerState, CircuitBreaker
@@ -188,7 +189,7 @@ class QueryService:
             maxsize=queue_depth
         )
         self._closed = False
-        self._lock = threading.Lock()
+        self._lock = make_lock("QueryService._lock", reentrant=False)
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,

@@ -46,6 +46,7 @@ from repro.errors import (
     ServiceError,
 )
 from repro.faults import FAULTS
+from repro.lint.lockdep import make_lock
 from repro.mdx.budget import QueryBudget
 from repro.olap.missing import is_missing
 from repro.service.breaker import CircuitBreaker
@@ -211,7 +212,7 @@ class _Chaos:
     def __init__(self, config: StressConfig) -> None:
         self.config = config
         self.stop = threading.Event()
-        self.lock = threading.Lock()
+        self.lock = make_lock("_Chaos.lock", reentrant=False)
         self.completed: list[QueryTicket] = []
         self.report = StressReport(config)
 

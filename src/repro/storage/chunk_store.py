@@ -14,13 +14,13 @@ minimises.
 
 from __future__ import annotations
 
-import threading
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import StorageError
 from repro.faults import inject_io_fault, register_failpoint, with_retries
+from repro.lint.lockdep import make_lock
 from repro.obs.trace import trace_event
 from repro.storage.chunks import Chunk, ChunkCoord, ChunkGrid
 from repro.storage.io_stats import IoCostModel, IoStats
@@ -78,7 +78,7 @@ class ChunkStore:
         self._positions: dict[ChunkCoord, int] = {}
         self._next_position = 0
         # guards layout mutation (load/padding/fork); reads are lock-free
-        self._lock = threading.RLock()
+        self._lock = make_lock("ChunkStore._lock")
 
     def fork(self) -> "ChunkStore":
         """A chunk-level **copy-on-write** snapshot of this store.

@@ -8,7 +8,6 @@ A :class:`Warehouse` bundles everything a client needs: the cube schema
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -20,6 +19,7 @@ from repro.errors import (
     UnknownMemberError,
 )
 from repro.faults import FAULTS
+from repro.lint.lockdep import make_lock
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.trace import TRACER
@@ -87,7 +87,7 @@ class Warehouse:
         self.slow_log = SlowQueryLog()
         # one cached snapshot per version (see snapshot()); guarded so two
         # concurrent first-snapshots of a version don't copy the cube twice
-        self._snapshot_lock = threading.Lock()
+        self._snapshot_lock = make_lock("Warehouse._snapshot_lock", reentrant=False)
         self._snapshot_cache: "object | None" = None
 
     def snapshot(self):

@@ -157,6 +157,66 @@ class TestWarnings:
         assert not report.has_errors
 
 
+class TestChainFindings:
+    def test_wif501_double_relocation_across_splits(self, example):
+        inner = SplitNode(
+            BaseCube(), "Organization", (("Joe", "Contractor", "PTE", "Mar"),)
+        )
+        plan = SplitNode(
+            inner, "Organization", (("Joe", "Contractor", "FTE", "Mar"),)
+        )
+        report = analyze_plan(plan, example.schema)
+        assert "WIF501" in report.codes()
+        assert not report.has_errors  # runnable, just contradictory
+
+    def test_wif501_not_reported_for_distinct_moments(self, example):
+        inner = SplitNode(
+            BaseCube(), "Organization", (("Joe", "FTE", "PTE", "Feb"),)
+        )
+        plan = SplitNode(
+            inner, "Organization", (("Joe", "Contractor", "FTE", "Mar"),)
+        )
+        assert "WIF501" not in codes_of(plan, example)
+
+    def test_wif501_not_reported_within_one_split(self, example):
+        plan = SplitNode(
+            BaseCube(),
+            "Organization",
+            (
+                ("Joe", "Contractor", "PTE", "Mar"),
+                ("Joe", "FTE", "PTE", "Feb"),
+            ),
+        )
+        assert "WIF501" not in codes_of(plan, example)
+
+    def test_wif502_dead_perspective(self, example):
+        inner = PerspectiveNode(
+            BaseCube(), "Organization", (3,), Semantics.STATIC
+        )
+        plan = SelectNode(inner, "Organization", ValidityIntersects({1}))
+        report = analyze_plan(plan, example.schema)
+        assert "WIF502" in report.codes()
+        assert not report.has_errors
+
+    def test_wif502_not_reported_when_scopes_meet(self, example):
+        inner = PerspectiveNode(
+            BaseCube(), "Organization", (1, 3), Semantics.STATIC
+        )
+        plan = SelectNode(inner, "Organization", ValidityIntersects({1}))
+        assert "WIF502" not in codes_of(plan, example)
+
+    def test_wif502_ignores_other_dimensions_and_not(self, example):
+        inner = PerspectiveNode(
+            BaseCube(), "Organization", (3,), Semantics.STATIC
+        )
+        other_dim = SelectNode(inner, "Location", MemberEquals("NY"))
+        assert "WIF502" not in codes_of(other_dim, example)
+        negated = SelectNode(
+            inner, "Organization", Not(ValidityIntersects({1}))
+        )
+        assert "WIF502" not in codes_of(negated, example)
+
+
 class TestOptimizerLints:
     def test_wif404_redundant_static_perspective(self, example):
         inner = PerspectiveNode(

@@ -1,0 +1,23 @@
+"""RPL101 trigger: ChunkStore._lock (rank 9) held while calling into
+QueryService.submit, which acquires QueryService._lock (rank 1)."""
+
+from repro.lint.lockdep import make_lock
+
+
+class QueryService:
+    def __init__(self):
+        self._lock = make_lock("QueryService._lock", reentrant=False)
+
+    def submit(self, job):
+        with self._lock:
+            return job
+
+
+class ChunkStore:
+    def __init__(self, service):
+        self._lock = make_lock("ChunkStore._lock")
+        self._service = service
+
+    def write_through(self, job):
+        with self._lock:
+            return self._service.submit(job)

@@ -1,0 +1,23 @@
+"""RPL101 clean counterpart: the same two locks nested in the order
+LOCK_ORDER declares (QueryService._lock outside ChunkStore._lock)."""
+
+from repro.lint.lockdep import make_lock
+
+
+class QueryService:
+    def __init__(self, store):
+        self._lock = make_lock("QueryService._lock", reentrant=False)
+        self._store = store
+
+    def submit(self, job):
+        with self._lock:
+            return self._store.write_through(job)
+
+
+class ChunkStore:
+    def __init__(self):
+        self._lock = make_lock("ChunkStore._lock")
+
+    def write_through(self, job):
+        with self._lock:
+            return job

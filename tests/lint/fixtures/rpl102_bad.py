@@ -1,0 +1,24 @@
+"""RPL102 trigger: two undeclared locks (no rank, so RPL101 cannot fire)
+acquired in both orders via mutual calls — a cycle in the edge graph."""
+
+import threading
+
+
+class FooPool:
+    def __init__(self, other):
+        self.foo_lock = threading.Lock()
+        self.other = other
+
+    def foo_step(self, item):
+        with self.foo_lock:
+            return self.other.bar_step(item)
+
+
+class BarPool:
+    def __init__(self, other):
+        self.bar_lock = threading.Lock()
+        self.other = other
+
+    def bar_step(self, item):
+        with self.bar_lock:
+            return self.other.foo_step(item)

@@ -1,0 +1,23 @@
+"""RPL102 clean counterpart: the same two pools, but only FooPool ever
+calls into BarPool — one direction, no cycle."""
+
+import threading
+
+
+class FooPool:
+    def __init__(self, other):
+        self.foo_lock = threading.Lock()
+        self.other = other
+
+    def foo_step(self, item):
+        with self.foo_lock:
+            return self.other.bar_step(item)
+
+
+class BarPool:
+    def __init__(self):
+        self.bar_lock = threading.Lock()
+
+    def bar_step(self, item):
+        with self.bar_lock:
+            return item

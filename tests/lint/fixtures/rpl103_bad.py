@@ -1,0 +1,13 @@
+"""RPL103 trigger: a lock assigned to a class that LOCK_ORDER does not
+declare."""
+
+import threading
+
+
+class ScratchBuffer:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def reset_buffer(self):
+        with self._lock:
+            return None

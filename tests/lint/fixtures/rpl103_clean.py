@@ -1,0 +1,12 @@
+"""RPL103 clean counterpart: Cube._lock is declared in LOCK_ORDER."""
+
+from repro.lint.lockdep import make_lock
+
+
+class Cube:
+    def __init__(self):
+        self._lock = make_lock("Cube._lock")
+
+    def version_probe(self):
+        with self._lock:
+            return 1

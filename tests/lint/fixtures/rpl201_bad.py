@@ -1,0 +1,13 @@
+"""RPL201 trigger: ScenarioCache._entries is guarded state (see
+THREAD_SHARED) mutated outside 'with self._lock:'."""
+
+from repro.lint.lockdep import make_lock
+
+
+class ScenarioCache:
+    def __init__(self):
+        self._lock = make_lock("ScenarioCache._lock")
+        self._entries = {}
+
+    def put(self, key, value):
+        self._entries[key] = value

@@ -1,0 +1,17 @@
+"""RPL201 clean counterpart: the same write under the lock, plus a
+caller-holds-lock helper marked with the 'locked' pragma."""
+
+from repro.lint.lockdep import make_lock
+
+
+class ScenarioCache:
+    def __init__(self):
+        self._lock = make_lock("ScenarioCache._lock")
+        self._entries = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value
+
+    def _reset(self):  # reprolint: locked
+        self._entries = {}

@@ -1,0 +1,10 @@
+"""RPL301 triggers, both directions: FP_ORPHAN is registered but never
+hit; 'fixtures.ghost' is hit but never registered."""
+
+from repro.faults import register_failpoint
+
+FP_ORPHAN = register_failpoint("fixtures.orphan")
+
+
+def touch(registry):
+    registry.hit("fixtures.ghost")

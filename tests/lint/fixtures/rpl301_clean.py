@@ -1,0 +1,9 @@
+"""RPL301 clean counterpart: one failpoint, registered and hit."""
+
+from repro.faults import register_failpoint
+
+FP_FLUSH = register_failpoint("fixtures.flush")
+
+
+def flush(registry):
+    registry.hit(FP_FLUSH)

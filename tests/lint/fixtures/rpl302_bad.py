@@ -1,0 +1,11 @@
+"""RPL302 trigger: the same failpoint name registered twice."""
+
+from repro.faults import register_failpoint
+
+FP_FIRST = register_failpoint("fixtures.dup")
+FP_SECOND = register_failpoint("fixtures.dup")
+
+
+def poke(registry):
+    registry.hit(FP_FIRST)
+    registry.hit(FP_SECOND)

@@ -1,0 +1,11 @@
+"""RPL302 clean counterpart: two distinct failpoint names."""
+
+from repro.faults import register_failpoint
+
+FP_LEFT = register_failpoint("fixtures.left")
+FP_RIGHT = register_failpoint("fixtures.right")
+
+
+def poke(registry):
+    registry.hit(FP_LEFT)
+    registry.hit(FP_RIGHT)

@@ -1,0 +1,10 @@
+"""RPL303 trigger: this file's module name matches the chunk_store I/O
+boundary declarations, but neither boundary touches a failpoint."""
+
+
+class ChunkStore:
+    def read(self, position):
+        return position
+
+    def write(self, payload):
+        return len(payload)

@@ -1,0 +1,17 @@
+"""RPL303 clean counterpart: both declared I/O boundaries hit a
+registered failpoint before touching storage."""
+
+from repro.faults import FAULTS, register_failpoint
+
+FP_READ = register_failpoint("fixtures.chunk_read")
+FP_WRITE = register_failpoint("fixtures.chunk_write")
+
+
+class ChunkStore:
+    def read(self, position):
+        FAULTS.hit(FP_READ)
+        return position
+
+    def write(self, payload):
+        FAULTS.hit(FP_WRITE)
+        return len(payload)

@@ -1,0 +1,9 @@
+"""RPL401 triggers: camelCase name, histogram without '_ms', and a
+double underscore."""
+
+
+def install_metrics(registry):
+    queries = registry.counter("queriesServed")
+    latency = registry.histogram("latency_seconds")
+    depth = registry.gauge("queue__depth")
+    return queries, latency, depth

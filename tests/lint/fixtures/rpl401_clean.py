@@ -1,0 +1,9 @@
+"""RPL401 clean counterpart: snake_case, '_total' counter, '_ms'
+histogram."""
+
+
+def install_metrics(registry):
+    queries = registry.counter("queries_total")
+    latency = registry.histogram("latency_ms")
+    depth = registry.gauge("queue_depth")
+    return queries, latency, depth

@@ -1,0 +1,16 @@
+"""RPL402 triggers: a span ended outside any 'finally' (leaks on
+exception) and a bare trace_span call that is not a 'with' item."""
+
+from repro.obs.trace import TRACER, trace_span
+
+
+def leaky(payload):
+    span = TRACER.start("lint.fixture", payload=payload)
+    result = payload * 2
+    TRACER.end(span)
+    return result
+
+
+def bare(payload):
+    trace_span("lint.fixture.bare")
+    return payload

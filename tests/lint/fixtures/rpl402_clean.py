@@ -1,0 +1,17 @@
+"""RPL402 clean counterpart: start/end in try/finally and trace_span as
+a context manager."""
+
+from repro.obs.trace import TRACER, trace_span
+
+
+def guarded(payload):
+    span = TRACER.start("lint.fixture", payload=payload)
+    try:
+        return payload * 2
+    finally:
+        TRACER.end(span)
+
+
+def scoped(payload):
+    with trace_span("lint.fixture.scoped"):
+        return payload

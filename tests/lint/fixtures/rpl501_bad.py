@@ -1,0 +1,9 @@
+"""RPL501 trigger: Warehouse.query is a public entry point but raises a
+builtin, untyped exception."""
+
+
+class Warehouse:
+    def query(self, text):
+        if not text:
+            raise ValueError("empty query")
+        return text

@@ -1,0 +1,16 @@
+"""RPL501 clean counterpart: the entry point raises a class that reaches
+the ReproError closure — via a fixture-local subclass, exercising the
+static half of the closure computation."""
+
+from repro.errors import QueryError
+
+
+class FixtureQueryError(QueryError):
+    pass
+
+
+class Warehouse:
+    def query(self, text):
+        if not text:
+            raise FixtureQueryError("empty query")
+        return text

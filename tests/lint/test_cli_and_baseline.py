@@ -1,0 +1,132 @@
+"""The ``repro lint`` CLI surface and the committed-baseline mechanics."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, run_lint
+from repro.lint.cli import lint_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def write_baseline(tmp_path, entries):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"entries": entries}), encoding="utf-8")
+    return path
+
+
+class TestExitCodes:
+    def test_missing_path_is_usage_error(self, capsys):
+        assert lint_main(["does/not/exist"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_clean_fixture_exits_zero(self, capsys):
+        code = lint_main([str(FIXTURES / "rpl401_clean.py")])
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_errors_exit_two(self, capsys):
+        assert lint_main([str(FIXTURES / "rpl401_bad.py")]) == 2
+
+    def test_warnings_exit_zero_unless_strict(self, capsys):
+        # RPL103 (undeclared lock) is warning-severity
+        path = str(FIXTURES / "rpl103_bad.py")
+        assert lint_main([path]) == 0
+        assert lint_main([path], strict=True) == 1
+
+    def test_json_output_is_machine_readable(self, capsys):
+        lint_main([str(FIXTURES / "rpl401_bad.py")], json_output=True)
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        rules = {f["rule"] for f in payload["findings"]}
+        assert rules == {"RPL401"}
+        assert all(f["severity"] == "error" for f in payload["findings"])
+
+
+class TestBaseline:
+    def test_baseline_suppresses_matching_findings(self, tmp_path, capsys):
+        baseline = write_baseline(
+            tmp_path,
+            [
+                {
+                    "rule": "RPL401",
+                    "path": "rpl401_bad.py",
+                    "symbol": symbol,
+                    "justification": "fixture: grandfathered for the test",
+                }
+                for symbol in (
+                    "queriesServed", "latency_seconds", "queue__depth"
+                )
+            ],
+        )
+        code = lint_main(
+            [str(FIXTURES / "rpl401_bad.py")],
+            baseline_path=str(baseline),
+            strict=True,
+        )
+        assert code == 0
+        assert "3 baselined" in capsys.readouterr().out
+
+    def test_matching_is_line_number_free(self, tmp_path):
+        baseline = Baseline.load(
+            write_baseline(
+                tmp_path,
+                [{
+                    "rule": "RPL401",
+                    "path": "rpl401_bad.py",
+                    "symbol": "queriesServed",
+                    "justification": "fixture",
+                }],
+            )
+        )
+        report = run_lint([FIXTURES / "rpl401_bad.py"], baseline)
+        assert report.baselined == 1
+        remaining = {f.symbol for f in report.findings if f.rule == "RPL401"}
+        assert remaining == {"latency_seconds", "queue__depth"}
+
+    def test_stale_entry_reports_rpl002(self, tmp_path):
+        baseline = Baseline.load(
+            write_baseline(
+                tmp_path,
+                [{
+                    "rule": "RPL401",
+                    "path": "rpl401_clean.py",
+                    "symbol": "no_such_metric",
+                    "justification": "fixture: intentionally stale",
+                }],
+            )
+        )
+        report = run_lint([FIXTURES / "rpl401_clean.py"], baseline)
+        assert "RPL002" in report.codes()
+        assert not report.has_errors  # stale entries warn, not fail
+
+    def test_justification_is_mandatory(self, tmp_path):
+        path = write_baseline(
+            tmp_path,
+            [{"rule": "RPL401", "path": "x.py", "symbol": "m", "justification": ""}],
+        )
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(path)
+
+    def test_cli_rejects_bad_baseline(self, tmp_path, capsys):
+        path = write_baseline(
+            tmp_path,
+            [{"rule": "RPL401", "path": "x.py", "symbol": "m"}],
+        )
+        code = lint_main(
+            [str(FIXTURES / "rpl401_clean.py")], baseline_path=str(path)
+        )
+        assert code == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+    def test_cli_rejects_missing_baseline(self, tmp_path, capsys):
+        code = lint_main(
+            [str(FIXTURES / "rpl401_clean.py")],
+            baseline_path=str(tmp_path / "absent.json"),
+        )
+        assert code == 2
+        assert "not found" in capsys.readouterr().err

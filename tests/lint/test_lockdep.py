@@ -1,0 +1,154 @@
+"""The runtime lock-order witness (``repro.lint.lockdep``).
+
+The headline property: an ABBA inversion raises
+:class:`~repro.errors.LockOrderError` on the second thread *before* it
+blocks on the inner lock, so the test fails fast instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import LockOrderError
+from repro.lint.lockdep import WITNESS, WitnessLock, make_lock
+
+
+@pytest.fixture(autouse=True)
+def fresh_witness():
+    WITNESS.reset()
+    yield
+    WITNESS.reset()
+
+
+class TestMakeLock:
+    def test_disabled_returns_plain_locks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKDEP", raising=False)
+        assert not isinstance(make_lock("Cube._lock"), WitnessLock)
+        assert not isinstance(
+            make_lock("Cube._lock", reentrant=False), WitnessLock
+        )
+
+    def test_enabled_returns_witness_locks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKDEP", "1")
+        lock = make_lock("Cube._lock")
+        assert isinstance(lock, WitnessLock)
+        assert lock.name == "Cube._lock"
+        assert lock.reentrant
+
+
+class TestHierarchy:
+    def test_declared_order_is_accepted(self):
+        outer = WitnessLock("Warehouse._snapshot_lock", reentrant=False)
+        inner = WitnessLock("Cube._lock")
+        with outer:
+            with inner:
+                pass
+        assert "Cube._lock" in WITNESS.edges()["Warehouse._snapshot_lock"]
+
+    def test_rank_inversion_raises_before_acquiring(self):
+        outer = WitnessLock("Cube._lock")
+        inner = WitnessLock("Warehouse._snapshot_lock", reentrant=False)
+        with outer:
+            with pytest.raises(LockOrderError) as exc_info:
+                inner.acquire()
+        assert exc_info.value.holding == "Cube._lock"
+        assert exc_info.value.acquiring == "Warehouse._snapshot_lock"
+        assert WITNESS.inversions == 1
+        # the real lock was never taken: it is still free for others
+        assert inner.acquire(blocking=False)
+        inner.release()
+
+    def test_reentrant_reacquire_is_allowed(self):
+        lock = WitnessLock("Cube._lock")
+        with lock:
+            with lock:
+                pass
+        assert WITNESS.inversions == 0
+
+    def test_non_reentrant_self_reacquire_fails_fast(self):
+        lock = WitnessLock("FixtureSelf.lock", reentrant=False)
+        lock.acquire()
+        try:
+            with pytest.raises(LockOrderError, match="self-deadlock"):
+                lock.acquire()
+        finally:
+            lock.release()
+
+    def test_same_name_sibling_instances_create_no_edge(self):
+        first = WitnessLock("Counter._lock", reentrant=False)
+        second = WitnessLock("Counter._lock", reentrant=False)
+        with first:
+            with second:
+                pass
+        assert "Counter._lock" not in WITNESS.edges()
+        assert WITNESS.inversions == 0
+
+
+class TestAbbaInversion:
+    def test_two_thread_abba_raises_exactly_once(self):
+        lock_a = WitnessLock("FixtureA.lock", reentrant=False)
+        lock_b = WitnessLock("FixtureB.lock", reentrant=False)
+        errors: list[LockOrderError] = []
+        forward_done = threading.Event()
+
+        def forward():
+            with lock_a:
+                with lock_b:
+                    pass
+            forward_done.set()
+
+        def backward():
+            assert forward_done.wait(5)
+            try:
+                with lock_b:
+                    with lock_a:  # pragma: no cover - must raise first
+                        pass
+            except LockOrderError as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=forward),
+            threading.Thread(target=backward),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(errors) == 1
+        assert errors[0].holding == "FixtureB.lock"
+        assert errors[0].acquiring == "FixtureA.lock"
+        assert WITNESS.inversions == 1
+
+    def test_consistent_order_on_both_threads_is_clean(self):
+        lock_a = WitnessLock("FixtureA.lock", reentrant=False)
+        lock_b = WitnessLock("FixtureB.lock", reentrant=False)
+
+        def worker():
+            for _ in range(50):
+                with lock_a:
+                    with lock_b:
+                        pass
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert WITNESS.inversions == 0
+        assert WITNESS.edges() == {"FixtureA.lock": {"FixtureB.lock"}}
+
+    def test_reset_forgets_witnessed_edges(self):
+        lock_a = WitnessLock("FixtureA.lock", reentrant=False)
+        lock_b = WitnessLock("FixtureB.lock", reentrant=False)
+        with lock_a:
+            with lock_b:
+                pass
+        WITNESS.reset()
+        # the reverse order is legal again after a reset
+        with lock_b:
+            with lock_a:
+                pass
+        assert WITNESS.inversions == 0

@@ -1,0 +1,122 @@
+"""Golden violation corpus: every RPL rule proven live.
+
+Each rule has a failing fixture (the rule fires) and a minimally
+different clean fixture (it does not) under ``tests/lint/fixtures/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintSeverity, run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: (rule, failing fixture, clean fixture) — RPL303 keys on the module
+#: name, so its fixtures live in per-case directories.
+CASES = [
+    ("RPL101", "rpl101_bad.py", "rpl101_clean.py"),
+    ("RPL102", "rpl102_bad.py", "rpl102_clean.py"),
+    ("RPL103", "rpl103_bad.py", "rpl103_clean.py"),
+    ("RPL201", "rpl201_bad.py", "rpl201_clean.py"),
+    ("RPL301", "rpl301_bad.py", "rpl301_clean.py"),
+    ("RPL302", "rpl302_bad.py", "rpl302_clean.py"),
+    ("RPL303", "rpl303_bad", "rpl303_clean"),
+    ("RPL401", "rpl401_bad.py", "rpl401_clean.py"),
+    ("RPL402", "rpl402_bad.py", "rpl402_clean.py"),
+    ("RPL501", "rpl501_bad.py", "rpl501_clean.py"),
+]
+
+
+def lint_fixture(name):
+    return run_lint([FIXTURES / name])
+
+
+@pytest.mark.parametrize("rule,bad,clean", CASES, ids=[c[0] for c in CASES])
+def test_rule_fires_on_failing_fixture(rule, bad, clean):
+    report = lint_fixture(bad)
+    assert rule in report.codes(), report.to_text()
+
+
+@pytest.mark.parametrize("rule,bad,clean", CASES, ids=[c[0] for c in CASES])
+def test_rule_silent_on_clean_fixture(rule, bad, clean):
+    report = lint_fixture(clean)
+    assert rule not in report.codes(), report.to_text()
+
+
+class TestFindingAnatomy:
+    def test_rpl101_carries_span_and_symbol(self):
+        report = lint_fixture("rpl101_bad.py")
+        hits = [f for f in report.findings if f.rule == "RPL101"]
+        assert len(hits) == 1
+        finding = hits[0]
+        assert finding.severity is LintSeverity.ERROR
+        assert finding.symbol == "ChunkStore.write_through"
+        assert finding.path.endswith("rpl101_bad.py")
+        assert finding.line > 0
+        assert "QueryService._lock" in finding.message
+        assert "ChunkStore._lock" in finding.message
+
+    def test_rpl103_is_a_warning(self):
+        report = lint_fixture("rpl103_bad.py")
+        hits = [f for f in report.findings if f.rule == "RPL103"]
+        assert hits and all(
+            f.severity is LintSeverity.WARNING for f in hits
+        )
+        assert hits[0].symbol == "ScratchBuffer._lock"
+
+    def test_rpl301_reports_both_directions(self):
+        report = lint_fixture("rpl301_bad.py")
+        symbols = {f.symbol for f in report.findings if f.rule == "RPL301"}
+        assert "fixtures.orphan" in symbols  # registered, never hit
+        assert "fixtures.ghost" in symbols  # hit, never registered
+
+    def test_rpl401_flags_each_bad_name(self):
+        report = lint_fixture("rpl401_bad.py")
+        symbols = {f.symbol for f in report.findings if f.rule == "RPL401"}
+        assert symbols == {"queriesServed", "latency_seconds", "queue__depth"}
+
+    def test_rpl402_flags_both_leak_shapes(self):
+        report = lint_fixture("rpl402_bad.py")
+        symbols = {f.symbol for f in report.findings if f.rule == "RPL402"}
+        assert symbols == {"leaky", "bare"}
+
+    def test_clean_fixtures_have_no_errors_at_all(self):
+        for _, _, clean in CASES:
+            report = lint_fixture(clean)
+            assert not report.has_errors, (clean, report.to_text())
+
+
+class TestParseFailures:
+    def test_rpl001_on_syntax_error(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def broken(:\n", encoding="utf-8")
+        report = run_lint([broken])
+        assert "RPL001" in report.codes()
+        assert report.has_errors
+
+
+class TestPragmas:
+    def test_ignore_pragma_suppresses_on_its_line(self, tmp_path):
+        target = tmp_path / "pragma_case.py"
+        target.write_text(
+            "def install(registry):\n"
+            '    return registry.counter("badName")'
+            "  # reprolint: ignore[RPL401]\n",
+            encoding="utf-8",
+        )
+        report = run_lint([target])
+        assert "RPL401" not in report.codes()
+
+    def test_ignore_pragma_is_rule_specific(self, tmp_path):
+        target = tmp_path / "pragma_case.py"
+        target.write_text(
+            "def install(registry):\n"
+            '    return registry.counter("badName")'
+            "  # reprolint: ignore[RPL999]\n",
+            encoding="utf-8",
+        )
+        report = run_lint([target])
+        assert "RPL401" in report.codes()

@@ -1,0 +1,25 @@
+"""Self-hosting: the shipped sources lint clean against the committed
+baseline — the same invariant CI enforces with ``repro lint --strict``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Baseline, run_lint
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_src_lints_clean_with_committed_baseline():
+    baseline = Baseline.load(REPO / "lint-baseline.json")
+    report = run_lint([REPO / "src"], baseline)
+    assert report.exit_code(strict=True) == 0, report.to_text()
+    assert report.files_checked > 50
+
+
+def test_committed_baseline_has_no_stale_entries():
+    baseline = Baseline.load(REPO / "lint-baseline.json")
+    report = run_lint([REPO / "src"], baseline)
+    assert "RPL002" not in report.codes(), report.to_text()
+    assert report.baselined == len(baseline.entries)
