@@ -261,6 +261,161 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     return 0 if report.passed else 2
 
 
+def _parse_cell_spec(spec: str) -> "tuple[tuple[str, ...], float | None]":
+    """``coord,coord,...=value`` → (address, value); value ``null``/``-``
+    tombstones the cell."""
+    from repro.errors import CatalogError
+
+    address_part, sep, value_part = spec.rpartition("=")
+    if not sep or not address_part:
+        raise CatalogError(
+            f"bad --cell {spec!r}: expected 'coord,coord,...=value'"
+        )
+    address = tuple(part.strip() for part in address_part.split(","))
+    value_text = value_part.strip().lower()
+    if value_text in ("null", "none", "-"):
+        return address, None
+    try:
+        return address, float(value_part)
+    except ValueError:
+        raise CatalogError(
+            f"bad --cell {spec!r}: value {value_part!r} is not a number "
+            "(use 'null' to tombstone)"
+        ) from None
+
+
+def _open_catalog(args: argparse.Namespace, *, sync: bool = True):
+    """Open the catalog at ``args.root``, bound to a workload base cube
+    unless ``--workload none``."""
+    from repro.catalog import ScenarioCatalog
+
+    workload = getattr(args, "workload", "none")
+    if workload == "none":
+        return ScenarioCatalog(args.root, sync=sync)
+    warehouse = _build_warehouse(workload)
+    return warehouse.attach_catalog(args.root, sync=sync)
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    """The ``catalog`` subcommand: durable scenario workspaces.
+
+    Opening the catalog *is* crash recovery: any torn journal tail is
+    rolled back and replayable operations are redone before the action
+    runs; a non-clean recovery is reported on stderr.  Exit-code
+    contract: 0 = done, 2 = any error (typed, one line on stderr).
+    """
+    import json as json_module
+
+    catalog = _open_catalog(args, sync=not getattr(args, "no_sync", False))
+    recovery = catalog.recovery
+    if recovery.outcome != "clean":
+        print(
+            f"repro: catalog recovered ({recovery.outcome}): "
+            f"{recovery.replayed} replayed, "
+            f"{len(recovery.quarantined)} quarantined",
+            file=sys.stderr,
+        )
+    action = args.catalog_command
+    if action == "list":
+        infos = catalog.list_scenarios(tenant=args.tenant)
+        if args.json:
+            print(json_module.dumps([info.__dict__ for info in infos], indent=2))
+        else:
+            stats = catalog.stats()
+            for info in infos:
+                print(
+                    f"{info.name}\ttenant={info.tenant}\t"
+                    f"cells={info.changed_cells}\tbytes={info.delta_bytes}"
+                    + (f"\tparent={info.parent}" if info.parent else "")
+                )
+            print(
+                f"# {stats['scenarios']} scenario(s), "
+                f"{stats['delta_bytes']} delta bytes, "
+                f"generation {stats['generation']}",
+                file=sys.stderr,
+            )
+    elif action == "create":
+        cells = dict(_parse_cell_spec(spec) for spec in args.cell or [])
+        info = catalog.create(args.name, tenant=args.tenant, cells=cells)
+        print(f"created {info.name} ({info.changed_cells} cells, "
+              f"{info.delta_bytes} bytes)")
+    elif action == "drop":
+        catalog.drop(args.name)
+        print(f"dropped {args.name}")
+    elif action == "diff":
+        report = catalog.diff(args.a, args.b)
+        if args.json:
+            print(json_module.dumps(report.to_dict(), indent=2))
+        else:
+            print(
+                f"{report.a} vs {report.b}: "
+                f"{report.changed_cells} differing cell(s), "
+                f"overlap {report.overlap:.3f}"
+            )
+            if report.identical:
+                print("scenarios are identical")
+            elif report.a_contained_in_b:
+                print(f"{report.a} is contained in {report.b}")
+            elif report.b_contained_in_a:
+                print(f"{report.b} is contained in {report.a}")
+            if report.conflicting_chunks:
+                print(
+                    "merge would conflict on: "
+                    + ", ".join(report.conflicting_chunks)
+                )
+    elif action == "gc":
+        report = catalog.gc()
+        for key in sorted(report):
+            print(f"{key}={report[key]}")
+    else:  # smoke
+        return _catalog_smoke(catalog, args)
+    catalog.close()
+    return 0
+
+
+def _catalog_smoke(catalog, args: argparse.Namespace) -> int:
+    """The CI ``catalog-smoke`` gate: create N scenarios, tear the
+    journal mid-record (the kill), reopen, recover, diff — asserting the
+    crash contract end to end."""
+    from repro.catalog import ScenarioCatalog
+
+    count = args.scenarios
+    base = catalog.base
+    address = next(iter(base.leaf_cells()))[0] if base is not None else ("a",)
+    for index in range(count):
+        catalog.create(
+            f"smoke-{index:05d}",
+            tenant=f"tenant-{index % 7}",
+            cells={address: float(index)},
+        )
+    catalog.flush()
+    stats = catalog.stats()
+    catalog.close()
+    # the kill: a torn half-record at the journal tail
+    journal = catalog._journal.path
+    with open(journal, "ab") as handle:
+        handle.write(b"deadbeef torn-record-no-newline")
+    reopened = ScenarioCatalog(args.root, base=base)
+    recovery = reopened.recovery
+    survivors = len(reopened)
+    report = reopened.diff("smoke-00000", f"smoke-{count - 1:05d}")
+    reopened.close()
+    print(
+        f"catalog-smoke: {count} created, {survivors} after reopen "
+        f"({recovery.outcome}; {recovery.replayed} replayed), "
+        f"{stats['delta_bytes']} delta bytes, "
+        f"diff changed_cells={report.changed_cells}"
+    )
+    if survivors != count or not recovery.rolled_back:
+        print(
+            "repro: catalog-smoke FAILED: expected every scenario to "
+            "survive a torn-tail kill",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """The ``lint`` subcommand: reprolint over source trees.
 
@@ -593,6 +748,77 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 on warnings (errors always exit 2)",
     )
+    catalog = subparsers.add_parser(
+        "catalog",
+        help="manage durable what-if scenario workspaces",
+        description=(
+            "Operate on a crash-safe, delta-encoded scenario catalog "
+            "(see docs/scenarios.md).  Opening the catalog replays its "
+            "write-ahead journal, so every action below is also a "
+            "recovery.  Exit codes: 0 = ok, 2 = error."
+        ),
+    )
+    catalog_sub = catalog.add_subparsers(dest="catalog_command", required=True)
+
+    def _catalog_common(sub: argparse.ArgumentParser, workload: str) -> None:
+        sub.add_argument("root", help="catalog directory")
+        sub.add_argument(
+            "--workload",
+            choices=["running", "workforce", "none"],
+            default=workload,
+            help="base cube to bind scenarios to "
+            f"(default: {workload})",
+        )
+
+    cat_list = catalog_sub.add_parser(
+        "list", help="list scenarios (optionally one tenant's)"
+    )
+    _catalog_common(cat_list, "none")
+    cat_list.add_argument("--tenant", default=None, help="filter by tenant")
+    cat_list.add_argument("--json", action="store_true", help="emit JSON")
+    cat_create = catalog_sub.add_parser(
+        "create", help="create a scenario with optional cell overrides"
+    )
+    _catalog_common(cat_create, "running")
+    cat_create.add_argument("name", help="scenario name")
+    cat_create.add_argument("--tenant", default="default", help="owning tenant")
+    cat_create.add_argument(
+        "--cell",
+        action="append",
+        metavar="COORD,COORD,...=VALUE",
+        help="cell override (repeatable); VALUE 'null' tombstones the cell",
+    )
+    cat_drop = catalog_sub.add_parser("drop", help="drop a scenario")
+    _catalog_common(cat_drop, "none")
+    cat_drop.add_argument("name", help="scenario name")
+    cat_diff = catalog_sub.add_parser(
+        "diff", help="diff two scenarios (containment/overlap/conflicts)"
+    )
+    _catalog_common(cat_diff, "none")
+    cat_diff.add_argument("a", help="first scenario")
+    cat_diff.add_argument("b", help="second scenario")
+    cat_diff.add_argument("--json", action="store_true", help="emit JSON")
+    cat_gc = catalog_sub.add_parser(
+        "gc", help="checkpoint the journal and sweep orphaned delta files"
+    )
+    _catalog_common(cat_gc, "none")
+    cat_smoke = catalog_sub.add_parser(
+        "smoke",
+        help="CI gate: create N scenarios, kill mid-write, reopen, diff",
+    )
+    _catalog_common(cat_smoke, "running")
+    cat_smoke.add_argument(
+        "--scenarios",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="number of scenarios to create (default: 1000)",
+    )
+    cat_smoke.add_argument(
+        "--no-sync",
+        action="store_true",
+        help="skip per-commit fsync (bulk-load speed)",
+    )
     args = parser.parse_args(argv)
     if args.version:
         print(repro.__version__)
@@ -613,6 +839,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_stress(args)
         if args.command == "lint":
             return _cmd_lint(args)
+        if args.command == "catalog":
+            return _cmd_catalog(args)
         return _demo(budget=_budget_from_args(args))
     except (ReproError, OSError) as exc:
         # IO, corruption, format, and query errors share one contract:

@@ -1,0 +1,35 @@
+"""Durable scenario workspaces (ROADMAP item 3).
+
+The paper's what-if sessions assume an analyst keeps hypothetical worlds
+alive across many queries; this package makes those worlds survive the
+*process*.  A :class:`~repro.catalog.catalog.ScenarioCatalog` stores
+named, delta-encoded branches of the warehouse behind a write-ahead
+journal, recovers from a kill at any instruction (replay or rollback,
+never a torn state), supports git-like ``fork`` / ``merge`` / ``rebase``
+/ ``diff`` between branches, and enforces per-tenant quotas.
+
+See ``docs/scenarios.md`` for the catalog model, the journal format, the
+recovery policy and the quota semantics.
+"""
+
+from repro.catalog.catalog import (
+    CatalogRecovery,
+    ScenarioCatalog,
+    ScenarioInfo,
+    TenantQuota,
+)
+from repro.catalog.diff import ScenarioDiff, diff_states
+from repro.catalog.journal import CatalogJournal
+from repro.catalog.model import Delta, ScenarioState
+
+__all__ = [
+    "CatalogJournal",
+    "CatalogRecovery",
+    "Delta",
+    "ScenarioCatalog",
+    "ScenarioDiff",
+    "ScenarioInfo",
+    "ScenarioState",
+    "TenantQuota",
+    "diff_states",
+]

@@ -1,0 +1,107 @@
+"""The scenario diff operator: containment / overlap / changed cells.
+
+"A Cube Algebra with Comparative Operations" (PAPERS.md) motivates
+first-class *comparative* operators between cubes; for delta-encoded
+scenarios the comparison never needs the materialized cubes — two
+scenarios over the same base differ exactly where their deltas differ,
+so the report is computed from the deltas alone in
+O(|delta_a| + |delta_b|).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.model import ScenarioState, conflicting_chunks
+from repro.olap.schema import Address
+
+__all__ = ["ScenarioDiff", "diff_states"]
+
+
+@dataclass(frozen=True)
+class ScenarioDiff:
+    """Structured comparison of two scenarios' change sets."""
+
+    a: str
+    b: str
+    #: addresses only scenario ``a`` overrides
+    only_in_a: tuple[Address, ...]
+    #: addresses only scenario ``b`` overrides
+    only_in_b: tuple[Address, ...]
+    #: addresses both override with the *same* value
+    agree: tuple[Address, ...]
+    #: (address, value in a, value in b) where both override differently
+    differ: "tuple[tuple[Address, float | None, float | None], ...]"
+    #: chunks the two change sets touch in incompatible ways (the merge
+    #: conflict set, reported here so diff doubles as a merge preflight)
+    conflicting_chunks: tuple[str, ...]
+
+    @property
+    def a_contained_in_b(self) -> bool:
+        """Every change in ``a`` appears identically in ``b``."""
+        return not self.only_in_a and not self.differ
+
+    @property
+    def b_contained_in_a(self) -> bool:
+        return not self.only_in_b and not self.differ
+
+    @property
+    def identical(self) -> bool:
+        return self.a_contained_in_b and self.b_contained_in_a
+
+    @property
+    def overlap(self) -> float:
+        """Jaccard overlap of the changed-address sets (1.0 = same
+        cells changed, regardless of the values written)."""
+        common = len(self.agree) + len(self.differ)
+        union = common + len(self.only_in_a) + len(self.only_in_b)
+        return common / union if union else 1.0
+
+    @property
+    def changed_cells(self) -> int:
+        """Cells where materializing ``a`` and ``b`` would disagree."""
+        return len(self.only_in_a) + len(self.only_in_b) + len(self.differ)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (the CLI's output format)."""
+        return {
+            "a": self.a,
+            "b": self.b,
+            "identical": self.identical,
+            "a_contained_in_b": self.a_contained_in_b,
+            "b_contained_in_a": self.b_contained_in_a,
+            "overlap": round(self.overlap, 6),
+            "changed_cells": self.changed_cells,
+            "only_in_a": [list(addr) for addr in self.only_in_a],
+            "only_in_b": [list(addr) for addr in self.only_in_b],
+            "agree": len(self.agree),
+            "differ": [
+                [list(addr), va, vb] for addr, va, vb in self.differ
+            ],
+            "conflicting_chunks": list(self.conflicting_chunks),
+        }
+
+
+def diff_states(
+    a: ScenarioState, b: ScenarioState, chunk_depth: int
+) -> ScenarioDiff:
+    only_in_a = tuple(sorted(set(a.delta) - set(b.delta)))
+    only_in_b = tuple(sorted(set(b.delta) - set(a.delta)))
+    agree: list[Address] = []
+    differ: list[tuple[Address, float | None, float | None]] = []
+    for address in sorted(set(a.delta) & set(b.delta)):
+        va, vb = a.delta[address], b.delta[address]
+        if va == vb:
+            agree.append(address)
+        else:
+            differ.append((address, va, vb))
+    chunks, _ = conflicting_chunks(a.delta, b.delta, chunk_depth)
+    return ScenarioDiff(
+        a=a.name,
+        b=b.name,
+        only_in_a=only_in_a,
+        only_in_b=only_in_b,
+        agree=tuple(agree),
+        differ=tuple(differ),
+        conflicting_chunks=chunks,
+    )

@@ -1,0 +1,214 @@
+"""Write-ahead journal for the scenario catalog.
+
+One append-only JSONL file (``journal.wal``).  Each line is::
+
+    <sha256-hex> <canonical-json-record>\\n
+
+where the digest covers exactly the canonical JSON text that follows the
+single separating space, and the record carries a strictly increasing
+``lsn``.  The append protocol is *append record → flush → fsync → apply*:
+a catalog mutation is durable the moment its journal line reaches disk,
+and only then is it applied to the delta files and the in-memory index.
+
+Recovery reads the file front to back and stops at the first line that is
+short, unparseable, checksum-mismatched, or out of LSN order — everything
+from that offset on is a **torn tail** (the classic kill-during-append)
+and is physically truncated away, which is exactly the
+"roll back to the pre-op state" half of the crash contract.  Records that
+did land are replayed idempotently: each carries the *full* resulting
+scenario state, so redo is a blind install, never a re-execution of
+merge/rebase logic against a world that has moved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO
+
+from repro.catalog.model import canonical_json, payload_digest
+from repro.errors import CatalogError
+from repro.faults import inject_io_fault, register_failpoint
+from repro.lint.lockdep import make_lock
+from repro.obs.trace import trace_span
+
+__all__ = ["CatalogJournal", "JournalRecord", "FP_JOURNAL_APPEND"]
+
+FP_JOURNAL_APPEND = register_failpoint("catalog.journal.append")
+
+#: A parsed journal record: plain dict payload with at least
+#: ``lsn`` (int) and ``op`` (str).
+JournalRecord = dict
+
+
+class CatalogJournal:
+    """Append-only, checksummed, fsync-on-append JSONL journal.
+
+    ``sync=False`` trades the per-append fsync for throughput (used by the
+    bulk-load CLI and the 10k-scenario acceptance workload); the torn-tail
+    rollback still holds, the only weakening is that an acknowledged
+    append may be lost on power failure — never half-applied.
+    """
+
+    def __init__(self, path: Path, *, sync: bool = True) -> None:
+        self.path = path
+        self.sync = sync
+        self._lock = make_lock("CatalogJournal._lock")
+        self._handle: "IO[str] | None" = None
+        self._next_lsn = 1
+
+    # -- writing ------------------------------------------------------------
+
+    def append(self, record: JournalRecord) -> int:
+        """Durably append ``record``; returns the LSN it was assigned.
+
+        The failpoint fires *before* any byte is written, so an injected
+        crash here models "power lost before the WAL append" — recovery
+        must land on the pre-op state.
+        """
+        with trace_span("catalog.journal.append"), self._lock:
+            inject_io_fault(FP_JOURNAL_APPEND)
+            lsn = self._next_lsn
+            payload = dict(record)
+            payload["lsn"] = lsn
+            body = canonical_json(payload)
+            line = f"{payload_digest(body)} {body}\n"
+            handle = self._open_handle()
+            handle.write(line)
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+            self._next_lsn = lsn + 1
+            return lsn
+
+    def _open_handle(self) -> "IO[str]":  # reprolint: locked
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def set_next_lsn(self, next_lsn: int) -> None:
+        """Position the append cursor (called once after recovery)."""
+        with self._lock:
+            self._next_lsn = next_lsn
+
+    @property
+    def next_lsn(self) -> int:
+        with self._lock:
+            return self._next_lsn
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def flush(self) -> None:
+        """Force buffered appends to disk (used by ``sync=False`` callers
+        at batch boundaries)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover(self) -> "tuple[list[JournalRecord], list[str]]":
+        """Read every intact record; physically truncate any torn tail.
+
+        Returns ``(records, notes)`` — ``notes`` is non-empty iff a torn
+        tail was rolled back (with the reason and byte offset).  After
+        this call the append cursor points one past the highest LSN seen.
+        """
+        with trace_span("catalog.journal.recover"), self._lock:
+            if self._handle is not None:  # recovery happens before writes
+                self._handle.close()
+                self._handle = None
+            records, valid_bytes, note = self._scan()
+            notes: list[str] = []
+            if note is not None:
+                self._truncate(valid_bytes)
+                notes.append(
+                    f"rolled back torn journal tail at byte {valid_bytes}: "
+                    f"{note}"
+                )
+            last_lsn = records[-1]["lsn"] if records else 0
+            self._next_lsn = int(last_lsn) + 1
+            return records, notes
+
+    def _scan(self) -> "tuple[list[JournalRecord], int, str | None]":
+        """Parse the journal; returns (records, valid-byte-count, torn-note).
+
+        ``torn-note`` is ``None`` when the whole file is intact.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return [], 0, None
+        except OSError as exc:
+            raise CatalogError(
+                f"journal {self.path} unreadable: {exc}"
+            ) from exc
+
+        records: list[JournalRecord] = []
+        offset = 0
+        last_lsn = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                return records, offset, "record without trailing newline"
+            line = raw[offset : newline]
+            try:
+                text = line.decode("utf-8")
+            except UnicodeDecodeError:
+                return records, offset, "record is not valid UTF-8"
+            digest, sep, body = text.partition(" ")
+            if not sep or len(digest) != 64:
+                return records, offset, "record missing checksum prefix"
+            if payload_digest(body) != digest:
+                return records, offset, "record checksum mismatch"
+            try:
+                record = json.loads(body)
+            except json.JSONDecodeError:
+                return records, offset, "record is not parseable JSON"
+            if not isinstance(record, dict) or "lsn" not in record:
+                return records, offset, "record has no lsn"
+            lsn = int(record["lsn"])
+            if lsn <= last_lsn:
+                return records, offset, (
+                    f"lsn {lsn} out of order after {last_lsn}"
+                )
+            last_lsn = lsn
+            records.append(record)
+            offset = newline + 1
+        return records, offset, None
+
+    def _truncate(self, valid_bytes: int) -> None:
+        with open(self.path, "r+b") as handle:
+            handle.truncate(valid_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def reset(self) -> None:
+        """Empty the journal (called after a checkpoint made it redundant).
+
+        Truncation, not deletion: an existing-but-empty WAL is
+        unambiguous, while a missing one is indistinguishable from a
+        never-journaled store.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            if self.path.exists():
+                self._truncate(0)
+
+    def size_bytes(self) -> int:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+            try:
+                return self.path.stat().st_size
+            except FileNotFoundError:
+                return 0

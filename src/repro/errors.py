@@ -172,6 +172,107 @@ class TransientFaultError(FaultInjectedError):
     a plain :class:`FaultInjectedError` is terminal."""
 
 
+class CatalogError(ReproError):
+    """Base class for scenario-catalog failures (:mod:`repro.catalog`)."""
+
+
+class ScenarioNotFoundError(CatalogError):
+    """A catalog operation named a scenario that does not exist."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"scenario {name!r} does not exist in the catalog")
+        self.name = name
+
+
+class ScenarioExistsError(CatalogError):
+    """A create/fork tried to reuse an existing scenario name."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"scenario {name!r} already exists in the catalog")
+        self.name = name
+
+
+class ScenarioConflictError(CatalogError):
+    """A merge or rebase found chunks changed on both sides.
+
+    Conflicts are detected at *chunk* granularity (see
+    :mod:`repro.catalog.model`): two branches that touched the same chunk
+    cannot be combined automatically.  ``chunks`` names the conflicting
+    chunk keys and ``addresses`` the changed cell addresses inside them,
+    so callers can resolve explicitly (``on_conflict="ours"/"theirs"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        chunks: "tuple[str, ...]" = (),
+        addresses: "tuple[tuple[str, ...], ...]" = (),
+    ) -> None:
+        if chunks:
+            message = f"{message}; conflicting chunks: {', '.join(chunks)}"
+        if addresses:
+            rendered = ", ".join("/".join(addr) for addr in addresses[:8])
+            if len(addresses) > 8:
+                rendered += f", ... ({len(addresses)} total)"
+            message = f"{message}; conflicting addresses: {rendered}"
+        super().__init__(message)
+        self.chunks = chunks
+        self.addresses = addresses
+
+
+class ScenarioQuotaError(CatalogError):
+    """A tenant exceeded its scenario-catalog quota.
+
+    The breach degrades gracefully: the offending operation fails with
+    this typed error and **nothing is evicted silently** — existing
+    scenarios are never dropped to make room.  ``quota`` names which
+    limit tripped (``"max-scenarios"`` or ``"max-delta-bytes"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        tenant: str = "",
+        quota: str = "",
+        limit: int = 0,
+        used: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.quota = quota
+        self.limit = limit
+        self.used = used
+
+
+class CatalogCorruptionError(CatalogError, StorageError):
+    """A persisted scenario catalog failed integrity checks beyond what
+    journal replay could repair.
+
+    ``lost`` names the scenarios whose delta files are gone for good;
+    ``quarantined`` lists the ``*.corrupt`` siblings holding the damaged
+    originals for post-mortem inspection.  Opening with
+    ``allow_lost=True`` drops the named scenarios (recorded in the
+    recovery report) instead of raising.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lost: "tuple[str, ...]" = (),
+        quarantined: "tuple[str, ...]" = (),
+    ) -> None:
+        if lost:
+            message = f"{message}; lost: {', '.join(lost)}"
+        if quarantined:
+            message = f"{message}; quarantined: {', '.join(quarantined)}"
+        super().__init__(message)
+        self.lost = lost
+        self.quarantined = quarantined
+
+
 class QueryBudgetExceededError(ReproError):
     """A query exhausted its :class:`~repro.mdx.budget.QueryBudget` in a
     phase that cannot produce a partial result (axis resolution).  Cell

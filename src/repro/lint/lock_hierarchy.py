@@ -36,6 +36,12 @@ LOCK_ORDER: tuple[str, ...] = (
     "_Chaos.lock",
     "QueryService._lock",
     "Warehouse._snapshot_lock",
+    # The catalog lock nests *inside* service/warehouse scopes but
+    # *outside* cube, cache and journal locks: every catalog op may copy
+    # cubes (Cube._lock), consult the materialization cache
+    # (ScenarioCache._lock) and append to its WAL (CatalogJournal._lock).
+    "ScenarioCatalog._lock",
+    "CatalogJournal._lock",
     "CircuitBreaker._lock",
     "Cube._lock",
     "RollupIndex._lock",
@@ -83,7 +89,10 @@ THREAD_SHARED: dict[str, GuardSpec] = {
     "ScenarioCache": GuardSpec("_lock", ("_entries",)),
     "SlowQueryLog": GuardSpec("_lock", ("_entries", "observed", "recorded")),
     "FaultRegistry": GuardSpec("_lock", ("_armed",)),
-    "ChunkStore": GuardSpec("_lock", ("_chunks", "_positions", "_next_position")),
+    "ChunkStore": GuardSpec(
+        "_lock",
+        ("_chunks", "_positions", "_next_position", "_fork_charges"),
+    ),
     "MetricsRegistry": GuardSpec("_lock", ("_metrics", "_collectors")),
     "Counter": GuardSpec("_lock", ("value",)),
     "Gauge": GuardSpec("_lock", ("value",)),
@@ -97,6 +106,18 @@ THREAD_SHARED: dict[str, GuardSpec] = {
     ),
     "QueryService": GuardSpec("_lock", ("_closed",)),
     "Warehouse": GuardSpec("_snapshot_lock", ("_snapshot_cache",)),
+    "ScenarioCatalog": GuardSpec(
+        "_lock",
+        (
+            "_scenarios",
+            "_sizes",
+            "_generation",
+            "_checkpoint_lsn",
+            "_gauged_tenants",
+            "_base_digest_cache",
+        ),
+    ),
+    "CatalogJournal": GuardSpec("_lock", ("_handle", "_next_lsn")),
 }
 
 
@@ -112,6 +133,15 @@ ENTRY_POINTS: frozenset[str] = frozenset(
         "QueryService.close",
         "QueryTicket.result",
         "QueryTicket.exception",
+        "ScenarioCatalog.create",
+        "ScenarioCatalog.fork",
+        "ScenarioCatalog.update",
+        "ScenarioCatalog.merge",
+        "ScenarioCatalog.rebase",
+        "ScenarioCatalog.drop",
+        "ScenarioCatalog.diff",
+        "ScenarioCatalog.materialize",
+        "ScenarioCatalog.gc",
     }
 )
 
@@ -124,6 +154,10 @@ IO_BOUNDARIES: frozenset[tuple[str, str]] = frozenset(
     {
         ("chunk_store", "ChunkStore.read"),
         ("chunk_store", "ChunkStore.write"),
+        ("chunk_store", "ChunkStore.fork"),
+        ("journal", "CatalogJournal.append"),
+        ("catalog", "ScenarioCatalog._commit"),
+        ("catalog", "ScenarioCatalog._recover"),
         ("io", "_save_warehouse"),
         ("io", "_build_warehouse"),
         ("durability", "atomic_write_text"),

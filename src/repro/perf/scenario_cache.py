@@ -14,6 +14,13 @@ Keys are the tuple of scenario fingerprints
 :meth:`PositiveScenario.fingerprint`); each entry records the base cube's
 mutation version at apply time, and a lookup against a newer version drops
 the entry (counted as an invalidation).
+
+Versions are opaque ``Hashable`` values compared by equality, not ints:
+the persistent catalog (:mod:`repro.catalog`) keys its materialized
+scenario cubes on the *pair* ``(base_cube.version, catalog.generation)``,
+so a merge or rebase — which moves the catalog generation without
+touching the base cube — still invalidates every cached cube for the
+rewritten scenario (the stale-read-after-rebase bug).
 """
 
 from __future__ import annotations
@@ -48,9 +55,9 @@ class ScenarioCache(Generic[V]):
         self.maxsize = maxsize
         self.stats = CacheStats()
         self._lock = make_lock("ScenarioCache._lock")
-        self._entries: "OrderedDict[Hashable, tuple[int, V]]" = OrderedDict()
+        self._entries: "OrderedDict[Hashable, tuple[Hashable, V]]" = OrderedDict()
 
-    def get(self, key: Hashable, version: int) -> "V | None":
+    def get(self, key: Hashable, version: Hashable) -> "V | None":
         with trace_span("scenario_cache.get"), self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -59,7 +66,8 @@ class ScenarioCache(Generic[V]):
                 return None
             cached_version, value = entry
             if cached_version != version:
-                # The base cube mutated since this scenario was applied.
+                # The base cube (or owning catalog) moved since this
+                # scenario was applied.
                 del self._entries[key]
                 self.stats.invalidations += 1
                 self.stats.misses += 1
@@ -70,7 +78,7 @@ class ScenarioCache(Generic[V]):
             trace_event("scenario_cache.hit")
             return value
 
-    def put(self, key: Hashable, version: int, value: V) -> None:
+    def put(self, key: Hashable, version: Hashable, value: V) -> None:
         with trace_span("scenario_cache.put"), self._lock:
             self._entries[key] = (version, value)
             self._entries.move_to_end(key)

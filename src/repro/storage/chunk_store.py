@@ -23,12 +23,13 @@ from repro.faults import inject_io_fault, register_failpoint, with_retries
 from repro.lint.lockdep import make_lock
 from repro.obs.trace import trace_event
 from repro.storage.chunks import Chunk, ChunkCoord, ChunkGrid
-from repro.storage.io_stats import IoCostModel, IoStats
+from repro.storage.io_stats import CacheStats, IoCostModel, IoStats
 
 __all__ = ["ChunkStore", "ResidencyTracker"]
 
 FP_CHUNK_READ = register_failpoint("chunk.read")
 FP_CHUNK_WRITE = register_failpoint("chunk.write")
+FP_CHUNK_FORK = register_failpoint("chunk.fork")
 
 
 class ResidencyTracker:
@@ -74,9 +75,13 @@ class ChunkStore:
         self.grid = grid
         self.cost_model = cost_model or IoCostModel()
         self.stats = IoStats()
+        self.cache_stats = CacheStats()
         self._chunks: dict[ChunkCoord, np.ndarray] = {}
         self._positions: dict[ChunkCoord, int] = {}
         self._next_position = 0
+        self._is_fork = False
+        #: fork-only: chunk -> bytes charged against the COW delta
+        self._fork_charges: dict[ChunkCoord, int] = {}
         # guards layout mutation (load/padding/fork); reads are lock-free
         self._lock = make_lock("ChunkStore._lock")
 
@@ -90,16 +95,49 @@ class ChunkStore:
         bytes.  The fork starts with fresh I/O stats: it models an
         independent reader session over the same physical layout.
 
+        Divergence is *accounted*: each chunk a fork rebinds is charged
+        (once, at its array size) to :meth:`delta_bytes` /
+        :meth:`changed_chunk_count`, and aggregated into the parent's
+        :attr:`cache_stats` — the numbers scenario quotas bill against.
+
         The arrays themselves are the COW unit: callers must treat a
         :meth:`read` result as immutable (replace via :meth:`write`, never
         mutate in place) — the same contract NumPy's own views rely on.
         """
+        with_retries(lambda: inject_io_fault(FP_CHUNK_FORK))
         with self._lock:
             clone = ChunkStore(self.grid, self.cost_model)
             clone._chunks = dict(self._chunks)
             clone._positions = dict(self._positions)
             clone._next_position = self._next_position
+            clone._is_fork = True
+            # one aggregate ledger for the whole fork family
+            clone.cache_stats = self.cache_stats
             return clone
+
+    @property
+    def is_fork(self) -> bool:
+        return self._is_fork
+
+    def delta_bytes(self) -> int:
+        """Bytes of chunk data this fork rebound away from its parent
+        (0 for a non-fork, and for a fork that never wrote)."""
+        with self._lock:
+            return sum(self._fork_charges.values())
+
+    def changed_chunk_count(self) -> int:
+        """Number of chunks this fork rebound away from its parent."""
+        with self._lock:
+            return len(self._fork_charges)
+
+    def _charge_fork_delta(self, coord: ChunkCoord, nbytes: int) -> None:  # reprolint: locked
+        previous = self._fork_charges.get(coord)
+        if previous is None:
+            self.cache_stats.fork_changed_chunks += 1
+            self.cache_stats.fork_delta_bytes += nbytes
+        else:
+            self.cache_stats.fork_delta_bytes += nbytes - previous
+        self._fork_charges[coord] = nbytes
 
     # -- loading (no I/O accounting: this is ETL, not query time) -------------
 
@@ -116,6 +154,8 @@ class ChunkStore:
                 position = self._next_position
             self._positions[coord] = position
             self._next_position = max(self._next_position, position + 1)
+            if self._is_fork:
+                self._charge_fork_delta(coord, int(data.nbytes))
 
     def assign_layout(self, order: Sequence[int]) -> None:
         """Re-lay chunks contiguously in a dimension-order scan sequence."""

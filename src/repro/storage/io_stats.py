@@ -34,6 +34,14 @@ class CacheStats:
     pushed out by capacity pressure (LRU popitem, memo-cap flushes) —
     churn that hit/miss ratios alone cannot distinguish from a healthy
     cache.
+
+    ``fork_delta_bytes`` / ``fork_changed_chunks`` account for
+    copy-on-write divergence: when a forked
+    :class:`~repro.storage.chunk_store.ChunkStore` rebinds a chunk, the
+    rebound array's bytes are charged here (shared with the fork's
+    parent, so one snapshot shows the aggregate COW cost of every live
+    fork).  Quota enforcement reads these — a fork that never writes
+    stays at zero no matter how large the parent cube is.
     """
 
     hits: int = 0
@@ -41,6 +49,8 @@ class CacheStats:
     invalidations: int = 0
     builds: int = 0
     evictions: int = 0
+    fork_delta_bytes: int = 0
+    fork_changed_chunks: int = 0
 
     def reset(self) -> None:
         self.hits = 0
@@ -48,6 +58,8 @@ class CacheStats:
         self.invalidations = 0
         self.builds = 0
         self.evictions = 0
+        self.fork_delta_bytes = 0
+        self.fork_changed_chunks = 0
 
     def snapshot(self) -> dict[str, int]:
         return {
@@ -56,6 +68,8 @@ class CacheStats:
             "invalidations": self.invalidations,
             "builds": self.builds,
             "evictions": self.evictions,
+            "fork_delta_bytes": self.fork_delta_bytes,
+            "fork_changed_chunks": self.fork_changed_chunks,
         }
 
 

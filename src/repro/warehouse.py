@@ -89,6 +89,33 @@ class Warehouse:
         # concurrent first-snapshots of a version don't copy the cube twice
         self._snapshot_lock = make_lock("Warehouse._snapshot_lock", reentrant=False)
         self._snapshot_cache: "object | None" = None
+        #: durable scenario catalog, bound via attach_catalog()
+        self._catalog: "object | None" = None
+
+    # -- durable scenarios --------------------------------------------------------
+
+    def attach_catalog(self, root, **options):
+        """Open (and recover) a durable scenario catalog rooted at
+        ``root``, bound to this warehouse's base cube.
+
+        Returns the :class:`~repro.catalog.ScenarioCatalog`; it is also
+        available as :attr:`catalog` afterwards, and its scenario/byte
+        counters join this warehouse's metrics collectors.  Opening *is*
+        recovery — check ``warehouse.catalog.recovery`` for what a crash
+        left behind.
+        """
+        from repro.catalog import ScenarioCatalog
+
+        catalog = ScenarioCatalog(root, base=self.cube, **options)
+        self._catalog = catalog
+        self.metrics.register_collector("catalog", catalog.stats)
+        return catalog
+
+    @property
+    def catalog(self):
+        """The attached :class:`~repro.catalog.ScenarioCatalog`, or
+        ``None`` before :meth:`attach_catalog`."""
+        return self._catalog
 
     def snapshot(self):
         """An immutable read view pinned to the current cube version.

@@ -1,0 +1,34 @@
+"""Fixtures for the durable scenario-catalog suite.
+
+``JOE`` and ``LISA`` are two leaf addresses of the running example that
+live in *different* chunks (chunk key = first coordinate), so tests can
+construct both conflicting and cleanly-mergeable deltas.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import ScenarioCatalog
+
+#: Joe's January NY salary (base value 10.0) — chunk ["Organization/FTE/Joe"]
+JOE = ("Organization/FTE/Joe", "NY", "Jan", "Salary")
+#: Lisa's January NY salary (base value 10.0) — chunk ["Organization/FTE/Lisa"]
+LISA = ("Organization/FTE/Lisa", "NY", "Jan", "Salary")
+
+
+@pytest.fixture
+def base(example):
+    return example.cube
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "catalog"
+
+
+@pytest.fixture
+def catalog(root, base):
+    cat = ScenarioCatalog(root, base=base)
+    yield cat
+    cat.close()

@@ -1,0 +1,298 @@
+"""ScenarioCatalog behaviour: branching, merging, rebasing, quotas,
+materialization caching, gc, metrics — the non-crash half of the API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import ScenarioCatalog, TenantQuota
+from repro.errors import (
+    CatalogError,
+    ScenarioConflictError,
+    ScenarioExistsError,
+    ScenarioNotFoundError,
+    ScenarioQuotaError,
+)
+from repro.olap.missing import is_missing
+
+from tests.catalog.conftest import JOE, LISA
+
+
+class TestBranching:
+    def test_create_and_materialize(self, catalog, base):
+        catalog.create("raise", cells={JOE: 99.0})
+        cube = catalog.materialize("raise")
+        assert cube.value(JOE) == 99.0
+        assert cube.value(LISA) == base.value(LISA)  # reads through
+        assert base.value(JOE) == 10.0  # base untouched
+
+    def test_tombstone_reads_as_missing(self, catalog):
+        catalog.create("fired", cells={JOE: None})
+        assert is_missing(catalog.materialize("fired").value(JOE))
+
+    def test_create_duplicate_raises(self, catalog):
+        catalog.create("s1")
+        with pytest.raises(ScenarioExistsError):
+            catalog.create("s1")
+
+    def test_missing_scenario_raises(self, catalog):
+        with pytest.raises(ScenarioNotFoundError):
+            catalog.info("nope")
+
+    def test_fork_copies_delta_only(self, catalog):
+        catalog.create("s1", cells={JOE: 99.0})
+        info = catalog.fork("s2", "s1")
+        assert info.parent == "s1"
+        assert info.changed_cells == 1
+        # diverge the fork; the source must not see it
+        catalog.update("s2", {LISA: 1.0})
+        assert catalog.info("s1").changed_cells == 1
+        assert catalog.info("s2").changed_cells == 2
+
+    def test_update_clear_reads_base_again(self, catalog, base):
+        catalog.create("s1", cells={JOE: 99.0})
+        catalog.update("s1", clear=[JOE])
+        assert catalog.info("s1").changed_cells == 0
+        assert catalog.materialize("s1").value(JOE) == base.value(JOE)
+
+    def test_drop_then_recreate(self, catalog):
+        catalog.create("s1", cells={JOE: 99.0})
+        catalog.drop("s1")
+        assert "s1" not in catalog
+        catalog.create("s1")  # name is free again
+        assert catalog.info("s1").changed_cells == 0
+
+
+class TestMergeRebase:
+    def test_disjoint_merge_unions_deltas(self, catalog):
+        catalog.create("ours", cells={JOE: 99.0})
+        catalog.create("theirs", cells={LISA: 55.0})
+        info = catalog.merge("theirs", into="ours")
+        assert info.changed_cells == 2
+        cube = catalog.materialize("ours")
+        assert cube.value(JOE) == 99.0 and cube.value(LISA) == 55.0
+
+    def test_conflicting_merge_raises_with_addresses(self, catalog):
+        catalog.create("ours", cells={JOE: 99.0})
+        catalog.create("theirs", cells={JOE: 11.0})
+        with pytest.raises(ScenarioConflictError) as info:
+            catalog.merge("theirs", into="ours")
+        assert info.value.chunks == ('["Organization/FTE/Joe"]',)
+        assert JOE in info.value.addresses
+        # the failed merge changed nothing
+        assert catalog.materialize("ours").value(JOE) == 99.0
+
+    def test_identical_change_is_not_a_conflict(self, catalog):
+        catalog.create("ours", cells={JOE: 99.0})
+        catalog.create("theirs", cells={JOE: 99.0})
+        catalog.merge("theirs", into="ours")  # no raise
+
+    @pytest.mark.parametrize(
+        "resolution,expected", [("ours", 99.0), ("theirs", 11.0)]
+    )
+    def test_merge_resolutions(self, catalog, resolution, expected):
+        catalog.create("ours", cells={JOE: 99.0})
+        catalog.create("theirs", cells={JOE: 11.0})
+        catalog.merge("theirs", into="ours", on_conflict=resolution)
+        assert catalog.materialize("ours").value(JOE) == expected
+
+    def test_bad_resolution_raises(self, catalog):
+        catalog.create("s1")
+        with pytest.raises(CatalogError):
+            catalog.merge("s1", into="s1", on_conflict="flip-a-coin")
+
+    def test_rebase_clean_when_base_moved_elsewhere(self, catalog, base):
+        catalog.create("s1", cells={JOE: 99.0})
+        base.set_value(LISA, 77.0)  # different chunk: no conflict
+        info = catalog.rebase("s1")
+        assert info.base_version == base.version
+        cube = catalog.materialize("s1")
+        assert cube.value(JOE) == 99.0 and cube.value(LISA) == 77.0
+
+    def test_rebase_conflict_when_base_moved_under_scenario(self, catalog, base):
+        catalog.create("s1", cells={JOE: 99.0})
+        base.set_value(JOE, 42.0)  # same chunk the scenario changed
+        with pytest.raises(ScenarioConflictError) as info:
+            catalog.rebase("s1")
+        assert '["Organization/FTE/Joe"]' in info.value.chunks
+        # "ours": keep the override despite the moved base
+        catalog.rebase("s1", on_conflict="ours")
+        assert catalog.materialize("s1").value(JOE) == 99.0
+
+    def test_rebase_theirs_drops_conflicted_overrides(self, catalog, base):
+        catalog.create("s1", cells={JOE: 99.0, LISA: 55.0})
+        base.set_value(JOE, 42.0)
+        catalog.rebase("s1", on_conflict="theirs")
+        cube = catalog.materialize("s1")
+        assert cube.value(JOE) == 42.0  # override gone, reads moved base
+        assert cube.value(LISA) == 55.0  # unconflicted override survives
+
+
+class TestMaterializationCache:
+    def test_cache_hit_on_repeat(self, catalog):
+        catalog.create("s1", cells={JOE: 99.0})
+        assert catalog.materialize("s1") is catalog.materialize("s1")
+
+    def test_no_stale_read_after_merge(self, catalog):
+        """Generation keying: a merge changes the scenario but not
+        ``base.version`` — the cache must still miss."""
+        catalog.create("s1", cells={JOE: 99.0})
+        catalog.create("s2", cells={LISA: 55.0})
+        before = catalog.materialize("s1")
+        catalog.merge("s2", into="s1")
+        after = catalog.materialize("s1")
+        assert after is not before
+        assert after.value(LISA) == 55.0
+
+    def test_no_stale_read_after_rebase(self, catalog, base):
+        """The regression the satellite names: materialize → rebase →
+        materialize must never serve the pre-rebase cube."""
+        catalog.create("s1", cells={JOE: 99.0})
+        before = catalog.materialize("s1")
+        assert before.value(LISA) == 10.0
+        base.set_value(LISA, 77.0)
+        catalog.rebase("s1")
+        after = catalog.materialize("s1")
+        assert after is not before
+        assert after.value(LISA) == 77.0
+
+    def test_materialized_cube_is_frozen(self, catalog):
+        from repro.errors import SnapshotImmutableError
+
+        catalog.create("s1", cells={JOE: 99.0})
+        with pytest.raises(SnapshotImmutableError):
+            catalog.materialize("s1").set_value(JOE, 1.0)
+
+
+class TestQuotas:
+    def test_scenario_count_quota(self, root, base):
+        catalog = ScenarioCatalog(
+            root, base=base, default_quota=TenantQuota(max_scenarios=2)
+        )
+        catalog.create("s1")
+        catalog.create("s2")
+        with pytest.raises(ScenarioQuotaError) as info:
+            catalog.create("s3")
+        assert info.value.quota == "max-scenarios"
+        assert info.value.limit == 2
+        # nothing was evicted to make room
+        assert sorted(i.name for i in catalog.list_scenarios()) == ["s1", "s2"]
+        catalog.close()
+
+    def test_delta_bytes_quota_blocks_update(self, root, base):
+        catalog = ScenarioCatalog(
+            root, base=base, default_quota=TenantQuota(max_delta_bytes=400)
+        )
+        catalog.create("s1", cells={JOE: 1.0})
+        with pytest.raises(ScenarioQuotaError) as info:
+            catalog.update(
+                "s1",
+                {LISA[:2] + (f"M{i}", "Salary"): 1.0 for i in range(50)},
+            )
+        assert info.value.quota == "max-delta-bytes"
+        assert catalog.info("s1").changed_cells == 1  # op failed atomically
+        catalog.close()
+
+    def test_quotas_are_per_tenant(self, root, base):
+        catalog = ScenarioCatalog(
+            root,
+            base=base,
+            quotas={"acme": TenantQuota(max_scenarios=1)},
+        )
+        catalog.create("a1", tenant="acme")
+        with pytest.raises(ScenarioQuotaError):
+            catalog.create("a2", tenant="acme")
+        catalog.create("b1", tenant="globex")  # other tenants unaffected
+        catalog.create("b2", tenant="globex")
+        assert len(catalog.list_scenarios(tenant="acme")) == 1
+        catalog.close()
+
+    def test_drop_frees_quota(self, root, base):
+        catalog = ScenarioCatalog(
+            root, base=base, default_quota=TenantQuota(max_scenarios=1)
+        )
+        catalog.create("s1")
+        catalog.drop("s1")
+        catalog.create("s2")  # room again
+        catalog.close()
+
+
+class TestObservability:
+    def test_metrics_gauges_and_counters(self, catalog):
+        from repro.obs.metrics import METRICS
+
+        catalog.create("s1", tenant="acme", cells={JOE: 1.0})
+        assert METRICS.gauge("catalog_scenarios", tenant="acme").sample() == 1
+        assert METRICS.gauge("catalog_delta_bytes").sample() > 0
+        assert METRICS.counter("catalog_ops_total", op="create").sample() >= 1
+        catalog.drop("s1")
+        assert METRICS.gauge("catalog_scenarios", tenant="acme").sample() == 0
+
+    def test_stats_collector_shape(self, catalog):
+        catalog.create("s1", cells={JOE: 1.0})
+        stats = catalog.stats()
+        assert stats["scenarios"] == 1
+        assert stats["delta_bytes"] > 0
+        assert stats["generation"] >= 1
+        assert stats["journal_bytes"] > 0
+
+    def test_warehouse_accessor_registers_collector(self, example, tmp_path):
+        from repro.warehouse import Warehouse
+
+        warehouse = Warehouse(example.schema, example.cube)
+        assert warehouse.catalog is None
+        catalog = warehouse.attach_catalog(tmp_path / "cat")
+        assert warehouse.catalog is catalog
+        catalog.create("s1")
+        dumped = warehouse.metrics.snapshot()
+        assert dumped["catalog.scenarios"] == 1
+        catalog.close()
+
+
+class TestGc:
+    def test_gc_truncates_journal_and_survives_reopen(self, root, base):
+        with ScenarioCatalog(root, base=base) as catalog:
+            for i in range(5):
+                catalog.create(f"s{i}", cells={JOE: float(i)})
+            assert catalog.stats()["journal_bytes"] > 0
+            report = catalog.gc()
+            assert report["journal_bytes_reclaimed"] > 0
+            assert catalog.stats()["journal_bytes"] == 0
+        with ScenarioCatalog(root, base=base) as reopened:
+            assert reopened.recovery.outcome == "clean"
+            assert len(reopened) == 5
+
+    def test_gc_sweeps_orphan_delta_files(self, catalog):
+        catalog.create("s1")
+        orphan = catalog.root / "deltas" / "ghost.json"
+        orphan.write_text("{}", encoding="utf-8")
+        report = catalog.gc()
+        assert report["orphan_deltas_removed"] == 1
+        assert not orphan.exists()
+
+    def test_auto_checkpoint_bounds_journal(self, root, base):
+        catalog = ScenarioCatalog(root, base=base, checkpoint_interval=4)
+        for i in range(10):
+            catalog.create(f"s{i}")
+        # at least two auto-checkpoints fired; journal holds < interval
+        assert catalog.stats()["checkpoint_lsn"] >= 8
+        catalog.close()
+
+
+class TestDiff:
+    def test_diff_report(self, catalog):
+        catalog.create("a", cells={JOE: 99.0, LISA: 1.0})
+        catalog.create("b", cells={JOE: 99.0})
+        report = catalog.diff("a", "b")
+        assert report.b_contained_in_a and not report.a_contained_in_b
+        assert report.agree == (JOE,)
+        assert report.only_in_a == (LISA,)
+        assert report.changed_cells == 1
+        payload = report.to_dict()
+        assert payload["overlap"] == 0.5
+
+    def test_diff_identical(self, catalog):
+        catalog.create("a", cells={JOE: 99.0})
+        catalog.fork("b", "a")
+        report = catalog.diff("a", "b")
+        assert report.identical and report.overlap == 1.0

@@ -1,0 +1,77 @@
+"""ChunkStore fork delta accounting: COW divergence is measured in bytes
+and chunks, surfaced through the shared ``CacheStats`` ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.chunk_store import ChunkStore
+from repro.storage.chunks import ChunkGrid
+from repro.storage.io_stats import IoCostModel
+
+
+def make_store() -> ChunkStore:
+    grid = ChunkGrid([4, 4], [2, 2])
+    store = ChunkStore(grid, IoCostModel())
+    for i, coord in enumerate(grid.iter_chunks((0, 1))):
+        store.load(coord, np.full((2, 2), float(i)))
+    return store
+
+
+class TestForkAccounting:
+    def test_parent_is_not_a_fork_and_never_charged(self):
+        store = make_store()
+        assert not store.is_fork
+        store.write((0, 0), np.zeros((2, 2)))
+        assert store.delta_bytes() == 0
+        assert store.changed_chunk_count() == 0
+
+    def test_fork_that_never_writes_costs_zero(self):
+        store = make_store()
+        fork = store.fork()
+        assert fork.is_fork
+        fork.read((0, 0))
+        fork.read((1, 1))
+        assert fork.delta_bytes() == 0
+        assert fork.changed_chunk_count() == 0
+
+    def test_write_charges_bytes_and_chunks_once(self):
+        store = make_store()
+        fork = store.fork()
+        data = np.zeros((2, 2))
+        fork.write((0, 0), data)
+        assert fork.changed_chunk_count() == 1
+        assert fork.delta_bytes() == data.nbytes
+        # rewriting the same chunk does not double-charge
+        fork.write((0, 0), np.ones((2, 2)))
+        assert fork.changed_chunk_count() == 1
+        assert fork.delta_bytes() == data.nbytes
+
+    def test_parent_data_is_untouched_by_fork_writes(self):
+        store = make_store()
+        fork = store.fork()
+        fork.write((0, 0), np.full((2, 2), -1.0))
+        assert store.peek((0, 0))[0, 0] == 0.0
+        assert fork.peek((0, 0))[0, 0] == -1.0
+
+    def test_family_ledger_aggregates_across_forks(self):
+        store = make_store()
+        fork_a = store.fork()
+        fork_b = store.fork()
+        fork_a.write((0, 0), np.zeros((2, 2)))
+        fork_b.write((1, 1), np.zeros((2, 2)))
+        fork_b.write((0, 1), np.zeros((2, 2)))
+        stats = store.cache_stats
+        assert stats.fork_changed_chunks == 3
+        assert stats.fork_delta_bytes == 3 * np.zeros((2, 2)).nbytes
+        assert stats.snapshot()["fork_delta_bytes"] == stats.fork_delta_bytes
+
+    def test_fork_of_fork_has_its_own_charges(self):
+        store = make_store()
+        child = store.fork()
+        child.write((0, 0), np.zeros((2, 2)))
+        grandchild = child.fork()
+        assert grandchild.delta_bytes() == 0  # fresh divergence ledger
+        grandchild.write((1, 0), np.zeros((2, 2)))
+        assert grandchild.changed_chunk_count() == 1
+        assert child.changed_chunk_count() == 1  # unaffected by the child

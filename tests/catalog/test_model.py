@@ -1,0 +1,120 @@
+"""Unit tests for the catalog's delta model: names, chunk keys, conflict
+detection, and the canonical encode/decode round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.model import (
+    ScenarioState,
+    base_chunk_digests,
+    canonical_json,
+    chunk_key,
+    chunks_of,
+    conflicting_chunks,
+    decode_state,
+    encode_state,
+    payload_digest,
+    validate_scenario_name,
+)
+from repro.errors import CatalogError
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "name", ["a", "budget-cut", "q3.forecast", "S_1", "0day", "x" * 128]
+    )
+    def test_valid(self, name):
+        validate_scenario_name(name)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["", ".hidden", "-dash", "has space", "a/b", "a\x00b", "x" * 129,
+         "..", "über"],
+    )
+    def test_invalid_raises_typed(self, name):
+        with pytest.raises(CatalogError):
+            validate_scenario_name(name)
+
+
+class TestChunking:
+    def test_chunk_key_is_coordinate_prefix(self):
+        assert chunk_key(("a", "b", "c"), 1) == '["a"]'
+        assert chunk_key(("a", "b", "c"), 2) == '["a","b"]'
+
+    def test_chunks_of_groups_by_prefix(self):
+        delta = {("a", "x"): 1.0, ("a", "y"): 2.0, ("b", "x"): None}
+        grouped = chunks_of(delta, 1)
+        assert set(grouped) == {'["a"]', '["b"]'}
+        assert set(grouped['["a"]']) == {("a", "x"), ("a", "y")}
+
+    def test_identical_changes_do_not_conflict(self):
+        ours = {("a", "x"): 1.0}
+        theirs = {("a", "x"): 1.0}
+        chunks, addresses = conflicting_chunks(ours, theirs, 1)
+        assert chunks == ()
+        assert addresses == ()
+
+    def test_divergent_same_chunk_conflicts(self):
+        ours = {("a", "x"): 1.0}
+        theirs = {("a", "x"): 2.0}
+        chunks, addresses = conflicting_chunks(ours, theirs, 1)
+        assert chunks == ('["a"]',)
+        assert ("a", "x") in addresses
+
+    def test_disjoint_chunks_do_not_conflict(self):
+        chunks, _ = conflicting_chunks({("a", "x"): 1.0}, {("b", "x"): 2.0}, 1)
+        assert chunks == ()
+
+    def test_tombstone_vs_value_conflicts(self):
+        chunks, _ = conflicting_chunks({("a", "x"): None}, {("a", "x"): 1.0}, 1)
+        assert chunks == ('["a"]',)
+
+
+class TestEncoding:
+    def _state(self):
+        return ScenarioState(
+            name="s1",
+            tenant="acme",
+            parent="s0",
+            base_version=7,
+            base_digests={'["a"]': "0" * 64},
+            delta={("a", "x"): 1.5, ("b", "y"): None},
+        )
+
+    def test_round_trip_is_identity(self):
+        state = self._state()
+        text = encode_state(state)
+        decoded = decode_state(text, source="test")
+        assert decoded == state
+        assert encode_state(decoded) == text
+
+    def test_canonical_json_is_deterministic(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+        assert payload_digest("x") == payload_digest("x")
+        assert payload_digest("x") != payload_digest("y")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "not json",
+            "[]",
+            '{"name": "s1"}',  # missing fields
+            '{"name": "s1", "tenant": "t", "parent": "", "base_version": '
+            '"seven", "base_digests": {}, "cells": []}',
+            '{"name": "s1", "tenant": "t", "parent": "", "base_version": 0, '
+            '"base_digests": {}, "cells": [["a", "not-a-number"]]}',
+        ],
+    )
+    def test_malformed_decode_raises_typed(self, text):
+        with pytest.raises(CatalogError):
+            decode_state(text, source="test")
+
+    def test_base_chunk_digests_change_with_data(self):
+        cells = [(("a", "x"), 1.0), (("b", "y"), 2.0)]
+        digests = base_chunk_digests(cells, 1)
+        assert set(digests) == {'["a"]', '["b"]'}
+        moved = base_chunk_digests([(("a", "x"), 9.0), (("b", "y"), 2.0)], 1)
+        assert moved['["a"]'] != digests['["a"]']
+        assert moved['["b"]'] == digests['["b"]']
