@@ -23,6 +23,7 @@ import sys
 
 from repro.bench.query_engine import (
     full_config,
+    load_history,
     measure_tracing_overhead,
     render_report,
     run_query_engine,
@@ -32,6 +33,9 @@ from repro.bench.query_engine import (
 
 #: full runs must beat the naive path by this factor (ISSUE acceptance)
 FULL_SPEEDUP_FLOOR = 5.0
+#: history gate: cells_aggregated_per_second may not drop more than 25%
+#: below the last committed history entry with the same config
+THROUGHPUT_REGRESSION_FLOOR = 0.75
 #: smoke runs merely must not regress past this slowdown
 SMOKE_SLOWDOWN_CEILING = 1.25
 #: tracing-enabled queries may cost at most 5% over tracing-disabled...
@@ -58,6 +62,44 @@ def check_report(report: dict, smoke: bool) -> None:
             f"speedup {report['speedup']}x is below the "
             f"{FULL_SPEEDUP_FLOOR}x floor"
         )
+
+
+def check_throughput_history(
+    report: dict, path: str = "BENCH_query_engine.json"
+) -> str:
+    """Gate ``cells_aggregated_per_second`` against the committed history.
+
+    Compares only against the most recent history entry whose ``config``
+    matches this run's (a smoke run is never judged against a full-scale
+    entry); a >25% drop fails.  Returns a human-readable verdict for the
+    CI log; entries without the metric (the pre-columnar seed) are
+    skipped.
+    """
+    current = report.get("cells_aggregated_per_second")
+    if not current:
+        return "throughput gate skipped: report has no cells_aggregated_per_second"
+    matching = [
+        entry
+        for entry in load_history(path)
+        if entry.get("config") == report.get("config")
+        and entry.get("cells_aggregated_per_second")
+    ]
+    if not matching:
+        return (
+            "throughput gate skipped: no committed history entry with a "
+            "matching config"
+        )
+    committed = matching[-1]["cells_aggregated_per_second"]
+    floor = committed * THROUGHPUT_REGRESSION_FLOOR
+    assert current >= floor, (
+        f"cells_aggregated_per_second regressed: {current:,.0f} vs "
+        f"{committed:,.0f} committed "
+        f"(floor {floor:,.0f} = {THROUGHPUT_REGRESSION_FLOOR:.0%})"
+    )
+    return (
+        f"throughput gate ok: {current:,.0f} cells/s vs "
+        f"{committed:,.0f} committed (floor {floor:,.0f})"
+    )
 
 
 def check_overhead_report(report: dict) -> None:
@@ -105,6 +147,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="also measure tracing-enabled vs tracing-disabled query cost "
         "and assert the overhead stays within 5%% (+jitter slack)",
     )
+    parser.add_argument(
+        "--gate-history",
+        action="store_true",
+        help="fail if cells_aggregated_per_second drops more than 25%% "
+        "below the last committed BENCH_query_engine.json history entry "
+        "with a matching config",
+    )
     args = parser.parse_args(argv)
     config = smoke_config() if args.smoke else full_config()
     report = run_query_engine(config)
@@ -113,6 +162,8 @@ def main(argv: "list[str] | None" = None) -> int:
         write_baseline(report, args.json)
         print(f"baseline written to {args.json}")
     check_report(report, smoke=args.smoke)
+    if args.gate_history:
+        print(check_throughput_history(report))
     if args.trace_overhead:
         overhead = measure_tracing_overhead(config)
         print(

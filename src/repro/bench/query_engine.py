@@ -31,9 +31,11 @@ __all__ = [
     "QueryEngineConfig",
     "full_config",
     "smoke_config",
+    "load_history",
     "measure_tracing_overhead",
     "run_query_engine",
     "render_report",
+    "write_baseline",
 ]
 
 
@@ -152,6 +154,11 @@ def run_query_engine(config: QueryEngineConfig | None = None) -> dict:
         if warehouse.cube.has_rollup_index
         else {}
     )
+    # Headline throughput: derived result cells served per second — each
+    # is one (memoised or vectorized) rollup over the leaf planes.
+    cells_per_second = (
+        round(derived_cells * 1000.0 / engine_ms, 1) if engine_ms else 0.0
+    )
     return {
         "benchmark": "query_engine",
         "config": {
@@ -167,6 +174,7 @@ def run_query_engine(config: QueryEngineConfig | None = None) -> dict:
         "derived_result_cells_per_query": derived_cells,
         "naive_ms_per_query": round(naive_ms, 3),
         "engine_ms_per_query": round(engine_ms, 3),
+        "cells_aggregated_per_second": cells_per_second,
         "speedup": round(naive_ms / engine_ms, 2) if engine_ms else float("inf"),
         "identical": identical,
         "scenario_cache": cache_stats,
@@ -245,6 +253,7 @@ def render_report(report: dict) -> str:
         ("derived cells/query", report["derived_result_cells_per_query"]),
         ("naive ms/query", report["naive_ms_per_query"]),
         ("engine ms/query", report["engine_ms_per_query"]),
+        ("cells agg'd/sec", report.get("cells_aggregated_per_second", "-")),
         ("speedup", f'{report["speedup"]}x'),
         ("bit-identical", report["identical"]),
     ]
@@ -256,7 +265,43 @@ def render_report(report: dict) -> str:
     )
 
 
+def load_history(path: str = "BENCH_query_engine.json") -> list[dict]:
+    """The recorded benchmark trajectory, oldest entry first.
+
+    Understands both file layouts: the current ``{"history": [...]}``
+    shape and the original single-report file (returned as a one-entry
+    history, so the seed measurement is never lost).
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return []
+    if isinstance(data, dict) and isinstance(data.get("history"), list):
+        return [entry for entry in data["history"] if isinstance(entry, dict)]
+    if isinstance(data, dict):
+        return [data]
+    return []
+
+
 def write_baseline(report: dict, path: str = "BENCH_query_engine.json") -> None:
+    """Append ``report`` as a dated entry to the benchmark history file.
+
+    The file is the perf trajectory: every run adds a record instead of
+    overwriting, and a pre-history flat file is migrated in place as the
+    first entry (preserving the seed measurement's figures).
+    """
+    history = load_history(path)
+    entry = dict(report)
+    entry.setdefault(
+        "recorded_at", time.strftime("%Y-%m-%d", time.gmtime())
+    )
+    history.append(entry)
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
+        json.dump(
+            {"benchmark": "query_engine", "history": history},
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
         handle.write("\n")

@@ -84,7 +84,21 @@ THREAD_SHARED: dict[str, GuardSpec] = {
     ),
     "RollupIndex": GuardSpec(
         "_lock",
-        ("_id_of", "_addr_of", "_next_id", "_by_dim", "_memo"),
+        (
+            "_id_of",
+            "_addr_of",
+            "_next_id",
+            "_by_dim",
+            "_memo",
+            "_memo_count",
+            "_values",
+            "_bound",
+            "_synced",
+            "_ordered_ids",
+            "_ordered_arr",
+            "_mask_of",
+            "_struct_shared",
+        ),
     ),
     "ScenarioCache": GuardSpec("_lock", ("_entries",)),
     "SlowQueryLog": GuardSpec("_lock", ("_entries", "observed", "recorded")),

@@ -13,6 +13,8 @@ All three queries of Fig. 10 parse verbatim.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.errors import MdxSyntaxError
 from repro.mdx.ast_nodes import (
     AxisSpec,
@@ -463,6 +465,17 @@ class _Parser:
         return TupleExpr((self._plain_member_path(),))
 
 
-def parse_query(text: str) -> MdxQuery:
-    """Parse extended-MDX text into an :class:`MdxQuery`."""
+@lru_cache(maxsize=256)
+def _parse_cached(text: str) -> MdxQuery:
     return _Parser(tokenize(text)).parse()
+
+
+def parse_query(text: str) -> MdxQuery:
+    """Parse extended-MDX text into an :class:`MdxQuery`.
+
+    Parses are memoised on the query text: every AST node is a frozen
+    dataclass, so a cached query object is safely shared between callers
+    and across threads.  Repeated-query workloads (the benchmark's, and
+    any dashboard refresh) skip tokenisation entirely.
+    """
+    return _parse_cached(text)

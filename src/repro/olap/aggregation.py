@@ -10,16 +10,41 @@ the convention that a cell with no descendant data does not exist.
 Every aggregator is *streaming*: one pass over the input iterable with O(1)
 state, so callers (notably the rollup index, which feeds generator scopes)
 never pay for an intermediate list.
+
+Vectorized reduction
+--------------------
+:func:`reduce_array` is the columnar counterpart used by the rollup
+index's plane kernel: it reduces a gathered ``float64`` array of *live*
+cell values (liveness is resolved upstream, so no MISSING sentinel ever
+appears in the array).  In ``"strict"`` mode the result is bit-identical
+to the streaming aggregators above — summation runs through
+``np.add.accumulate`` (a sequential scan, unlike ``np.sum``'s pairwise
+tree) seeded with the same ``0.0`` the Python loop starts from, and
+min/max fall back to the sequential loop whenever a NaN is present
+(their NaN outcome is order-dependent).  ``"fast"`` mode uses numpy's
+pairwise reductions; it is exactly equal on integer-valued workloads and
+within ``repro.perf.config.fast_tolerance()`` otherwise.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, TypeAlias
 
+import numpy as np
+
 from repro.errors import RuleError
 from repro.olap.missing import MISSING, Missing, is_missing
 
-__all__ = ["AGGREGATORS", "aggregate", "agg_sum", "agg_avg", "agg_min", "agg_max", "agg_count"]
+__all__ = [
+    "AGGREGATORS",
+    "aggregate",
+    "agg_sum",
+    "agg_avg",
+    "agg_min",
+    "agg_max",
+    "agg_count",
+    "reduce_array",
+]
 
 Number = float
 CellValue: TypeAlias = "Number | Missing"
@@ -97,6 +122,65 @@ AGGREGATORS: dict[str, Callable[[Iterable[object]], CellValue]] = {
     "max": agg_max,
     "count": agg_count,
 }
+
+
+def _strict_sum(values: np.ndarray) -> float:
+    # np.add.accumulate is a *sequential* left fold (np.sum is pairwise);
+    # seeding it with 0.0 reproduces `total = 0.0; total += v` bit for bit,
+    # including the 0.0 + (-0.0) == 0.0 first step.
+    seeded = np.empty(len(values) + 1, dtype=np.float64)
+    seeded[0] = 0.0
+    seeded[1:] = values
+    return float(np.add.accumulate(seeded)[-1])
+
+
+def _sequential_extreme(values: np.ndarray, want_min: bool) -> float:
+    # Replicates agg_min/agg_max when NaN is among the inputs: the first
+    # value is always taken, and NaN never wins (or loses) a comparison —
+    # so the outcome depends on NaN's position and numpy's NaN-propagating
+    # reductions cannot be used.
+    best = float(values[0])
+    if want_min:
+        for v in values[1:]:
+            if v < best:
+                best = float(v)
+    else:
+        for v in values[1:]:
+            if v > best:
+                best = float(v)
+    return best
+
+
+def reduce_array(name: str, values: np.ndarray, mode: str = "strict") -> CellValue:
+    """Reduce a gathered array of live cell values (no MISSING inside).
+
+    ``mode="strict"`` matches the streaming aggregators bit for bit;
+    ``mode="fast"`` uses numpy's pairwise reductions (exact on integer
+    workloads, within configured tolerance otherwise).  An empty array is
+    an empty scope: MISSING for every aggregator, including ``count``.
+    """
+    n = len(values)
+    if n == 0:
+        return MISSING
+    if name == "count":
+        return float(n)
+    if name == "sum":
+        if mode == "strict":
+            return _strict_sum(values)
+        return float(np.sum(values))
+    if name == "avg":
+        if mode == "strict":
+            return _strict_sum(values) / n
+        return float(np.sum(values)) / n
+    if name == "min" or name == "max":
+        # NaN semantics are order-dependent in the streaming aggregators;
+        # numpy's min/max propagate NaN instead, so guard on its presence.
+        if np.isnan(values).any():
+            return _sequential_extreme(values, want_min=name == "min")
+        return float(np.min(values) if name == "min" else np.max(values))
+    raise RuleError(
+        f"unknown aggregator {name!r}; expected one of {sorted(AGGREGATORS)}"
+    )
 
 
 def aggregate(name: str, values: Iterable[object]) -> CellValue:

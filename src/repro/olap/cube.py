@@ -23,7 +23,10 @@ for invalidation.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence, TypeAlias
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence, TypeAlias
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.perf.rollup_index import RollupIndex
 
 from repro.errors import RuleError, SnapshotImmutableError
 from repro.lint.lockdep import make_lock
@@ -102,6 +105,12 @@ class Cube:
         copy entirely or not at all.  Unlike :meth:`copy`, the clone keeps
         the source's ``version`` — it *is* that version, and the scenario
         cache keys on it.
+
+        A built rollup index is *forked*, not dropped: the snapshot gets a
+        copy-on-write clone (shared buckets, plane-granular value sharing)
+        plus a warm memo, so the first query on a fresh snapshot pays no
+        index rebuild.  Lock order here is Cube._lock -> RollupIndex._lock,
+        as declared in the lint hierarchy.
         """
         with self._lock:
             clone = Cube(self.schema, self.rules)
@@ -109,22 +118,27 @@ class Cube:
             clone._stored_derived = dict(self._stored_derived)
             clone._version = self._version
             clone._frozen = True
+            if self._rollup_index is not None:
+                clone._rollup_index = self._rollup_index.fork(clone._leaf_cells)
             return clone
 
-    def rollup_index(self):
+    def rollup_index(self) -> "RollupIndex":
         """The cube's rollup index, built on first use.
 
         The build is guarded by the cube lock: two queries sharing one
         snapshot cube must not race to build two indexes (the loser's
         memo/stats would be silently discarded mid-use).
         """
-        if self._rollup_index is None:
+        index = self._rollup_index
+        if index is None:
             from repro.perf.rollup_index import RollupIndex
 
             with self._lock:
-                if self._rollup_index is None:
-                    self._rollup_index = RollupIndex.build(self)
-        return self._rollup_index
+                index = self._rollup_index
+                if index is None:
+                    index = RollupIndex.build(self)
+                    self._rollup_index = index
+        return index
 
     @property
     def has_rollup_index(self) -> bool:
@@ -156,13 +170,14 @@ class Cube:
                     index.remove_leaf(addr)
             else:
                 existed = addr in store
-                store[addr] = float(value)  # type: ignore[arg-type]
+                fvalue = float(value)  # type: ignore[arg-type]
+                store[addr] = fvalue
                 self._version += 1
                 if is_leaf and index is not None:
                     if existed:
-                        index.touch()
+                        index.touch_value(addr, fvalue)
                     else:
-                        index.add_leaf(addr)
+                        index.add_leaf(addr, fvalue)
 
     def set(self, value: object, **coords: str) -> None:
         """Keyword-style :meth:`set_value` (``cube.set(10, Time="Jan", ...)``)."""

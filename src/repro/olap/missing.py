@@ -28,7 +28,8 @@ class Missing:
     def __repr__(self) -> str:
         return "MISSING"
 
-    def __reduce__(self):  # keep the singleton under pickling
+    def __reduce__(self) -> "tuple[type[Missing], tuple[()]]":
+        # keep the singleton under pickling
         return (Missing, ())
 
 

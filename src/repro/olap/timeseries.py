@@ -15,12 +15,15 @@ the ordered dimension is replaced per moment.
 
 from __future__ import annotations
 
-from typing import Sequence, TypeAlias
+from typing import TYPE_CHECKING, Protocol, Sequence, TypeAlias
 
 from repro.errors import QueryError
 from repro.olap.aggregation import aggregate
 from repro.olap.dimension import Dimension
 from repro.olap.missing import MISSING, Missing, is_missing
+
+if TYPE_CHECKING:
+    from repro.olap.schema import CubeSchema
 
 __all__ = [
     "series",
@@ -31,6 +34,16 @@ __all__ = [
 ]
 
 CellValue: TypeAlias = "float | Missing"
+
+
+class CubeView(Protocol):
+    """Any cube-like object: a schema plus per-address effective values
+    (satisfied by Cube and WhatIfCube alike)."""
+
+    @property
+    def schema(self) -> "CubeSchema": ...
+
+    def effective_value(self, address: tuple[str, ...]) -> CellValue: ...
 
 
 def _leaf_names(dimension: Dimension) -> list[str]:
@@ -46,13 +59,21 @@ def _moment_index(dimension: Dimension, moment: str) -> int:
     return dimension.order_index(moment)
 
 
-def _value_at(view, schema, address: Sequence[str], dim_index: int, name: str):
+def _value_at(
+    view: CubeView,
+    schema: "CubeSchema",
+    address: Sequence[str],
+    dim_index: int,
+    name: str,
+) -> CellValue:
     probe = list(address)
     probe[dim_index] = name
     return view.effective_value(tuple(probe))
 
 
-def series(view, dimension: Dimension, address: Sequence[str]) -> list[CellValue]:
+def series(
+    view: CubeView, dimension: Dimension, address: Sequence[str]
+) -> list[CellValue]:
     """The full leaf-order series of a template address.
 
     ``view`` is any cube-like object (Cube / WhatIfCube); ``address`` is a
@@ -67,7 +88,7 @@ def series(view, dimension: Dimension, address: Sequence[str]) -> list[CellValue
 
 
 def period_to_date(
-    view,
+    view: CubeView,
     dimension: Dimension,
     address: Sequence[str],
     aggregator: str = "sum",
@@ -85,7 +106,7 @@ def period_to_date(
 
 
 def rolling(
-    view,
+    view: CubeView,
     dimension: Dimension,
     address: Sequence[str],
     window: int,
@@ -106,7 +127,7 @@ def rolling(
 
 
 def prior_period(
-    view, dimension: Dimension, address: Sequence[str], lag: int = 1
+    view: CubeView, dimension: Dimension, address: Sequence[str], lag: int = 1
 ) -> CellValue:
     """The value ``lag`` moments earlier (⊥ before the series start)."""
     if lag < 0:
@@ -121,7 +142,7 @@ def prior_period(
 
 
 def period_over_period(
-    view, dimension: Dimension, address: Sequence[str], lag: int = 1
+    view: CubeView, dimension: Dimension, address: Sequence[str], lag: int = 1
 ) -> CellValue:
     """Change vs ``lag`` moments earlier; ⊥ when either operand is ⊥."""
     current = view.effective_value(tuple(address))

@@ -11,12 +11,17 @@ the whole grid in one pass with the per-cell work hoisted out:
   address is O(n_dims) dict probes;
 * leaf cells and stored aggregates are read straight out of the cube's
   dicts;
-* default-rollup derived cells are resolved against the
-  :class:`~repro.perf.rollup_index.RollupIndex` as *axis planes*: when
+* default-rollup derived cells are resolved **memo-first** against the
+  :class:`~repro.perf.rollup_index.RollupIndex`: the index's live memo
+  table answers repeat addresses with one lock-free dict probe before any
+  scope work happens (profiling showed the warm path spending ~40% of its
+  time intersecting scopes for cells whose value was already memoised);
+* memo misses are served as *axis planes* over the columnar kernel: when
   every column tuple binds the same dimensions (the overwhelmingly common
-  grid shape), each row's bucket intersection is computed once and each
-  column's once per query, and a cell's scope is just one
-  set-intersection of the two — instead of a full per-cell intersection.
+  grid shape), each row's boolean scope mask is computed once and each
+  column's once per query, and a cell's scope is one vector AND + a
+  fancy-indexed plane gather (:meth:`RollupIndex.rollup_axes`) — instead
+  of per-cell set intersections and generator sums.
 
 Semantics are preserved exactly: cells are produced in row-major order,
 the ``mdx.cell`` failpoint fires once per *evaluated* cell in that order,
@@ -34,7 +39,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Mapping, Sequence, TypeAlias
 
-from repro.faults import inject_io_fault
+from repro.faults import FAULTS
 from repro.olap.missing import MISSING, Missing
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -84,6 +89,11 @@ def evaluate_grid(
     leaf_rules = leaf_cube.rules
     agg_rules = agg_cube.rules
 
+    # the failpoint hook, bound once: its disarmed fast path is a single
+    # dict probe, and skipping the module-level wrapper saves a call frame
+    # on every evaluated cell
+    faults_hit = FAULTS.hit
+
     # -- memoised coordinate leafness -------------------------------------------
     leaf_flag: dict[tuple[int, str], bool] = {}
 
@@ -106,8 +116,8 @@ def evaluate_grid(
     ]
 
     # Plane mode: every column tuple binds the same dimension set, so a
-    # row's bucket intersection (over the remaining dimensions) can be
-    # shared across all its cells.
+    # row's scope mask (over the remaining dimensions) can be shared
+    # across all its cells.
     col_dim_sets = [frozenset(i for i, _ in patch) for patch in col_patches]
     plane_mode = bool(col_patches) and all(
         s == col_dim_sets[0] for s in col_dim_sets
@@ -119,6 +129,7 @@ def evaluate_grid(
     ]
 
     index = None  # built lazily: leaf-only grids never pay for it
+    memo: "dict[Address, CellValue] | None" = None
     col_scopes: list = [None] * len(columns)
     col_scope_ready = [False] * len(columns)
 
@@ -164,7 +175,7 @@ def evaluate_grid(
                 row_cells.append(MISSING)
                 cells_skipped += 1
                 continue
-            inject_io_fault(failpoint)
+            faults_hit(failpoint)
             stats["cells_evaluated"] += 1
             addr_list = list(row_addr)
             for i, coord in col_patch:
@@ -201,13 +212,20 @@ def evaluate_grid(
                 row_cells.append(agg_rules.evaluate_cell(agg_cube, addr))
                 continue
 
-            # Default sum-rollup through the index.
+            # Default sum-rollup through the index, memo-first: repeat
+            # addresses skip scope construction entirely.
             if index is None:
                 index = agg_cube.rollup_index()
+                memo = index.memo_table("sum")
             stats["indexed_rollups"] += 1
+            value = memo.get(addr)
+            if value is not None:
+                index.count_hit()
+                row_cells.append(value)
+                continue
             if plane_mode:
                 if not row_scope_ready:
-                    row_scope = index.partial_scope(
+                    row_scope = index.axis_scope(
                         [
                             (i, row_addr[i])
                             for i in range(n_dims)
@@ -216,11 +234,12 @@ def evaluate_grid(
                     )
                     row_scope_ready = True
                 if not col_scope_ready[j]:
-                    col_scopes[j] = index.partial_scope(col_patch)
+                    col_scopes[j] = index.axis_scope(col_patch)
                     col_scope_ready[j] = True
-                scope = index.combine_scope(row_scope, col_scopes[j])
                 row_cells.append(
-                    index.rollup_scope(agg_leaf_store, addr, scope)
+                    index.rollup_axes(
+                        agg_leaf_store, addr, row_scope, col_scopes[j]
+                    )
                 )
             else:
                 row_cells.append(index.rollup(agg_leaf_store, addr))

@@ -1,40 +1,66 @@
-"""Single-pass rollup index for the semantic cube.
+"""Single-pass rollup index with a vectorized columnar kernel.
 
 The naive cost of a derived cell is one full scan of every leaf cell
 (``Cube.scope_values``): for a result grid of N derived cells that is
 O(N x leaves).  The :class:`RollupIndex` makes **one** pass over the leaf
 cells, bucketing each leaf id under every coordinate of its per-dimension
 ancestor chain (``CubeSchema.ancestor_chain``).  A scope query then
-intersects the buckets of the queried coordinates — O(|smallest bucket|)
-set work — and aggregation streams over exactly the |scope| matching
-leaves.
+intersects the buckets of the queried coordinates and aggregates exactly
+the |scope| matching leaves.
+
+Columnar kernel
+---------------
+Leaf *values* are mirrored into a
+:class:`~repro.storage.array_cube.ColumnarLeafStore` — chunked contiguous
+``float64`` planes where plane row == leaf id (both are assigned
+monotonically in insertion order and never reused).  Coordinate buckets
+are lowered on demand to cached **boolean masks** over the id space; a
+scope is then ``mask & mask`` + ``np.flatnonzero`` (ascending ids ==
+insertion order) and aggregation is one fancy-indexed gather per touched
+plane followed by :func:`~repro.olap.aggregation.reduce_array`.  In the
+default ``"strict"`` reduction mode the result is bit-identical to the
+naive dict scan; see :mod:`repro.perf.config`.
+
+The vectorized path only serves a query whose value mapping *is* the
+cube dict this index mirrors (identity check against the store bound at
+build time) and whose mirror is in sync; any other mapping — or an index
+told values changed without being given them (:meth:`touch`) — falls
+back to the per-cell streaming aggregation, which is always correct.
 
 Determinism
 -----------
 Leaf ids are assigned in cube insertion order and scopes are served in
 ascending id order, which is exactly the iteration order of the naive
-``dict``-scan.  Floating-point aggregation order is therefore identical on
-both paths, making indexed results bit-identical to naive results (the
-equivalence property tests assert this).
+``dict``-scan.  Floating-point aggregation order is therefore identical
+on both paths, making indexed results bit-identical to naive results
+(the equivalence property tests assert this).
 
 Maintenance
 -----------
-The index is maintained *incrementally*: ``Cube.set_value`` notifies it of
-leaf insertions/deletions (bucket updates) and in-place value changes
-(rollup-memo flush only — buckets store addresses, not values, so a value
-change never restructures the index).  Bulk transforms
+The index is maintained *incrementally*: ``Cube.set_value`` notifies it
+of leaf insertions/deletions (bucket + plane updates) and in-place value
+changes (plane write + rollup-memo flush).  Bulk transforms
 (``copy``/``filter_dimension``/``map_leaf_cells``) produce cubes without
 an index; it is rebuilt lazily on their first derived read.
+``Cube.frozen_copy`` instead *forks* the index: structure (buckets,
+id maps) is shared copy-on-write at whole-index granularity — the live
+parent unshares before its first structural mutation — while value
+planes share at plane granularity through ``ColumnarLeafStore.fork``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import TYPE_CHECKING, Iterator, Mapping, Sequence, TypeAlias
+
+import numpy as np
 
 from repro.lint.lockdep import make_lock
 from repro.obs.trace import trace_span
-from repro.olap.aggregation import aggregate
+from repro.olap.aggregation import aggregate, reduce_array
 from repro.olap.missing import Missing
+from repro.perf import config as perf_config
+from repro.storage.array_cube import ColumnarLeafStore
 from repro.storage.io_stats import CacheStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -45,26 +71,36 @@ __all__ = ["RollupIndex"]
 
 Address = tuple[str, ...]
 CellValue: TypeAlias = "float | Missing"
+#: (empty, mask) — the mask-based axis-plane scope served to the batched
+#: grid evaluator; ``mask=None`` means "no constraint" (every leaf).
+AxisScope: TypeAlias = "tuple[bool, np.ndarray | None]"
 
-#: soft cap on the per-index rollup memo, to bound worst-case memory on
-#: long-lived cubes queried at ever-changing addresses
+#: soft cap on the per-index rollup memo (total entries across all
+#: aggregator/mode tables), to bound worst-case memory on long-lived
+#: cubes queried at ever-changing addresses
 _MEMO_CAP = 65536
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
 
 
 class RollupIndex:
     """Per-dimension inverted index from coordinates to leaf-cell ids.
 
     Thread-safety: one reentrant lock guards both incremental maintenance
-    (bucket/id mutation from ``Cube.set_value``) and the query paths that
-    read buckets or the rollup memo — a reader intersecting a bucket set
-    while a writer grows it raises ``set changed size during iteration``.
-    Queries on *frozen* snapshot cubes never contend with maintenance (a
-    frozen cube cannot mutate), so the lock there is uncontended overhead
-    only; for a live cube it makes interleaved query/mutation safe.
+    (bucket/id/plane mutation from ``Cube.set_value``) and the query paths
+    that read buckets or the rollup memo — a reader intersecting a bucket
+    set while a writer grows it raises ``set changed size during
+    iteration``.  Queries on *frozen* snapshot cubes never contend with
+    maintenance (a frozen cube cannot mutate), so the lock there is
+    uncontended overhead only; for a live cube it makes interleaved
+    query/mutation safe.  The one sanctioned lock-free read is the memo
+    probe through :meth:`memo_table` — a single dict ``get`` on a table
+    that is only ever cleared in place (atomic under the GIL).
     """
 
-    def __init__(self, schema: "CubeSchema") -> None:
+    def __init__(self, schema: "CubeSchema", *, plane_size: "int | None" = None) -> None:
         self.schema = schema
+        self._plane_size = plane_size
         self.stats = CacheStats()
         self._lock = make_lock("RollupIndex._lock")
         self._id_of: dict[Address, int] = {}
@@ -73,16 +109,43 @@ class RollupIndex:
         self._by_dim: list[dict[str, set[int]]] = [
             {} for _ in range(schema.n_dims)
         ]
-        # (address, aggregator) -> value; flushed on any leaf mutation
-        self._memo: dict[tuple[Address, str], CellValue] = {}
+        # (aggregator, reduction mode) -> {address: value}; inner tables
+        # are cleared *in place* on invalidation so refs handed out via
+        # memo_table() stay live
+        self._memo: dict[tuple[str, str], dict[Address, CellValue]] = {}
+        self._memo_count = 0
+        # -- columnar kernel state ------------------------------------------
+        #: leaf values mirrored as chunked planes; plane row == leaf id
+        self._values = (
+            ColumnarLeafStore()
+            if plane_size is None
+            else ColumnarLeafStore(plane_size)
+        )
+        #: the cube dict the planes mirror (identity-checked per query)
+        self._bound: "Mapping[Address, float] | None" = None
+        #: False when a value changed without being reported to the planes
+        self._synced = True
+        #: ascending live leaf ids (append-only between deletions: ids are
+        #: assigned monotonically, so insertion keeps it sorted for free)
+        self._ordered_ids: list[int] = []
+        self._ordered_arr: "np.ndarray | None" = None
+        #: (dim_index, coord) -> boolean mask over the id space; dropped
+        #: wholesale on any structural change
+        self._mask_of: dict[tuple[int, str], np.ndarray] = {}
+        #: True while structure (id maps, buckets, ordered ids) is shared
+        #: with a fork; the first structural mutation deep-copies it
+        self._struct_shared = False
 
     @classmethod
-    def build(cls, cube: "Cube") -> "RollupIndex":
-        """One pass over a cube's leaf cells."""
+    def build(cls, cube: "Cube", *, plane_size: "int | None" = None) -> "RollupIndex":
+        """One pass over a cube's leaf cells.  ``plane_size`` overrides the
+        value-plane chunk size (tests use tiny planes to exercise
+        multi-plane and sparse layouts at small scale)."""
         with trace_span("rollup_index.build") as span:
-            index = cls(cube.schema)
-            for addr in cube._leaf_cells:
-                index._insert(addr)
+            index = cls(cube.schema, plane_size=plane_size)
+            for addr, value in cube._leaf_cells.items():
+                index._insert(addr, value)
+            index._bound = cube._leaf_cells  # reprolint: locked
             index.stats.builds += 1
             if span is not None:
                 span.set(leaves=index.n_leaves)
@@ -90,13 +153,20 @@ class RollupIndex:
 
     # -- maintenance ------------------------------------------------------------
 
-    def _insert(self, addr: Address) -> None:  # reprolint: locked
+    def _insert(self, addr: Address, value: "float | None") -> None:  # reprolint: locked
         # callers either hold self._lock (add_leaf) or own the only
         # reference to a not-yet-published index (build)
         ident = self._next_id
         self._next_id += 1
         self._id_of[addr] = ident
         self._addr_of[ident] = addr
+        self._ordered_ids.append(ident)  # ids are monotonic: stays sorted
+        if value is None:
+            # legacy caller that doesn't carry values: planes go stale
+            self._values.append(0.0)
+            self._synced = False
+        else:
+            self._values.append(value)  # plane row == ident by construction
         chain = self.schema.ancestor_chain
         for i, coord in enumerate(addr):
             buckets = self._by_dim[i]
@@ -107,20 +177,49 @@ class RollupIndex:
                 else:
                     bucket.add(ident)
 
-    def add_leaf(self, addr: Address) -> None:
+    def _unshare_structure(self) -> None:  # reprolint: locked
+        # called under self._lock before any structural mutation
+        if not self._struct_shared:
+            return
+        self._id_of = dict(self._id_of)
+        self._addr_of = dict(self._addr_of)
+        self._by_dim = [
+            {coord: set(bucket) for coord, bucket in buckets.items()}
+            for buckets in self._by_dim
+        ]
+        self._ordered_ids = list(self._ordered_ids)
+        self._struct_shared = False
+
+    def _structural_change(self) -> None:  # reprolint: locked
+        # mask + ordered-array caches describe the old id space
+        self._mask_of.clear()
+        self._ordered_arr = None
+
+    def add_leaf(self, addr: Address, value: "float | None" = None) -> None:
         """A leaf cell was inserted (or re-valued) at ``addr``."""
         with self._lock:
-            if addr not in self._id_of:
-                self._insert(addr)
-            self._memo.clear()
+            ident = self._id_of.get(addr)
+            if ident is None:
+                self._unshare_structure()
+                self._structural_change()
+                self._insert(addr, value)
+            elif value is not None:
+                self._values.update(ident, value)
+            else:
+                self._synced = False
+            self._flush_memo()
 
     def remove_leaf(self, addr: Address) -> None:
         """The leaf cell at ``addr`` was deleted."""
         with self._lock:
-            ident = self._id_of.pop(addr, None)
-            if ident is None:
+            if addr not in self._id_of:
                 return
+            self._unshare_structure()
+            self._structural_change()
+            ident = self._id_of.pop(addr)
             del self._addr_of[ident]
+            del self._ordered_ids[bisect_left(self._ordered_ids, ident)]
+            self._values.delete(ident)
             chain = self.schema.ancestor_chain
             for i, coord in enumerate(addr):
                 buckets = self._by_dim[i]
@@ -130,13 +229,93 @@ class RollupIndex:
                         bucket.discard(ident)
                         if not bucket:
                             del buckets[ancestor]
-            self._memo.clear()
+            self._flush_memo()
 
     def touch(self) -> None:
-        """A leaf value changed in place: memoised rollups are stale, the
-        bucket structure is not."""
+        """A leaf value changed in place *without* the new value: memoised
+        rollups are stale and so is the plane mirror (it resyncs lazily
+        from the bound store on the next vectorized query)."""
         with self._lock:
-            self._memo.clear()
+            self._synced = False
+            self._flush_memo()
+
+    def touch_value(self, addr: Address, value: float) -> None:
+        """A leaf value changed in place to ``value``: write the plane row
+        through and flush the memo; buckets are untouched (they store
+        addresses, not values)."""
+        with self._lock:
+            ident = self._id_of.get(addr)
+            if ident is None:
+                self._synced = False
+            else:
+                self._values.update(ident, value)
+            self._flush_memo()
+
+    def _flush_memo(self) -> None:  # reprolint: locked
+        for table in self._memo.values():
+            table.clear()
+        self._memo_count = 0
+
+    # -- fork (snapshot copy-on-write) -------------------------------------------
+
+    def fork(self, bound: "Mapping[Address, float] | None" = None) -> "RollupIndex":
+        """A copy-on-write clone for a snapshot cube.
+
+        Structure (id maps, buckets, ordered ids) is shared until the
+        *live* side's next structural mutation (the frozen clone never
+        mutates); value planes share at plane granularity through
+        :meth:`ColumnarLeafStore.fork`.  ``bound`` is the clone cube's
+        leaf dict — the mapping the clone's planes now mirror.
+        """
+        with self._lock:
+            clone = RollupIndex(self.schema, plane_size=self._plane_size)
+            clone._id_of = self._id_of
+            clone._addr_of = self._addr_of
+            clone._next_id = self._next_id
+            clone._by_dim = self._by_dim
+            clone._ordered_ids = self._ordered_ids
+            clone._ordered_arr = self._ordered_arr
+            clone._mask_of = dict(self._mask_of)
+            clone._values = self._values.fork()
+            clone._bound = bound if bound is not None else self._bound
+            clone._synced = self._synced
+            clone._memo = {
+                key: dict(table) for key, table in self._memo.items()
+            }
+            clone._memo_count = self._memo_count
+            clone._struct_shared = True
+            self._struct_shared = True
+            return clone
+
+    # -- memo -------------------------------------------------------------------
+
+    def _memo_for(self, aggregator: str, mode: str) -> dict[Address, CellValue]:  # reprolint: locked
+        table = self._memo.get((aggregator, mode))
+        if table is None:
+            table = {}
+            self._memo[(aggregator, mode)] = table
+        return table
+
+    def _memo_put(self, table: dict[Address, CellValue], address: Address, value: CellValue) -> None:  # reprolint: locked
+        if self._memo_count >= _MEMO_CAP:
+            self.stats.evictions += self._memo_count
+            self._flush_memo()
+        if address not in table:
+            self._memo_count += 1
+        table[address] = value
+
+    def memo_table(self, aggregator: str = "sum") -> dict[Address, CellValue]:
+        """The live memo table for ``aggregator`` under the current
+        reduction mode.  Invalidation clears it *in place*, so a held
+        reference is always current: a lock-free ``table.get(addr)`` is
+        either a fresh value or a miss, never a stale value.  Callers
+        must treat it as read-only."""
+        with self._lock:
+            return self._memo_for(aggregator, perf_config.reduction_mode())
+
+    def count_hit(self) -> None:
+        """Record a lock-free memo probe hit (stats only)."""
+        self.stats.hits += 1
 
     # -- queries ----------------------------------------------------------------
 
@@ -159,41 +338,58 @@ class RollupIndex:
             dimension.member(coord)  # raises MemberNotFoundError if unknown
         return None
 
+    def _ordered_array(self) -> np.ndarray:  # reprolint: locked
+        arr = self._ordered_arr
+        if arr is None:
+            arr = np.array(self._ordered_ids, dtype=np.int64)
+            self._ordered_arr = arr
+        return arr
+
+    def _coord_mask(self, dim_index: int, coord: str) -> np.ndarray:  # reprolint: locked
+        # under self._lock; bucket is known non-empty and constraining
+        key = (dim_index, coord)
+        mask = self._mask_of.get(key)
+        if mask is None:
+            bucket = self._by_dim[dim_index][coord]
+            mask = np.zeros(self._next_id, dtype=np.bool_)
+            mask[np.fromiter(bucket, dtype=np.int64, count=len(bucket))] = True
+            self._mask_of[key] = mask
+        return mask
+
+    def _scope_ids_array(self, address: Sequence[str]) -> np.ndarray:
+        # under self._lock: ascending leaf ids of a full-address scope
+        n = len(self._id_of)
+        if n == 0:
+            return _EMPTY_IDS
+        combined: "np.ndarray | None" = None
+        for i, coord in enumerate(address):
+            bucket = self.candidates(i, coord)
+            if bucket is None:
+                return _EMPTY_IDS
+            if len(bucket) == n:
+                continue  # the coordinate covers every leaf — no constraint
+            mask = self._coord_mask(i, coord)
+            combined = mask if combined is None else combined & mask
+        if combined is None:
+            return self._ordered_array()
+        return np.flatnonzero(combined)
+
     def scope_ids(self, address: Sequence[str]) -> list[int]:
         """Ids of the leaf cells in a cell's scope, in insertion order."""
         with self._lock:
-            if not self._id_of:
-                return []
-            n = len(self._id_of)
-            constraining: list[set[int]] = []
-            for i, coord in enumerate(address):
-                bucket = self.candidates(i, coord)
-                if bucket is None:
-                    return []
-                if len(bucket) == n:
-                    continue  # the coordinate covers every leaf — no constraint
-                constraining.append(bucket)
-            if not constraining:
-                return sorted(self._addr_of)
-            constraining.sort(key=len)
-            scope = constraining[0]
-            for bucket in constraining[1:]:
-                scope = scope & bucket
-                if not scope:
-                    return []
-            return sorted(scope)
+            return [int(i) for i in self._scope_ids_array(address)]
 
     def partial_scope(
         self, pairs: Sequence[tuple[int, str]]
     ) -> "tuple[bool, set[int] | None]":
         """Intersect candidate buckets for some (dim_index, coord) pairs.
 
-        This is the axis-plane half of a scope query: the batched MDX
-        evaluator intersects the row plane once, then combines it with each
-        column's buckets via :meth:`combine_scope`.  Returns ``(empty,
-        ids)``: ``empty=True`` means provably no leaf matches; ``ids=None``
-        means the pairs impose no constraint (every leaf matches).  The
-        returned set may alias an internal bucket — do not mutate it.
+        The set-based axis-plane API (kept for compatibility; the batched
+        evaluator now uses the mask-based :meth:`axis_scope`).  Returns
+        ``(empty, ids)``: ``empty=True`` means provably no leaf matches;
+        ``ids=None`` means the pairs impose no constraint (every leaf
+        matches).  The returned set may alias an internal bucket — do not
+        mutate it.
         """
         with self._lock:
             if not self._id_of:
@@ -232,6 +428,99 @@ class RollupIndex:
         scope = first[1] & second[1]
         return (not scope), scope
 
+    def axis_scope(self, pairs: Sequence[tuple[int, str]]) -> AxisScope:
+        """Mask-based :meth:`partial_scope` for the columnar kernel.
+
+        Returns ``(empty, mask)`` where the mask is a boolean vector over
+        the id space (``None`` = no constraint).  Masks are cached per
+        coordinate and combined with ``&``, so a grid's row plane is one
+        vector AND per row instead of a set intersection per cell.  The
+        returned mask may alias a cached one — callers must not mutate it.
+        """
+        with self._lock:
+            n = len(self._id_of)
+            if n == 0:
+                return True, None
+            combined: "np.ndarray | None" = None
+            for dim_index, coord in pairs:
+                bucket = self.candidates(dim_index, coord)
+                if bucket is None:
+                    return True, None
+                if len(bucket) == n:
+                    continue
+                mask = self._coord_mask(dim_index, coord)
+                combined = mask if combined is None else combined & mask
+            return False, combined
+
+    def rollup_axes(
+        self,
+        leaf_cells: Mapping[Address, float],
+        address: Address,
+        row_scope: AxisScope,
+        col_scope: AxisScope,
+        aggregator: str = "sum",
+    ) -> CellValue:
+        """Aggregate the intersection of two :meth:`axis_scope` planes,
+        memoised per (address, aggregator, reduction mode).  Ids resolve
+        in ascending order (``np.flatnonzero``), so strict-mode results
+        are bit-identical to the naive scan."""
+        with self._lock:
+            mode = perf_config.reduction_mode()
+            table = self._memo_for(aggregator, mode)
+            if address in table:
+                self.stats.hits += 1
+                return table[address]
+            self.stats.misses += 1
+            row_empty, row_mask = row_scope
+            col_empty, col_mask = col_scope
+            if row_empty or col_empty:
+                ids = _EMPTY_IDS
+            elif row_mask is None and col_mask is None:
+                ids = self._ordered_array()
+            elif row_mask is None:
+                ids = np.flatnonzero(col_mask)
+            elif col_mask is None:
+                ids = np.flatnonzero(row_mask)
+            else:
+                ids = np.flatnonzero(row_mask & col_mask)
+            value = self._reduce_ids(leaf_cells, ids, aggregator, mode)
+            self._memo_put(table, address, value)
+            return value
+
+    def _reduce_ids(
+        self,
+        leaf_cells: Mapping[Address, float],
+        ids: np.ndarray,
+        aggregator: str,
+        mode: str,
+    ) -> CellValue:
+        # under self._lock; ids ascending == insertion order
+        if self._can_vectorize(leaf_cells):
+            return reduce_array(aggregator, self._values.gather(ids), mode)
+        addr_of = self._addr_of
+        return aggregate(
+            aggregator, (leaf_cells[addr_of[i]] for i in ids.tolist())
+        )
+
+    def _can_vectorize(self, leaf_cells: Mapping[Address, float]) -> bool:
+        # under self._lock: planes only answer for the mapping they mirror
+        if leaf_cells is not self._bound:
+            return False
+        if not self._synced:
+            self._resync(leaf_cells)
+        return self._synced
+
+    def _resync(self, leaf_cells: Mapping[Address, float]) -> None:  # reprolint: locked
+        # rebuild plane values from the bound store (one pass); reached
+        # only after touch()/valueless add_leaf told us values moved
+        values = self._values
+        try:
+            for addr, ident in self._id_of.items():
+                values.update(ident, leaf_cells[addr])
+        except KeyError:
+            return  # mirror and store disagree structurally: stay on fallback
+        self._synced = True
+
     def rollup_scope(
         self,
         leaf_cells: Mapping[Address, float],
@@ -239,34 +528,34 @@ class RollupIndex:
         scope: "tuple[bool, set[int] | None]",
         aggregator: str = "sum",
     ) -> CellValue:
-        """Aggregate a precomputed scope (:meth:`partial_scope` /
+        """Aggregate a precomputed set scope (:meth:`partial_scope` /
         :meth:`combine_scope`), memoised like :meth:`rollup`.  Ids are
-        served in ascending order, so the float-summation order matches
-        the naive scan exactly."""
+        served in ascending order, so strict-mode results match the naive
+        scan exactly."""
         with self._lock:
-            key = (address, aggregator)
-            if key in self._memo:
+            mode = perf_config.reduction_mode()
+            table = self._memo_for(aggregator, mode)
+            if address in table:
                 self.stats.hits += 1
-                return self._memo[key]
+                return table[address]
             self.stats.misses += 1
-            addr_of = self._addr_of
-            empty, ids = scope
+            empty, id_set = scope
             if empty:
-                values: "Iterator[float] | tuple[()]" = ()
-            elif ids is None:
-                values = (leaf_cells[addr_of[i]] for i in sorted(addr_of))
+                ids = _EMPTY_IDS
+            elif id_set is None:
+                ids = self._ordered_array()
             else:
-                values = (leaf_cells[addr_of[i]] for i in sorted(ids))
-            value = aggregate(aggregator, values)
-            if len(self._memo) >= _MEMO_CAP:
-                self.stats.evictions += len(self._memo)
-                self._memo.clear()
-            self._memo[key] = value
+                ids = np.fromiter(id_set, dtype=np.int64, count=len(id_set))
+                ids.sort()
+            value = self._reduce_ids(leaf_cells, ids, aggregator, mode)
+            self._memo_put(table, address, value)
             return value
 
     def scope_addresses(self, address: Sequence[str]) -> list[Address]:
         with self._lock:
-            return [self._addr_of[i] for i in self.scope_ids(address)]
+            return [
+                self._addr_of[int(i)] for i in self._scope_ids_array(address)
+            ]
 
     def iter_scope_cells(
         self, leaf_cells: Mapping[Address, float], address: Sequence[str]
@@ -274,9 +563,10 @@ class RollupIndex:
         # Materialise under the lock: a lazy generator would read buckets
         # and values at the caller's pace, racing concurrent maintenance.
         with self._lock:
+            addr_of = self._addr_of
             cells = [
-                (self._addr_of[ident], leaf_cells[self._addr_of[ident]])
-                for ident in self.scope_ids(address)
+                (addr_of[int(i)], leaf_cells[addr_of[int(i)]])
+                for i in self._scope_ids_array(address)
             ]
         yield from cells
 
@@ -287,23 +577,33 @@ class RollupIndex:
         aggregator: str = "sum",
     ) -> CellValue:
         """Aggregate a cell's scope through the index, memoised per
-        (address, aggregator) until the next leaf mutation."""
+        (address, aggregator, reduction mode) until the next leaf
+        mutation."""
         with self._lock:
-            key = (address, aggregator)
-            if key in self._memo:
+            mode = perf_config.reduction_mode()
+            table = self._memo_for(aggregator, mode)
+            if address in table:
                 self.stats.hits += 1
-                return self._memo[key]
+                return table[address]
             self.stats.misses += 1
-            addr_of = self._addr_of
-            value = aggregate(
-                aggregator,
-                (leaf_cells[addr_of[i]] for i in self.scope_ids(address)),
-            )
-            if len(self._memo) >= _MEMO_CAP:
-                self.stats.evictions += len(self._memo)
-                self._memo.clear()
-            self._memo[key] = value
+            ids = self._scope_ids_array(address)
+            value = self._reduce_ids(leaf_cells, ids, aggregator, mode)
+            self._memo_put(table, address, value)
             return value
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def plane_store(self) -> ColumnarLeafStore:
+        """The columnar value mirror (tests / bench introspection)."""
+        return self._values
+
+    def compact_planes(self, *, ceiling: "float | None" = None) -> int:
+        """Re-encode cold low-density value planes as coordinate-sparse
+        (see :func:`repro.core.compression.compress_plane`).  Returns the
+        number of planes converted."""
+        with self._lock:
+            return self._values.compact(ceiling=ceiling)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = [len(buckets) for buckets in self._by_dim]

@@ -18,10 +18,208 @@ import numpy as np
 from repro.errors import StorageError
 from repro.olap.cube import Cube
 from repro.storage.chunk_store import ChunkStore
-from repro.storage.chunks import ChunkGrid
+from repro.storage.chunks import ChunkGrid, ChunkPlane, DensePlane
 from repro.storage.io_stats import IoCostModel
 
-__all__ = ["Axis", "ChunkedCube"]
+__all__ = ["Axis", "ChunkedCube", "ColumnarLeafStore", "DEFAULT_PLANE_SIZE"]
+
+#: rows per value-plane chunk; 4096 float64 slots = one 32 KiB plane,
+#: small enough that a copy-on-write divergence is cheap, large enough
+#: that gathers amortise the per-chunk dispatch
+DEFAULT_PLANE_SIZE = 4096
+
+
+class ColumnarLeafStore:
+    """Row-addressed columnar leaf values in chunked numpy planes.
+
+    The physical half of the vectorized rollup kernel: leaf cells live at
+    integer *rows* (assigned in insertion order, never reused), and values
+    are stored column-wise in fixed-size plane chunks
+    (:class:`~repro.storage.chunks.DensePlane` /
+    :class:`~repro.storage.chunks.SparsePlane`).  A scope — an ascending
+    array of row ids — is aggregated by one fancy-indexed gather per
+    touched plane instead of one dict probe per cell.
+
+    Copy-on-write
+    -------------
+    :meth:`fork` is the columnar analogue of
+    :meth:`ChunkStore.fork <repro.storage.chunk_store.ChunkStore.fork>`:
+    O(#planes) pointer copies, with the *plane* as the COW unit.  After a
+    fork, both stores mark every plane shared; the first write either side
+    makes to a shared plane copies just that plane (32 KiB), so a pinned
+    snapshot keeps reading the old bytes while the live store diverges one
+    plane at a time.
+
+    Thread-safety: the store itself is unsynchronised — it is owned by a
+    :class:`~repro.perf.rollup_index.RollupIndex` and only ever touched
+    under that index's lock.
+    """
+
+    __slots__ = ("_planes", "_shared", "_size", "_n_live", "plane_size")
+
+    def __init__(self, plane_size: int = DEFAULT_PLANE_SIZE) -> None:
+        if plane_size <= 0:
+            raise StorageError("plane_size must be positive")
+        self.plane_size = plane_size
+        self._planes: list[ChunkPlane] = []
+        self._shared: list[bool] = []
+        self._size = 0
+        self._n_live = 0
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Total row slots ever allocated (deleted rows leave holes)."""
+        return self._size
+
+    @property
+    def n_live(self) -> int:
+        return self._n_live
+
+    @property
+    def n_planes(self) -> int:
+        return len(self._planes)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(plane.nbytes for plane in self._planes)
+
+    def plane_kinds(self) -> list[str]:
+        """Per-chunk representation (``"dense"`` / ``"sparse"``) — the
+        observable output of the density-based selection rule."""
+        return [plane.kind for plane in self._planes]
+
+    def density(self, chunk: int) -> float:
+        return self._planes[chunk].density
+
+    # -- copy-on-write ----------------------------------------------------------
+
+    def fork(self) -> "ColumnarLeafStore":
+        """A plane-granularity COW snapshot of this store."""
+        clone = ColumnarLeafStore(self.plane_size)
+        clone._planes = list(self._planes)
+        clone._shared = [True] * len(self._planes)
+        clone._size = self._size
+        clone._n_live = self._n_live
+        # this side must now treat every plane as pinned too
+        self._shared = [True] * len(self._planes)
+        return clone
+
+    def _writable_plane(self, chunk: int) -> ChunkPlane:
+        plane = self._planes[chunk]
+        if self._shared[chunk]:
+            plane = plane.copy()
+            self._planes[chunk] = plane
+            self._shared[chunk] = False
+        return plane
+
+    # -- mutation ---------------------------------------------------------------
+
+    def append(self, value: float) -> int:
+        """Store ``value`` at the next row; returns the row id."""
+        row = self._size
+        chunk, local = divmod(row, self.plane_size)
+        if chunk == len(self._planes):
+            self._planes.append(DensePlane.empty(self.plane_size))
+            self._shared.append(False)
+        plane = self._writable_plane(chunk)
+        if plane.kind == "sparse":
+            # a compacted trailing plane receiving new rows inflates back
+            plane = plane.to_dense()
+            self._planes[chunk] = plane
+        self._planes[chunk] = plane.set(local, value)
+        self._size = row + 1
+        self._n_live += 1
+        return row
+
+    def update(self, row: int, value: float) -> None:
+        """Re-value a live row in place (COW-copies a shared plane)."""
+        chunk, local = divmod(row, self.plane_size)
+        plane = self._writable_plane(chunk)
+        self._planes[chunk] = plane.set(local, value)
+
+    def delete(self, row: int) -> None:
+        """Kill a row; its id is never reused."""
+        chunk, local = divmod(row, self.plane_size)
+        plane = self._planes[chunk]
+        if plane.get(local) is None:
+            return
+        plane = self._writable_plane(chunk)
+        self._planes[chunk] = plane.delete(local)
+        self._n_live -= 1
+
+    # -- reads ------------------------------------------------------------------
+
+    def get(self, row: int) -> "float | None":
+        chunk, local = divmod(row, self.plane_size)
+        return self._planes[chunk].get(local)
+
+    def gather(self, rows: np.ndarray) -> np.ndarray:
+        """Values at the given **ascending, live** row ids.
+
+        The scope array is split once by plane (``searchsorted`` against
+        the plane boundaries — valid because rows are sorted) and each
+        plane answers its slice with one vectorized read.
+        """
+        n = len(rows)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        first_chunk = int(rows[0]) // self.plane_size
+        last_chunk = int(rows[n - 1]) // self.plane_size
+        if first_chunk == last_chunk:
+            return self._planes[first_chunk].gather(
+                rows - first_chunk * self.plane_size
+            )
+        out = np.empty(n, dtype=np.float64)
+        boundaries = np.arange(
+            (first_chunk + 1) * self.plane_size,
+            (last_chunk + 1) * self.plane_size,
+            self.plane_size,
+            dtype=np.int64,
+        )
+        cuts = np.searchsorted(rows, boundaries)
+        start = 0
+        for chunk, stop in zip(
+            range(first_chunk, last_chunk + 1), list(cuts) + [n]
+        ):
+            if stop > start:
+                out[start:stop] = self._planes[chunk].gather(
+                    rows[start:stop] - chunk * self.plane_size
+                )
+            start = stop
+        return out
+
+    # -- cold-chunk compression --------------------------------------------------
+
+    def compact(self, *, ceiling: "float | None" = None) -> int:
+        """Re-encode cold low-density planes as coordinate-sparse.
+
+        Applies :func:`repro.core.compression.compress_plane` to every
+        *sealed* plane (all but the trailing append plane — that one is
+        still hot).  Returns the number of planes converted.  Shared
+        planes are replaced, not mutated, so pinned forks are unaffected.
+        """
+        from repro.core.compression import SPARSE_DENSITY_CEILING, compress_plane
+
+        if ceiling is None:
+            ceiling = SPARSE_DENSITY_CEILING
+        converted = 0
+        for chunk in range(max(0, len(self._planes) - 1)):
+            plane = self._planes[chunk]
+            packed = compress_plane(plane, ceiling=ceiling)
+            if packed is not plane:
+                self._planes[chunk] = packed
+                self._shared[chunk] = False
+                converted += 1
+        return converted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = ",".join(self.plane_kinds()) or "-"
+        return (
+            f"ColumnarLeafStore({self._n_live}/{self._size} rows, "
+            f"planes=[{kinds}])"
+        )
 
 
 class Axis:

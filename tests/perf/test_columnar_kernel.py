@@ -1,0 +1,232 @@
+"""Columnar kernel parity: dense planes vs sparse planes vs the dict scan.
+
+The vectorized rollup kernel mirrors leaf values into chunked numpy
+planes (dense or coordinate-sparse per chunk) and reduces gathered
+arrays.  Its contract is that this is *invisible*: under the default
+strict reduction mode every representation produces results bit-identical
+to the naive dict scan — across densities, interleaved ``set_value``
+mutations, frozen snapshots, and fork-COW plane sharing.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.olap.aggregation import AGGREGATORS
+from repro.olap.cube import Cube
+from repro.olap.dimension import Dimension
+from repro.olap.missing import MISSING, is_missing
+from repro.olap.schema import CubeSchema
+from repro.perf.config import fast_reduction, fast_tolerance, naive_mode
+from repro.perf.rollup_index import RollupIndex
+
+MONTHS = ("Jan", "Feb", "Mar", "Apr", "May", "Jun")
+MEASURES = ("Sales", "COGS")
+LEAF_ADDRESSES = [(m, s) for m in MONTHS for s in MEASURES]
+
+#: tiny planes so a 12-leaf cube spans several chunks
+PLANE_SIZE = 4
+
+
+def _tiny_cube() -> Cube:
+    time = Dimension("Time", ordered=True)
+    time.add_member("H1")
+    time.add_children("H1", ["Jan", "Feb", "Mar"])
+    time.add_member("H2")
+    time.add_children("H2", ["Apr", "May", "Jun"])
+    measures = Dimension("Measures", is_measures=True)
+    measures.add_children(None, ["Sales", "COGS"])
+    return Cube(CubeSchema([time, measures]))
+
+
+def _all_addresses(schema) -> list[tuple[str, str]]:
+    time_members = [
+        m.name
+        for m in schema.dimension("Time").root.descendants(include_self=True)
+    ]
+    measure_members = [
+        m.name
+        for m in schema.dimension("Measures").root.descendants(include_self=True)
+    ]
+    return [(t, s) for t in time_members for s in measure_members]
+
+
+def _assert_parity(cube: Cube, index: RollupIndex, addresses) -> None:
+    """Indexed (columnar) results must equal the naive scan bit-for-bit."""
+    for address in addresses:
+        for aggregator in AGGREGATORS:
+            indexed = index.rollup(cube._leaf_cells, address, aggregator)
+            with naive_mode():
+                naive = cube.rollup(address, aggregator)
+            if is_missing(indexed) or is_missing(naive):
+                assert is_missing(indexed) and is_missing(naive), (
+                    address,
+                    aggregator,
+                )
+            else:
+                assert repr(indexed) == repr(naive), (address, aggregator)
+
+
+values_strategy = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+mutations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(LEAF_ADDRESSES) - 1),
+        st.one_of(st.none(), values_strategy),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestColumnarParityProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        density=st.floats(min_value=0.01, max_value=1.0),
+        chosen=st.permutations(range(len(LEAF_ADDRESSES))),
+        values=st.lists(
+            values_strategy,
+            min_size=len(LEAF_ADDRESSES),
+            max_size=len(LEAF_ADDRESSES),
+        ),
+        ops=mutations,
+    )
+    def test_dense_sparse_dict_parity(self, density, chosen, values, ops):
+        """Across fill densities 0.01-1.0: dense planes, compacted sparse
+        planes, and the dict scan all agree bit-for-bit, including under
+        interleaved mutations."""
+        cube = _tiny_cube()
+        n_fill = max(1, round(density * len(LEAF_ADDRESSES)))
+        for slot in chosen[:n_fill]:
+            cube.set_value(LEAF_ADDRESSES[slot], values[slot])
+        addresses = _all_addresses(cube.schema)
+
+        # dense planes (several of them: plane_size 4 over up to 12 leaves)
+        index = RollupIndex.build(cube, plane_size=PLANE_SIZE)
+        assert index.plane_store.n_planes >= 1
+        _assert_parity(cube, index, addresses)
+
+        # sparse planes: compact every sealed chunk regardless of density
+        index.compact_planes(ceiling=1.0)
+        if index.plane_store.n_planes > 1:
+            assert "sparse" in index.plane_store.plane_kinds()
+        cube._rollup_index = index  # so set_value maintains this index
+        # re-valuing one live leaf flushes the memo without desyncing the
+        # planes, so the next parity pass actually gathers from them
+        first_addr = LEAF_ADDRESSES[chosen[0]]
+        if first_addr in cube._leaf_cells:
+            cube.set_value(first_addr, cube._leaf_cells[first_addr])
+        _assert_parity(cube, index, addresses)
+
+        # interleaved mutations: inserts, updates and deletes against the
+        # mixed dense/sparse layout keep the kernel bit-identical
+        for slot, value in ops:
+            cube.set_value(
+                LEAF_ADDRESSES[slot], MISSING if value is None else value
+            )
+            _assert_parity(cube, index, addresses)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        density=st.floats(min_value=0.01, max_value=1.0),
+        chosen=st.permutations(range(len(LEAF_ADDRESSES))),
+        values=st.lists(
+            values_strategy,
+            min_size=len(LEAF_ADDRESSES),
+            max_size=len(LEAF_ADDRESSES),
+        ),
+        ops=mutations,
+    )
+    def test_frozen_snapshot_fork_cow(self, density, chosen, values, ops):
+        """A frozen snapshot forks the index copy-on-write: the snapshot
+        keeps serving the pinned values (bit-identical to its own naive
+        scan) while the live cube diverges plane by plane."""
+        cube = _tiny_cube()
+        n_fill = max(1, round(density * len(LEAF_ADDRESSES)))
+        for slot in chosen[:n_fill]:
+            cube.set_value(LEAF_ADDRESSES[slot], values[slot])
+        addresses = _all_addresses(cube.schema)
+        live_index = cube.rollup_index()
+
+        snap = cube.frozen_copy()
+        snap_index = snap._rollup_index
+        assert snap_index is not None, "frozen_copy must fork a built index"
+        # COW: planes are shared objects until either side writes
+        assert (
+            snap_index.plane_store._planes[0]
+            is live_index.plane_store._planes[0]
+        )
+
+        pinned = {
+            (address, agg): snap.rollup(address, agg)
+            for address in addresses
+            for agg in AGGREGATORS
+        }
+
+        for slot, value in ops:
+            cube.set_value(
+                LEAF_ADDRESSES[slot], MISSING if value is None else value
+            )
+        _assert_parity(cube, live_index, addresses)
+
+        # the snapshot still serves the pinned values...
+        for (address, agg), expected in pinned.items():
+            now = snap.rollup(address, agg)
+            if is_missing(expected):
+                assert is_missing(now), (address, agg)
+            else:
+                assert repr(now) == repr(expected), (address, agg)
+        # ...and stays bit-identical to its own naive scan
+        _assert_parity(snap, snap_index, addresses)
+
+
+class TestFastReduction:
+    def test_fast_mode_exact_on_integer_workloads(self):
+        cube = _tiny_cube()
+        for i, addr in enumerate(LEAF_ADDRESSES):
+            cube.set_value(addr, float(i + 1))
+        index = cube.rollup_index()
+        addresses = _all_addresses(cube.schema)
+        strict = {
+            a: index.rollup(cube._leaf_cells, a) for a in addresses
+        }
+        with fast_reduction():
+            for address in addresses:
+                fast = index.rollup(cube._leaf_cells, address)
+                assert repr(fast) == repr(strict[address]), address
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(
+            values_strategy,
+            min_size=len(LEAF_ADDRESSES),
+            max_size=len(LEAF_ADDRESSES),
+        )
+    )
+    def test_fast_mode_within_tolerance(self, values):
+        cube = _tiny_cube()
+        for addr, value in zip(LEAF_ADDRESSES, values):
+            cube.set_value(addr, value)
+        index = cube.rollup_index()
+        addresses = _all_addresses(cube.schema)
+        for address in addresses:
+            strict = index.rollup(cube._leaf_cells, address)
+            with fast_reduction():
+                fast = index.rollup(cube._leaf_cells, address)
+            scale = max(1.0, abs(strict))
+            assert abs(fast - strict) <= fast_tolerance() * scale, address
+
+    def test_fast_and_strict_memoised_separately(self):
+        cube = _tiny_cube()
+        cube.set_value(("Jan", "Sales"), 0.1)
+        cube.set_value(("Feb", "Sales"), 0.2)
+        index = cube.rollup_index()
+        address = ("H1", "Sales")
+        strict = index.rollup(cube._leaf_cells, address)
+        with fast_reduction():
+            index.rollup(cube._leaf_cells, address)
+        # back in strict mode the memo must serve the strict value again
+        assert repr(index.rollup(cube._leaf_cells, address)) == repr(strict)

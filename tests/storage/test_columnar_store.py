@@ -1,0 +1,182 @@
+"""Unit tests for the columnar plane primitives and the leaf store.
+
+These pin the low-level contracts the rollup kernel builds on: liveness
+is a bitmap (NaN is a legitimate live value, never a sentinel), the
+dense<->sparse re-encodings are lossless, gathers cross chunk boundaries
+correctly, and ``fork`` shares planes copy-on-write in both directions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.compression import (
+    SPARSE_DENSITY_CEILING,
+    compress_plane,
+    decompress_plane,
+)
+from repro.storage.chunks import DensePlane, SparsePlane
+from repro.storage.array_cube import ColumnarLeafStore
+
+
+class TestDensePlane:
+    def test_set_get_delete(self):
+        plane = DensePlane.empty(8)
+        assert plane.get(3) is None
+        plane.set(3, 1.5)
+        assert plane.get(3) == 1.5
+        assert plane.n_live == 1
+        plane.delete(3)
+        assert plane.get(3) is None
+        assert plane.n_live == 0
+
+    def test_nan_is_a_live_value(self):
+        plane = DensePlane.empty(4)
+        plane.set(0, math.nan)
+        got = plane.get(0)
+        assert got is not None and math.isnan(got)
+        assert plane.n_live == 1
+
+    def test_gather_live_slots_order_preserved(self):
+        # gather's contract: callers pass live slots only (the kernel's
+        # scope masks guarantee it); values come back in slot order
+        plane = DensePlane.empty(8)
+        for i, v in [(1, 10.0), (4, 40.0), (6, 60.0)]:
+            plane.set(i, v)
+        out = plane.gather(np.array([1, 4, 6], dtype=np.int64))
+        assert out.tolist() == [10.0, 40.0, 60.0]
+
+    def test_sparse_roundtrip_lossless(self):
+        plane = DensePlane.empty(16)
+        plane.set(2, -1.0)
+        plane.set(9, math.nan)
+        plane.set(15, 0.0)
+        sparse = plane.to_sparse()
+        assert sparse.kind == "sparse"
+        back = sparse.to_dense()
+        assert back.n_live == plane.n_live
+        for row in range(16):
+            a, b = plane.get(row), back.get(row)
+            if a is None:
+                assert b is None
+            elif math.isnan(a):
+                assert b is not None and math.isnan(b)
+            else:
+                assert a == b
+
+
+def _empty_sparse(capacity: int) -> SparsePlane:
+    return SparsePlane(
+        np.empty(0, dtype=np.int32), np.empty(0, dtype=np.float64), capacity
+    )
+
+
+class TestSparsePlane:
+    def test_set_insert_update_delete(self):
+        plane = _empty_sparse(8)
+        plane.set(5, 5.0)
+        plane.set(1, 1.0)
+        plane.set(5, 55.0)  # update in place, no duplicate row
+        assert plane.rows.tolist() == [1, 5]
+        assert plane.get(5) == 55.0
+        plane.delete(1)
+        assert plane.get(1) is None
+        assert plane.n_live == 1
+
+    def test_gather_live_slots(self):
+        plane = _empty_sparse(16)
+        for i in (3, 7, 11):
+            plane.set(i, float(i))
+        out = plane.gather(np.array([3, 11], dtype=np.int64))
+        assert out.tolist() == [3.0, 11.0]
+
+
+class TestCompression:
+    def test_ceiling_rule(self):
+        low = DensePlane.empty(100)
+        low.set(0, 1.0)  # density 0.01 <= ceiling
+        assert compress_plane(low).kind == "sparse"
+
+        high = DensePlane.empty(4)
+        for i in range(4):
+            high.set(i, float(i))
+        assert compress_plane(high) is high  # density 1.0 stays dense
+        assert SPARSE_DENSITY_CEILING == 0.25
+
+    def test_decompress_inverts(self):
+        plane = DensePlane.empty(10)
+        plane.set(2, 2.0)
+        sparse = compress_plane(plane, ceiling=1.0)
+        dense = decompress_plane(sparse)
+        assert dense.kind == "dense"
+        assert dense.get(2) == 2.0 and dense.n_live == 1
+
+
+class TestColumnarLeafStore:
+    def _store(self, n: int = 7) -> ColumnarLeafStore:
+        store = ColumnarLeafStore(plane_size=2)
+        for i in range(n):
+            assert store.append(float(i)) == i
+        return store
+
+    def test_append_assigns_consecutive_rows_across_planes(self):
+        store = self._store(7)
+        assert store.n_rows == 7
+        assert store.n_planes == 4  # ceil(7 / 2)
+        assert [store.get(i) for i in range(7)] == [float(i) for i in range(7)]
+
+    def test_gather_crosses_chunk_boundaries(self):
+        store = self._store(7)
+        store.delete(4)
+        rows = np.array([0, 1, 3, 6], dtype=np.int64)  # live rows only
+        assert store.gather(rows).tolist() == [0.0, 1.0, 3.0, 6.0]
+
+    def test_compact_seals_only_leading_planes(self):
+        store = self._store(5)  # planes: [0,1] [2,3] [4,_]
+        converted = store.compact(ceiling=1.0)
+        assert converted == 2
+        assert store.plane_kinds() == ["sparse", "sparse", "dense"]
+        # values intact through the re-encode
+        assert [store.get(i) for i in range(5)] == [float(i) for i in range(5)]
+
+    def test_append_inflates_sparse_trailing_plane(self):
+        store = ColumnarLeafStore(plane_size=4)
+        store.append(0.0)
+        store._planes[0] = store._planes[0].to_sparse()
+        row = store.append(1.0)
+        assert row == 1
+        assert store._planes[0].kind == "dense"
+        assert store.get(0) == 0.0 and store.get(1) == 1.0
+
+    def test_fork_shares_planes_until_either_side_writes(self):
+        store = self._store(6)
+        fork = store.fork()
+        assert all(
+            a is b for a, b in zip(store._planes, fork._planes)
+        )
+        store.update(0, 100.0)  # parent write copies only chunk 0
+        assert store._planes[0] is not fork._planes[0]
+        assert store._planes[1] is fork._planes[1]
+        assert fork.get(0) == 0.0 and store.get(0) == 100.0
+
+        fork.update(3, 300.0)  # child write copies only chunk 1
+        assert store._planes[1] is not fork._planes[1]
+        assert store._planes[2] is fork._planes[2]
+        assert store.get(3) == 3.0 and fork.get(3) == 300.0
+
+    def test_delete_is_idempotent(self):
+        store = self._store(3)
+        store.delete(1)
+        store.delete(1)
+        assert store.n_live == 2
+        assert store.get(1) is None
+
+    def test_n_live_tracks_deletes(self):
+        store = self._store(4)
+        assert store.n_live == 4
+        store.delete(2)
+        store.delete(3)
+        assert store.n_live == 2
+        assert store.n_rows == 4  # rows are never reused
