@@ -1,0 +1,129 @@
+"""Sharded-serving benchmark: scatter-gather throughput vs shard count.
+
+Standalone usage (also the CI smoke job)::
+
+    python benchmarks/bench_serve.py --smoke
+    python benchmarks/bench_serve.py --json BENCH_serve.json
+
+The full run drives distinct-fingerprint PERSPECTIVE queries through
+1/2/4 shard processes and asserts at least a
+:data:`FULL_SPEEDUP_FLOOR` throughput gain at 4 shards over 1 shard;
+the smoke run (1 vs 2 shards on a small cube) only checks the tier's
+invariants — every grid bit-identical to single-process evaluation and
+an owned-cell fraction high enough that the shards did the work.
+
+The module is also collectable by pytest (``pytest benchmarks/``),
+where the same smoke-sized run backs a plain assertion-based test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.serve import (
+    OWNED_FRACTION_FLOOR,
+    full_config,
+    load_history,
+    render_report,
+    run_serve_bench,
+    smoke_config,
+    write_baseline,
+)
+
+#: full runs must gain at least this much throughput at 4 shards vs 1
+#: (ISSUE acceptance: >= 2.5x at 4 workers with bit-identical grids)
+FULL_SPEEDUP_FLOOR = 2.5
+#: history gate: 4-shard queries_per_second may not drop more than 25%
+#: below the last committed history entry with the same config
+THROUGHPUT_REGRESSION_FLOOR = 0.75
+
+
+def check_report(report: dict, smoke: bool) -> None:
+    assert report["identical"], "sharded and single-process grids disagree"
+    for n_shards, stats in report["shards"].items():
+        assert stats["owned_fraction"] >= OWNED_FRACTION_FLOOR, (
+            f"{n_shards} shard(s): only {stats['owned_fraction']:.0%} of "
+            f"cells ran on shards (floor {OWNED_FRACTION_FLOOR:.0%}) — the "
+            "benchmark degraded into measuring the local fallback path"
+        )
+    if not smoke:
+        speedup = report.get("speedup_at_4")
+        assert speedup is not None, "full run must include a 4-shard config"
+        assert speedup >= FULL_SPEEDUP_FLOOR, (
+            f"4-shard speedup {speedup}x is below the "
+            f"{FULL_SPEEDUP_FLOOR}x floor"
+        )
+
+
+def check_throughput_history(report: dict, path: str = "BENCH_serve.json") -> str:
+    """Gate 4-shard throughput against the committed history (same
+    config only); a >25% drop fails.  Returns the CI-log verdict."""
+    stats = report["shards"].get("4")
+    if stats is None:
+        return "serve throughput gate skipped: no 4-shard config in this run"
+    matching = [
+        entry
+        for entry in load_history(path)
+        if entry.get("config") == report.get("config")
+        and entry.get("shards", {}).get("4", {}).get("queries_per_second")
+    ]
+    if not matching:
+        return (
+            "serve throughput gate skipped: no committed history entry "
+            "with a matching config"
+        )
+    committed = matching[-1]["shards"]["4"]["queries_per_second"]
+    floor = committed * THROUGHPUT_REGRESSION_FLOOR
+    current = stats["queries_per_second"]
+    assert current >= floor, (
+        f"4-shard throughput regressed: {current:,.2f} q/s vs "
+        f"{committed:,.2f} committed "
+        f"(floor {floor:,.2f} = {THROUGHPUT_REGRESSION_FLOOR:.0%})"
+    )
+    return (
+        f"serve throughput gate ok: {current:,.2f} q/s vs "
+        f"{committed:,.2f} committed (floor {floor:,.2f})"
+    )
+
+
+def test_serve_smoke() -> None:
+    """Pytest entry point: smoke-sized bit-identity + owned-fraction run."""
+    report = run_serve_bench(smoke_config())
+    check_report(report, smoke=True)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload, 1 vs 2 shards; invariants only, no speedup floor",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also append the report to a JSON history file (the committed "
+        "baseline)",
+    )
+    parser.add_argument(
+        "--gate-history",
+        action="store_true",
+        help="fail if 4-shard queries_per_second drops more than 25%% below "
+        "the last committed BENCH_serve.json entry with a matching config",
+    )
+    args = parser.parse_args(argv)
+    config = smoke_config() if args.smoke else full_config()
+    report = run_serve_bench(config)
+    print(render_report(report))
+    if args.json:
+        write_baseline(report, args.json)
+        print(f"baseline written to {args.json}")
+    check_report(report, smoke=args.smoke)
+    if args.gate_history:
+        print(check_throughput_history(report))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -180,6 +180,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """
     from repro.service import QueryService
 
+    if args.http or args.shards is not None:
+        return _cmd_serve_sharded(args)
     text = _read_query_text(args.query_file)
     if text is None:
         return 2
@@ -228,6 +230,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         file=sys.stderr,
                     )
                 worst = max(worst, 1)
+    return worst
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """``serve --shards N`` / ``serve --http``: the multi-process tier.
+
+    Each shard process owns a disjoint set of the varying dimension's
+    members (co-residency via the merge-dependency graph); the
+    coordinator scatter-gathers partial rollups and merges them with the
+    strict bit-identical reduction.  Without ``--http``, runs the
+    ;-separated statements through the coordinator and prints grids in
+    order (exit codes as ``serve``); with ``--http``, serves the REST
+    API until interrupted.
+    """
+    from repro.service import ShardedQueryService, TenantQuotas, serve_http
+
+    statements: list[str] = []
+    if not args.http:
+        text = _read_query_text(args.query_file)
+        if text is None:
+            return 2
+        statements = [part.strip() for part in text.split(";") if part.strip()]
+        if not statements:
+            print("repro: no queries to serve", file=sys.stderr)
+            return 2
+    n_shards = args.shards if args.shards is not None else 2
+    worst = 0
+    with ShardedQueryService(
+        args.workload, n_shards=n_shards, chunk=args.chunk
+    ) as service:
+        if args.http:
+            plan = service.plan
+            print(
+                f"repro: serving {args.workload} over {plan.n_shards} "
+                f"shard(s) of [{plan.dimension}] on "
+                f"http://{args.host}:{args.port}",
+                file=sys.stderr,
+            )
+            try:
+                serve_http(
+                    service,
+                    args.host,
+                    args.port,
+                    quotas=TenantQuotas(max_inflight=args.max_inflight),
+                )
+            except KeyboardInterrupt:
+                pass
+            return 0
+        for index, statement in enumerate(statements, start=1):
+            print(f"-- query {index}/{len(statements)} --")
+            try:
+                result = service.execute(statement, analyze=not args.no_analyze)
+            except ReproError as exc:
+                print(f"repro: {exc}", file=sys.stderr)
+                worst = 2
+                continue
+            print(result.to_csv() if args.csv else result.to_text())
     return worst
 
 
@@ -666,6 +725,50 @@ def main(argv: list[str] | None = None) -> int:
         "--no-analyze",
         action="store_true",
         help="skip the static analyzer before execution",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run through the multi-process sharded coordinator with N "
+        "shard processes (each owning a disjoint chunk of the varying "
+        "dimension) instead of the in-process worker pool",
+    )
+    serve.add_argument(
+        "--chunk",
+        type=int,
+        default=8,
+        metavar="N",
+        help="shard-planner chunk size over the varying dimension's slots "
+        "(default: 8; smaller spreads members across more shards)",
+    )
+    serve.add_argument(
+        "--http",
+        action="store_true",
+        help="serve the REST API (POST /v1/query, POST /v1/explain, "
+        "GET /metrics, GET /healthz) over the sharded coordinator "
+        "instead of executing a query batch",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --http (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        metavar="N",
+        help="port for --http (default: 8080)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        metavar="N",
+        help="per-tenant concurrent in-flight quota for --http; beyond it "
+        "requests are shed with HTTP 429 (default: 8)",
     )
     stress = subparsers.add_parser(
         "stress",

@@ -311,6 +311,17 @@ class ServiceOverloadedError(ServiceError):
         self.reason = reason
 
 
+class ServiceTimeoutError(ServiceError, TimeoutError):
+    """A caller-supplied wait on a :class:`~repro.service.QueryTicket`
+    expired before the query completed.
+
+    Subclasses the builtin :class:`TimeoutError` so callers written
+    against the ``concurrent.futures`` convention (``except TimeoutError``)
+    keep working, while staying inside the :class:`ReproError` taxonomy
+    the service's entry-point lint requires.
+    """
+
+
 class CircuitOpenError(ServiceError):
     """The service's circuit breaker is open: repeated failpoint or
     corruption errors tripped it, and submissions fail fast until the
@@ -320,6 +331,22 @@ class CircuitOpenError(ServiceError):
 class ServiceStoppedError(ServiceError):
     """A query was submitted to (or was still queued in) a service that
     has been closed."""
+
+
+class ShardError(ServiceError):
+    """A shard process failed in a way the coordinator cannot map back to
+    a typed engine error: the worker died mid-request, the pipe broke, or
+    the remote raised an exception type unknown to this taxonomy.
+
+    Remote errors that *do* map — injected faults, storage corruption,
+    MDX evaluation errors — are re-raised as their own types so breaker
+    accounting and HTTP status mapping treat local and sharded execution
+    identically; ``ShardError`` is the residue.
+    """
+
+    def __init__(self, message: str, *, shard: "int | None" = None) -> None:
+        super().__init__(message)
+        self.shard = shard
 
 
 class LockOrderError(ReproError):

@@ -35,6 +35,8 @@ __all__ = [
 LOCK_ORDER: tuple[str, ...] = (
     "_Chaos.lock",
     "QueryService._lock",
+    "ShardedQueryService._lock",
+    "TenantQuotas._lock",
     "Warehouse._snapshot_lock",
     # The catalog lock nests *inside* service/warehouse scopes but
     # *outside* cube, cache and journal locks: every catalog op may copy
@@ -119,6 +121,8 @@ THREAD_SHARED: dict[str, GuardSpec] = {
         ("_state", "_consecutive_failures", "_opened_at", "_probe_in_flight", "trips"),
     ),
     "QueryService": GuardSpec("_lock", ("_closed",)),
+    "ShardedQueryService": GuardSpec("_lock", ("_closed",)),
+    "TenantQuotas": GuardSpec("_lock", ("_inflight",)),
     "Warehouse": GuardSpec("_snapshot_lock", ("_snapshot_cache",)),
     "ScenarioCatalog": GuardSpec(
         "_lock",
@@ -145,6 +149,8 @@ ENTRY_POINTS: frozenset[str] = frozenset(
         "Warehouse.explain",
         "QueryService.submit",
         "QueryService.close",
+        "ShardedQueryService.execute",
+        "ShardedQueryService.close",
         "QueryTicket.result",
         "QueryTicket.exception",
         "ScenarioCatalog.create",

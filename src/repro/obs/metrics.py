@@ -37,9 +37,14 @@ __all__ = [
     "Histogram",
     "METRICS",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
 
 Labels = tuple[tuple[str, str], ...]
+
+#: the Content-Type header for :meth:`MetricsRegistry.to_prometheus`
+#: responses (text exposition format 0.0.4)
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: log2 upper bounds: 2^-10 ms .. 2^14 ms, then +Inf
 _BUCKET_EXPONENTS = range(-10, 15)
@@ -258,7 +263,7 @@ class MetricsRegistry:
         return out
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (0.0.4)."""
+        """Prometheus text exposition format (:data:`PROMETHEUS_CONTENT_TYPE`)."""
         lines: list[str] = []
         for name, series in sorted(self._metrics.items()):
             prom = _prom_name(name)

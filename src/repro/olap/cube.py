@@ -187,6 +187,46 @@ class Cube:
         for address, value in cells:
             self.set_value(address, value)
 
+    def apply_overrides(
+        self, cells: Iterable[tuple[Sequence[str], object]]
+    ) -> None:
+        """Bulk-apply cell overrides (MISSING/``None`` deletes) as *one*
+        mutation: a single version bump and one locked pass of index
+        maintenance, instead of a per-cell :meth:`set_value` round trip.
+        Scenario materialisation (:mod:`repro.catalog`) applies whole
+        deltas through this.  Deleting absent cells is a no-op and does
+        not bump the version, matching :meth:`set_value`.
+        """
+        self._check_writable()
+        schema = self.schema
+        validated = []
+        for address, value in cells:
+            addr = schema.validate_address(address)
+            validated.append((addr, schema.is_leaf_address(addr), value))
+        with self._lock:
+            index = self._rollup_index
+            mutated = False
+            for addr, is_leaf, value in validated:
+                store = self._leaf_cells if is_leaf else self._stored_derived
+                if is_missing(value):
+                    if store.pop(addr, None) is None:
+                        continue
+                    mutated = True
+                    if is_leaf and index is not None:
+                        index.remove_leaf(addr)
+                else:
+                    existed = addr in store
+                    fvalue = float(value)  # type: ignore[arg-type]
+                    store[addr] = fvalue
+                    mutated = True
+                    if is_leaf and index is not None:
+                        if existed:
+                            index.touch_value(addr, fvalue)
+                        else:
+                            index.add_leaf(addr, fvalue)
+            if mutated:
+                self._version += 1
+
     def clear_stored_derived(self) -> None:
         """Drop all materialised aggregate cells."""
         self._check_writable()

@@ -9,8 +9,11 @@ the whole grid in one pass with the per-cell work hoisted out:
   are applied positionally;
 * per-coordinate leafness is memoised, so the leaf/derived split of an
   address is O(n_dims) dict probes;
-* leaf cells and stored aggregates are read straight out of the cube's
-  dicts;
+* leaf cells are served from the rollup index's columnar value planes
+  whenever the leaf cube already carries an index (falling back to the
+  semantic dict otherwise — leaf-only grids never build an index just
+  for point reads); stored aggregates are read straight out of the
+  cube's dicts;
 * default-rollup derived cells are resolved **memo-first** against the
   :class:`~repro.perf.rollup_index.RollupIndex`: the index's live memo
   table answers repeat addresses with one lock-free dict probe before any
@@ -88,6 +91,14 @@ def evaluate_grid(
     agg_stored_derived = agg_cube._stored_derived
     leaf_rules = leaf_cube.rules
     agg_rules = agg_cube.rules
+
+    # Leaf point reads are routed through the columnar planes whenever the
+    # leaf cube already carries an index (the planes mirror exactly the
+    # dict the rollup kernel trusts); leaf-only grids never build an index
+    # just for this and keep reading the semantic dict.
+    leaf_read = None
+    if leaf_cube.has_rollup_index:
+        leaf_read = leaf_cube.rollup_index().leaf_reader(leaf_store)
 
     # the failpoint hook, bound once: its disarmed fast path is a single
     # dict probe, and skipping the module-level wrapper saves a call frame
@@ -189,7 +200,10 @@ def evaluate_grid(
                 )
 
             if is_leaf:
-                value = leaf_store.get(addr)
+                if leaf_read is not None:
+                    value = leaf_read(addr)
+                else:
+                    value = leaf_store.get(addr)
                 if value is None:
                     value = leaf_stored_derived.get(addr)
                 if value is None:

@@ -317,6 +317,51 @@ class RollupIndex:
         """Record a lock-free memo probe hit (stats only)."""
         self.stats.hits += 1
 
+    def leaf_reader(
+        self, leaf_cells: Mapping[Address, float]
+    ) -> "object | None":
+        """A plane-backed point-read callable for leaf cells, or ``None``
+        when the planes cannot answer for ``leaf_cells`` (the index is
+        bound to a different mapping, or the value mirror is out of
+        sync).
+
+        The callable maps an address to its value (``None`` = absent,
+        NaN reads back as NaN — the liveness bitmap distinguishes the
+        two) without taking the index lock.  Like :meth:`memo_table`,
+        it snapshots the id structure once under the lock; in-place
+        value updates show through (planes are written in place), and
+        grid-scoped callers re-fetch per query, so its staleness
+        profile matches the live memo table's.
+        """
+        with self._lock:
+            if not self._can_vectorize(leaf_cells):
+                return None
+            id_of = self._id_of
+            values_get = self._values.get
+
+        def read(addr: Address) -> "float | None":
+            ident = id_of.get(addr)
+            if ident is None:
+                return None
+            return values_get(ident)
+
+        return read
+
+    def leaf_arrays(
+        self, leaf_cells: Mapping[Address, float]
+    ) -> "tuple[list[Address], np.ndarray] | None":
+        """Every leaf cell as ``(addresses, values)`` in insertion order,
+        the values served by one vectorized plane gather instead of a
+        per-cell dict scan.  ``None`` when the planes cannot answer for
+        ``leaf_cells`` (see :meth:`leaf_reader`)."""
+        with self._lock:
+            if not self._can_vectorize(leaf_cells):
+                return None
+            ids = self._ordered_array()
+            addr_of = self._addr_of
+            addresses = [addr_of[int(i)] for i in ids.tolist()]
+            return addresses, self._values.gather(ids)
+
     # -- queries ----------------------------------------------------------------
 
     @property

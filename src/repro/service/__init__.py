@@ -19,12 +19,29 @@ bounded under real concurrency:
   ``repro stress``: races concurrent queries against mutations and armed
   failpoints, then replays every completed query serially against its
   pinned snapshot and asserts bit-identical grids.
+* :class:`~repro.service.service.ShardedQueryService` — the
+  multi-process tier: each shard process owns a disjoint set of the
+  varying dimension's members (co-residency decided by the merge
+  dependency graph, see :func:`repro.core.merge_graph.plan_axis_shards`),
+  a coordinator scatter-gathers partial rollups and merges them with the
+  strict bit-identical reduction, and per-shard circuit breakers fail
+  fast when a shard process dies.
+* :mod:`~repro.service.http_api` — the stdlib HTTP front end behind
+  ``repro serve --http``: ``POST /v1/query``, ``POST /v1/explain``,
+  ``GET /metrics`` (Prometheus), ``GET /healthz``, with per-tenant
+  admission quotas (:class:`~repro.service.http_api.TenantQuotas`).
 
-See ``docs/robustness.md`` for the service model and guarantees.
+See ``docs/robustness.md`` for the service model and guarantees, and
+``docs/serving.md`` for the sharded serving tier.
 """
 
 from repro.service.breaker import BreakerState, CircuitBreaker
-from repro.service.service import QueryService, QueryTicket
+from repro.service.http_api import TenantQuotas, make_server, serve_http
+from repro.service.service import (
+    QueryService,
+    QueryTicket,
+    ShardedQueryService,
+)
 from repro.service.snapshot import WarehouseSnapshot
 from repro.service.stress import StressConfig, StressReport, run_stress
 
@@ -33,8 +50,12 @@ __all__ = [
     "CircuitBreaker",
     "QueryService",
     "QueryTicket",
+    "ShardedQueryService",
     "StressConfig",
     "StressReport",
+    "TenantQuotas",
     "WarehouseSnapshot",
+    "make_server",
     "run_stress",
+    "serve_http",
 ]

@@ -29,15 +29,18 @@ import enum
 import time
 from typing import Callable
 
-from repro.errors import FaultInjectedError, StorageError
+from repro.errors import FaultInjectedError, ShardError, StorageError
 from repro.lint.lockdep import make_lock
 
 __all__ = ["BreakerState", "CircuitBreaker"]
 
-#: error types that count toward tripping the breaker
+#: error types that count toward tripping the breaker.  ShardError is a
+#: dead/unreachable shard process — infrastructure, exactly the failure
+#: mode a per-shard breaker exists for.
 TRIPPING_ERRORS: tuple[type[BaseException], ...] = (
     FaultInjectedError,
     StorageError,
+    ShardError,
 )
 
 

@@ -1,0 +1,302 @@
+"""HTTP front end for the sharded serving tier (``repro serve --http``).
+
+A stdlib-only REST surface over :class:`~repro.service.ShardedQueryService`
+— :class:`http.server.ThreadingHTTPServer`, one thread per connection, no
+third-party dependencies:
+
+* ``POST /v1/query``   — ``{"query": "...", "analyze": true}`` → the grid
+  as JSON (axis tuples, cells with ``null`` for ⊥, stats);
+* ``POST /v1/explain`` — the evaluation plan as text;
+* ``GET  /metrics``    — Prometheus text exposition of the coordinator
+  warehouse's registry (``serve_*``, ``mdx_*``, cache and breaker
+  series);
+* ``GET  /healthz``    — liveness + per-shard breaker state; HTTP 503
+  once any shard process has died.
+
+Typed engine errors map onto status codes the way a gateway expects:
+parse/analysis/evaluation errors are the client's fault (400), admission
+rejections are backpressure (429 for tenant quota and overload, 503 for
+an open circuit breaker), everything infrastructural is a 500 with the
+error type in the body.  Per-tenant admission quotas
+(:class:`TenantQuotas`) bound concurrent in-flight queries per
+``X-Tenant`` header before any engine work happens.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    AnalysisError,
+    CircuitOpenError,
+    MdxError,
+    QueryError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.lint.lockdep import make_lock
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
+from repro.olap.missing import is_missing
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.service import ShardedQueryService
+
+__all__ = ["TenantQuotas", "make_server", "serve_http"]
+
+DEFAULT_TENANT = "default"
+
+
+class TenantQuotas:
+    """Per-tenant admission quotas: at most ``max_inflight`` concurrent
+    queries per tenant (overrides per tenant via ``limits``).
+
+    Admission happens before any engine work; a rejected request costs
+    one dict probe.  A limit of zero blocks the tenant outright.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        limits: "dict[str, int] | None" = None,
+    ) -> None:
+        if max_inflight < 0:
+            raise ServiceError("max_inflight must be >= 0")
+        self.max_inflight = max_inflight
+        self.limits = dict(limits or {})
+        self._lock = make_lock("TenantQuotas._lock", reentrant=False)
+        self._inflight: dict[str, int] = {}
+
+    def limit_for(self, tenant: str) -> int:
+        return self.limits.get(tenant, self.max_inflight)
+
+    def acquire(self, tenant: str) -> bool:
+        """Reserve one in-flight slot; False = over quota (caller sheds)."""
+        limit = self.limit_for(tenant)
+        with self._lock:
+            current = self._inflight.get(tenant, 0)
+            if current >= limit:
+                return False
+            self._inflight[tenant] = current + 1
+            return True
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            current = self._inflight.get(tenant, 0)
+            if current <= 1:
+                self._inflight.pop(tenant, None)
+            else:
+                self._inflight[tenant] = current - 1
+
+    def inflight(self, tenant: str) -> int:
+        with self._lock:
+            return self._inflight.get(tenant, 0)
+
+
+def _json_cells(cells: "list[list[Any]]") -> "list[list[float | None]]":
+    return [
+        [None if is_missing(value) else float(value) for value in row]
+        for row in cells
+    ]
+
+
+def _json_axis(tuples: "list[Any]") -> "list[dict[str, Any]]":
+    return [
+        {
+            "coordinates": [list(pair) for pair in t.coordinates],
+            "labels": list(t.labels),
+        }
+        for t in tuples
+    ]
+
+
+def _status_for(error: BaseException) -> int:
+    if isinstance(error, ServiceOverloadedError):
+        return 429
+    if isinstance(error, CircuitOpenError):
+        return 503
+    if isinstance(error, (MdxError, AnalysisError, QueryError)):
+        return 400
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; the server instance carries the shared state."""
+
+    server: "ReproHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - manual serving only
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: "dict[str, Any]") -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self._send(status, body, "application/json; charset=utf-8")
+
+    def _send_error_json(self, error: BaseException) -> None:
+        status = _status_for(error)
+        self.server.metrics.counter(
+            "serve_http_requests_total",
+            endpoint=self.path.split("?")[0],
+            status=str(status),
+        ).inc()
+        self._send_json(
+            status,
+            {"error": type(error).__name__, "message": str(error)},
+        )
+
+    def _count(self, endpoint: str, status: int) -> None:
+        self.server.metrics.counter(
+            "serve_http_requests_total", endpoint=endpoint, status=str(status)
+        ).inc()
+
+    def _read_body(self) -> "dict[str, Any]":
+        length = int(self.headers.get("Content-Length", "0") or "0")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise QueryError("request body must be a JSON object")
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise QueryError(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise QueryError("request body must be a JSON object")
+        return payload
+
+    def _tenant(self, payload: "dict[str, Any] | None" = None) -> str:
+        header = self.headers.get("X-Tenant")
+        if header:
+            return header
+        if payload is not None and isinstance(payload.get("tenant"), str):
+            return payload["tenant"]
+        return DEFAULT_TENANT
+
+    # -- endpoints ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?")[0]
+        if path == "/metrics":
+            body = self.server.metrics.to_prometheus().encode("utf-8")
+            self._count(path, 200)
+            self._send(200, body, PROMETHEUS_CONTENT_TYPE)
+            return
+        if path == "/healthz":
+            health = self.server.service.health()
+            status = 200 if health["status"] == "ok" else 503
+            self._count(path, status)
+            self._send_json(status, health)
+            return
+        self._count(path, 404)
+        self._send_json(404, {"error": "NotFound", "message": path})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?")[0]
+        if path not in ("/v1/query", "/v1/explain"):
+            self._count(path, 404)
+            self._send_json(404, {"error": "NotFound", "message": path})
+            return
+        try:
+            payload = self._read_body()
+            text = payload.get("query")
+            if not isinstance(text, str) or not text.strip():
+                raise QueryError('request needs a non-empty "query" string')
+            tenant = self._tenant(payload)
+            if not self.server.quotas.acquire(tenant):
+                self.server.metrics.counter(
+                    "serve_quota_rejections_total", tenant=tenant
+                ).inc()
+                raise ServiceOverloadedError(
+                    f"tenant {tenant!r} is over its in-flight quota "
+                    f"({self.server.quotas.limit_for(tenant)})",
+                    reason="tenant-quota",
+                )
+            try:
+                if path == "/v1/explain":
+                    plan = self.server.service.explain(text)
+                    self._count(path, 200)
+                    self._send_json(200, {"explain": plan})
+                    return
+                result = self.server.service.execute(
+                    text, analyze=bool(payload.get("analyze", True))
+                )
+            finally:
+                self.server.quotas.release(tenant)
+        except ReproError as exc:
+            self._send_error_json(exc)
+            return
+        self._count(path, 200)
+        self._send_json(
+            200,
+            {
+                "columns": _json_axis(result.columns),
+                "rows": _json_axis(result.rows),
+                "cells": _json_cells(result.cells),
+                "stats": dict(result.stats),
+            },
+        )
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """The serving socket: threads per connection over one coordinator."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: "tuple[str, int]",
+        service: "ShardedQueryService",
+        quotas: "TenantQuotas | None" = None,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.quotas = quotas or TenantQuotas()
+        self.metrics = service.warehouse.metrics
+        self.verbose = verbose
+
+
+def make_server(
+    service: "ShardedQueryService",
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    quotas: "TenantQuotas | None" = None,
+    verbose: bool = False,
+) -> ReproHTTPServer:
+    """Bind (but do not run) the HTTP server; ``port=0`` picks a free
+    port — read it back from ``server.server_address``."""
+    return ReproHTTPServer((host, port), service, quotas, verbose)
+
+
+def serve_http(
+    service: "ShardedQueryService",
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    *,
+    quotas: "TenantQuotas | None" = None,
+    verbose: bool = False,
+    ready: "threading.Event | None" = None,
+) -> None:
+    """Run the HTTP front end until interrupted (the CLI entry path)."""
+    server = make_server(
+        service, host, port, quotas=quotas, verbose=verbose
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        server.server_close()

@@ -40,6 +40,7 @@ from repro.errors import (
     CircuitOpenError,
     ServiceOverloadedError,
     ServiceStoppedError,
+    ServiceTimeoutError,
 )
 from repro.lint.lockdep import make_lock
 from repro.mdx.budget import QueryBudget
@@ -51,14 +52,16 @@ if TYPE_CHECKING:
     from repro.service.snapshot import WarehouseSnapshot
     from repro.warehouse import Warehouse
 
-__all__ = ["QueryService", "QueryTicket"]
+__all__ = ["QueryService", "QueryTicket", "ShardedQueryService"]
 
 
 class QueryTicket:
     """A handle to one submitted query.
 
     ``result()`` blocks until the worker finishes (or ``timeout``
-    elapses, raising :class:`TimeoutError`), then returns the
+    elapses, raising :class:`~repro.errors.ServiceTimeoutError` — a
+    :class:`TimeoutError` subclass, so ``concurrent.futures``-style
+    callers keep working), then returns the
     :class:`~repro.mdx.result.MdxResult` or re-raises the query's error
     in the caller's thread.
     """
@@ -94,12 +97,12 @@ class QueryTicket:
 
     def exception(self, timeout: "float | None" = None) -> "BaseException | None":
         if not self._done.wait(timeout):
-            raise TimeoutError("query is still running")
+            raise ServiceTimeoutError("query is still running")
         return self._error
 
     def result(self, timeout: "float | None" = None) -> "MdxResult":
         if not self._done.wait(timeout):
-            raise TimeoutError("query is still running")
+            raise ServiceTimeoutError("query is still running")
         if self._error is not None:
             raise self._error
         assert self._result is not None
@@ -363,4 +366,534 @@ class QueryService:
             f"QueryService({self.workers} workers, "
             f"queue {self._queue.qsize()}/{self.queue_depth}, "
             f"breaker {self.breaker.state.name})"
+        )
+
+
+class ShardedQueryService:
+    """Scatter-gather query execution over a pool of shard processes.
+
+    The shard dimension (default: the workload's varying dimension) is
+    partitioned by :func:`~repro.core.merge_graph.plan_axis_shards` into
+    member sets whose instance slots co-reside; each shard process owns
+    one set and evaluates any cell whose shard-dimension coordinate
+    resolves to one of its members.  The coordinator:
+
+    * resolves axes and the slicer on a cheap *seeded hollow* warehouse —
+      the full schema, rules, and named sets over a cube holding one
+      representative leaf per (varying dimension, member-with-data), so
+      scenario application costs O(members) instead of O(cube) while
+      producing the exact axis tuples of the full context;
+    * classifies each result cell as **owned** (one shard evaluates it
+      end to end), **spanning** (a pure sum-rollup whose scope crosses
+      shards: every shard returns its scope slice as ``(global position,
+      value)`` pairs, and the coordinator merges them back into global
+      insertion order before the strict reduction — bit-identical to the
+      single-process gather), or **local** (leaf reads, rule-bearing
+      cells, stored aggregates, and scenario cells above any single
+      member — evaluated on the coordinator's full warehouse);
+    * guards each shard with its own :class:`CircuitBreaker`; a query
+      needing an open shard fails fast with
+      :class:`~repro.errors.CircuitOpenError`.
+
+    Queries carrying a budget, or whose sets read cell values (FILTER /
+    ORDER), fall back to full local evaluation — correctness first.
+    """
+
+    def __init__(
+        self,
+        workload: str = "running",
+        *,
+        n_shards: int = 2,
+        dimension: "str | None" = None,
+        chunk: int = 8,
+        workload_params: "tuple[tuple[str, Any], ...]" = (),
+        start_timeout: float = 60.0,
+    ) -> None:
+        from repro.errors import ShardError
+        from repro.service.shard import (
+            ShardClient,
+            ShardSpec,
+            build_shard_plan,
+            build_workload,
+        )
+
+        if n_shards < 1:
+            raise ShardError("n_shards must be >= 1")
+        self.workload = workload
+        self.warehouse = build_workload(workload, tuple(workload_params))
+        schema = self.warehouse.schema
+        if dimension is None:
+            varying = list(schema.varying)
+            if not varying:
+                raise ShardError(
+                    f"workload {workload!r} has no varying dimension to shard on"
+                )
+            dimension = varying[0]
+        self.dimension = dimension
+        self.plan = build_shard_plan(self.warehouse, dimension, n_shards, chunk)
+        self.n_shards = n_shards
+        self._dim_index = schema.dim_index(dimension)
+        self._metrics = self.warehouse.metrics
+        self._metrics.gauge("serve_shards").set(n_shards)
+        self._parsed: "dict[str, Any]" = {}
+        self._lock = make_lock("ShardedQueryService._lock", reentrant=False)
+        self._closed = False
+
+        # Every leaf must be owned by exactly one shard, or spanning
+        # merges would silently drop its contribution.
+        member_shard = self.plan.member_shard
+        for addr, _ in self.warehouse.cube.leaf_cells():
+            member = addr[self._dim_index].rsplit("/", 1)[-1]
+            if member not in member_shard:
+                raise ShardError(
+                    f"leaf member {member!r} on {dimension!r} is not covered "
+                    "by the shard plan"
+                )
+
+        self._hollow = self._build_hollow()
+        self.clients = []
+        try:
+            for index, owned in enumerate(self.plan.shards):
+                spec = ShardSpec(
+                    workload=workload,
+                    dimension=dimension,
+                    owned_members=tuple(owned),
+                    shard_index=index,
+                    n_shards=n_shards,
+                    workload_params=tuple(workload_params),
+                )
+                self.clients.append(
+                    ShardClient(spec, start_timeout=start_timeout)
+                )
+        except BaseException:
+            for client in self.clients:
+                client.close()
+            raise
+        self.breakers = [CircuitBreaker() for _ in range(n_shards)]
+        for index, breaker in enumerate(self.breakers):
+            breaker._on_state_change = self._breaker_callback(index)
+            self._metrics.gauge(
+                "serve_breaker_state", shard=str(index)
+            ).set(int(breaker.state))
+
+        # Startup invariant: the shards' sub-cubes partition the full cube.
+        total = 0
+        for client in self.clients:
+            total += client.request({"op": "ping"})["leaves"]
+        if total != self.warehouse.cube.n_leaf_cells:
+            self.close()
+            raise ShardError(
+                f"shards hold {total} leaves, warehouse has "
+                f"{self.warehouse.cube.n_leaf_cells}: the plan is not a "
+                "partition"
+            )
+
+    def _breaker_callback(self, index: int):
+        gauge = self._metrics.gauge("serve_breaker_state", shard=str(index))
+        return lambda state: gauge.set(int(state))
+
+    def _build_hollow(self):
+        """The axis-resolution warehouse: full schema/rules/named sets
+        over a cube seeded with one representative leaf per (varying
+        dimension, member-with-data).  Scenario transforms derive their
+        output validity from ``instances_of`` per member-with-data, so
+        one leaf per member reproduces the full context's surviving set
+        — and with it the exact axis tuples — at O(members) cost."""
+        from repro.olap.cube import Cube
+        from repro.warehouse import Warehouse
+
+        schema = self.warehouse.schema
+        hollow_cube = Cube(schema, self.warehouse.cube.rules)
+        varying_dims = [
+            (name, schema.dim_index(name)) for name in schema.varying
+        ]
+        seeded: set[tuple[str, str]] = set()
+        for addr, _ in self.warehouse.cube.leaf_cells():
+            fresh = False
+            for name, dim_index in varying_dims:
+                key = (name, addr[dim_index].rsplit("/", 1)[-1])
+                if key not in seeded:
+                    seeded.add(key)
+                    fresh = True
+            if fresh:
+                hollow_cube.set_value(addr, 0.0)
+        hollow = Warehouse(
+            schema,
+            hollow_cube,
+            name=self.warehouse.name,
+            aliases=self.warehouse.aliases,
+        )
+        for named_set in self.warehouse.named_sets():
+            hollow.define_named_set(named_set.name, named_set.members)
+        return hollow
+
+    # -- query path ---------------------------------------------------------------
+
+    def _parse(self, text: str):
+        from repro.mdx.parser import parse_query
+
+        query = self._parsed.get(text)
+        if query is None:
+            query = parse_query(text)
+            if len(self._parsed) > 1024:
+                self._parsed.clear()
+            self._parsed[text] = query
+        return query
+
+    @staticmethod
+    def _reads_cell_values(query: Any) -> bool:
+        """Whether any set expression consults cell values (FILTER /
+        ORDER): those must see the full cube, not the hollow seed."""
+        from repro.mdx.ast_nodes import FilterExpr, OrderExpr
+
+        def walk(node: Any) -> bool:
+            if isinstance(node, (FilterExpr, OrderExpr)):
+                return True
+            if isinstance(node, (tuple, list)):
+                return any(walk(item) for item in node)
+            if hasattr(node, "__dict__"):
+                return any(walk(value) for value in vars(node).values())
+            return False
+
+        return any(walk(axis.expr) for axis in query.axes) or (
+            query.slicer is not None and walk(query.slicer)
+        )
+
+    def execute(
+        self,
+        text: str,
+        *,
+        analyze: bool = True,
+        budget: "QueryBudget | None" = None,
+    ) -> "MdxResult":
+        """Evaluate one query across the shard pool.
+
+        Returns exactly what single-process ``Warehouse.query`` returns
+        — same axis tuples, bit-identical cells, same NON EMPTY pruning.
+        """
+        started = self._clock()
+        try:
+            result = self._execute(text, analyze=analyze, budget=budget)
+        except BaseException:
+            self._metrics.counter(
+                "serve_queries_total", status="error"
+            ).inc()
+            raise
+        finally:
+            self._metrics.histogram("serve_query_ms").observe(
+                (self._clock() - started) * 1000.0
+            )
+        self._metrics.counter("serve_queries_total", status="ok").inc()
+        return result
+
+    _clock = staticmethod(time.monotonic)
+
+    def _execute(
+        self,
+        text: str,
+        *,
+        analyze: bool,
+        budget: "QueryBudget | None",
+    ) -> "MdxResult":
+        from repro.errors import MdxEvaluationError
+        from repro.mdx.evaluator import _Context, _axis_tuples
+        from repro.mdx.result import AxisTuple, MdxResult
+
+        if self._closed:
+            raise ServiceStoppedError("sharded query service is closed")
+        query = self._parse(text)
+        if budget is not None or self._reads_cell_values(query):
+            self._metrics.counter(
+                "serve_local_fallback_total",
+                reason="budget" if budget is not None else "value-dependent-set",
+            ).inc()
+            return self.warehouse.query(text, analyze=analyze, budget=budget)
+        if analyze:
+            from repro.analysis.query_analyzer import analyze_query
+            from repro.errors import MdxAnalysisError
+
+            report = analyze_query(self.warehouse, query)
+            if report.has_errors:
+                raise MdxAnalysisError(report)
+        if not query.axes:
+            raise MdxEvaluationError("a query needs at least one axis")
+        if len(query.axes) > 2:
+            raise MdxEvaluationError(
+                "only COLUMNS and ROWS axes are supported in this implementation"
+            )
+        seen_axes: set[str] = set()
+        for axis in query.axes:
+            if axis.axis in seen_axes:
+                raise MdxEvaluationError(
+                    f"axis {axis.axis!r} is bound more than once"
+                )
+            seen_axes.add(axis.axis)
+        self.warehouse.check_cube_name(query.cube)
+
+        schema = self.warehouse.schema
+        context = _Context(self._hollow, query)
+        by_axis = {axis.axis: axis for axis in query.axes}
+        if "columns" not in by_axis:
+            raise MdxEvaluationError("a query must place a set ON COLUMNS")
+        columns = _axis_tuples(by_axis["columns"], context)
+        rows = (
+            _axis_tuples(by_axis["rows"], context)
+            if "rows" in by_axis
+            else [AxisTuple((), ())]
+        )
+        slicer: dict[str, str] = {}
+        if query.slicer is not None:
+            from repro.mdx.evaluator import _as_set
+
+            for binding_tuple in _as_set(query.slicer, context):
+                for dim, coord, _ in binding_tuple:
+                    slicer[dim] = coord
+
+        has_scenario = bool(context.scenarios)
+        cells, stats = self._evaluate_cells(
+            query, text, schema, rows, columns, slicer, has_scenario
+        )
+        stats["sharded"] = self.n_shards
+
+        from repro.olap.missing import is_missing
+
+        if "rows" in by_axis and by_axis["rows"].non_empty:
+            keep = [
+                i
+                for i, row_cells in enumerate(cells)
+                if any(not is_missing(v) for v in row_cells)
+            ]
+            rows = [rows[i] for i in keep]
+            cells = [cells[i] for i in keep]
+        if by_axis["columns"].non_empty:
+            keep = [
+                j
+                for j in range(len(columns))
+                if any(not is_missing(row_cells[j]) for row_cells in cells)
+            ]
+            columns = [columns[j] for j in keep]
+            cells = [[row_cells[j] for j in keep] for row_cells in cells]
+        return MdxResult(columns=columns, rows=rows, cells=cells, stats=stats)
+
+    def _evaluate_cells(
+        self,
+        query: Any,
+        text: str,
+        schema: Any,
+        rows: "list[Any]",
+        columns: "list[Any]",
+        slicer: "dict[str, str]",
+        has_scenario: bool,
+    ) -> "tuple[list[list[Any]], dict[str, int]]":
+        """Classify, scatter, gather, and merge the result grid."""
+        import numpy as np
+
+        from repro.olap.aggregation import reduce_array
+        from repro.olap.missing import MISSING
+        from repro.perf import config as perf_config
+        from repro.service.shard import _decode_value
+
+        cube = self.warehouse.cube
+        rules = cube.rules
+        stored_derived = cube._stored_derived
+        dim_index = self._dim_index
+        plan = self.plan
+        defaults = {d.name: d.root.name for d in schema.dimensions}
+        base = dict(defaults)
+        base.update(slicer)
+
+        owned: "dict[int, list[tuple[int, int, tuple[str, ...]]]]" = {}
+        spanning: "list[tuple[int, int, tuple[str, ...]]]" = []
+        local: "list[tuple[int, int, tuple[str, ...]]]" = []
+        grid: "list[list[Any]]" = [
+            [MISSING] * len(columns) for _ in rows
+        ]
+        for r, row in enumerate(rows):
+            for c, column in enumerate(columns):
+                coords = dict(base)
+                coords.update(dict(row.coordinates))
+                coords.update(dict(column.coordinates))
+                addr = schema.address(**coords)
+                shard = plan.shard_of_coordinate(addr[dim_index])
+                ruled = rules is not None and rules.has_rule_for(cube, addr)
+                if ruled:
+                    local.append((r, c, addr))
+                elif has_scenario:
+                    if shard is not None:
+                        owned.setdefault(shard, []).append((r, c, addr))
+                    else:
+                        local.append((r, c, addr))
+                elif schema.is_leaf_address(addr) or addr in stored_derived:
+                    local.append((r, c, addr))
+                elif shard is not None:
+                    owned.setdefault(shard, []).append((r, c, addr))
+                else:
+                    spanning.append((r, c, addr))
+
+        stats = {
+            "cells_evaluated": len(rows) * len(columns),
+            "cells_skipped": 0,
+            "owned_cells": sum(len(v) for v in owned.values()),
+            "spanning_cells": len(spanning),
+            "local_cells": len(local),
+        }
+
+        # -- scatter ------------------------------------------------------------
+        involved = sorted(owned)
+        if spanning:
+            involved = list(range(self.n_shards))
+        for shard in involved:
+            if not self.breakers[shard].allow():
+                self._metrics.counter(
+                    "serve_shed_total", reason="shard-circuit-open"
+                ).inc()
+                raise CircuitOpenError(
+                    f"circuit breaker for shard {shard} is open; retry "
+                    "after backoff"
+                )
+        pendings: "list[tuple[int, str, Any]]" = []
+        for shard, assigned in sorted(owned.items()):
+            self._metrics.counter(
+                "serve_shard_requests_total", shard=str(shard), kind="cells"
+            ).inc()
+            pendings.append(
+                (
+                    shard,
+                    "cells",
+                    self.clients[shard].submit(
+                        {
+                            "op": "cells",
+                            "text": text,
+                            "addresses": [addr for _, _, addr in assigned],
+                        }
+                    ),
+                )
+            )
+        if spanning:
+            for shard in range(self.n_shards):
+                self._metrics.counter(
+                    "serve_shard_requests_total",
+                    shard=str(shard),
+                    kind="partial",
+                ).inc()
+                pendings.append(
+                    (
+                        shard,
+                        "partial",
+                        self.clients[shard].submit(
+                            {
+                                "op": "partial",
+                                "addresses": [
+                                    addr for _, _, addr in spanning
+                                ],
+                            }
+                        ),
+                    )
+                )
+
+        # -- gather -------------------------------------------------------------
+        responses: "dict[tuple[int, str], dict[str, Any]]" = {}
+        first_error: "BaseException | None" = None
+        for shard, kind, pending in pendings:
+            try:
+                responses[(shard, kind)] = self.clients[shard].gather(pending)
+            except BaseException as exc:
+                self.breakers[shard].record_failure(exc)
+                if first_error is None:
+                    first_error = exc
+            else:
+                self.breakers[shard].record_success()
+        if first_error is not None:
+            raise first_error
+
+        # -- merge --------------------------------------------------------------
+        for shard, assigned in sorted(owned.items()):
+            values = responses[(shard, "cells")]["values"]
+            for (r, c, _), value in zip(assigned, values):
+                grid[r][c] = _decode_value(value)
+        if spanning:
+            mode = perf_config.reduction_mode()
+            shard_partials = [
+                responses[(shard, "partial")]["partials"]
+                for shard in range(self.n_shards)
+            ]
+            for cell_index, (r, c, _) in enumerate(spanning):
+                positions: "list[int]" = []
+                values: "list[float]" = []
+                for partials in shard_partials:
+                    shard_positions, shard_values = partials[cell_index]
+                    positions.extend(shard_positions)
+                    values.extend(shard_values)
+                if not positions:
+                    grid[r][c] = MISSING
+                    continue
+                # Global insertion order restores the exact sequence the
+                # single-process strict reduction folds over.
+                order = np.argsort(
+                    np.asarray(positions, dtype=np.int64), kind="stable"
+                )
+                merged = np.asarray(values, dtype=np.float64)[order]
+                grid[r][c] = reduce_array("sum", merged, mode)
+
+        # -- local residue ------------------------------------------------------
+        if local:
+            if has_scenario:
+                from repro.mdx.evaluator import _Context
+
+                # Full context, built once per call; the warehouse's
+                # scenario cache amortises the apply across queries with
+                # the same fingerprints.
+                view = _Context(self.warehouse, query).view
+            else:
+                view = cube
+            for r, c, addr in local:
+                grid[r][c] = view.effective_value(addr)
+        return grid, stats
+
+    # -- introspection / lifecycle ------------------------------------------------
+
+    def explain(self, text: str) -> str:
+        return self.warehouse.explain(text)
+
+    def analyze(self, text: str):
+        return self.warehouse.analyze(text)
+
+    def health(self) -> "dict[str, Any]":
+        """Machine-readable health: per-shard liveness + breaker state."""
+        shards = []
+        for index, client in enumerate(self.clients):
+            shards.append(
+                {
+                    "shard": index,
+                    "alive": client.alive(),
+                    "breaker": self.breakers[index].state.name.lower(),
+                    "members": len(self.plan.shards[index]),
+                }
+            )
+        healthy = all(s["alive"] for s in shards)
+        return {
+            "status": "ok" if healthy and not self._closed else "degraded",
+            "workload": self.workload,
+            "dimension": self.dimension,
+            "shards": shards,
+        }
+
+    def close(self, timeout: float = 5.0) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for client in self.clients:
+            client.close(timeout)
+
+    def __enter__(self) -> "ShardedQueryService":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedQueryService({self.workload!r}, {self.n_shards} shards "
+            f"on {self.dimension!r})"
         )

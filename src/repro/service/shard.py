@@ -1,0 +1,395 @@
+"""Shard processes for the multi-process serving tier.
+
+One shard process owns a disjoint set of the shard dimension's members —
+the co-residency groups of :func:`~repro.core.merge_graph.plan_axis_shards`
+guarantee every member's instance slots land wholly on one shard, so any
+cell whose shard-dimension coordinate resolves to one member can be
+evaluated by that shard alone, bit-identically to the single-process
+engine (the shard's sub-cube is the restriction of the full cube in
+global insertion order, and the strict reduction is order-defined).
+
+Two request shapes cross the pipe:
+
+* ``cells`` — evaluate the query's scenario chain on the shard's
+  sub-warehouse and return ``effective_value`` for each assigned address;
+* ``partial`` — for spanning cells (coordinate above any single member),
+  return the scope's ``(global position, value)`` pairs so the
+  coordinator can merge shards' contributions back into the exact global
+  insertion order before the strict reduction.
+
+Workers are spawned (never forked: the coordinator is multithreaded) and
+rebuild their workload by name — :func:`build_workload` is the shared
+registry — so nothing but the :class:`ShardSpec` is pickled.  Faults are
+re-armed from ``REPRO_FAULTS`` inside each worker, and the ``shard.exec``
+failpoint fires per request so the fault matrix reaches the remote side.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.merge_graph import ShardPlan, plan_axis_shards
+from repro.errors import ReproError, ShardError
+from repro.faults import FAULTS, inject_io_fault, register_failpoint
+from repro.olap.cube import Cube
+from repro.olap.missing import MISSING, is_missing
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.warehouse import Warehouse
+
+__all__ = [
+    "ShardClient",
+    "ShardSpec",
+    "build_shard_plan",
+    "build_workload",
+    "restrict_warehouse",
+    "shard_worker_main",
+]
+
+Address = tuple[str, ...]
+
+FP_SERVE_SCATTER = register_failpoint("serve.scatter")
+FP_SERVE_GATHER = register_failpoint("serve.gather")
+FP_SHARD_EXEC = register_failpoint("shard.exec")
+
+
+def build_workload(name: str, params: "tuple[tuple[str, Any], ...]" = ()) -> "Warehouse":
+    """Rebuild a named workload warehouse (shared by coordinator and
+    shard processes, so both sides derive identical cubes and plans)."""
+    from repro.warehouse import Warehouse
+
+    if name == "running":
+        from repro.workload.running_example import build_running_example
+
+        example = build_running_example()
+        return Warehouse(example.schema, example.cube)
+    if name == "workforce":
+        from repro.workload.workforce import WorkforceConfig, build_workforce
+
+        config = WorkforceConfig(**dict(params)) if params else None
+        return build_workforce(config).warehouse
+    raise ShardError(f"unknown workload {name!r}")
+
+
+def build_shard_plan(
+    warehouse: "Warehouse", dimension: str, n_shards: int, chunk: int = 8
+) -> ShardPlan:
+    """The deterministic placement for one warehouse: slots per leaf
+    member come from the varying registry in axis order, so any process
+    rebuilding the workload derives the identical plan."""
+    varying = warehouse.schema.varying_dimension(dimension)
+    slots_of_member: dict[str, list[str]] = {}
+    for member in varying.dimension.leaf_members():
+        slots = [inst.full_path for inst in varying.instances_of(member.name)]
+        if slots:
+            slots_of_member[member.name] = slots
+    return plan_axis_shards(dimension, slots_of_member, n_shards, chunk)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker needs to rebuild its slice of the warehouse.
+
+    Pure data (picklable): the workload is rebuilt by name inside the
+    worker, never shipped.
+    """
+
+    workload: str
+    dimension: str
+    owned_members: tuple[str, ...]
+    shard_index: int
+    n_shards: int
+    workload_params: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+
+def restrict_warehouse(
+    full: "Warehouse", dimension: str, owned_members: Sequence[str]
+) -> "tuple[Warehouse, dict[Address, int]]":
+    """The shard's sub-warehouse plus global insertion positions.
+
+    The sub-cube holds exactly the full cube's leaf cells whose shard-
+    dimension member is owned, inserted in global order (so the shard's
+    local insertion order is the restriction of the global one — the
+    property the strict bit-identical reduction rests on), plus every
+    stored-derived cell and named set.  ``global_pos`` maps each owned
+    leaf address to its position in the full cube's insertion order.
+    """
+    from repro.warehouse import Warehouse
+
+    schema = full.schema
+    dim_index = schema.dim_index(dimension)
+    owned = set(owned_members)
+    sub_cube = Cube(schema, full.cube.rules)
+    global_pos: dict[Address, int] = {}
+    for position, (addr, value) in enumerate(full.cube.leaf_cells()):
+        if addr[dim_index].rsplit("/", 1)[-1] in owned:
+            sub_cube.set_value(addr, value)
+            global_pos[addr] = position
+    for addr, value in full.cube.stored_derived_cells():
+        sub_cube.set_value(addr, value)
+    sub = Warehouse(schema, sub_cube, name=full.name, aliases=full.aliases)
+    for named_set in full.named_sets():
+        sub.define_named_set(named_set.name, named_set.members)
+    return sub, global_pos
+
+
+def _encode_value(value: object) -> "float | None":
+    """MISSING crosses the pipe as ``None`` — ``is_missing`` is an
+    identity check, and a pickled singleton is not the singleton."""
+    return None if is_missing(value) else float(value)  # type: ignore[arg-type]
+
+
+def _decode_value(value: "float | None") -> object:
+    return MISSING if value is None else value
+
+
+class _ShardRuntime:
+    """Worker-process state: the restricted warehouse plus caches."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        full = build_workload(spec.workload, spec.workload_params)
+        self.warehouse, self.global_pos = restrict_warehouse(
+            full, spec.dimension, spec.owned_members
+        )
+        self._parsed: dict[str, Any] = {}
+
+    def _context(self, text: str):
+        from repro.mdx.evaluator import _Context
+        from repro.mdx.parser import parse_query
+
+        query = self._parsed.get(text)
+        if query is None:
+            query = parse_query(text)
+            self._parsed[text] = query
+        # The scenario cache on the shard's warehouse makes repeated
+        # fingerprints one dict probe, exactly like local serving.
+        return _Context(self.warehouse, query)
+
+    def handle(self, request: "dict[str, Any]") -> "dict[str, Any]":
+        op = request["op"]
+        if op == "ping":
+            return {
+                "ok": True,
+                "shard": self.spec.shard_index,
+                "leaves": self.warehouse.cube.n_leaf_cells,
+                "members": len(self.spec.owned_members),
+            }
+        inject_io_fault(FP_SHARD_EXEC)
+        if op == "cells":
+            context = self._context(request["text"])
+            view = context.view
+            values = [
+                _encode_value(view.effective_value(tuple(addr)))
+                for addr in request["addresses"]
+            ]
+            return {"ok": True, "values": values}
+        if op == "partial":
+            cube = self.warehouse.cube
+            index = cube.rollup_index()
+            leaf_store = cube._leaf_cells
+            global_pos = self.global_pos
+            partials = []
+            for addr in request["addresses"]:
+                positions: list[int] = []
+                values: list[float] = []
+                for cell_addr, value in index.iter_scope_cells(
+                    leaf_store, tuple(addr)
+                ):
+                    positions.append(global_pos[cell_addr])
+                    values.append(value)
+                partials.append((positions, values))
+            return {"ok": True, "partials": partials}
+        return {"ok": False, "error": "ShardError", "message": f"unknown op {op!r}"}
+
+
+def shard_worker_main(conn, spec: ShardSpec) -> None:
+    """Worker-process entry point: serve pipe requests until shutdown.
+
+    Errors are answered, never fatal: the exception's type name and
+    message go back over the pipe and the coordinator re-raises the
+    closest typed equivalent, so a poisoned query cannot kill a shard.
+    """
+    FAULTS.arm_from_env()
+    try:
+        runtime = _ShardRuntime(spec)
+    except BaseException as exc:  # startup failure: report, then exit
+        try:
+            conn.send(
+                {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+            )
+        finally:
+            conn.close()
+        return
+    conn.send({"ok": True, "shard": spec.shard_index})
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            break
+        if request is None or request.get("op") == "shutdown":
+            conn.send({"ok": True})
+            break
+        try:
+            response = runtime.handle(request)
+        except BaseException as exc:
+            response = {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        try:
+            conn.send(response)
+        except (EOFError, OSError):
+            break
+    conn.close()
+
+
+class _Pending:
+    """One in-flight shard request: a slot the dispatcher fills."""
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: "dict[str, Any] | None" = None
+        self.error: "BaseException | None" = None
+
+
+def _remote_error(name: str, message: str, shard: int) -> BaseException:
+    """Map a remote exception's type name back into the taxonomy."""
+    from repro import errors as errors_module
+
+    cls = getattr(errors_module, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        try:
+            return cls(f"shard {shard}: {message}")
+        except TypeError:
+            pass  # constructor wants more than a message
+    return ShardError(f"shard {shard}: {name}: {message}", shard=shard)
+
+
+class ShardClient:
+    """Coordinator-side handle to one shard process.
+
+    A dedicated dispatcher thread serializes pipe traffic (send/recv
+    pairs), so any number of coordinator threads can scatter requests
+    concurrently; each caller blocks only on its own :class:`_Pending`
+    event.  The ``serve.scatter`` failpoint fires in the submitting
+    thread before anything is enqueued, ``serve.gather`` in the waiting
+    thread before a response is surfaced — both therefore propagate into
+    the request that armed them, like every other failpoint.
+    """
+
+    def __init__(self, spec: ShardSpec, *, start_timeout: float = 60.0) -> None:
+        self.spec = spec
+        self.shard_index = spec.shard_index
+        ctx = multiprocessing.get_context("spawn")
+        self._conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=shard_worker_main,
+            args=(child_conn, spec),
+            name=f"repro-shard-{spec.shard_index}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        if not self._conn.poll(start_timeout):
+            raise ShardError(
+                f"shard {spec.shard_index} did not start within "
+                f"{start_timeout:.0f}s",
+                shard=spec.shard_index,
+            )
+        hello = self._conn.recv()
+        if not hello.get("ok"):
+            raise _remote_error(
+                hello.get("error", "ShardError"),
+                hello.get("message", "startup failed"),
+                spec.shard_index,
+            )
+        self._queue: "queue.Queue[tuple[dict[str, Any], _Pending] | None]" = (
+            queue.Queue()
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name=f"repro-shard-client-{spec.shard_index}",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        self._closed = False
+
+    # -- dispatcher ---------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            payload, pending = item
+            try:
+                self._conn.send(payload)
+                pending.response = self._conn.recv()
+            except BaseException as exc:
+                pending.error = ShardError(
+                    f"shard {self.shard_index} connection failed: {exc}",
+                    shard=self.shard_index,
+                )
+            pending.event.set()
+
+    # -- client API ---------------------------------------------------------------
+
+    def submit(self, payload: "dict[str, Any]") -> _Pending:
+        """Scatter one request; returns the pending slot to gather on."""
+        inject_io_fault(FP_SERVE_SCATTER)
+        pending = _Pending()
+        self._queue.put((payload, pending))
+        return pending
+
+    def gather(self, pending: _Pending, timeout: "float | None" = None) -> "dict[str, Any]":
+        """Wait for one scattered request and surface its response."""
+        if not pending.event.wait(timeout):
+            raise ShardError(
+                f"shard {self.shard_index} timed out", shard=self.shard_index
+            )
+        inject_io_fault(FP_SERVE_GATHER)
+        if pending.error is not None:
+            raise pending.error
+        response = pending.response
+        assert response is not None
+        if not response.get("ok"):
+            raise _remote_error(
+                response.get("error", "ShardError"),
+                response.get("message", ""),
+                self.shard_index,
+            )
+        return response
+
+    def request(self, payload: "dict[str, Any]", timeout: "float | None" = None) -> "dict[str, Any]":
+        """Scatter + gather in one call (health checks, tests)."""
+        return self.gather(self.submit(payload), timeout)
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Drain the dispatcher first so no request races the shutdown.
+        self._queue.put(None)
+        self._dispatcher.join(timeout)
+        try:
+            self._conn.send({"op": "shutdown"})
+            if self._conn.poll(timeout):
+                self._conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        self._conn.close()
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.terminate()
+            self.process.join(timeout)

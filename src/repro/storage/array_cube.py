@@ -324,17 +324,38 @@ class ChunkedCube:
         return cls(axes, store)
 
     @classmethod
-    def from_cube(cls, cube: Cube, chunk_shape: Sequence[int] | None = None) -> "ChunkedCube":
+    def from_cube(
+        cls,
+        cube: Cube,
+        chunk_shape: Sequence[int] | None = None,
+        *,
+        use_planes: bool = True,
+    ) -> "ChunkedCube":
         """Build from a semantic cube's leaf cells.
 
         Axis labels are the distinct leaf coordinates present, in sorted
         order (instance paths for varying dimensions).  Intended for tests
         and small integration scenarios; workload generators build chunked
         cubes directly for scale.
+
+        With ``use_planes=True`` (the default) the leaf values come from
+        the cube's rollup-index columnar planes in one vectorized gather
+        (:meth:`~repro.perf.rollup_index.RollupIndex.leaf_arrays`)
+        instead of a second pass over the semantic dict; the dict path
+        remains as the fallback (and under ``use_planes=False``, which
+        the bit-identity regression tests exercise).
         """
         schema = cube.schema
+        items: "list[tuple[tuple[str, ...], float]] | None" = None
+        if use_planes:
+            snapshot = cube.rollup_index().leaf_arrays(cube._leaf_cells)
+            if snapshot is not None:
+                addresses, values = snapshot
+                items = list(zip(addresses, values.tolist()))
+        if items is None:
+            items = list(cube.leaf_cells())
         label_sets: list[set[str]] = [set() for _ in schema.dimensions]
-        for addr, _ in cube.leaf_cells():
+        for addr, _ in items:
             for i, coord in enumerate(addr):
                 label_sets[i].add(coord)
         axes = []
@@ -351,9 +372,12 @@ class ChunkedCube:
             axes.append(Axis(dimension.name, ordered_labels))
         if chunk_shape is None:
             chunk_shape = tuple(max(1, len(a) // 2) for a in axes)
-        return cls.build(
-            axes, ((addr, value) for addr, value in cube.leaf_cells()), chunk_shape
-        )
+        return cls.build(axes, iter(items), chunk_shape)
+
+    def fork(self) -> "ChunkedCube":
+        """A copy-on-write clone over :meth:`ChunkStore.fork`: axes are
+        shared (immutable), chunks are shared until first write."""
+        return ChunkedCube(self.axes, self.store.fork())
 
     # -- access ------------------------------------------------------------------
 

@@ -1,0 +1,77 @@
+"""materialize_chunked: copy-on-write physical scenario images."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import CatalogError
+from tests.catalog.conftest import JOE, LISA
+
+
+def _chunk_of(image, address):
+    return image.grid.chunk_of_cell(image.cell_of(address))
+
+
+class TestCopyOnWrite:
+    def test_delta_cell_reads_back_overridden(self, catalog):
+        catalog.create("s1", cells={JOE: 99.0})
+        image = catalog.materialize_chunked("s1")
+        assert image.value(JOE) == 99.0
+        assert image.value(LISA) == 10.0
+
+    def test_base_image_is_untouched(self, catalog):
+        catalog.create("s1", cells={JOE: 99.0})
+        catalog.materialize_chunked("s1")
+        assert catalog._base_image().value(JOE) == 10.0
+
+    def test_untouched_chunks_shared_by_identity(self, catalog):
+        catalog.create("s1", cells={JOE: 99.0})
+        image = catalog.materialize_chunked("s1")
+        base_image = catalog._base_image()
+        joe_chunk = _chunk_of(image, JOE)
+        lisa_chunk = _chunk_of(image, LISA)
+        assert joe_chunk != lisa_chunk  # precondition for the test
+        assert image.store.peek(lisa_chunk) is base_image.store.peek(
+            lisa_chunk
+        )
+        assert image.store.peek(joe_chunk) is not base_image.store.peek(
+            joe_chunk
+        )
+
+    def test_tombstone_writes_missing(self, catalog):
+        catalog.create("fired", cells={JOE: None})
+        image = catalog.materialize_chunked("fired")
+        assert math.isnan(image.value(JOE))
+
+    def test_matches_semantic_materialization(self, catalog):
+        catalog.create("s1", cells={JOE: 99.0, LISA: None})
+        image = catalog.materialize_chunked("s1")
+        cube = catalog.materialize("s1")
+        for address, value in cube.leaf_cells():
+            assert image.value(address) == value
+        assert math.isnan(image.value(LISA))
+
+
+class TestCachingAndErrors:
+    def test_second_call_hits_the_cache(self, catalog):
+        catalog.create("s1", cells={JOE: 99.0})
+        first = catalog.materialize_chunked("s1")
+        assert catalog.materialize_chunked("s1") is first
+
+    def test_mutation_invalidates_the_cache(self, catalog):
+        catalog.create("s1", cells={JOE: 99.0})
+        first = catalog.materialize_chunked("s1")
+        catalog.update("s1", cells={JOE: 42.0})
+        second = catalog.materialize_chunked("s1")
+        assert second is not first
+        assert second.value(JOE) == 42.0
+
+    def test_unaddressable_delta_cell_raises(self, catalog):
+        # Dave has no stored FTE instance, so the base image's leaf axes
+        # cannot place this delta — no complete physical image exists.
+        ghost = ("Organization/FTE/Dave", "NY", "Jan", "Salary")
+        catalog.create("ghost", cells={ghost: 1.0})
+        with pytest.raises(CatalogError, match="not.*addressable"):
+            catalog.materialize_chunked("ghost")

@@ -1,0 +1,116 @@
+"""plan_axis_shards: determinism, co-residency, coverage, range packing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.merge_graph import ShardPlan, plan_axis_shards
+from repro.errors import QueryError
+
+
+def _slots(n_members: int, instances: int = 1, prefix: str = "m") -> dict:
+    return {
+        f"{prefix}{i:03d}": [
+            f"Dim/cat{i % 4}/{prefix}{i:03d}-{k}" for k in range(instances)
+        ]
+        for i in range(n_members)
+    }
+
+
+class TestPlanning:
+    def test_deterministic(self):
+        slots = _slots(40, instances=2)
+        a = plan_axis_shards("Dim", slots, 4, chunk=4)
+        b = plan_axis_shards("Dim", slots, 4, chunk=4)
+        assert a.shards == b.shards
+        assert dict(a.member_shard) == dict(b.member_shard)
+        assert dict(a.label_shard) == dict(b.label_shard)
+
+    def test_every_member_covered_exactly_once(self):
+        slots = _slots(33, instances=3)
+        plan = plan_axis_shards("Dim", slots, 5, chunk=4)
+        seen: list[str] = []
+        for owned in plan.shards:
+            seen.extend(owned)
+        assert sorted(seen) == sorted(slots)
+        for member, labels in slots.items():
+            shard = plan.member_shard[member]
+            for label in labels:
+                assert plan.label_shard[label] == shard
+
+    def test_member_spanning_chunks_is_co_resident(self):
+        # m1's slots land in chunks 0 and 2 (chunk=2, 3 members x 2 slots):
+        # all of m1 — and via the merge graph every member sharing those
+        # chunks — must end up on one shard.
+        slots = {
+            "m0": ["D/a/m0-0", "D/a/m0-1"],
+            "m1": ["D/a/m1-0", "D/b/m1-1", "D/b/m1-2"],
+            "m2": ["D/b/m2-0"],
+        }
+        plan = plan_axis_shards("D", slots, 3, chunk=2)
+        shard_of = plan.member_shard
+        # slots: m0-0 m0-1 | m1-0 m1-1 | m1-2 m2-0  (chunks 0,1,2)
+        # m1 occupies chunks 1,2 -> chunk 2 joins chunk 1 -> m2 rides along
+        assert shard_of["m1"] == shard_of["m2"]
+        for labels, member in ((slots["m1"], "m1"), (slots["m2"], "m2")):
+            for label in labels:
+                assert plan.label_shard[label] == shard_of[member]
+
+    def test_range_packing_is_contiguous_in_axis_order(self):
+        slots = _slots(64)
+        plan = plan_axis_shards("Dim", slots, 4, chunk=4)
+        order = {member: i for i, member in enumerate(slots)}
+        boundaries = []
+        for owned in plan.shards:
+            assert owned, "64 singleton groups must fill every shard"
+            ranks = sorted(order[m] for m in owned)
+            # contiguous: the shard owns one unbroken run of the axis
+            assert ranks == list(range(ranks[0], ranks[-1] + 1))
+            boundaries.append((ranks[0], ranks[-1]))
+        assert boundaries == sorted(boundaries)
+
+    def test_balanced_within_group_granularity(self):
+        slots = _slots(80)
+        plan = plan_axis_shards("Dim", slots, 4, chunk=4)
+        loads = [
+            sum(len(slots[m]) for m in owned) for owned in plan.shards
+        ]
+        assert max(loads) - min(loads) <= 4  # one chunk of slack
+
+    def test_single_shard_owns_everything(self):
+        slots = _slots(10, instances=2)
+        plan = plan_axis_shards("Dim", slots, 1, chunk=8)
+        assert len(plan.shards) == 1
+        assert sorted(plan.shards[0]) == sorted(slots)
+
+
+class TestShardOfCoordinate:
+    @pytest.fixture
+    def plan(self) -> ShardPlan:
+        return plan_axis_shards("Dim", _slots(16, instances=2), 2, chunk=2)
+
+    def test_resolves_slot_label(self, plan):
+        assert plan.shard_of_coordinate("Dim/cat1/m001-0") == plan.member_shard["m001"]
+
+    def test_resolves_bare_member_name(self, plan):
+        assert plan.shard_of_coordinate("m005") == plan.member_shard["m005"]
+
+    def test_resolves_member_path_by_last_component(self, plan):
+        assert (
+            plan.shard_of_coordinate("Dim/whatever/m009")
+            == plan.member_shard["m009"]
+        )
+
+    def test_root_and_categories_span(self, plan):
+        assert plan.shard_of_coordinate("Dim") is None
+        assert plan.shard_of_coordinate("Dim/cat1") is None
+
+
+class TestValidation:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(QueryError):
+            plan_axis_shards("Dim", _slots(4), 0)
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(QueryError):
+            plan_axis_shards("Dim", _slots(4), 2, chunk=0)
