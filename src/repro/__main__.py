@@ -258,7 +258,10 @@ def _cmd_serve_sharded(args: argparse.Namespace) -> int:
     n_shards = args.shards if args.shards is not None else 2
     worst = 0
     with ShardedQueryService(
-        args.workload, n_shards=n_shards, chunk=args.chunk
+        args.workload,
+        n_shards=n_shards,
+        chunk=args.chunk,
+        degrade=args.degrade,
     ) as service:
         if args.http:
             plan = service.plan
@@ -296,11 +299,34 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     Races concurrent queries against live mutations (and, unless
     ``--no-faults``, armed failpoints), then replays every completed
     query serially against its pinned snapshot and compares grids
-    bit-for-bit.  Exit-code contract: 0 = all invariants held, 2 = any
-    violation (untyped error, mismatch vs serial replay, or deadlock).
+    bit-for-bit.  With ``--sharded``, runs the shard-kill storm instead:
+    clients rotate degrade policies against the multi-process
+    coordinator while random shards are SIGKILLed, then the pool must
+    recover and reproduce the reference grids.  Exit-code contract: 0 =
+    all invariants held, 2 = any violation (untyped error, mismatch vs
+    serial replay, failed recovery, or deadlock).
     """
     from repro.service.stress import StressConfig, run_stress
 
+    if args.sharded:
+        from repro.service.stress import ShardStormConfig, run_shard_storm
+
+        if args.smoke:
+            storm_config = ShardStormConfig.smoke(seed=args.seed)
+        else:
+            storm_config = ShardStormConfig(
+                clients=args.workers,
+                duration_s=args.duration,
+                seed=args.seed,
+            )
+        storm_report = run_shard_storm(storm_config)
+        if args.json:
+            import json
+
+            print(json.dumps(storm_report.to_dict(), indent=2))
+        else:
+            print(storm_report.render())
+        return 0 if storm_report.passed else 2
     if args.smoke:
         config = StressConfig.smoke(seed=args.seed, fault_mix=not args.no_faults)
     else:
@@ -744,11 +770,20 @@ def main(argv: list[str] | None = None) -> int:
         "(default: 8; smaller spreads members across more shards)",
     )
     serve.add_argument(
+        "--degrade",
+        choices=("fail", "fallback", "partial"),
+        default="fallback",
+        help="shard-failure policy for the sharded coordinator: 'fallback' "
+        "recomputes a dead shard's cells locally (bit-identical, default), "
+        "'partial' returns them as ⊥ with degradation records, 'fail' "
+        "raises a typed error",
+    )
+    serve.add_argument(
         "--http",
         action="store_true",
         help="serve the REST API (POST /v1/query, POST /v1/explain, "
-        "GET /metrics, GET /healthz) over the sharded coordinator "
-        "instead of executing a query batch",
+        "GET /metrics, GET /healthz, GET /readyz) over the sharded "
+        "coordinator instead of executing a query batch",
     )
     serve.add_argument(
         "--host",
@@ -787,6 +822,14 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="CI-sized run: 4 workers, ~1s (same invariants)",
+    )
+    stress.add_argument(
+        "--sharded",
+        action="store_true",
+        help="run the shard-kill storm against the multi-process "
+        "coordinator instead: clients rotate degrade policies while "
+        "random shard processes are SIGKILLed; the pool must stay "
+        "bit-identical-or-partial and recover after the storm",
     )
     stress.add_argument(
         "--workers",

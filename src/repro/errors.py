@@ -349,6 +349,31 @@ class ShardError(ServiceError):
         self.shard = shard
 
 
+class ShardDownError(ShardError):
+    """A shard is known-dead (or its supervisor gave up respawning it)
+    and the query's degrade policy forbids answering without it.
+
+    Raised only under ``degrade="fail"`` — the ``fallback`` policy
+    recomputes the shard's cells on the coordinator instead, and
+    ``partial`` returns them as ⊥ with a structured degradation record.
+    ``restarts`` is how many times the supervisor has respawned this
+    shard so far; ``retry_after_s`` is its estimate of when the next
+    respawn attempt lands (the HTTP layer turns it into ``Retry-After``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: "int | None" = None,
+        restarts: int = 0,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        super().__init__(message, shard=shard)
+        self.restarts = restarts
+        self.retry_after_s = retry_after_s
+
+
 class LockOrderError(ReproError):
     """The lockdep witness observed a lock acquisition that inverts the
     declared hierarchy (see :mod:`repro.lint.lock_hierarchy`) or an edge

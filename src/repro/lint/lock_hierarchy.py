@@ -34,8 +34,12 @@ __all__ = [
 #: counter while holding anything else).
 LOCK_ORDER: tuple[str, ...] = (
     "_Chaos.lock",
+    "_ShardChaos.lock",
     "QueryService._lock",
     "ShardedQueryService._lock",
+    # The supervisor nests inside the sharded service (close order) and
+    # outside the per-shard breakers it probes and the metrics it bumps.
+    "ShardSupervisor._lock",
     "TenantQuotas._lock",
     "Warehouse._snapshot_lock",
     # The catalog lock nests *inside* service/warehouse scopes but
@@ -122,6 +126,7 @@ THREAD_SHARED: dict[str, GuardSpec] = {
     ),
     "QueryService": GuardSpec("_lock", ("_closed",)),
     "ShardedQueryService": GuardSpec("_lock", ("_closed",)),
+    "ShardSupervisor": GuardSpec("_lock", ("_closed",)),
     "TenantQuotas": GuardSpec("_lock", ("_inflight",)),
     "Warehouse": GuardSpec("_snapshot_lock", ("_snapshot_cache",)),
     "ScenarioCatalog": GuardSpec(

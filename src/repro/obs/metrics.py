@@ -230,6 +230,23 @@ class MetricsRegistry:
     def histogram(self, name: str, **labels: str) -> Histogram:
         return self._instrument(Histogram, name, labels)
 
+    def value(self, name: str, default: float = 0.0, **labels: str) -> float:
+        """Read one counter/gauge series without creating it.
+
+        Assertions and health endpoints probe series that may not have
+        fired yet (``breaker_probe_total{outcome="fail"}`` on a healthy
+        pool); going through :meth:`counter` would materialise an empty
+        series as a side effect of *reading* it, which skews exports.
+        """
+        series = self._metrics.get(name)
+        if series is None:
+            return default
+        instrument = series.get(_label_key(labels))
+        if instrument is None:
+            return default
+        sampled = instrument.sample()
+        return float(sampled) if not isinstance(sampled, dict) else default
+
     # -- collectors ------------------------------------------------------------------
 
     def register_collector(

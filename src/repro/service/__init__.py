@@ -26,13 +26,22 @@ bounded under real concurrency:
   a coordinator scatter-gathers partial rollups and merges them with the
   strict bit-identical reduction, and per-shard circuit breakers fail
   fast when a shard process dies.
+* :class:`~repro.service.supervisor.ShardSupervisor` — the self-healing
+  layer over the shard pool: liveness heartbeats, exponential-backoff
+  respawn with a restart-storm cap, and breaker probe routing, so a
+  SIGKILLed shard comes back without operator action.  Coupled with the
+  coordinator's per-RPC deadlines, retries, hedging, and ``degrade``
+  policies (``fail`` | ``fallback`` | ``partial``), shard death costs
+  at most one degraded answer — never a hang, never a wrong value.
 * :mod:`~repro.service.http_api` — the stdlib HTTP front end behind
   ``repro serve --http``: ``POST /v1/query``, ``POST /v1/explain``,
-  ``GET /metrics`` (Prometheus), ``GET /healthz``, with per-tenant
-  admission quotas (:class:`~repro.service.http_api.TenantQuotas`).
+  ``GET /metrics`` (Prometheus), ``GET /healthz`` (liveness),
+  ``GET /readyz`` (readiness), with per-tenant admission quotas
+  (:class:`~repro.service.http_api.TenantQuotas`).
 
 See ``docs/robustness.md`` for the service model and guarantees, and
-``docs/serving.md`` for the sharded serving tier.
+``docs/serving.md`` for the sharded serving tier and its failure
+semantics.
 """
 
 from repro.service.breaker import BreakerState, CircuitBreaker
@@ -43,19 +52,32 @@ from repro.service.service import (
     ShardedQueryService,
 )
 from repro.service.snapshot import WarehouseSnapshot
-from repro.service.stress import StressConfig, StressReport, run_stress
+from repro.service.stress import (
+    ShardStormConfig,
+    ShardStormReport,
+    StressConfig,
+    StressReport,
+    run_shard_storm,
+    run_stress,
+)
+from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 
 __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "QueryService",
     "QueryTicket",
+    "ShardStormConfig",
+    "ShardStormReport",
+    "ShardSupervisor",
     "ShardedQueryService",
     "StressConfig",
     "StressReport",
+    "SupervisorConfig",
     "TenantQuotas",
     "WarehouseSnapshot",
     "make_server",
+    "run_shard_storm",
     "run_stress",
     "serve_http",
 ]

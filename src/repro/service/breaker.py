@@ -141,6 +141,23 @@ class CircuitBreaker:
                 return True
             return False
 
+    def probe_allowed(self) -> bool:
+        """Acquire the half-open probe slot *only* — unlike
+        :meth:`allow`, a closed breaker returns False, so the shard
+        supervisor can ask "does this breaker need a recovery probe?"
+        without spending anything on healthy shards.  The caller owns
+        the slot on True and must report the probe's outcome via
+        :meth:`record_success`/:meth:`record_failure`.
+        """
+        with self._lock:
+            self._advance()
+            if self._state is not BreakerState.HALF_OPEN:
+                return False
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
     # -- outcome reporting -------------------------------------------------------
 
     def record_success(self) -> None:

@@ -4,19 +4,27 @@ A stdlib-only REST surface over :class:`~repro.service.ShardedQueryService`
 — :class:`http.server.ThreadingHTTPServer`, one thread per connection, no
 third-party dependencies:
 
-* ``POST /v1/query``   — ``{"query": "...", "analyze": true}`` → the grid
-  as JSON (axis tuples, cells with ``null`` for ⊥, stats);
+* ``POST /v1/query``   — ``{"query": "...", "analyze": true, "degrade":
+  "fallback", "deadline_ms": 5000}`` → the grid as JSON (axis tuples,
+  cells with ``null`` for ⊥, stats); a degraded answer carries
+  ``"partial": true`` plus structured ``degradations`` records;
 * ``POST /v1/explain`` — the evaluation plan as text;
 * ``GET  /metrics``    — Prometheus text exposition of the coordinator
   warehouse's registry (``serve_*``, ``mdx_*``, cache and breaker
   series);
-* ``GET  /healthz``    — liveness + per-shard breaker state; HTTP 503
-  once any shard process has died.
+* ``GET  /healthz``    — **liveness**: 200 while the coordinator can
+  answer at all (even degraded, with supervisor respawns in flight);
+  503 only once the service is closed.  The body carries per-shard
+  supervision state and restart counts.
+* ``GET  /readyz``     — **readiness**: 200 only when every shard is
+  live and every breaker closed (the pool answers without fallback);
+  503 with a ``Retry-After`` hint otherwise.
 
 Typed engine errors map onto status codes the way a gateway expects:
 parse/analysis/evaluation errors are the client's fault (400), admission
-rejections are backpressure (429 for tenant quota and overload, 503 for
-an open circuit breaker), everything infrastructural is a 500 with the
+rejections are backpressure (429 for tenant quota and overload, 503 with
+``Retry-After`` for an open circuit breaker or a down shard under the
+``fail`` degrade policy), everything infrastructural is a 500 with the
 error type in the body.  Per-tenant admission quotas
 (:class:`TenantQuotas`) bound concurrent in-flight queries per
 ``X-Tenant`` header before any engine work happens.
@@ -25,6 +33,7 @@ error type in the body.  Per-tenant admission quotas
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
@@ -37,6 +46,7 @@ from repro.errors import (
     ReproError,
     ServiceError,
     ServiceOverloadedError,
+    ShardDownError,
 )
 from repro.lint.lockdep import make_lock
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE
@@ -116,11 +126,21 @@ def _json_axis(tuples: "list[Any]") -> "list[dict[str, Any]]":
 def _status_for(error: BaseException) -> int:
     if isinstance(error, ServiceOverloadedError):
         return 429
-    if isinstance(error, CircuitOpenError):
+    if isinstance(error, (CircuitOpenError, ShardDownError)):
         return 503
     if isinstance(error, (MdxError, AnalysisError, QueryError)):
         return 400
     return 500
+
+
+def _retry_after_s(error: BaseException, server: "ReproHTTPServer") -> "float | None":
+    """The ``Retry-After`` hint for a 503: the shard's own respawn
+    estimate when the error carries one, else the supervisor's."""
+    if isinstance(error, ShardDownError):
+        return error.retry_after_s
+    if isinstance(error, CircuitOpenError):
+        return server.service.supervisor.retry_after_s()
+    return None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -135,16 +155,36 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # pragma: no cover - manual serving only
             super().log_message(format, *args)
 
-    def _send(self, status: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        retry_after_s: "float | None" = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            # Retry-After is integer seconds; round up so "0.3s" does
+            # not tell the client to hammer immediately.
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after_s))))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: "dict[str, Any]") -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: "dict[str, Any]",
+        retry_after_s: "float | None" = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        self._send(status, body, "application/json; charset=utf-8")
+        self._send(
+            status,
+            body,
+            "application/json; charset=utf-8",
+            retry_after_s=retry_after_s,
+        )
 
     def _send_error_json(self, error: BaseException) -> None:
         status = _status_for(error)
@@ -153,10 +193,16 @@ class _Handler(BaseHTTPRequestHandler):
             endpoint=self.path.split("?")[0],
             status=str(status),
         ).inc()
-        self._send_json(
-            status,
-            {"error": type(error).__name__, "message": str(error)},
+        retry_after = (
+            _retry_after_s(error, self.server) if status == 503 else None
         )
+        payload: "dict[str, Any]" = {
+            "error": type(error).__name__,
+            "message": str(error),
+        }
+        if retry_after is not None:
+            payload["retry_after_s"] = retry_after
+        self._send_json(status, payload, retry_after_s=retry_after)
 
     def _count(self, endpoint: str, status: int) -> None:
         self.server.metrics.counter(
@@ -194,10 +240,25 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, body, PROMETHEUS_CONTENT_TYPE)
             return
         if path == "/healthz":
+            # Liveness: the coordinator answers (degraded included);
+            # only a closed service is dead.
             health = self.server.service.health()
-            status = 200 if health["status"] == "ok" else 503
+            status = 200 if health["live"] else 503
             self._count(path, status)
             self._send_json(status, health)
+            return
+        if path == "/readyz":
+            # Readiness: every shard live, every breaker closed.
+            health = self.server.service.health()
+            status = 200 if health["ready"] else 503
+            self._count(path, status)
+            self._send_json(
+                status,
+                health,
+                retry_after_s=(
+                    health["retry_after_s"] if status == 503 else None
+                ),
+            )
             return
         self._count(path, 404)
         self._send_json(404, {"error": "NotFound", "message": path})
@@ -223,6 +284,14 @@ class _Handler(BaseHTTPRequestHandler):
                     f"({self.server.quotas.limit_for(tenant)})",
                     reason="tenant-quota",
                 )
+            degrade = payload.get("degrade")
+            if degrade is not None and not isinstance(degrade, str):
+                raise QueryError('"degrade" must be a string policy name')
+            deadline_ms = payload.get("deadline_ms")
+            if deadline_ms is not None and not isinstance(
+                deadline_ms, (int, float)
+            ):
+                raise QueryError('"deadline_ms" must be a number')
             try:
                 if path == "/v1/explain":
                     plan = self.server.service.explain(text)
@@ -230,7 +299,12 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_json(200, {"explain": plan})
                     return
                 result = self.server.service.execute(
-                    text, analyze=bool(payload.get("analyze", True))
+                    text,
+                    analyze=bool(payload.get("analyze", True)),
+                    degrade=degrade,
+                    deadline_ms=(
+                        float(deadline_ms) if deadline_ms is not None else None
+                    ),
                 )
             finally:
                 self.server.quotas.release(tenant)
@@ -238,15 +312,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(exc)
             return
         self._count(path, 200)
-        self._send_json(
-            200,
-            {
-                "columns": _json_axis(result.columns),
-                "rows": _json_axis(result.rows),
-                "cells": _json_cells(result.cells),
-                "stats": dict(result.stats),
-            },
-        )
+        envelope: "dict[str, Any]" = {
+            "columns": _json_axis(result.columns),
+            "rows": _json_axis(result.rows),
+            "cells": _json_cells(result.cells),
+            "partial": result.is_partial,
+            "stats": dict(result.stats),
+        }
+        if result.degradations:
+            envelope["degradations"] = [
+                d.to_dict() for d in result.degradations
+            ]
+        self._send_json(200, envelope)
 
 
 class ReproHTTPServer(ThreadingHTTPServer):

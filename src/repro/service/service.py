@@ -48,8 +48,11 @@ from repro.obs.trace import TRACER, Span
 from repro.service.breaker import BreakerState, CircuitBreaker
 
 if TYPE_CHECKING:
+    from repro.mdx.budget import Degradation
     from repro.mdx.result import MdxResult
+    from repro.service.shard import ShardClient
     from repro.service.snapshot import WarehouseSnapshot
+    from repro.service.supervisor import SupervisorConfig
     from repro.warehouse import Warehouse
 
 __all__ = ["QueryService", "QueryTicket", "ShardedQueryService"]
@@ -272,14 +275,22 @@ class QueryService:
     def _worker_loop(self) -> None:
         while True:
             job = self._queue.get()
-            if job is None:  # close() sentinel
-                self._queue.task_done()
-                return
             try:
+                if job is None:  # close() sentinel
+                    return
                 self._run_job(job)
             except BaseException as exc:  # defensive: keep the worker alive
                 if not job.ticket.done():
                     job.ticket._complete(None, exc)
+                self._metrics.counter(
+                    "service_worker_errors_total", kind=type(exc).__name__
+                ).inc()
+                if isinstance(exc, (SystemExit, KeyboardInterrupt)):
+                    # Interpreter-exit exceptions must never be swallowed
+                    # by the keep-alive: the ticket is completed (the
+                    # caller sees the error), then the worker re-raises
+                    # and dies with the interpreter.
+                    raise
             finally:
                 self._queue.task_done()
 
@@ -316,6 +327,8 @@ class QueryService:
                 "service_queries_total", status="error"
             ).inc()
             ticket._complete(None, exc)
+            if isinstance(exc, (SystemExit, KeyboardInterrupt)):
+                raise  # completed the ticket first; now let the exit out
             return
         self.breaker.record_success()
         status = "partial" if result.degradations else "ok"
@@ -397,7 +410,22 @@ class ShardedQueryService:
 
     Queries carrying a budget, or whose sets read cell values (FILTER /
     ORDER), fall back to full local evaluation — correctness first.
+
+    **Failure semantics** (docs/serving.md): every scatter/gather runs
+    under a per-RPC deadline derived from ``rpc_timeout_ms`` (narrowed
+    by the caller's ``deadline_ms``); transient faults retry in place; a
+    dead shard is retried against its supervisor-respawned successor;
+    and when a shard stays unavailable the ``degrade`` policy decides —
+    ``"fallback"`` (default) recomputes its cells on the coordinator's
+    full warehouse (bit-identical), ``"partial"`` returns those cells as
+    ⊥ with structured :class:`~repro.mdx.budget.Degradation` records,
+    ``"fail"`` raises the typed error.  Because the coordinator holds
+    the complete warehouse, fallback results are exactly what the
+    healthy pool would have produced.
     """
+
+    #: accepted values for the ``degrade`` policy
+    DEGRADE_POLICIES = ("fail", "fallback", "partial")
 
     def __init__(
         self,
@@ -408,17 +436,37 @@ class ShardedQueryService:
         chunk: int = 8,
         workload_params: "tuple[tuple[str, Any], ...]" = (),
         start_timeout: float = 60.0,
+        degrade: str = "fallback",
+        rpc_timeout_ms: float = 30_000.0,
+        hedge_ms: "float | None" = 1_000.0,
+        rpc_retries: int = 2,
+        supervisor_config: "SupervisorConfig | None" = None,
     ) -> None:
         from repro.errors import ShardError
         from repro.service.shard import (
-            ShardClient,
             ShardSpec,
             build_shard_plan,
             build_workload,
         )
+        from repro.service.supervisor import ShardSupervisor, SupervisorConfig
 
         if n_shards < 1:
             raise ShardError("n_shards must be >= 1")
+        if degrade not in self.DEGRADE_POLICIES:
+            raise ShardError(
+                f"unknown degrade policy {degrade!r}; expected one of "
+                f"{', '.join(self.DEGRADE_POLICIES)}"
+            )
+        if rpc_timeout_ms <= 0:
+            raise ShardError("rpc_timeout_ms must be > 0")
+        if hedge_ms is not None and hedge_ms <= 0:
+            raise ShardError("hedge_ms must be > 0 (or None to disable)")
+        if rpc_retries < 0:
+            raise ShardError("rpc_retries must be >= 0")
+        self.degrade = degrade
+        self.rpc_timeout_ms = float(rpc_timeout_ms)
+        self.hedge_ms = None if hedge_ms is None else float(hedge_ms)
+        self.rpc_retries = int(rpc_retries)
         self.workload = workload
         self.warehouse = build_workload(workload, tuple(workload_params))
         schema = self.warehouse.schema
@@ -451,34 +499,36 @@ class ShardedQueryService:
                 )
 
         self._hollow = self._build_hollow()
-        self.clients = []
-        try:
-            for index, owned in enumerate(self.plan.shards):
-                spec = ShardSpec(
-                    workload=workload,
-                    dimension=dimension,
-                    owned_members=tuple(owned),
-                    shard_index=index,
-                    n_shards=n_shards,
-                    workload_params=tuple(workload_params),
-                )
-                self.clients.append(
-                    ShardClient(spec, start_timeout=start_timeout)
-                )
-        except BaseException:
-            for client in self.clients:
-                client.close()
-            raise
+        specs = [
+            ShardSpec(
+                workload=workload,
+                dimension=dimension,
+                owned_members=tuple(owned),
+                shard_index=index,
+                n_shards=n_shards,
+                workload_params=tuple(workload_params),
+            )
+            for index, owned in enumerate(self.plan.shards)
+        ]
+        if supervisor_config is None:
+            supervisor_config = SupervisorConfig(
+                start_timeout_s=start_timeout,
+                rpc_timeout_s=max(self.rpc_timeout_ms / 1000.0, 1.0),
+            )
+        self.supervisor = ShardSupervisor(
+            specs, config=supervisor_config, metrics=self._metrics
+        )
         self.breakers = [CircuitBreaker() for _ in range(n_shards)]
         for index, breaker in enumerate(self.breakers):
             breaker._on_state_change = self._breaker_callback(index)
             self._metrics.gauge(
                 "serve_breaker_state", shard=str(index)
             ).set(int(breaker.state))
+        self.supervisor.attach_breakers(self.breakers)
 
         # Startup invariant: the shards' sub-cubes partition the full cube.
         total = 0
-        for client in self.clients:
+        for client in self.supervisor.clients:
             total += client.request({"op": "ping"})["leaves"]
         if total != self.warehouse.cube.n_leaf_cells:
             self.close()
@@ -487,6 +537,12 @@ class ShardedQueryService:
                 f"{self.warehouse.cube.n_leaf_cells}: the plan is not a "
                 "partition"
             )
+
+    @property
+    def clients(self) -> "list[ShardClient]":
+        """The current client per shard (supervisor-owned; a respawn
+        swaps the list entry for the replacement process's client)."""
+        return self.supervisor.clients
 
     def _breaker_callback(self, index: int):
         gauge = self._metrics.gauge("serve_breaker_state", shard=str(index))
@@ -565,15 +621,37 @@ class ShardedQueryService:
         *,
         analyze: bool = True,
         budget: "QueryBudget | None" = None,
+        degrade: "str | None" = None,
+        deadline_ms: "float | None" = None,
     ) -> "MdxResult":
         """Evaluate one query across the shard pool.
 
-        Returns exactly what single-process ``Warehouse.query`` returns
-        — same axis tuples, bit-identical cells, same NON EMPTY pruning.
+        When every involved shard answers, returns exactly what
+        single-process ``Warehouse.query`` returns — same axis tuples,
+        bit-identical cells, same NON EMPTY pruning.  ``degrade``
+        overrides the service-level policy for this query (``"fail"`` |
+        ``"fallback"`` | ``"partial"``); ``deadline_ms`` narrows the
+        per-RPC deadline below the service's ``rpc_timeout_ms``.  A
+        ``"partial"`` answer carries ⊥ cells plus ``degradations``
+        records and skips NON EMPTY pruning (unknown values must not
+        silently drop rows).
         """
+        from repro.errors import ShardError
+
+        if degrade is not None and degrade not in self.DEGRADE_POLICIES:
+            raise ShardError(
+                f"unknown degrade policy {degrade!r}; expected one of "
+                f"{', '.join(self.DEGRADE_POLICIES)}"
+            )
         started = self._clock()
         try:
-            result = self._execute(text, analyze=analyze, budget=budget)
+            result = self._execute(
+                text,
+                analyze=analyze,
+                budget=budget,
+                degrade=degrade or self.degrade,
+                deadline_ms=deadline_ms,
+            )
         except BaseException:
             self._metrics.counter(
                 "serve_queries_total", status="error"
@@ -583,7 +661,8 @@ class ShardedQueryService:
             self._metrics.histogram("serve_query_ms").observe(
                 (self._clock() - started) * 1000.0
             )
-        self._metrics.counter("serve_queries_total", status="ok").inc()
+        status = "partial" if result.degradations else "ok"
+        self._metrics.counter("serve_queries_total", status=status).inc()
         return result
 
     _clock = staticmethod(time.monotonic)
@@ -594,6 +673,8 @@ class ShardedQueryService:
         *,
         analyze: bool,
         budget: "QueryBudget | None",
+        degrade: str,
+        deadline_ms: "float | None",
     ) -> "MdxResult":
         from repro.errors import MdxEvaluationError
         from repro.mdx.evaluator import _Context, _axis_tuples
@@ -650,30 +731,48 @@ class ShardedQueryService:
                     slicer[dim] = coord
 
         has_scenario = bool(context.scenarios)
-        cells, stats = self._evaluate_cells(
-            query, text, schema, rows, columns, slicer, has_scenario
+        cells, stats, degradations = self._evaluate_cells(
+            query,
+            text,
+            schema,
+            rows,
+            columns,
+            slicer,
+            has_scenario,
+            degrade,
+            deadline_ms,
         )
         stats["sharded"] = self.n_shards
 
         from repro.olap.missing import is_missing
 
-        if "rows" in by_axis and by_axis["rows"].non_empty:
-            keep = [
-                i
-                for i, row_cells in enumerate(cells)
-                if any(not is_missing(v) for v in row_cells)
-            ]
-            rows = [rows[i] for i in keep]
-            cells = [cells[i] for i in keep]
-        if by_axis["columns"].non_empty:
-            keep = [
-                j
-                for j in range(len(columns))
-                if any(not is_missing(row_cells[j]) for row_cells in cells)
-            ]
-            columns = [columns[j] for j in keep]
-            cells = [[row_cells[j] for j in keep] for row_cells in cells]
-        return MdxResult(columns=columns, rows=rows, cells=cells, stats=stats)
+        # A degraded grid's ⊥ cells mean "unknown", not "empty": NON
+        # EMPTY pruning over unknowns would silently drop rows the
+        # healthy pool keeps, so it is skipped for partial answers.
+        if not degradations:
+            if "rows" in by_axis and by_axis["rows"].non_empty:
+                keep = [
+                    i
+                    for i, row_cells in enumerate(cells)
+                    if any(not is_missing(v) for v in row_cells)
+                ]
+                rows = [rows[i] for i in keep]
+                cells = [cells[i] for i in keep]
+            if by_axis["columns"].non_empty:
+                keep = [
+                    j
+                    for j in range(len(columns))
+                    if any(not is_missing(row_cells[j]) for row_cells in cells)
+                ]
+                columns = [columns[j] for j in keep]
+                cells = [[row_cells[j] for j in keep] for row_cells in cells]
+        return MdxResult(
+            columns=columns,
+            rows=rows,
+            cells=cells,
+            degradations=degradations,
+            stats=stats,
+        )
 
     def _evaluate_cells(
         self,
@@ -684,14 +783,19 @@ class ShardedQueryService:
         columns: "list[Any]",
         slicer: "dict[str, str]",
         has_scenario: bool,
-    ) -> "tuple[list[list[Any]], dict[str, int]]":
-        """Classify, scatter, gather, and merge the result grid."""
+        degrade: str,
+        deadline_ms: "float | None",
+    ) -> "tuple[list[list[Any]], dict[str, int], list[Degradation]]":
+        """Classify, scatter, gather (with retry/hedge/recovery), and
+        merge the result grid."""
         import numpy as np
 
+        from repro.errors import ShardError, TransientFaultError
+        from repro.mdx.budget import Degradation
         from repro.olap.aggregation import reduce_array
         from repro.olap.missing import MISSING
         from repro.perf import config as perf_config
-        from repro.service.shard import _decode_value
+        from repro.service.shard import _Pending, _decode_value
 
         cube = self.warehouse.cube
         rules = cube.rules
@@ -736,73 +840,270 @@ class ShardedQueryService:
             "owned_cells": sum(len(v) for v in owned.values()),
             "spanning_cells": len(spanning),
             "local_cells": len(local),
+            "fallback_cells": 0,
         }
 
-        # -- scatter ------------------------------------------------------------
-        involved = sorted(owned)
-        if spanning:
-            involved = list(range(self.n_shards))
-        for shard in involved:
-            if not self.breakers[shard].allow():
+        # -- RPC deadline / recovery bookkeeping --------------------------------
+        # Every scatter/gather on this query shares one wall-clock
+        # deadline: the service's rpc_timeout_ms narrowed by the
+        # caller's per-query deadline_ms (queue-style narrowing, same
+        # contract as QueryService admission deadlines).
+        rpc_budget = QueryBudget(deadline_ms=self.rpc_timeout_ms).narrowed(
+            deadline_ms
+        )
+        assert rpc_budget.deadline_ms is not None
+        deadline = self._clock() + rpc_budget.deadline_ms / 1000.0
+        hedge_s = None if self.hedge_ms is None else self.hedge_ms / 1000.0
+        hedging = degrade == "fallback" and hedge_s is not None
+
+        fallback_cells: "list[tuple[int, int, tuple[str, ...]]]" = []
+        lost: "list[tuple[str, list[tuple[int, int, tuple[str, ...]]]]]" = []
+        spanning_active = bool(spanning)
+
+        def recover_owned(shard: int, detail: str) -> None:
+            """A shard's owned cells survive its death: recomputed
+            locally (fallback) or returned ⊥ (partial)."""
+            cells_for_shard = owned.pop(shard, None)
+            if not cells_for_shard:
+                return
+            if degrade == "fallback":
+                fallback_cells.extend(cells_for_shard)
                 self._metrics.counter(
-                    "serve_shed_total", reason="shard-circuit-open"
-                ).inc()
-                raise CircuitOpenError(
-                    f"circuit breaker for shard {shard} is open; retry "
-                    "after backoff"
-                )
-        pendings: "list[tuple[int, str, Any]]" = []
-        for shard, assigned in sorted(owned.items()):
-            self._metrics.counter(
-                "serve_shard_requests_total", shard=str(shard), kind="cells"
-            ).inc()
-            pendings.append(
-                (
-                    shard,
-                    "cells",
-                    self.clients[shard].submit(
-                        {
-                            "op": "cells",
-                            "text": text,
-                            "addresses": [addr for _, _, addr in assigned],
-                        }
-                    ),
-                )
-            )
-        if spanning:
-            for shard in range(self.n_shards):
+                    "serve_fallback_cells_total", shard=str(shard)
+                ).inc(len(cells_for_shard))
+            else:
+                lost.append((f"shard {shard}: {detail}", list(cells_for_shard)))
+
+        def recover_spanning(shard: int, detail: str) -> None:
+            """A spanning merge missing any contribution is abandoned
+            whole — a partial sum is not a value, it is a wrong value."""
+            nonlocal spanning_active
+            if not spanning_active:
+                return
+            spanning_active = False
+            if degrade == "fallback":
+                fallback_cells.extend(spanning)
                 self._metrics.counter(
-                    "serve_shard_requests_total",
-                    shard=str(shard),
-                    kind="partial",
-                ).inc()
-                pendings.append(
+                    "serve_fallback_cells_total", shard=str(shard)
+                ).inc(len(spanning))
+            else:
+                lost.append(
                     (
-                        shard,
-                        "partial",
-                        self.clients[shard].submit(
-                            {
-                                "op": "partial",
-                                "addresses": [
-                                    addr for _, _, addr in spanning
-                                ],
-                            }
-                        ),
+                        f"shard {shard}: {detail} (spanning merge incomplete)",
+                        list(spanning),
                     )
                 )
 
+        # -- admission ----------------------------------------------------------
+        involved = set(owned)
+        if spanning_active:
+            involved.update(range(self.n_shards))
+        for shard in sorted(involved):
+            admission_error: "BaseException | None" = None
+            # Shed only while the breaker is fully open.  Half-open probe
+            # slots belong to the supervisor's ping loop (never the query
+            # path): a query admitted here that ends up with no RPC to
+            # this shard — its cells recovered because *another* shard
+            # died — would leak the slot and wedge the breaker half-open
+            # forever.  Half-open queries flow freely; their recorded
+            # outcomes close or re-open the breaker just the same.
+            if self.breakers[shard].state is BreakerState.OPEN:
+                self._metrics.counter(
+                    "serve_shed_total", reason="shard-circuit-open"
+                ).inc()
+                admission_error = CircuitOpenError(
+                    f"circuit breaker for shard {shard} is open; retry "
+                    "after backoff"
+                )
+            else:
+                try:
+                    self.supervisor.client(shard)
+                except ShardError as down:
+                    self.breakers[shard].record_failure(down)
+                    admission_error = down
+            if admission_error is None:
+                continue
+            if degrade == "fail":
+                raise admission_error
+            recover_owned(shard, str(admission_error))
+            recover_spanning(shard, str(admission_error))
+
+        # -- scatter ------------------------------------------------------------
+        pendings: "list[tuple[int, str, dict[str, Any], _Pending, Any]]" = []
+
+        def scatter(shard: int, kind: str, payload: "dict[str, Any]") -> None:
+            """Submit one RPC; transient faults retry in place, a dead
+            shard waits (bounded) for its respawn, and a shard that
+            stays dead is recovered per the degrade policy."""
+            self._metrics.counter(
+                "serve_shard_requests_total", shard=str(shard), kind=kind
+            ).inc()
+            transient = 0
+            attempts = 0
+            while True:
+                try:
+                    client = self.supervisor.client(shard)
+                    pendings.append(
+                        (shard, kind, payload, client.submit(payload), client)
+                    )
+                    return
+                except TransientFaultError:
+                    transient += 1
+                    if transient > self.rpc_retries:
+                        raise
+                    self._metrics.counter(
+                        "serve_shard_retries_total",
+                        shard=str(shard),
+                        kind="transient",
+                    ).inc()
+                except ShardError as exc:
+                    self.breakers[shard].record_failure(exc)
+                    self.supervisor.notify_failure(shard, exc)
+                    attempts += 1
+                    remaining = deadline - self._clock()
+                    if (
+                        attempts <= self.rpc_retries
+                        and remaining > 0
+                        and self.supervisor.await_live(shard, remaining)
+                        is not None
+                    ):
+                        self._metrics.counter(
+                            "serve_shard_retries_total",
+                            shard=str(shard),
+                            kind="respawn",
+                        ).inc()
+                        continue
+                    if degrade == "fail":
+                        raise
+                    detail = f"scatter failed: {exc}"
+                    if kind == "cells":
+                        recover_owned(shard, detail)
+                    else:
+                        recover_spanning(shard, detail)
+                    return
+
+        for shard, assigned in sorted(owned.items()):
+            scatter(
+                shard,
+                "cells",
+                {
+                    "op": "cells",
+                    "text": text,
+                    "addresses": [addr for _, _, addr in assigned],
+                },
+            )
+        if spanning_active:
+            spanning_payload = {
+                "op": "partial",
+                "addresses": [addr for _, _, addr in spanning],
+            }
+            for shard in range(self.n_shards):
+                if not spanning_active:
+                    break
+                scatter(shard, "partial", dict(spanning_payload))
+
         # -- gather -------------------------------------------------------------
+        def gather_one(
+            shard: int,
+            kind: str,
+            payload: "dict[str, Any]",
+            pending: _Pending,
+            client: Any,
+        ) -> "dict[str, Any]":
+            """Gather one RPC under the shared deadline.
+
+            Transient faults re-gather the same pending; a dead shard is
+            retried against the respawned client (re-submit); an
+            alive-but-slow shard past the hedge threshold raises so the
+            caller falls back locally.  Raises ShardError when the shard
+            stays unanswerable within the deadline.
+            """
+            transient = 0
+            attempts = 0
+            while True:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    raise ShardError(
+                        f"shard {shard} missed the "
+                        f"{rpc_budget.deadline_ms:.0f}ms RPC deadline",
+                        shard=shard,
+                    )
+                wait = remaining
+                if hedging:
+                    assert hedge_s is not None
+                    wait = min(wait, hedge_s)
+                try:
+                    return client.gather(pending, timeout=wait)
+                except TransientFaultError:
+                    transient += 1
+                    if transient > self.rpc_retries:
+                        raise
+                    self._metrics.counter(
+                        "serve_shard_retries_total",
+                        shard=str(shard),
+                        kind="transient",
+                    ).inc()
+                    if pending.event.is_set():
+                        # Remote-raised transient: that RPC is consumed,
+                        # so the retry must re-submit.  (A local
+                        # serve.gather fault leaves the pending intact
+                        # and simply re-gathers.)
+                        try:
+                            client = self.supervisor.client(shard)
+                            pending = client.submit(payload)
+                        except (ShardError, TransientFaultError):
+                            continue
+                except ShardError as exc:
+                    self.breakers[shard].record_failure(exc)
+                    if not pending.event.is_set() and not client.down():
+                        # The worker is alive, the answer is late: hedge
+                        # to the coordinator's bit-identical local path.
+                        if hedging:
+                            self._metrics.counter(
+                                "serve_hedge_total", shard=str(shard)
+                            ).inc()
+                        raise
+                    self.supervisor.notify_failure(shard, exc)
+                    attempts += 1
+                    remaining = deadline - self._clock()
+                    if attempts > self.rpc_retries or remaining <= 0:
+                        raise
+                    fresh = self.supervisor.await_live(shard, remaining)
+                    if fresh is None:
+                        raise
+                    self._metrics.counter(
+                        "serve_shard_retries_total",
+                        shard=str(shard),
+                        kind="respawn",
+                    ).inc()
+                    try:
+                        pending = fresh.submit(payload)
+                        client = fresh
+                    except (ShardError, TransientFaultError):
+                        continue
+
         responses: "dict[tuple[int, str], dict[str, Any]]" = {}
         first_error: "BaseException | None" = None
-        for shard, kind, pending in pendings:
+        for shard, kind, payload, pending, client in pendings:
             try:
-                responses[(shard, kind)] = self.clients[shard].gather(pending)
+                response = gather_one(shard, kind, payload, pending, client)
+            except ShardError as exc:
+                if degrade == "fail":
+                    if first_error is None:
+                        first_error = exc
+                    continue
+                detail = f"gather failed: {exc}"
+                if kind == "cells":
+                    recover_owned(shard, detail)
+                else:
+                    recover_spanning(shard, detail)
             except BaseException as exc:
                 self.breakers[shard].record_failure(exc)
                 if first_error is None:
                     first_error = exc
             else:
                 self.breakers[shard].record_success()
+                responses[(shard, kind)] = response
         if first_error is not None:
             raise first_error
 
@@ -811,7 +1112,7 @@ class ShardedQueryService:
             values = responses[(shard, "cells")]["values"]
             for (r, c, _), value in zip(assigned, values):
                 grid[r][c] = _decode_value(value)
-        if spanning:
+        if spanning_active:
             mode = perf_config.reduction_mode()
             shard_partials = [
                 responses[(shard, "partial")]["partials"]
@@ -835,8 +1136,27 @@ class ShardedQueryService:
                 merged = np.asarray(values, dtype=np.float64)[order]
                 grid[r][c] = reduce_array("sum", merged, mode)
 
+        # -- degradation records (partial policy) -------------------------------
+        degradations: "list[Degradation]" = []
+        if lost:
+            skipped = sum(len(cells_lost) for _, cells_lost in lost)
+            stats["cells_skipped"] = skipped
+            self._metrics.counter("serve_degraded_cells_total").inc(skipped)
+            total_cells = len(rows) * len(columns)
+            for detail, cells_lost in lost:
+                degradations.append(
+                    Degradation(
+                        reason="shard-down",
+                        detail=detail,
+                        cells_evaluated=total_cells - skipped,
+                        cells_skipped=len(cells_lost),
+                    )
+                )
+
         # -- local residue ------------------------------------------------------
-        if local:
+        stats["fallback_cells"] = len(fallback_cells)
+        local_all = local + fallback_cells
+        if local_all:
             if has_scenario:
                 from repro.mdx.evaluator import _Context
 
@@ -846,9 +1166,9 @@ class ShardedQueryService:
                 view = _Context(self.warehouse, query).view
             else:
                 view = cube
-            for r, c, addr in local:
+            for r, c, addr in local_all:
                 grid[r][c] = view.effective_value(addr)
-        return grid, stats
+        return grid, stats, degradations
 
     # -- introspection / lifecycle ------------------------------------------------
 
@@ -859,22 +1179,55 @@ class ShardedQueryService:
         return self.warehouse.analyze(text)
 
     def health(self) -> "dict[str, Any]":
-        """Machine-readable health: per-shard liveness + breaker state."""
+        """Machine-readable health: per-shard supervision state, breaker
+        state, and the liveness/readiness split.
+
+        ``live`` — the coordinator itself is up (it can always answer,
+        degraded if necessary).  ``ready`` — every shard is live and
+        every breaker closed, i.e. the pool serves bit-identical answers
+        without fallback.  A supervisor mid-respawn leaves the service
+        live but not ready.
+        """
+        supervision = self.supervisor.status()
         shards = []
-        for index, client in enumerate(self.clients):
+        for state in supervision:
+            index = state["shard"]
             shards.append(
                 {
                     "shard": index,
-                    "alive": client.alive(),
+                    "alive": state["alive"],
+                    "state": state["state"],
+                    "restarts": state["restarts"],
+                    "next_attempt_in_s": state["next_attempt_in_s"],
+                    "last_error": state["last_error"],
                     "breaker": self.breakers[index].state.name.lower(),
                     "members": len(self.plan.shards[index]),
                 }
             )
-        healthy = all(s["alive"] for s in shards)
+        live = not self._closed
+        ready = (
+            live
+            and all(s["alive"] for s in shards)
+            and all(
+                breaker.state is BreakerState.CLOSED
+                for breaker in self.breakers
+            )
+        )
+        if not live:
+            status = "closed"
+        elif ready:
+            status = "ok"
+        else:
+            status = "degraded"
         return {
-            "status": "ok" if healthy and not self._closed else "degraded",
+            "status": status,
+            "live": live,
+            "ready": ready,
+            "degrade": self.degrade,
             "workload": self.workload,
             "dimension": self.dimension,
+            "restarts_total": sum(s["restarts"] for s in shards),
+            "retry_after_s": self.supervisor.retry_after_s(),
             "shards": shards,
         }
 
@@ -883,8 +1236,7 @@ class ShardedQueryService:
             if self._closed:
                 return
             self._closed = True
-        for client in self.clients:
-            client.close(timeout)
+        self.supervisor.close(timeout)
 
     def __enter__(self) -> "ShardedQueryService":
         return self

@@ -179,6 +179,13 @@ class _ShardRuntime:
                 "leaves": self.warehouse.cube.n_leaf_cells,
                 "members": len(self.spec.owned_members),
             }
+        if op == "sleep":
+            # Diagnostic op for the chaos/hedge tests: a shard that is
+            # alive but slow.  Exempt from shard.exec like ping.
+            import time as time_module
+
+            time_module.sleep(float(request.get("seconds", 0.0)))
+            return {"ok": True, "shard": self.spec.shard_index}
         inject_io_fault(FP_SHARD_EXEC)
         if op == "cells":
             context = self._context(request["text"])
@@ -283,11 +290,30 @@ class ShardClient:
     thread before anything is enqueued, ``serve.gather`` in the waiting
     thread before a response is surfaced — both therefore propagate into
     the request that armed them, like every other failpoint.
+
+    Death is never a hang: the first pipe error marks the client *down*,
+    fails the in-flight pending, and the dispatcher then fail-fasts every
+    queued and future pending with :class:`~repro.errors.ShardError`
+    instead of touching the dead pipe.  ``gather`` applies
+    ``rpc_timeout`` when the caller passes no timeout, so a stuck (alive
+    but wedged) worker surfaces as a typed timeout rather than an
+    unbounded wait.  A down client stays safe to ``close()`` — the
+    supervisor replaces it with a fresh one.
     """
 
-    def __init__(self, spec: ShardSpec, *, start_timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        spec: ShardSpec,
+        *,
+        start_timeout: float = 60.0,
+        rpc_timeout: float = 60.0,
+    ) -> None:
         self.spec = spec
         self.shard_index = spec.shard_index
+        self.rpc_timeout = rpc_timeout
+        self._closed = False
+        self._down = threading.Event()
+        self._down_reason = ""
         ctx = multiprocessing.get_context("spawn")
         self._conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
@@ -298,14 +324,25 @@ class ShardClient:
         )
         self.process.start()
         child_conn.close()
-        if not self._conn.poll(start_timeout):
+        try:
+            if not self._conn.poll(start_timeout):
+                raise ShardError(
+                    f"shard {spec.shard_index} did not start within "
+                    f"{start_timeout:.3g}s",
+                    shard=spec.shard_index,
+                )
+            hello = self._conn.recv()
+        except ShardError:
+            self._abort_start()
+            raise
+        except (EOFError, OSError) as exc:
+            self._abort_start()
             raise ShardError(
-                f"shard {spec.shard_index} did not start within "
-                f"{start_timeout:.0f}s",
+                f"shard {spec.shard_index} died during startup: {exc!r}",
                 shard=spec.shard_index,
-            )
-        hello = self._conn.recv()
+            ) from exc
         if not hello.get("ok"):
+            self._abort_start()
             raise _remote_error(
                 hello.get("error", "ShardError"),
                 hello.get("message", "startup failed"),
@@ -320,9 +357,34 @@ class ShardClient:
             daemon=True,
         )
         self._dispatcher.start()
-        self._closed = False
+
+    def _abort_start(self) -> None:
+        """Reap a worker whose startup failed: no pipe leak, no zombie,
+        no dispatcher thread (it is only started after a good hello)."""
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(5.0)
 
     # -- dispatcher ---------------------------------------------------------------
+
+    def _down_error(self) -> ShardError:
+        reason = self._down_reason or "process is down"
+        return ShardError(
+            f"shard {self.shard_index} is down: {reason}",
+            shard=self.shard_index,
+        )
+
+    def mark_down(self, reason: str) -> None:
+        """Declare the worker dead (pipe error, ``is_alive()`` false, or
+        a deliberate chaos kill): every queued and future request fails
+        fast with :class:`~repro.errors.ShardError` from here on."""
+        if not self._down.is_set():
+            self._down_reason = reason
+            self._down.set()
 
     def _dispatch_loop(self) -> None:
         while True:
@@ -330,14 +392,18 @@ class ShardClient:
             if item is None:
                 return
             payload, pending = item
+            if self._down.is_set():
+                # Fail fast: never touch the pipe of a dead worker, and
+                # never leave a queued pending waiting forever.
+                pending.error = self._down_error()
+                pending.event.set()
+                continue
             try:
                 self._conn.send(payload)
                 pending.response = self._conn.recv()
             except BaseException as exc:
-                pending.error = ShardError(
-                    f"shard {self.shard_index} connection failed: {exc}",
-                    shard=self.shard_index,
-                )
+                self.mark_down(f"connection failed: {exc!r}")
+                pending.error = self._down_error()
             pending.event.set()
 
     # -- client API ---------------------------------------------------------------
@@ -345,15 +411,24 @@ class ShardClient:
     def submit(self, payload: "dict[str, Any]") -> _Pending:
         """Scatter one request; returns the pending slot to gather on."""
         inject_io_fault(FP_SERVE_SCATTER)
+        if self._down.is_set() or self._closed:
+            raise self._down_error()
         pending = _Pending()
         self._queue.put((payload, pending))
         return pending
 
     def gather(self, pending: _Pending, timeout: "float | None" = None) -> "dict[str, Any]":
-        """Wait for one scattered request and surface its response."""
+        """Wait for one scattered request and surface its response.
+
+        ``timeout=None`` applies the client's ``rpc_timeout`` — a wedged
+        worker must surface as a typed error, never an unbounded block.
+        """
+        if timeout is None:
+            timeout = self.rpc_timeout
         if not pending.event.wait(timeout):
             raise ShardError(
-                f"shard {self.shard_index} timed out", shard=self.shard_index
+                f"shard {self.shard_index} timed out after {timeout:.3g}s",
+                shard=self.shard_index,
             )
         inject_io_fault(FP_SERVE_GATHER)
         if pending.error is not None:
@@ -373,23 +448,46 @@ class ShardClient:
         return self.gather(self.submit(payload), timeout)
 
     def alive(self) -> bool:
-        return self.process.is_alive()
+        return not self._down.is_set() and self.process.is_alive()
+
+    def down(self) -> bool:
+        return self._down.is_set()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (chaos harness): no cleanup, no goodbye —
+        exactly the failure the supervisor exists to heal."""
+        self.mark_down("killed (chaos)")
+        if self.process.is_alive():
+            self.process.kill()
 
     def close(self, timeout: float = 5.0) -> None:
+        """Shut the worker down; safe on a client whose process already
+        exited (or never finished starting), and idempotent."""
         if self._closed:
             return
         self._closed = True
-        # Drain the dispatcher first so no request races the shutdown.
-        self._queue.put(None)
-        self._dispatcher.join(timeout)
+        dispatcher = getattr(self, "_dispatcher", None)
+        if dispatcher is not None:
+            # Drain the dispatcher first so no request races the shutdown.
+            self._queue.put(None)
+            dispatcher.join(timeout)
+        if not self._down.is_set():
+            try:
+                self._conn.send({"op": "shutdown"})
+                if self._conn.poll(timeout):
+                    self._conn.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
         try:
-            self._conn.send({"op": "shutdown"})
-            if self._conn.poll(timeout):
-                self._conn.recv()
-        except (EOFError, OSError, BrokenPipeError):
+            self._conn.close()
+        except OSError:  # pragma: no cover - defensive
             pass
-        self._conn.close()
         self.process.join(timeout)
-        if self.process.is_alive():  # pragma: no cover - defensive
+        if self.process.is_alive():
+            # A wedged worker (e.g. mid-``sleep`` op) ignores shutdown:
+            # escalate to terminate, then kill.
             self.process.terminate()
             self.process.join(timeout)
+            if self.process.is_alive():  # pragma: no cover - defensive
+                self.process.kill()
+                self.process.join(timeout)

@@ -29,6 +29,21 @@ The harness is deterministic per seed *in its decisions* (which queries,
 which mutations); thread interleaving is, of course, the point and is
 not.  ``repro stress`` is the CLI front end; the chaos test suite calls
 :func:`run_stress` directly.
+
+:func:`run_shard_storm` is the sharded-tier sibling (``repro stress
+--sharded``): client threads rotate the three degrade policies against a
+:class:`~repro.service.service.ShardedQueryService` while a killer
+thread SIGKILLs random shard processes.  Its invariants:
+
+1. **Bit-identical or honestly partial** — every non-partial answer
+   (fallback policy, or a lucky window under fail/partial) matches the
+   pre-storm reference grid cell-for-cell; a partial answer may replace
+   cells with ⊥ *only* while carrying ``degradations`` records, and its
+   surviving cells still match the reference.
+2. **Typed errors only** — as above.
+3. **Eventual recovery** — once the killing stops, the supervisor
+   respawns every shard, the breakers close, and a final ``degrade=
+   "fail"`` pass over the whole workload returns bit-identical grids.
 """
 
 from __future__ import annotations
@@ -55,7 +70,14 @@ from repro.service.service import QueryService, QueryTicket
 if TYPE_CHECKING:
     from repro.warehouse import Warehouse
 
-__all__ = ["StressConfig", "StressReport", "run_stress"]
+__all__ = [
+    "ShardStormConfig",
+    "ShardStormReport",
+    "StressConfig",
+    "StressReport",
+    "run_shard_storm",
+    "run_stress",
+]
 
 #: the mixed query workload (all valid against the running example)
 STRESS_QUERIES: tuple[str, ...] = (
@@ -429,4 +451,299 @@ def run_stress(
     chaos.report.duration_s = time.perf_counter() - started
     chaos.report.breaker_trips = breaker.trips
     _verify_replays(chaos)
+    return chaos.report
+
+
+# ---------------------------------------------------------------------------
+# sharded shard-kill storm
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardStormConfig:
+    """Knobs for one sharded chaos storm."""
+
+    clients: int = 4
+    duration_s: float = 3.0
+    n_shards: int = 2
+    seed: int = 0
+    #: mean sleep between SIGKILLs of a random shard
+    kill_interval_s: float = 0.25
+    #: per-query RPC deadline during the storm
+    rpc_timeout_ms: float = 10_000.0
+    #: hedge threshold for the fallback policy
+    hedge_ms: float = 250.0
+    #: post-storm window for respawns + breaker closes + verification
+    recovery_timeout_s: float = 60.0
+
+    @classmethod
+    def smoke(cls, seed: int = 0) -> "ShardStormConfig":
+        """The CI-sized storm: same invariants, shorter clock."""
+        return cls(
+            clients=3,
+            duration_s=1.5,
+            seed=seed,
+            kill_interval_s=0.3,
+        )
+
+
+@dataclass
+class ShardStormReport:
+    """Outcome of one shard-kill storm; ``passed`` is the verdict."""
+
+    config: ShardStormConfig
+    duration_s: float = 0.0
+    queries: int = 0
+    ok: int = 0
+    partial: int = 0
+    typed_errors: int = 0
+    kills: int = 0
+    respawns: int = 0
+    recovered: bool = False
+    #: grids that differed from the pre-storm reference (must be empty)
+    mismatches: list[str] = field(default_factory=list)
+    #: untyped errors / contract breaches (must be empty)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.recovered and not self.mismatches and not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "passed": self.passed,
+            "duration_s": round(self.duration_s, 3),
+            "clients": self.config.clients,
+            "n_shards": self.config.n_shards,
+            "queries": self.queries,
+            "ok": self.ok,
+            "partial": self.partial,
+            "typed_errors": self.typed_errors,
+            "kills": self.kills,
+            "respawns": self.respawns,
+            "recovered": self.recovered,
+            "mismatches": list(self.mismatches),
+            "violations": list(self.violations),
+        }
+
+    def render(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"shard storm: {verdict} "
+            f"({self.config.clients} clients, {self.config.n_shards} shards, "
+            f"{self.duration_s:.1f}s)",
+            f"  queries              {self.queries}",
+            f"  ok (bit-identical)   {self.ok}",
+            f"  partial (⊥ cells)    {self.partial}",
+            f"  typed errors         {self.typed_errors}",
+            f"  shards killed        {self.kills}",
+            f"  respawns             {self.respawns}",
+            f"  recovered            {self.recovered}",
+        ]
+        for mismatch in self.mismatches[:5]:
+            lines.append(f"  MISMATCH: {mismatch}")
+        for violation in self.violations[:5]:
+            lines.append(f"  VIOLATION: {violation}")
+        return "\n".join(lines)
+
+
+class _ShardChaos:
+    """Shared state for one storm (threads append under ``lock``)."""
+
+    def __init__(self, config: ShardStormConfig) -> None:
+        self.config = config
+        self.stop = threading.Event()
+        self.lock = make_lock("_ShardChaos.lock", reentrant=False)
+        self.report = ShardStormReport(config)
+
+    def record_violation(self, where: str, exc: "BaseException | str") -> None:
+        with self.lock:
+            self.report.violations.append(
+                f"{where}: {exc!r}" if isinstance(exc, BaseException)
+                else f"{where}: {exc}"
+            )
+
+
+def _matches_reference(result: Any, reference: Any, *, allow_missing: bool) -> bool:
+    """Cells equal the reference bit-for-bit; with ``allow_missing`` an
+    actual ⊥ is also accepted (a degraded cell), but a *value* must
+    still be the reference's value — degradation may omit, never alter."""
+    if len(result.cells) != len(reference.cells):
+        return False
+    for row_actual, row_expected in zip(result.cells, reference.cells):
+        if len(row_actual) != len(row_expected):
+            return False
+        for actual, expected in zip(row_actual, row_expected):
+            if is_missing(actual):
+                if allow_missing or is_missing(expected):
+                    continue
+                return False
+            if is_missing(expected) or actual != expected:
+                return False
+    return True
+
+
+def _storm_client_loop(
+    chaos: _ShardChaos,
+    service: Any,
+    references: "dict[str, Any]",
+    client_index: int,
+) -> None:
+    rng = random.Random(chaos.config.seed * 7919 + client_index)
+    report = chaos.report
+    policies = ("fallback", "partial", "fail")
+    iteration = 0
+    while not chaos.stop.is_set():
+        text = rng.choice(STRESS_QUERIES)
+        policy = policies[(iteration + client_index) % len(policies)]
+        iteration += 1
+        try:
+            result = service.execute(text, analyze=False, degrade=policy)
+        except EXPECTED_ERRORS:
+            with chaos.lock:
+                report.queries += 1
+                report.typed_errors += 1
+            continue
+        except BaseException as exc:  # untyped error = violation
+            chaos.record_violation(
+                f"storm-client-{client_index} ({policy})", exc
+            )
+            continue
+        reference = references[text]
+        if result.degradations:
+            matched = _matches_reference(result, reference, allow_missing=True)
+            with chaos.lock:
+                report.queries += 1
+                report.partial += 1
+                if policy != "partial":
+                    report.violations.append(
+                        f"storm-client-{client_index}: degraded grid under "
+                        f"{policy!r} policy (only 'partial' may return ⊥)"
+                    )
+                elif not matched:
+                    report.mismatches.append(
+                        f"partial grid altered a value: "
+                        f"{' '.join(text.split())[:60]}"
+                    )
+        else:
+            matched = _matches_reference(result, reference, allow_missing=False)
+            with chaos.lock:
+                report.queries += 1
+                report.ok += 1
+                if not matched:
+                    report.mismatches.append(
+                        f"non-partial grid differs from reference under "
+                        f"{policy!r}: {' '.join(text.split())[:60]}"
+                    )
+
+
+def _killer_loop(chaos: _ShardChaos, service: Any) -> None:
+    """SIGKILL a random shard on a jittered cadence until the storm ends."""
+    rng = random.Random(chaos.config.seed * 104729 + 31)
+    while not chaos.stop.is_set():
+        time.sleep(chaos.config.kill_interval_s * (0.5 + rng.random()))
+        if chaos.stop.is_set():
+            break
+        shard = rng.randrange(service.n_shards)
+        try:
+            service.supervisor.kill(shard)
+        except BaseException as exc:  # pragma: no cover - defensive
+            chaos.record_violation("storm-killer", exc)
+            return
+        with chaos.lock:
+            chaos.report.kills += 1
+
+
+def run_shard_storm(
+    config: "ShardStormConfig | None" = None,
+    workload: str = "running",
+) -> ShardStormReport:
+    """Run one shard-kill storm; see the module docstring's invariants."""
+    from repro.service.service import ShardedQueryService
+    from repro.service.supervisor import SupervisorConfig
+
+    config = config or ShardStormConfig()
+    chaos = _ShardChaos(config)
+    service = ShardedQueryService(
+        workload,
+        n_shards=config.n_shards,
+        rpc_timeout_ms=config.rpc_timeout_ms,
+        hedge_ms=config.hedge_ms,
+        supervisor_config=SupervisorConfig(
+            heartbeat_s=0.05,
+            backoff_base_ms=20.0,
+            backoff_max_ms=250.0,
+            # Generous: the storm's kills must never park a shard as
+            # "failed" — the cap's own semantics get a dedicated test.
+            storm_window_s=10.0,
+            storm_cap=500,
+            seed=config.seed,
+        ),
+    )
+    try:
+        # The reference grids: the sharded storm never mutates the cube,
+        # so every non-partial answer must reproduce these exactly.
+        references = {
+            text: service.warehouse.query(text, analyze=False)
+            for text in STRESS_QUERIES
+        }
+        threads = [
+            threading.Thread(
+                target=_storm_client_loop,
+                args=(chaos, service, references, i),
+                name=f"storm-client-{i}",
+            )
+            for i in range(config.clients)
+        ]
+        threads.append(
+            threading.Thread(
+                target=_killer_loop, args=(chaos, service), name="storm-killer"
+            )
+        )
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        time.sleep(config.duration_s)
+        chaos.stop.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+            if thread.is_alive():  # pragma: no cover - defensive
+                chaos.record_violation(
+                    thread.name, TimeoutError("thread failed to stop")
+                )
+        chaos.report.duration_s = time.perf_counter() - started
+
+        # -- eventual recovery ------------------------------------------------
+        deadline = time.monotonic() + config.recovery_timeout_s
+        while time.monotonic() < deadline:
+            if service.health()["ready"]:
+                chaos.report.recovered = True
+                break
+            time.sleep(0.05)
+        if not chaos.report.recovered:
+            chaos.record_violation(
+                "recovery",
+                f"pool not ready within {config.recovery_timeout_s:.0f}s: "
+                f"{service.health()['shards']}",
+            )
+        else:
+            for text, reference in references.items():
+                try:
+                    replay = service.execute(text, analyze=False, degrade="fail")
+                except BaseException as exc:
+                    chaos.record_violation("recovery replay", exc)
+                    continue
+                if not _matches_reference(
+                    replay, reference, allow_missing=False
+                ):
+                    chaos.report.mismatches.append(
+                        "post-recovery grid differs from reference: "
+                        f"{' '.join(text.split())[:60]}"
+                    )
+        chaos.report.respawns = sum(
+            service.supervisor.restarts(shard)
+            for shard in range(service.n_shards)
+        )
+    finally:
+        service.close()
     return chaos.report

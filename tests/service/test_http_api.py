@@ -162,7 +162,30 @@ class TestAdmission:
         )
         assert status == 429
 
-    def test_open_breaker_maps_to_503(self, service, base_url):
+    def test_open_breaker_maps_to_503_under_fail_policy(
+        self, service, base_url
+    ):
+        originals = list(service.breakers)
+        try:
+            for _ in range(service.breakers[0].failure_threshold):
+                service.breakers[0].record_failure(ShardError("boom"))
+            status, headers, body = _request(
+                base_url, "/v1/query", {"query": SPANNING, "degrade": "fail"}
+            )
+            assert status == 503
+            assert body["error"] == "CircuitOpenError"
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            for i, old in enumerate(originals):
+                fresh = CircuitBreaker()
+                fresh._on_state_change = old._on_state_change
+                service.breakers[i] = fresh
+
+    def test_open_breaker_serves_fallback_by_default(self, service, base_url):
+        reference_status, _, reference = _request(
+            base_url, "/v1/query", {"query": SPANNING}
+        )
+        assert reference_status == 200
         originals = list(service.breakers)
         try:
             for _ in range(service.breakers[0].failure_threshold):
@@ -170,8 +193,34 @@ class TestAdmission:
             status, _, body = _request(
                 base_url, "/v1/query", {"query": SPANNING}
             )
-            assert status == 503
-            assert body["error"] == "CircuitOpenError"
+            assert status == 200
+            assert body["partial"] is False
+            assert body["cells"] == reference["cells"]
+        finally:
+            for i, old in enumerate(originals):
+                fresh = CircuitBreaker()
+                fresh._on_state_change = old._on_state_change
+                service.breakers[i] = fresh
+
+    def test_open_breaker_partial_policy_returns_bottom_cells(
+        self, service, base_url
+    ):
+        originals = list(service.breakers)
+        try:
+            for _ in range(service.breakers[0].failure_threshold):
+                service.breakers[0].record_failure(ShardError("boom"))
+            status, _, body = _request(
+                base_url,
+                "/v1/query",
+                {"query": SPANNING, "degrade": "partial"},
+            )
+            assert status == 200
+            assert body["partial"] is True
+            assert body["degradations"]
+            assert body["degradations"][0]["reason"] == "shard-down"
+            assert any(
+                cell is None for row in body["cells"] for cell in row
+            )
         finally:
             for i, old in enumerate(originals):
                 fresh = CircuitBreaker()

@@ -209,6 +209,39 @@ class TestCircuitBreaker:
         assert "\ncircuit_state 0" in prom
 
 
+class TestWorkerCrashSafety:
+    # The escaping SystemExit in the worker thread is the point of the
+    # test; pytest reports it as an unhandled thread exception.
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_system_exit_completes_ticket_then_escapes_worker(self, warehouse):
+        service = QueryService(warehouse, workers=2)
+        snapshot = warehouse.snapshot()
+        real = snapshot.query
+
+        def exploder(text, analyze=True, budget=None):
+            snapshot.query = real  # one-shot: later queries run normally
+            raise SystemExit(3)
+
+        snapshot.query = exploder
+        ticket = service.submit(QUERY)
+        error = ticket.exception(timeout=30.0)
+        # The keep-alive completes the ticket (the caller sees the exit,
+        # never a hang) but must NOT swallow the interpreter exit: the
+        # worker re-raises and dies, and the error is counted.
+        assert isinstance(error, SystemExit)
+        assert (
+            warehouse.metrics.value(
+                "service_worker_errors_total", kind="SystemExit"
+            )
+            == 1
+        )
+        # The surviving worker keeps serving.
+        assert service.submit(QUERY).result(timeout=30.0) is not None
+        service.close()
+
+
 class TestLifecycle:
     def test_close_drains_queued_work(self, warehouse):
         service = QueryService(warehouse, workers=1)

@@ -157,8 +157,14 @@ class TestFailureHandling:
                     service.execute(spanning)
             assert service.breakers[0].state is BreakerState.OPEN
             with pytest.raises(CircuitOpenError):
-                service.execute(spanning)
+                service.execute(spanning, degrade="fail")
             assert service.health()["shards"][0]["breaker"] == "open"
+            # The default fallback policy routes around the open breaker
+            # and still answers bit-identically from the coordinator.
+            fallback = service.execute(spanning)
+            expected = service.warehouse.query(spanning)
+            assert repr(fallback.cells) == repr(expected.cells)
+            assert not fallback.degradations
         finally:
             service.close()
 
